@@ -1,0 +1,88 @@
+//! §6.6 — the CPU cost of running the control algorithms.
+//!
+//! The paper implemented MakeIdle+MakeActive on phones and measured a
+//! 1.7–1.9% energy overhead. Without a phone we measure the per-event CPU
+//! cost of the same decision paths; EXPERIMENTS.md converts ns/packet into
+//! an energy fraction under a stated CPU-power assumption.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tailwise_core::control::{ControlModule, SocketEvent};
+use tailwise_core::makeactive::LearningDelay;
+use tailwise_core::makeidle::MakeIdle;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_sim::policy::{ActivePolicy, IdleContext, IdlePolicy};
+use tailwise_trace::stats::SlidingWindow;
+use tailwise_trace::time::{Duration, Instant};
+
+fn makeidle_decision(c: &mut Criterion) {
+    let profile = CarrierProfile::att_hspa();
+    // A realistic mixed window: bursty small gaps plus session gaps.
+    let mut window = SlidingWindow::new(100);
+    for i in 0..100 {
+        let gap = if i % 5 == 0 { 12.0 + (i % 7) as f64 } else { 0.02 * (1 + i % 9) as f64 };
+        window.push(Duration::from_secs_f64(gap));
+    }
+    let mut mi = MakeIdle::new();
+    c.bench_function("makeidle_decide_per_packet_n100", |b| {
+        b.iter(|| {
+            let ctx = IdleContext {
+                profile: &profile,
+                window: black_box(&window),
+                now: Instant::ZERO,
+            };
+            black_box(mi.decide(&ctx, Duration::FOREVER))
+        })
+    });
+
+    let mut big = SlidingWindow::new(400);
+    for i in 0..400 {
+        big.push(Duration::from_secs_f64(0.01 * (1 + i % 50) as f64));
+    }
+    let mut mi = MakeIdle::new();
+    c.bench_function("makeidle_decide_per_packet_n400", |b| {
+        b.iter(|| {
+            let ctx =
+                IdleContext { profile: &profile, window: black_box(&big), now: Instant::ZERO };
+            black_box(mi.decide(&ctx, Duration::FOREVER))
+        })
+    });
+}
+
+fn makeactive_round(c: &mut Criterion) {
+    let offsets: Vec<f64> = (0..8).map(|i| i as f64 * 1.3).collect();
+    c.bench_function("makeactive_learn_round", |b| {
+        b.iter_batched(
+            LearningDelay::new,
+            |mut learner| {
+                let hold = learner.open_round(Instant::ZERO);
+                learner.close_round(black_box(&offsets));
+                black_box(hold)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn control_module_event(c: &mut Criterion) {
+    c.bench_function("control_module_on_event", |b| {
+        b.iter_batched(
+            || {
+                let mut m = ControlModule::new(CarrierProfile::att_hspa());
+                for i in 0..120 {
+                    m.on_event(
+                        Instant::from_millis(i * 7_000),
+                        1,
+                        SocketEvent::Send { bytes: 100 },
+                    );
+                }
+                (m, Instant::from_millis(120 * 7_000))
+            },
+            |(mut m, t)| black_box(m.on_event(t, 1, SocketEvent::Recv { bytes: 1400 })),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, makeidle_decision, makeactive_round, control_module_event);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Learner micro-benchmarks: Fixed-Share and Learn-α update costs and
+//! their scaling with the expert count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tailwise_experts::fixed_share::FixedShare;
+use tailwise_experts::learn_alpha::LearnAlpha;
+
+fn losses(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect()
+}
+
+fn fixed_share_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_share_update");
+    for n in [4usize, 16, 64, 256] {
+        let ls = losses(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut f = FixedShare::new(n, 0.05);
+            b.iter(|| black_box(f.update(black_box(&ls))))
+        });
+    }
+    group.finish();
+}
+
+fn learn_alpha_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_alpha_update");
+    for m in [2usize, 8, 32] {
+        let ls = losses(16);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut la = LearnAlpha::with_default_grid(16, m);
+            b.iter(|| {
+                la.update(black_box(&ls));
+                black_box(la.predict(&ls))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fixed_share_update, learn_alpha_update);
+criterion_main!(benches);

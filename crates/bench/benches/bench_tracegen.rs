@@ -1,0 +1,31 @@
+//! Workload-generator throughput: packets synthesized per second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tailwise_trace::time::Duration;
+use tailwise_workload::apps::AppKind;
+use tailwise_workload::user::UserModel;
+
+fn app_generation(c: &mut Criterion) {
+    let span = Duration::from_secs(3600);
+    let mut group = c.benchmark_group("tracegen_app_1h");
+    for kind in [AppKind::Im, AppKind::News, AppKind::Finance] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(kind.default_model().generate(span, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn user_generation(c: &mut Criterion) {
+    let user = UserModel::verizon_lte_users()[2].scaled_to_days(1);
+    c.bench_function("tracegen_user_1day", |b| b.iter(|| black_box(user.generate())));
+}
+
+criterion_group!(benches, app_generation, user_generation);
+criterion_main!(benches);

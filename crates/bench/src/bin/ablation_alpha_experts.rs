@@ -1,0 +1,5 @@
+//! Ablation: Learn-alpha outer-layer width.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ablation_alpha_experts(&mut h).emit("ablation_alpha_experts");
+}

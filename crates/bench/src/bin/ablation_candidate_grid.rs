@@ -1,0 +1,5 @@
+//! Ablation: MakeIdle candidate-grid resolution.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ablation_candidate_grid(&mut h).emit("ablation_candidate_grid");
+}

@@ -1,0 +1,5 @@
+//! Ablation: energy rule vs the paper-literal confidence rule.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ablation_decision_rule(&mut h).emit("ablation_decision_rule");
+}

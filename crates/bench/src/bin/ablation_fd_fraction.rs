@@ -1,0 +1,5 @@
+//! Ablation: fast-dormancy demotion cost fraction (§6.1 robustness).
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ablation_fd_fraction(&mut h).emit("ablation_fd_fraction");
+}

@@ -1,0 +1,5 @@
+//! Ablation: MakeActive loss scale gamma.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ablation_gamma(&mut h).emit("ablation_gamma");
+}

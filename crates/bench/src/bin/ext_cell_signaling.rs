@@ -1,0 +1,5 @@
+//! Extension (§8): base-station signaling load for a cell of devices.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ext_cell_signaling(&mut h).emit("ext_cell_signaling");
+}

@@ -1,0 +1,5 @@
+//! Extension: per-application energy attribution on a user-day.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::ext_energy_attribution(&mut h).emit("ext_energy_attribution");
+}

@@ -1,0 +1,4 @@
+//! Figure 1: status-quo energy breakdown per application.
+fn main() {
+    tailwise_bench::figures::fig01_energy_breakdown().emit("fig01_energy_breakdown");
+}

@@ -1,0 +1,6 @@
+//! Figure 3: power timeline across one burst + tail cycle.
+fn main() {
+    for (i, t) in tailwise_bench::figures::fig03_power_timeline().iter().enumerate() {
+        t.emit(&format!("fig03_power_timeline_{}", if i == 0 { "att3g" } else { "verizonlte" }));
+    }
+}

@@ -1,0 +1,4 @@
+//! Figure 8: per-second energy-model error vs fine-grained ground truth.
+fn main() {
+    tailwise_bench::figures::fig08_energy_error().emit("fig08_energy_error");
+}

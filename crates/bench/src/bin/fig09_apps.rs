@@ -1,0 +1,4 @@
+//! Figure 9: energy savings per application across all schemes.
+fn main() {
+    tailwise_bench::figures::fig09_apps().emit("fig09_apps");
+}

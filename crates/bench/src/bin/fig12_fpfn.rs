@@ -1,0 +1,10 @@
+//! Figure 12: false/missed switch rates vs the Oracle.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    for (t, stem) in tailwise_bench::figures::fig12_fpfn(&mut h)
+        .iter()
+        .zip(["fig12a_fpfn_3g", "fig12b_fpfn_lte"])
+    {
+        t.emit(stem);
+    }
+}

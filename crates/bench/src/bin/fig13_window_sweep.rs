@@ -1,0 +1,5 @@
+//! Figure 13: MakeIdle FP/FN vs history window size n.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::fig13_window_sweep(&mut h).emit("fig13_window_sweep");
+}

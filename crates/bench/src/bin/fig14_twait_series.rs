@@ -1,0 +1,5 @@
+//! Figure 14: the wait MakeIdle chooses over time.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::fig14_twait_series(&mut h).emit("fig14_twait_series");
+}

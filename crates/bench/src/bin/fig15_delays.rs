@@ -1,0 +1,10 @@
+//! Figure 15: session delays, learning vs fixed bound.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    for (t, stem) in tailwise_bench::figures::fig15_delays(&mut h)
+        .iter()
+        .zip(["fig15a_delays_3g", "fig15b_delays_lte"])
+    {
+        t.emit(stem);
+    }
+}

@@ -1,0 +1,5 @@
+//! Figure 16: learned delay and buffered bursts per iteration.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::fig16_learning_dynamics(&mut h).emit("fig16_learning_dynamics");
+}

@@ -1,0 +1,5 @@
+//! Figure 17: energy saved per carrier per scheme.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::fig17_carriers(&mut h).emit("fig17_carriers");
+}

@@ -1,0 +1,5 @@
+//! Figure 18: switch counts normalized by the status quo, per carrier.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::fig18_carrier_switches(&mut h).emit("fig18_carrier_switches");
+}

@@ -1,0 +1,56 @@
+//! Runs every table and figure reproduction and fills `results/`.
+use tailwise_bench::figures as f;
+
+fn main() {
+    let started = std::time::Instant::now();
+    println!("tailwise reproduction — all tables and figures\n");
+
+    f::tab01_power().emit("tab01_power");
+    f::tab02_rrc_params().emit("tab02_rrc_params");
+    f::fig01_energy_breakdown().emit("fig01_energy_breakdown");
+    for (t, stem) in f::fig03_power_timeline()
+        .iter()
+        .zip(["fig03_power_timeline_att3g", "fig03_power_timeline_verizonlte"])
+    {
+        t.emit(stem);
+    }
+    f::fig08_energy_error().emit("fig08_energy_error");
+    f::fig09_apps().emit("fig09_apps");
+
+    let mut h = tailwise_bench::Harness::new();
+    for (t, stem) in f::fig10_verizon3g(&mut h)
+        .iter()
+        .zip(["fig10a_savings", "fig10b_switches", "fig10c_energy_per_switch"])
+    {
+        t.emit(stem);
+    }
+    for (t, stem) in f::fig11_verizonlte(&mut h)
+        .iter()
+        .zip(["fig11a_savings", "fig11b_switches", "fig11c_energy_per_switch"])
+    {
+        t.emit(stem);
+    }
+    for (t, stem) in f::fig12_fpfn(&mut h).iter().zip(["fig12a_fpfn_3g", "fig12b_fpfn_lte"]) {
+        t.emit(stem);
+    }
+    f::fig13_window_sweep(&mut h).emit("fig13_window_sweep");
+    f::fig14_twait_series(&mut h).emit("fig14_twait_series");
+    for (t, stem) in f::fig15_delays(&mut h).iter().zip(["fig15a_delays_3g", "fig15b_delays_lte"]) {
+        t.emit(stem);
+    }
+    f::fig16_learning_dynamics(&mut h).emit("fig16_learning_dynamics");
+    f::fig17_carriers(&mut h).emit("fig17_carriers");
+    f::fig18_carrier_switches(&mut h).emit("fig18_carrier_switches");
+    f::tab03_session_delays(&mut h).emit("tab03_session_delays");
+
+    f::ablation_fd_fraction(&mut h).emit("ablation_fd_fraction");
+    f::ablation_gamma(&mut h).emit("ablation_gamma");
+    f::ablation_candidate_grid(&mut h).emit("ablation_candidate_grid");
+    f::ablation_alpha_experts(&mut h).emit("ablation_alpha_experts");
+    f::ablation_decision_rule(&mut h).emit("ablation_decision_rule");
+
+    f::ext_cell_signaling(&mut h).emit("ext_cell_signaling");
+    f::ext_energy_attribution(&mut h).emit("ext_energy_attribution");
+
+    println!("done in {:.1}s — CSVs in {:?}", started.elapsed().as_secs_f64(), tailwise_bench::table::results_dir());
+}

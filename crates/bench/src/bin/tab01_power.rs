@@ -1,0 +1,4 @@
+//! Table 1: bulk send/receive power.
+fn main() {
+    tailwise_bench::figures::tab01_power().emit("tab01_power");
+}

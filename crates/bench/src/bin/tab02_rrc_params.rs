@@ -1,0 +1,4 @@
+//! Table 2: per-carrier RRC parameters.
+fn main() {
+    tailwise_bench::figures::tab02_rrc_params().emit("tab02_rrc_params");
+}

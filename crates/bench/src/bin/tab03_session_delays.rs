@@ -1,0 +1,5 @@
+//! Table 3: MakeActive session delays per carrier.
+fn main() {
+    let mut h = tailwise_bench::Harness::new();
+    tailwise_bench::figures::tab03_session_delays(&mut h).emit("tab03_session_delays");
+}

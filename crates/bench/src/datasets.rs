@@ -1,0 +1,120 @@
+//! Dataset management: generate once, cache on disk, reuse everywhere.
+//!
+//! Two datasets back the whole reproduction, mirroring §6.1:
+//!
+//! * **application traces** — one 2-hour trace per §6.1 category
+//!   (Figures 1 and 9);
+//! * **user traces** — the 9-user / 28-day synthetic population
+//!   (Figures 10–18, Table 3).
+//!
+//! Generation is deterministic, so the cache (binary `.twt` files under
+//! `results/cache/`) is purely a speed-up; deleting it changes nothing.
+//! Set `TAILWISE_DAYS=<n>` to cap days per user for quick smoke runs.
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tailwise_trace::time::Duration;
+use tailwise_trace::Trace;
+use tailwise_workload::apps::AppKind;
+use tailwise_workload::user::UserModel;
+
+use crate::table::results_dir;
+
+/// Span of each application trace (the paper's 2-hour captures).
+pub const APP_TRACE_SPAN: Duration = Duration::from_secs(7200);
+
+/// Bump when generator models change, so stale caches self-invalidate.
+pub const DATASET_VERSION: u32 = 2;
+
+fn cache_dir() -> PathBuf {
+    results_dir().join("cache")
+}
+
+/// Days-per-user override from `TAILWISE_DAYS` (min 1), if set.
+pub fn days_override() -> Option<u32> {
+    std::env::var("TAILWISE_DAYS").ok()?.parse::<u32>().ok().map(|d| d.max(1))
+}
+
+fn cached_or<F: FnOnce() -> Trace>(name: &str, generate: F) -> Trace {
+    let path = cache_dir().join(format!("{name}-v{DATASET_VERSION}.twt"));
+    if let Ok(t) = tailwise_trace::io::load(&path) {
+        return t;
+    }
+    let t = generate();
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        let _ = tailwise_trace::io::save(&t, &path);
+    }
+    t
+}
+
+/// The 2-hour trace for one application category (cached).
+pub fn app_trace(kind: AppKind) -> Trace {
+    cached_or(&format!("app-{}", kind.name().to_lowercase()), || {
+        let mut rng = StdRng::seed_from_u64(0xA7 ^ kind.id().0 as u64);
+        kind.default_model().generate(APP_TRACE_SPAN, &mut rng)
+    })
+}
+
+/// All seven application traces, in figure order.
+pub fn all_app_traces() -> Vec<(AppKind, Trace)> {
+    AppKind::ALL.iter().map(|&k| (k, app_trace(k))).collect()
+}
+
+fn materialize_users(models: Vec<UserModel>, tag: &str) -> Vec<(String, Trace)> {
+    models
+        .into_iter()
+        .map(|m| {
+            let m = match days_override() {
+                Some(d) => m.scaled_to_days(d.min(m.days)),
+                None => m,
+            };
+            let name = m.name.clone();
+            let key = format!("user-{tag}-{}-{}d", name.replace(' ', "_"), m.days);
+            let trace = cached_or(&key, || m.generate());
+            (name, trace)
+        })
+        .collect()
+}
+
+/// The six-user Verizon 3G population (cached).
+pub fn users_3g() -> Vec<(String, Trace)> {
+    materialize_users(UserModel::verizon_3g_users(), "3g")
+}
+
+/// The three-user Verizon LTE population (cached).
+pub fn users_lte() -> Vec<(String, Trace)> {
+    materialize_users(UserModel::verizon_lte_users(), "lte")
+}
+
+/// All nine users (the Figure 17/18 population).
+pub fn all_users() -> Vec<(String, Trace)> {
+    let mut v = users_3g();
+    v.extend(users_lte());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_traces_are_deterministic_across_calls() {
+        // Both calls may hit the cache; equality must hold regardless.
+        let a = app_trace(AppKind::Im);
+        let b = app_trace(AppKind::Im);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.span() <= APP_TRACE_SPAN);
+    }
+
+    #[test]
+    fn all_app_traces_covers_every_category() {
+        let all = all_app_traces();
+        assert_eq!(all.len(), 7);
+        for (k, t) in &all {
+            assert!(!t.is_empty(), "{} empty", k.name());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tailwise-bench
+//!
+//! The reproduction harness: one target per table and figure of *"Traffic-
+//! Aware Techniques to Reduce 3G/LTE Wireless Energy Consumption"* (Deng &
+//! Balakrishnan, CoNEXT 2012), plus the ablations DESIGN.md commits to.
+//!
+//! * [`figures`] — one function per experiment, returning the same
+//!   rows/series the paper plots;
+//! * [`datasets`] — deterministic, disk-cached generation of the §6.1
+//!   application and user datasets;
+//! * [`groundtruth`] — the fine-grained energy model behind the Figure 8
+//!   validation;
+//! * [`table`] — console/CSV result tables.
+//!
+//! Binaries: `fig01_energy_breakdown` … `fig18_carrier_switches`,
+//! `tab01_power` … `tab03_session_delays`, `ablation_*`, and `repro_all`
+//! (runs everything and fills `results/`). Criterion benches measure the
+//! §6.6 per-packet control overhead and the engine/generator throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod figures;
+pub mod groundtruth;
+pub mod table;
+
+pub use figures::Harness;
+pub use table::Table;

@@ -1,0 +1,152 @@
+//! Minimal argument parsing for the `tailwise` CLI.
+//!
+//! Hand-rolled (no external parser dependency): subcommand + `--key value`
+//! options + positional operands, with typed accessors and an unknown-flag
+//! check. Small enough to audit, strict enough to catch typos.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, options, positionals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+/// A user-facing argument error.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut it = raw.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `tailwise help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!("expected a subcommand, got flag {command:?}")));
+        }
+        let mut options = BTreeMap::new();
+        let mut positionals = Vec::new();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("bare `--` is not supported".into()));
+                }
+                let (key, value) = match key.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                        (key.to_string(), v)
+                    }
+                };
+                if options.insert(key.clone(), value).is_some() {
+                    return Err(ArgError(format!("--{key} given twice")));
+                }
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Args { command, options, positionals })
+    }
+
+    /// String option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn opt_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opt(key).unwrap_or(default)
+    }
+
+    /// Typed option.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| ArgError(format!("--{key} {v:?}: {e}"))),
+        }
+    }
+
+    /// Positional operand by index.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Errors if any option key is not in `allowed` (typo protection).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{key}; valid options: {}",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_positionals() {
+        let a = parse(&["sim", "trace.twt", "--carrier", "att", "--scheme=makeidle"]).unwrap();
+        assert_eq!(a.command, "sim");
+        assert_eq!(a.positional(0), Some("trace.twt"));
+        assert_eq!(a.opt("carrier"), Some("att"));
+        assert_eq!(a.opt("scheme"), Some("makeidle"));
+        assert_eq!(a.opt("missing"), None);
+        assert_eq!(a.opt_or("missing", "x"), "x");
+    }
+
+    #[test]
+    fn typed_options() {
+        let a = parse(&["gen", "--hours", "2.5"]).unwrap();
+        assert_eq!(a.opt_parse::<f64>("hours").unwrap(), Some(2.5));
+        assert_eq!(a.opt_parse::<u32>("absent").unwrap(), None);
+        let bad = parse(&["gen", "--hours", "soon"]).unwrap();
+        assert!(bad.opt_parse::<f64>("hours").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--flag-first"]).is_err());
+        assert!(parse(&["cmd", "--key"]).is_err());
+        assert!(parse(&["cmd", "--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn unknown_option_check() {
+        let a = parse(&["sim", "--carrier", "att", "--oops", "1"]).unwrap();
+        let err = a.check_known(&["carrier", "scheme"]).unwrap_err();
+        assert!(err.0.contains("--oops"));
+        assert!(a.check_known(&["carrier", "oops"]).is_ok());
+    }
+}

@@ -1,0 +1,301 @@
+//! `tailwise` — the command-line face of the toolkit.
+//!
+//! ```text
+//! tailwise gen --app im --hours 2 --seed 7 out.twt     synthesize a workload
+//! tailwise info trace.twt                              inspect a trace
+//! tailwise convert in.pcap --device 10.0.0.2 out.twt   ingest tcpdump output
+//! tailwise sim trace.twt --carrier verizon-lte         compare all schemes
+//! tailwise attribute trace.twt --carrier att           per-app energy blame
+//! tailwise carriers                                    list carrier presets
+//! ```
+//!
+//! Every subcommand works on the `.twt`/`.csv` trace formats of
+//! `tailwise-trace`; `convert` additionally reads classic libpcap.
+
+mod args;
+
+use std::net::Ipv4Addr;
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use tailwise_core::schemes::Scheme;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_sim::engine::SimConfig;
+use tailwise_trace::time::Duration;
+use tailwise_trace::Trace;
+use tailwise_workload::apps::AppKind;
+use tailwise_workload::user::UserModel;
+
+const HELP: &str = "\
+tailwise — traffic-aware 3G/LTE RRC energy toolkit
+  (reproduction of Deng & Balakrishnan, CoNEXT 2012)
+
+USAGE
+  tailwise <command> [options] [operands]
+
+COMMANDS
+  gen <out>        synthesize a workload trace
+                     --app <news|im|microblog|game|email|social|finance>
+                     --user <1..6>        (3G user presets; overrides --app)
+                     --days <n>           (with --user; default preset days)
+                     --hours <h>          (with --app; default 2)
+                     --seed <n>           (default 1)
+  info <trace>     summary, burst stats and IAT percentiles
+  convert <in> <out>
+                   convert between trace formats; reads .pcap/.csv/.twt
+                     --device <ipv4>      (required for pcap input)
+  sim <trace>      run every evaluation scheme over a trace
+                     --carrier <tmobile|att|verizon-3g|verizon-lte|sprint-3g|sprint-lte>
+                     --window <n>         (MakeIdle history, default 100)
+  attribute <trace>
+                   per-application energy attribution (status quo)
+                     --carrier <...>
+  carriers         print the built-in carrier profiles
+  help             this text
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tailwise: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "convert" => cmd_convert(&args),
+        "sim" => cmd_sim(&args),
+        "attribute" => cmd_attribute(&args),
+        "carriers" => cmd_carriers(&args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown command {other:?}; try `tailwise help`"
+        )))),
+    }
+}
+
+fn carrier_from(args: &Args) -> Result<CarrierProfile, ArgError> {
+    match args.opt_or("carrier", "att") {
+        "tmobile" | "tmobile-3g" => Ok(CarrierProfile::tmobile_3g()),
+        "att" | "att-hspa" => Ok(CarrierProfile::att_hspa()),
+        "verizon-3g" => Ok(CarrierProfile::verizon_3g()),
+        "verizon-lte" => Ok(CarrierProfile::verizon_lte()),
+        "sprint-3g" => Ok(CarrierProfile::sprint_3g()),
+        "sprint-lte" => Ok(CarrierProfile::sprint_lte()),
+        other => Err(ArgError(format!(
+            "unknown carrier {other:?}; see `tailwise carriers`"
+        ))),
+    }
+}
+
+fn app_from(name: &str) -> Result<AppKind, ArgError> {
+    AppKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown app {name:?}; one of {}",
+                AppKind::ALL.map(|k| k.name().to_lowercase()).join(", ")
+            ))
+        })
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    Ok(tailwise_trace::io::load(Path::new(path))?)
+}
+
+fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["app", "user", "days", "hours", "seed"])?;
+    let out = args
+        .positional(0)
+        .ok_or_else(|| ArgError("gen needs an output path".into()))?;
+    let seed: u64 = args.opt_parse("seed")?.unwrap_or(1);
+    let trace = if let Some(user) = args.opt_parse::<usize>("user")? {
+        let presets = UserModel::verizon_3g_users();
+        let model = presets
+            .get(user.wrapping_sub(1))
+            .ok_or_else(|| ArgError(format!("--user must be 1..={}", presets.len())))?;
+        let model = match args.opt_parse::<u32>("days")? {
+            Some(d) => model.scaled_to_days(d.max(1)),
+            None => model.clone(),
+        };
+        println!("generating {} ({} days)…", model.name, model.days);
+        model.generate()
+    } else {
+        let kind = app_from(args.opt_or("app", "im"))?;
+        let hours: f64 = args.opt_parse("hours")?.unwrap_or(2.0);
+        if hours <= 0.0 {
+            return Err(Box::new(ArgError("--hours must be positive".into())));
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        println!("generating {} for {hours} h (seed {seed})…", kind.name());
+        kind.default_model().generate(Duration::from_secs_f64(hours * 3600.0), &mut rng)
+    };
+    tailwise_trace::io::save(&trace, Path::new(out))?;
+    println!("wrote {out}: {}", trace.summary());
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&[])?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("info needs a trace path".into()))?;
+    let trace = load_trace(path)?;
+    println!("{path}: {}", trace.summary());
+    if trace.is_empty() {
+        return Ok(());
+    }
+    let bursts = tailwise_trace::bursts::segment_default(&trace);
+    if let Some(s) = tailwise_trace::bursts::stats(&bursts) {
+        println!(
+            "bursts : {} (mean {:.1} pkts, mean inter-burst gap {:.2} s)",
+            s.count,
+            s.mean_len,
+            s.mean_interburst_gap.as_secs_f64()
+        );
+    }
+    let dist = tailwise_trace::stats::EmpiricalDist::from_samples(trace.gaps());
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        if let Some(v) = dist.quantile(q) {
+            println!("IAT p{:<4}: {:.4} s", q * 100.0, v.as_secs_f64());
+        }
+    }
+    for (app, count) in trace.apps() {
+        let name = AppKind::ALL
+            .iter()
+            .find(|k| k.id() == app)
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| app.to_string());
+        println!("app    : {name} — {count} packets");
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["device"])?;
+    let input = args
+        .positional(0)
+        .ok_or_else(|| ArgError("convert needs an input path".into()))?;
+    let output = args
+        .positional(1)
+        .ok_or_else(|| ArgError("convert needs an output path".into()))?;
+    let is_pcap = Path::new(input)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("pcap") || e.eq_ignore_ascii_case("cap"));
+    let trace = if is_pcap {
+        let device: Ipv4Addr = args
+            .opt("device")
+            .ok_or_else(|| ArgError("pcap input needs --device <ipv4>".into()))?
+            .parse()
+            .map_err(|e| ArgError(format!("--device: {e}")))?;
+        tailwise_trace::pcap::load_pcap(Path::new(input), device)?
+    } else {
+        load_trace(input)?
+    };
+    tailwise_trace::io::save(&trace, Path::new(output))?;
+    println!("wrote {output}: {}", trace.summary());
+    Ok(())
+}
+
+fn cmd_sim(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["carrier", "window"])?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("sim needs a trace path".into()))?;
+    let trace = load_trace(path)?;
+    let profile = carrier_from(args)?;
+    let mut config = SimConfig::default();
+    if let Some(n) = args.opt_parse::<usize>("window")? {
+        config.window_capacity = n.max(1);
+    }
+    println!(
+        "{} on {} — {} packets over {:.1} h\n",
+        path,
+        profile.name,
+        trace.len(),
+        trace.span().as_secs_f64() / 3600.0
+    );
+    let base = Scheme::StatusQuo.run(&profile, &config, &trace);
+    println!(
+        "{:<28} {:>12} {:>8} {:>10} {:>9}",
+        "scheme", "energy (J)", "saved", "switches", "delay(s)"
+    );
+    let mut schemes = vec![Scheme::StatusQuo];
+    schemes.extend(Scheme::paper_set());
+    for scheme in schemes {
+        let r = scheme.run(&profile, &config, &trace);
+        println!(
+            "{:<28} {:>12.1} {:>7.1}% {:>10} {:>9.2}",
+            r.scheme,
+            r.total_energy(),
+            r.savings_vs(&base),
+            r.switch_cycles(),
+            r.mean_session_delay(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_attribute(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["carrier"])?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("attribute needs a trace path".into()))?;
+    let trace = load_trace(path)?;
+    let profile = carrier_from(args)?;
+    let attr = tailwise_sim::attribution::attribute(&profile, &SimConfig::default(), &trace);
+    println!("{:<12} {:>9} {:>12} {:>7} {:>10} {:>10}", "app", "packets", "energy (J)", "share", "data (J)", "tail (J)");
+    for a in &attr.apps {
+        let name = AppKind::ALL
+            .iter()
+            .find(|k| k.id() == a.app)
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| a.app.to_string());
+        println!(
+            "{:<12} {:>9} {:>12.1} {:>6.1}% {:>10.1} {:>10.1}",
+            name,
+            a.packets,
+            a.energy.total(),
+            attr.share(a.app) * 100.0,
+            a.energy.data(),
+            a.energy.tail(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_carriers(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&[])?;
+    println!(
+        "{:<14} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10} {:>11}",
+        "carrier", "Pt1(mW)", "Pt2(mW)", "t1(s)", "t2(s)", "promo(s)", "Esw(J)", "thresh(s)"
+    );
+    for p in CarrierProfile::all_presets() {
+        println!(
+            "{:<14} {:>8.0} {:>8.0} {:>6.1} {:>6.1} {:>8.1} {:>10.2} {:>11.2}",
+            p.name,
+            p.p_dch * 1000.0,
+            p.p_fach * 1000.0,
+            p.t1.as_secs_f64(),
+            p.t2.as_secs_f64(),
+            p.promotion_delay.as_secs_f64(),
+            p.e_switch(),
+            p.t_threshold().as_secs_f64(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! The paper-literal confidence rule — an ablation comparator for
+//! MakeIdle's energy rule.
+//!
+//! §4.2 step 1 defines the conditional probability
+//! `P(t_wait) = P(no packet within t_wait + t_threshold | none within
+//! t_wait)` and asks for the smallest wait that makes it "high enough";
+//! step 2 then defines "high enough" through expected energy, which is
+//! what [`crate::makeidle::MakeIdle`] implements. This module implements
+//! the *literal* alternative — a fixed confidence threshold θ — so the
+//! `ablation_decision_rule` bench can quantify what the energy
+//! formulation buys:
+//!
+//! > demote after the smallest `w` with `P(w) ≥ θ`.
+//!
+//! A pure θ rule has no notion of how much energy is at stake, so it
+//! over-switches on cheap gaps and under-switches on expensive ones; the
+//! ablation shows it trailing the energy rule at every θ.
+
+use tailwise_sim::policy::{IdleContext, IdleDecision, IdlePolicy};
+use tailwise_trace::time::Duration;
+
+/// MakeIdle with the literal `P(t_wait) ≥ θ` decision rule.
+#[derive(Debug, Clone)]
+pub struct ConfidenceRule {
+    /// Confidence threshold θ ∈ (0, 1].
+    theta: f64,
+    /// Candidate-grid resolution over `[0, t_threshold]`.
+    candidates: usize,
+    /// Cold-start sample requirement.
+    min_samples: usize,
+}
+
+impl ConfidenceRule {
+    /// Creates a rule with threshold θ and defaults matching
+    /// [`crate::makeidle::MakeIdleConfig`].
+    ///
+    /// # Panics
+    /// Panics if θ is outside `(0, 1]`.
+    pub fn new(theta: f64) -> ConfidenceRule {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0,1], got {theta}");
+        ConfidenceRule { theta, candidates: 25, min_samples: 10 }
+    }
+
+    /// The threshold θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Smallest candidate wait whose conditional confidence reaches θ,
+    /// if any.
+    pub fn first_confident_wait(&self, ctx: &IdleContext<'_>) -> Option<Duration> {
+        if ctx.window.len() < self.min_samples {
+            return None;
+        }
+        let threshold = ctx.profile.t_threshold();
+        let c = self.candidates.max(2);
+        for i in 0..c {
+            let w = Duration::from_micros(
+                (threshold.as_micros() as f64 * i as f64 / (c - 1) as f64).round() as i64,
+            );
+            // Conditional survival is the paper's P(t_wait); beyond the
+            // window support it degenerates to 1 ("nothing observed this
+            // long"), mirroring MakeIdle's virtual-sample optimism.
+            if ctx.window.conditional_survival(w, w + threshold) >= self.theta {
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+impl IdlePolicy for ConfidenceRule {
+    fn name(&self) -> String {
+        format!("confidence-{:.2}", self.theta)
+    }
+
+    fn decide(&mut self, ctx: &IdleContext<'_>, _actual_gap: Duration) -> IdleDecision {
+        match self.first_confident_wait(ctx) {
+            Some(w) => IdleDecision::DemoteAfter(w),
+            None => IdleDecision::Timers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_radio::profile::CarrierProfile;
+    use tailwise_trace::stats::SlidingWindow;
+    use tailwise_trace::time::Instant;
+
+    fn window_of(gaps_s: &[f64]) -> SlidingWindow {
+        let mut w = SlidingWindow::new(100);
+        for &g in gaps_s {
+            w.push(Duration::from_secs_f64(g));
+        }
+        w
+    }
+
+    fn ctx<'a>(p: &'a CarrierProfile, w: &'a SlidingWindow) -> IdleContext<'a> {
+        IdleContext { profile: p, window: w, now: Instant::ZERO }
+    }
+
+    #[test]
+    fn cold_window_defers() {
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[5.0; 3]);
+        let mut r = ConfidenceRule::new(0.9);
+        assert_eq!(r.decide(&ctx(&p, &w), Duration::FOREVER), IdleDecision::Timers);
+    }
+
+    #[test]
+    fn long_gaps_trigger_immediate_confidence() {
+        // Every gap 30 s: P(0) = P(gap > 1.2 | gap > 0) = 1 ≥ θ.
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[30.0; 50]);
+        let mut r = ConfidenceRule::new(0.9);
+        match r.decide(&ctx(&p, &w), Duration::FOREVER) {
+            IdleDecision::DemoteAfter(d) => assert_eq!(d, Duration::ZERO),
+            other => panic!("expected demote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_gaps_need_some_waiting() {
+        // Half 0.4 s, half 30 s: at w = 0, P = 25/50 = 0.5 < 0.9; past the
+        // short mode P = 1.
+        let p = CarrierProfile::att_hspa();
+        let mut gaps = vec![0.4; 25];
+        gaps.extend(vec![30.0; 25]);
+        let w = window_of(&gaps);
+        let r = ConfidenceRule::new(0.9);
+        let wait = r.first_confident_wait(&ctx(&p, &w)).unwrap();
+        assert!(wait >= Duration::from_millis(400), "wait {wait}");
+    }
+
+    #[test]
+    fn lower_theta_is_more_eager() {
+        let p = CarrierProfile::att_hspa();
+        let mut gaps = vec![0.4; 30];
+        gaps.extend(vec![0.9; 10]);
+        gaps.extend(vec![30.0; 10]);
+        let w = window_of(&gaps);
+        let eager = ConfidenceRule::new(0.2).first_confident_wait(&ctx(&p, &w));
+        let strict = ConfidenceRule::new(0.95).first_confident_wait(&ctx(&p, &w));
+        match (eager, strict) {
+            (Some(e), Some(s)) => assert!(e <= s, "eager {e} vs strict {s}"),
+            other => panic!("both thresholds should find a wait: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0,1]")]
+    fn rejects_bad_theta() {
+        let _ = ConfidenceRule::new(0.0);
+    }
+}

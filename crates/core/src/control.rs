@@ -1,0 +1,347 @@
+//! The on-device control module of Figure 4.
+//!
+//! The paper's deployment story: a shim in the socket library reports every
+//! socket call to a control module, which configures the radio (via fast
+//! dormancy) and may hold new sessions for batching. This module is that
+//! control module, expressed in the poll-based style of embedded network
+//! stacks (the smoltcp idiom):
+//!
+//! * feed it socket events with [`ControlModule::on_event`];
+//! * call [`ControlModule::poll`] whenever [`ControlModule::poll_at`] says
+//!   something is due (an armed fast-dormancy timer, a batching release);
+//! * obey the returned [`Action`]s — they are the module's only side
+//!   channel, so the host OS keeps full control of the modem.
+//!
+//! The simulation engine does not go through this interface (it drives the
+//! policies directly for speed); `examples/online_control.rs` and the
+//! integration tests do, which keeps the deployable API honest.
+
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_sim::policy::{ActivePolicy, IdleContext, IdlePolicy};
+use tailwise_sim::IdleDecision;
+use tailwise_trace::stats::SlidingWindow;
+use tailwise_trace::time::{Duration, Instant};
+
+use crate::makeactive::LearningDelay;
+use crate::makeidle::MakeIdle;
+
+/// A socket-layer event, as reported by the library shim (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// An application opened a new connection (a session wants to start).
+    Connect,
+    /// Bytes were handed to the network on an existing connection.
+    Send {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Bytes arrived from the network.
+    Recv {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// A connection closed.
+    Close,
+}
+
+/// A command from the control module to the host OS / modem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send a 3GPP fast-dormancy request to the base station.
+    RequestFastDormancy,
+    /// Buffer this session; do not bring the radio up for it yet.
+    HoldSession {
+        /// The connection being held.
+        flow: u32,
+        /// When the hold expires.
+        release_at: Instant,
+    },
+    /// Release all held sessions now (the radio is coming up once for all
+    /// of them).
+    ReleaseSessions {
+        /// The flows being released, in arrival order.
+        flows: Vec<u32>,
+    },
+}
+
+/// The control module: MakeIdle always on, MakeActive optional.
+#[derive(Debug)]
+pub struct ControlModule {
+    profile: CarrierProfile,
+    makeidle: MakeIdle,
+    window: SlidingWindow,
+    batcher: Option<LearningDelay>,
+    /// §6.5: "when any [delay-sensitive application] is running in the
+    /// foreground, the system disables MakeActive."
+    interactive: bool,
+    last_packet: Option<Instant>,
+    /// Armed fast-dormancy deadline (cleared by traffic or by firing).
+    fd_deadline: Option<Instant>,
+    /// Mirror of the modem's idle/active state.
+    radio_idle: bool,
+    /// Held sessions: (flow, arrival).
+    held: Vec<(u32, Instant)>,
+    /// When the open batching round releases.
+    release_at: Option<Instant>,
+}
+
+impl ControlModule {
+    /// A control module running MakeIdle only.
+    pub fn new(profile: CarrierProfile) -> ControlModule {
+        Self::build(profile, None)
+    }
+
+    /// A control module running MakeIdle plus the learning MakeActive.
+    pub fn with_batching(profile: CarrierProfile) -> ControlModule {
+        Self::build(profile, Some(LearningDelay::new()))
+    }
+
+    fn build(profile: CarrierProfile, batcher: Option<LearningDelay>) -> ControlModule {
+        profile.validate().expect("invalid carrier profile");
+        ControlModule {
+            profile,
+            makeidle: MakeIdle::new(),
+            window: SlidingWindow::new(100),
+            batcher,
+            interactive: false,
+            last_packet: None,
+            fd_deadline: None,
+            radio_idle: true,
+            held: Vec::new(),
+            release_at: None,
+        }
+    }
+
+    /// Marks an interactive (delay-sensitive) application as foregrounded,
+    /// disabling session holding while set (§6.5).
+    pub fn set_interactive(&mut self, interactive: bool) {
+        self.interactive = interactive;
+    }
+
+    /// Whether the module currently believes the radio is idle.
+    pub fn radio_idle(&self) -> bool {
+        self.radio_idle
+    }
+
+    /// Sessions currently held for batching.
+    pub fn held_sessions(&self) -> usize {
+        self.held.len()
+    }
+
+    /// The next instant at which [`poll`](Self::poll) has work to do, if
+    /// any. Hosts should arrange a timer for this instant.
+    pub fn poll_at(&self) -> Option<Instant> {
+        match (self.fd_deadline, self.release_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Reports a socket event at time `now` on connection `flow`.
+    pub fn on_event(&mut self, now: Instant, flow: u32, event: SocketEvent) -> Vec<Action> {
+        // Fire anything already due first, so ordering cannot be skipped
+        // by a busy host.
+        let mut actions = self.poll(now);
+        match event {
+            SocketEvent::Connect => {
+                let batching_wanted =
+                    self.batcher.is_some() && !self.interactive && self.radio_idle;
+                if batching_wanted {
+                    if self.release_at.is_none() {
+                        let hold = self
+                            .batcher
+                            .as_mut()
+                            .expect("batching_wanted implies batcher")
+                            .open_round(now);
+                        self.release_at = Some(now + hold);
+                    }
+                    let release_at = self.release_at.expect("round just ensured");
+                    self.held.push((flow, now));
+                    actions.push(Action::HoldSession { flow, release_at });
+                } else {
+                    // Session starts immediately: traffic will follow.
+                    self.note_traffic(now);
+                }
+            }
+            SocketEvent::Send { .. } | SocketEvent::Recv { .. } => {
+                self.note_traffic(now);
+                // Re-arm the demotion timer from this packet.
+                let ctx =
+                    IdleContext { profile: &self.profile, window: &self.window, now };
+                self.fd_deadline = match self.makeidle.decide(&ctx, Duration::FOREVER) {
+                    IdleDecision::DemoteAfter(w) => Some(now + w),
+                    IdleDecision::Timers => None,
+                };
+            }
+            SocketEvent::Close => {}
+        }
+        actions
+    }
+
+    /// Fires any timers that are due at `now`: batching releases and
+    /// fast-dormancy requests.
+    pub fn poll(&mut self, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if let Some(release) = self.release_at {
+            if now >= release {
+                let flows: Vec<u32> = self.held.iter().map(|&(f, _)| f).collect();
+                let opener = self.held.first().map(|&(_, a)| a);
+                if let (Some(batcher), Some(opener)) = (self.batcher.as_mut(), opener) {
+                    let offsets: Vec<f64> =
+                        self.held.iter().map(|&(_, a)| (a - opener).as_secs_f64()).collect();
+                    batcher.close_round(&offsets);
+                }
+                self.held.clear();
+                self.release_at = None;
+                if !flows.is_empty() {
+                    // The release itself is traffic: the radio comes up.
+                    self.note_traffic(now.max(release));
+                    actions.push(Action::ReleaseSessions { flows });
+                }
+            }
+        }
+        if let Some(deadline) = self.fd_deadline {
+            if now >= deadline && !self.radio_idle {
+                self.radio_idle = true;
+                self.fd_deadline = None;
+                actions.push(Action::RequestFastDormancy);
+            }
+        }
+        actions
+    }
+
+    fn note_traffic(&mut self, now: Instant) {
+        if let Some(prev) = self.last_packet {
+            let gap = (now - prev).max_zero();
+            self.window.push(gap);
+        }
+        self.last_packet = Some(now);
+        self.radio_idle = false;
+        self.fd_deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Instant {
+        Instant::from_secs_f64(s)
+    }
+
+    /// Warm the window with long gaps so MakeIdle decides to demote.
+    fn warmed_module() -> ControlModule {
+        let mut m = ControlModule::new(CarrierProfile::att_hspa());
+        for i in 0..20 {
+            m.on_event(t(i as f64 * 30.0), 1, SocketEvent::Send { bytes: 100 });
+        }
+        m
+    }
+
+    #[test]
+    fn fast_dormancy_fires_after_the_learned_wait() {
+        let mut m = warmed_module();
+        assert!(!m.radio_idle());
+        let deadline = m.poll_at().expect("an FD timer must be armed");
+        // Nothing due just before the deadline...
+        assert!(m.poll(deadline - Duration::from_millis(1)).is_empty());
+        // ...and the request fires at it.
+        let actions = m.poll(deadline);
+        assert_eq!(actions, vec![Action::RequestFastDormancy]);
+        assert!(m.radio_idle());
+        // Idempotent afterwards.
+        assert!(m.poll(deadline + Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn traffic_rearms_the_demotion_timer() {
+        let mut m = warmed_module();
+        let d1 = m.poll_at().unwrap();
+        // Traffic after the deadline: the pending fast dormancy fires
+        // first, the new packet re-promotes, and a fresh deadline is armed.
+        let next = d1 + Duration::from_secs(1);
+        let actions = m.on_event(next, 1, SocketEvent::Recv { bytes: 100 });
+        assert!(actions.contains(&Action::RequestFastDormancy));
+        assert!(!m.radio_idle());
+        let d2 = m.poll_at().unwrap();
+        assert!(d2 >= next);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn cold_module_defers_to_timers() {
+        let mut m = ControlModule::new(CarrierProfile::att_hspa());
+        m.on_event(t(0.0), 1, SocketEvent::Send { bytes: 10 });
+        // Window too cold for MakeIdle: no FD timer armed.
+        assert_eq!(m.poll_at(), None);
+    }
+
+    #[test]
+    fn connects_while_idle_are_held_and_released_together() {
+        let mut m = ControlModule::with_batching(CarrierProfile::att_hspa());
+        // Warm up and let the radio demote.
+        for i in 0..20 {
+            m.on_event(t(i as f64 * 30.0), 1, SocketEvent::Send { bytes: 100 });
+        }
+        let deadline = m.poll_at().unwrap();
+        m.poll(deadline);
+        assert!(m.radio_idle());
+
+        // Two sessions connect while idle.
+        let base = deadline + Duration::from_secs(10);
+        let a1 = m.on_event(base, 7, SocketEvent::Connect);
+        assert_eq!(a1.len(), 1);
+        let release_at = match a1[0] {
+            Action::HoldSession { flow: 7, release_at } => release_at,
+            ref other => panic!("expected hold, got {other:?}"),
+        };
+        assert!(release_at > base);
+        let a2 = m.on_event(base + Duration::from_secs(1), 8, SocketEvent::Connect);
+        assert!(matches!(a2[0], Action::HoldSession { flow: 8, .. }));
+        assert_eq!(m.held_sessions(), 2);
+
+        // At the release instant both flows come out together.
+        let actions = m.poll(release_at);
+        assert!(actions.contains(&Action::ReleaseSessions { flows: vec![7, 8] }));
+        assert_eq!(m.held_sessions(), 0);
+        assert!(!m.radio_idle(), "release brings the radio up");
+    }
+
+    #[test]
+    fn interactive_mode_disables_holding() {
+        let mut m = ControlModule::with_batching(CarrierProfile::att_hspa());
+        for i in 0..20 {
+            m.on_event(t(i as f64 * 30.0), 1, SocketEvent::Send { bytes: 100 });
+        }
+        let deadline = m.poll_at().unwrap();
+        m.poll(deadline);
+        assert!(m.radio_idle());
+
+        m.set_interactive(true);
+        let actions =
+            m.on_event(deadline + Duration::from_secs(5), 9, SocketEvent::Connect);
+        // No hold: the session starts immediately (only possibly-due timer
+        // actions may precede, none here).
+        assert!(actions.iter().all(|a| !matches!(a, Action::HoldSession { .. })));
+        assert_eq!(m.held_sessions(), 0);
+        assert!(!m.radio_idle());
+    }
+
+    #[test]
+    fn connects_while_active_start_immediately() {
+        let mut m = ControlModule::with_batching(CarrierProfile::att_hspa());
+        m.on_event(t(0.0), 1, SocketEvent::Send { bytes: 10 });
+        assert!(!m.radio_idle());
+        let actions = m.on_event(t(0.5), 2, SocketEvent::Connect);
+        assert!(actions.iter().all(|a| !matches!(a, Action::HoldSession { .. })));
+    }
+
+    #[test]
+    fn close_events_are_inert() {
+        let mut m = warmed_module();
+        let before = m.poll_at();
+        let actions = m.on_event(m.poll_at().unwrap() - Duration::from_millis(1), 1, SocketEvent::Close);
+        assert!(actions.is_empty());
+        assert_eq!(m.poll_at(), before);
+    }
+}

@@ -1,0 +1,129 @@
+//! MakeActive with a fixed delay bound (§5.1).
+//!
+//! "A simple strawman is to set a fixed delay bound, T_fix_delay. ... In
+//! our implementation, we make T_fix_delay = k × (t1 + t2) where k is the
+//! average number of bursts during each of the radio's active period."
+//!
+//! The rationale: under the status quo, bursts arriving within `t1 + t2`
+//! of each other already share one Active period without extra switches,
+//! so holding sessions for `k` of those windows restores the status-quo
+//! switch count.
+
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_sim::policy::ActivePolicy;
+use tailwise_sim::SimConfig;
+use tailwise_trace::bursts;
+use tailwise_trace::time::{Duration, Instant};
+use tailwise_trace::Trace;
+
+/// Upper bound on the hold window: guards against degenerate `k` estimates
+/// on extremely bursty traces (the paper's own delays stay well below
+/// this).
+pub const DEFAULT_MAX_BOUND: Duration = Duration::from_secs(30);
+
+/// The fixed-delay-bound batcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedDelayBound {
+    bound: Duration,
+}
+
+impl FixedDelayBound {
+    /// Uses an explicit bound.
+    pub fn new(bound: Duration) -> FixedDelayBound {
+        FixedDelayBound { bound: bound.max_zero().min(DEFAULT_MAX_BOUND) }
+    }
+
+    /// The paper's rule with an explicit `k`: `T_fix = k · (t1 + t2)`.
+    pub fn from_k(profile: &CarrierProfile, k: f64) -> FixedDelayBound {
+        Self::new(profile.tail_window() * k.max(0.0))
+    }
+
+    /// Estimates `k` from a trace — the average number of bursts per
+    /// status-quo Active period — and applies the paper's rule.
+    pub fn from_trace(
+        profile: &CarrierProfile,
+        config: &SimConfig,
+        trace: &Trace,
+    ) -> FixedDelayBound {
+        let bs = bursts::segment(trace, config.intra_burst_gap);
+        let k = bursts::bursts_per_active_period(&bs, profile.tail_window());
+        Self::from_k(profile, k.max(1.0))
+    }
+
+    /// The bound in force.
+    pub fn bound(&self) -> Duration {
+        self.bound
+    }
+}
+
+impl ActivePolicy for FixedDelayBound {
+    fn name(&self) -> String {
+        "makeactive-fix".into()
+    }
+
+    fn open_round(&mut self, _at: Instant) -> Duration {
+        self.bound
+    }
+
+    fn close_round(&mut self, _arrival_offsets: &[f64]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_trace::packet::{Direction, Packet};
+
+    #[test]
+    fn bound_follows_the_paper_formula() {
+        let p = CarrierProfile::att_hspa(); // t1 + t2 = 16.6 s
+        let f = FixedDelayBound::from_k(&p, 1.0);
+        assert_eq!(f.bound(), Duration::from_secs_f64(16.6));
+        // k = 1.5 exceeds the 30 s cap on AT&T (24.9 s < 30 → uncapped).
+        let f = FixedDelayBound::from_k(&p, 1.5);
+        assert!((f.bound().as_secs_f64() - 24.9).abs() < 1e-9);
+        // Extreme k hits the cap.
+        let f = FixedDelayBound::from_k(&p, 10.0);
+        assert_eq!(f.bound(), DEFAULT_MAX_BOUND);
+    }
+
+    #[test]
+    fn open_round_returns_the_constant_bound() {
+        let mut f = FixedDelayBound::new(Duration::from_secs(7));
+        assert_eq!(f.open_round(Instant::ZERO), Duration::from_secs(7));
+        assert_eq!(f.open_round(Instant::from_secs(100)), Duration::from_secs(7));
+        f.close_round(&[0.0, 2.0]); // no-op, must not panic
+        assert_eq!(f.open_round(Instant::ZERO), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn from_trace_estimates_k() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        // Bursts every 5 s: all share active periods (gap < 16.6 s), so the
+        // whole trace is one active period with 12 bursts → k = 12 → cap.
+        let pkts: Vec<Packet> = (0..12)
+            .map(|i| Packet::new(Instant::from_secs(i * 5), Direction::Up, 100))
+            .collect();
+        let t = Trace::from_sorted(pkts).unwrap();
+        let f = FixedDelayBound::from_trace(&p, &cfg, &t);
+        assert_eq!(f.bound(), DEFAULT_MAX_BOUND);
+
+        // Bursts every 60 s: each its own active period → k = 1 → 16.6 s.
+        let pkts: Vec<Packet> = (0..12)
+            .map(|i| Packet::new(Instant::from_secs(i * 60), Direction::Up, 100))
+            .collect();
+        let t = Trace::from_sorted(pkts).unwrap();
+        let f = FixedDelayBound::from_trace(&p, &cfg, &t);
+        assert_eq!(f.bound(), p.tail_window());
+    }
+
+    #[test]
+    fn negative_and_zero_inputs_clamp() {
+        let p = CarrierProfile::att_hspa();
+        assert_eq!(FixedDelayBound::from_k(&p, -2.0).bound(), Duration::ZERO);
+        assert_eq!(
+            FixedDelayBound::new(Duration::from_secs(-5)).bound(),
+            Duration::ZERO
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! MakeActive with the bank-of-experts learner (§5.2 + appendix).
+//!
+//! Each expert proposes a fixed session-delay bound `T_i = i` seconds; the
+//! Learn-α two-layer forecaster maintains weights over the experts (and
+//! over the switching rate α itself) and the policy announces the weighted
+//! average as the hold window for each batching round. After the round
+//! releases, every expert is scored with the paper's loss
+//! `L(i) = γ·Delay(T_i) + 1/b` and the weights update.
+//!
+//! "Figure 16 shows that due to the loss function, the algorithm will
+//! reduce the delay bound as the number of buffered bursts increase" — the
+//! [`LearningDelay::history`] log exposes exactly that trajectory for the
+//! Fig. 16 harness.
+
+use tailwise_experts::learn_alpha::LearnAlpha;
+use tailwise_experts::loss::MakeActiveLoss;
+use tailwise_sim::policy::ActivePolicy;
+use tailwise_trace::time::{Duration, Instant};
+
+/// Configuration for [`LearningDelay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningConfig {
+    /// Number of delay experts; expert `i` proposes `i × expert_step`
+    /// (paper: `T_i = i, i ∈ 1..n` seconds).
+    pub experts: usize,
+    /// Spacing between consecutive experts' proposals.
+    pub expert_step: Duration,
+    /// Number of α-experts in the Learn-α outer layer (`m`).
+    pub alpha_experts: usize,
+    /// Loss scale γ (paper: 0.008).
+    pub gamma: f64,
+    /// Keep at most this many history entries (Fig. 16 log).
+    pub history_limit: usize,
+}
+
+impl Default for LearningConfig {
+    fn default() -> LearningConfig {
+        LearningConfig {
+            experts: 16,
+            expert_step: Duration::from_secs(1),
+            alpha_experts: 8,
+            gamma: 0.008,
+            history_limit: 100_000,
+        }
+    }
+}
+
+/// One Fig.-16 history point: what the learner proposed and what it saw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// The hold window announced for the round, seconds.
+    pub proposed_delay: f64,
+    /// Sessions that ended up buffered in the round.
+    pub buffered: usize,
+}
+
+/// The learning batcher.
+#[derive(Debug, Clone)]
+pub struct LearningDelay {
+    config: LearningConfig,
+    /// Expert proposals in seconds (fixed).
+    proposals: Vec<f64>,
+    learner: LearnAlpha,
+    loss: MakeActiveLoss,
+    /// Hold announced for the currently open round (to be logged at close).
+    pending: Option<f64>,
+    history: Vec<RoundRecord>,
+}
+
+impl LearningDelay {
+    /// Creates a learner with the default configuration.
+    pub fn new() -> LearningDelay {
+        Self::with_config(LearningConfig::default())
+    }
+
+    /// Creates a learner with a custom configuration.
+    pub fn with_config(config: LearningConfig) -> LearningDelay {
+        assert!(config.experts >= 1, "need at least one delay expert");
+        let proposals: Vec<f64> = (1..=config.experts)
+            .map(|i| config.expert_step.as_secs_f64() * i as f64)
+            .collect();
+        let learner = LearnAlpha::with_default_grid(config.experts, config.alpha_experts);
+        let loss = MakeActiveLoss::new(config.gamma);
+        LearningDelay { config, proposals, learner, loss, pending: None, history: Vec::new() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LearningConfig {
+        &self.config
+    }
+
+    /// The per-round learning trajectory (Fig. 16).
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// The delay the learner would currently announce, seconds.
+    pub fn current_delay(&self) -> f64 {
+        self.learner.predict(&self.proposals)
+    }
+
+    /// The learner's current combined weights over the delay experts
+    /// (diagnostic).
+    pub fn expert_weights(&self) -> Vec<f64> {
+        self.learner.combined_weights()
+    }
+}
+
+impl Default for LearningDelay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActivePolicy for LearningDelay {
+    fn name(&self) -> String {
+        "makeactive-learn".into()
+    }
+
+    fn open_round(&mut self, _at: Instant) -> Duration {
+        let delay = self.current_delay();
+        self.pending = Some(delay);
+        Duration::from_secs_f64(delay)
+    }
+
+    fn close_round(&mut self, arrival_offsets: &[f64]) {
+        debug_assert!(!arrival_offsets.is_empty());
+        let losses = self.loss.losses(&self.proposals, arrival_offsets);
+        self.learner.update(&losses);
+        let proposed = self.pending.take().unwrap_or_else(|| self.current_delay());
+        if self.history.len() < self.config.history_limit {
+            self.history.push(RoundRecord { proposed_delay: proposed, buffered: arrival_offsets.len() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rounds(ld: &mut LearningDelay, rounds: usize, offsets: &[f64]) {
+        for _ in 0..rounds {
+            let _ = ld.open_round(Instant::ZERO);
+            ld.close_round(offsets);
+        }
+    }
+
+    #[test]
+    fn initial_delay_is_mid_range() {
+        let ld = LearningDelay::new();
+        // Uniform weights over 1..=16 s → (1+16)/2 = 8.5 s.
+        assert!((ld.current_delay() - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lonely_sessions_shrink_the_delay() {
+        // Every round buffers exactly one session: batching buys nothing,
+        // delay is pure loss, so the learner should drift toward the
+        // smallest expert.
+        let mut ld = LearningDelay::new();
+        let before = ld.current_delay();
+        run_rounds(&mut ld, 200, &[0.0]);
+        let after = ld.current_delay();
+        assert!(after < before * 0.5, "delay {before} -> {after}");
+        assert!(after < 3.0, "delay should approach 1 s, got {after}");
+    }
+
+    #[test]
+    fn dense_arrivals_sustain_longer_delays() {
+        // Sessions pour in throughout a 10 s window: larger bounds buffer
+        // more sessions and win on the 1/b term.
+        let offsets: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut sparse = LearningDelay::new();
+        run_rounds(&mut sparse, 150, &[0.0]);
+        let mut dense = LearningDelay::new();
+        run_rounds(&mut dense, 150, &offsets);
+        assert!(
+            dense.current_delay() > sparse.current_delay() + 1.0,
+            "dense {} vs sparse {}",
+            dense.current_delay(),
+            sparse.current_delay()
+        );
+    }
+
+    #[test]
+    fn history_records_each_round() {
+        let mut ld = LearningDelay::new();
+        run_rounds(&mut ld, 5, &[0.0, 1.0]);
+        assert_eq!(ld.history().len(), 5);
+        for r in ld.history() {
+            assert_eq!(r.buffered, 2);
+            assert!(r.proposed_delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig16_shape_delay_falls_as_buffering_is_observed() {
+        // Reproduce the Fig. 16 dynamic in miniature: rounds where only
+        // one burst is ever buffered drive the proposed delay down across
+        // iterations.
+        let mut ld = LearningDelay::new();
+        run_rounds(&mut ld, 30, &[0.0]);
+        let h = ld.history();
+        assert!(h.first().unwrap().proposed_delay > h.last().unwrap().proposed_delay);
+    }
+
+    #[test]
+    fn delays_stay_within_the_expert_hull() {
+        let mut ld = LearningDelay::new();
+        for round in 0..100 {
+            let offsets: Vec<f64> =
+                (0..(round % 7 + 1)).map(|i| i as f64 * 1.3).collect();
+            let d = ld.open_round(Instant::ZERO).as_secs_f64();
+            assert!((1.0..=16.0 + 1e-9).contains(&d), "round {round}: {d}");
+            ld.close_round(&offsets);
+        }
+    }
+
+    #[test]
+    fn weights_remain_normalized() {
+        let mut ld = LearningDelay::new();
+        run_rounds(&mut ld, 50, &[0.0, 0.5, 4.0]);
+        let w = ld.expert_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn custom_config_is_respected() {
+        let cfg = LearningConfig {
+            experts: 4,
+            expert_step: Duration::from_millis(500),
+            alpha_experts: 3,
+            gamma: 0.05,
+            history_limit: 2,
+        };
+        let mut ld = LearningDelay::with_config(cfg);
+        // Hull is now 0.5..=2.0 s.
+        let d = ld.current_delay();
+        assert!((0.5..=2.0).contains(&d));
+        run_rounds(&mut ld, 5, &[0.0]);
+        assert_eq!(ld.history().len(), 2); // capped
+    }
+}

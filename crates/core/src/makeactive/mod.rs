@@ -1,0 +1,23 @@
+//! MakeActive: session batching to restore status-quo signaling levels
+//! (§5).
+//!
+//! MakeIdle alone demotes aggressively and can multiply the number of
+//! Idle↔Active switch cycles (signaling overhead at the base station).
+//! MakeActive compensates by *delaying the start of new sessions* while the
+//! radio is Idle so that several sessions share one promotion. Two
+//! variants, exactly as in the paper:
+//!
+//! * [`fixed::FixedDelayBound`] — hold every round for
+//!   `T_fix = k · (t1+t2)` (§5.1);
+//! * [`learning::LearningDelay`] — learn the hold per round with a
+//!   Learn-α bank of experts, halving the added delay at equal switch
+//!   counts (§5.2, Fig. 15).
+//!
+//! Both implement `tailwise_sim::policy::ActivePolicy`; the trace transform
+//! that applies them lives in `tailwise_sim::batching`.
+
+pub mod fixed;
+pub mod learning;
+
+pub use fixed::FixedDelayBound;
+pub use learning::{LearningConfig, LearningDelay, RoundRecord};

@@ -1,0 +1,308 @@
+//! MakeIdle: the online demotion predictor of §4.
+//!
+//! After each packet, MakeIdle chooses how long to wait before requesting
+//! fast dormancy, using the empirical inter-arrival distribution of the
+//! last *n* packets (§4.2). The paper's recipe:
+//!
+//! 1. `P(t_wait) = P(no packet in t_wait + t_threshold | none in t_wait)` —
+//!    the conditional confidence that the burst has ended, which grows with
+//!    the observed silence (exposed here as
+//!    [`MakeIdle::p_gap_exceeds_threshold`]);
+//! 2. pick the wait by *energy*: choose the `t_wait` that maximizes
+//!    `f(t_wait) = E[E_no_switch] − E[E_wait_switch]` (eqs. 1–2).
+//!
+//! ### Formula reconstruction (documented deviation)
+//!
+//! Read literally, the paper's eq. 1 does not depend on `t_wait` and its
+//! integrand `P(iat = t)·dE/dt` has units of power, not energy. We use the
+//! reading that makes the surrounding argument go through (see DESIGN.md
+//! §3): for each candidate wait `w`, compare the *expected gap energy* of
+//! the strategy "hold for `w`, then demote if still silent" against the
+//! status quo, both under the windowed empirical distribution `F`:
+//!
+//! ```text
+//! E_status_quo   = E_F[ E(T) ]                       (E = Fig. 5 tail energy)
+//! E_strategy(w)  = E_F[ E(T) · 1{T ≤ w} ]
+//!                + P_F(T > w) · (hold(w) + E_switch)
+//! f(w)           = E_status_quo − E_strategy(w)
+//! ```
+//!
+//! The chosen wait is `argmax f(w)` over a grid of candidates in
+//! `[0, t_threshold]`; if even the best candidate has `f(w) ≤ 0` the radio
+//! is left to the inactivity timers. Waits above `t_threshold` are never
+//! useful: past the threshold, switching immediately already beats holding
+//! (§4.1), so the grid is capped there.
+//!
+//! One virtual sample augments the window: a single *session-ending gap*
+//! (full tail energy). A window of `n` packets cannot witness a gap longer
+//! than the burst that fills it — after a 200-packet transfer every
+//! windowed inter-arrival is a millisecond, and the raw empirical
+//! distribution would "prove" that long gaps never happen, pinning the
+//! radio up forever. The paper's conditional formulation has the same
+//! escape hatch (silence beyond the observed support drives
+//! `P(t_wait) → 1`); the virtual sample expresses it in the energy
+//! formulation with weight `1/(n+1)`, which also reproduces the Fig. 13
+//! shape — small windows are more optimistic, so false switches fall as
+//! `n` grows while missed switches stay flat.
+//!
+//! The evaluation is O(n + C·log n) per decision (suffix sums over the
+//! sorted window; C = grid size), fast enough to run per-packet on a phone
+//! — the §6.6 overhead bench measures exactly this path.
+
+use tailwise_sim::policy::{IdleContext, IdleDecision, IdlePolicy};
+use tailwise_trace::time::Duration;
+
+/// Configuration for [`MakeIdle`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MakeIdleConfig {
+    /// Number of candidate waits on the `[0, t_threshold]` grid
+    /// (endpoints included). Swept by `ablation_candidate_grid`.
+    pub candidates: usize,
+    /// Gaps observed before the predictor engages; until then it defers to
+    /// the inactivity timers (cold start).
+    pub min_samples: usize,
+}
+
+impl Default for MakeIdleConfig {
+    fn default() -> MakeIdleConfig {
+        MakeIdleConfig { candidates: 25, min_samples: 10 }
+    }
+}
+
+/// The MakeIdle policy. The inter-arrival window itself is owned by the
+/// simulation engine (its capacity is the paper's *n*, default 100,
+/// swept in Fig. 13) and handed in through the [`IdleContext`].
+#[derive(Debug, Clone, Default)]
+pub struct MakeIdle {
+    config: MakeIdleConfig,
+    /// Scratch buffer of per-sample gap energies (reused across decisions).
+    energies: Vec<f64>,
+}
+
+impl MakeIdle {
+    /// Creates a MakeIdle policy with the default configuration.
+    pub fn new() -> MakeIdle {
+        MakeIdle::default()
+    }
+
+    /// Creates a MakeIdle policy with a custom configuration.
+    pub fn with_config(config: MakeIdleConfig) -> MakeIdle {
+        MakeIdle { config, energies: Vec::new() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MakeIdleConfig {
+        &self.config
+    }
+
+    /// The paper's step-1 diagnostic: `P(no packet within w + t_threshold |
+    /// no packet within w)` under the window distribution.
+    pub fn p_gap_exceeds_threshold(ctx: &IdleContext<'_>, w: Duration) -> f64 {
+        ctx.window.conditional_survival(w, w + ctx.profile.t_threshold())
+    }
+
+    /// Evaluates `f(w)` for every candidate and returns the best
+    /// `(wait, f)` pair, or `None` when the window is still cold.
+    ///
+    /// Public so the Fig. 14 harness can plot the chosen waits without
+    /// running a full simulation.
+    pub fn best_wait(&mut self, ctx: &IdleContext<'_>) -> Option<(Duration, f64)> {
+        let samples = ctx.window.sorted_samples();
+        if samples.len() < self.config.min_samples {
+            return None;
+        }
+        let profile = ctx.profile;
+        let threshold = profile.t_threshold();
+        let e_switch = profile.e_switch();
+        // The virtual session-ending gap (see module docs): one pseudo-
+        // sample longer than the timers, paying the full status-quo cycle.
+        let e_virtual = profile.gap_energy(profile.tail_window() + Duration::from_secs(1));
+        let n = samples.len() as f64 + 1.0;
+
+        // Per-sample status-quo gap energies, then prefix sums.
+        self.energies.clear();
+        self.energies.reserve(samples.len());
+        let mut acc = 0.0;
+        for &s in samples {
+            acc += profile.gap_energy(s);
+            self.energies.push(acc);
+        }
+        let e_status_quo = (acc + e_virtual) / n;
+        let prefix = |k: usize| if k == 0 { 0.0 } else { self.energies[k - 1] };
+
+        let c = self.config.candidates.max(2);
+        let mut best: Option<(Duration, f64)> = None;
+        for i in 0..c {
+            let w = Duration::from_micros(
+                (threshold.as_micros() as f64 * i as f64 / (c - 1) as f64).round() as i64,
+            );
+            // k = #samples with gap <= w (they interrupt the hold); the
+            // virtual long gap survives every candidate.
+            let k = samples.partition_point(|&s| s <= w);
+            let survivors = samples.len() - k + 1;
+            let e_strategy = (prefix(k)
+                + survivors as f64 * (profile.hold_energy(w) + e_switch))
+                / n;
+            let f = e_status_quo - e_strategy;
+            if best.is_none_or(|(_, fb)| f > fb) {
+                best = Some((w, f));
+            }
+        }
+        best
+    }
+}
+
+impl IdlePolicy for MakeIdle {
+    fn name(&self) -> String {
+        "makeidle".into()
+    }
+
+    fn decide(&mut self, ctx: &IdleContext<'_>, _actual_gap: Duration) -> IdleDecision {
+        match self.best_wait(ctx) {
+            Some((w, f)) if f > 0.0 => IdleDecision::DemoteAfter(w),
+            // Cold window, or every candidate loses to the status quo.
+            _ => IdleDecision::Timers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_radio::profile::CarrierProfile;
+    use tailwise_trace::stats::SlidingWindow;
+    use tailwise_trace::time::Instant;
+
+    fn window_of(gaps_s: &[f64]) -> SlidingWindow {
+        let mut w = SlidingWindow::new(100);
+        for &g in gaps_s {
+            w.push(Duration::from_secs_f64(g));
+        }
+        w
+    }
+
+    fn ctx<'a>(p: &'a CarrierProfile, w: &'a SlidingWindow) -> IdleContext<'a> {
+        IdleContext { profile: p, window: w, now: Instant::ZERO }
+    }
+
+    #[test]
+    fn cold_window_defers_to_timers() {
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[10.0; 5]); // below min_samples = 10
+        let mut mi = MakeIdle::new();
+        assert_eq!(mi.decide(&ctx(&p, &w), Duration::from_secs(30)), IdleDecision::Timers);
+        assert!(mi.best_wait(&ctx(&p, &w)).is_none());
+    }
+
+    #[test]
+    fn long_gap_history_demotes_immediately() {
+        // Every observed gap is 30 s: holding is pure waste, so the best
+        // wait is (near) zero and f is strongly positive.
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[30.0; 50]);
+        let mut mi = MakeIdle::new();
+        let (wait, f) = mi.best_wait(&ctx(&p, &w)).unwrap();
+        assert!(f > 0.0);
+        assert_eq!(wait, Duration::ZERO);
+        match mi.decide(&ctx(&p, &w), Duration::from_secs(30)) {
+            IdleDecision::DemoteAfter(d) => assert_eq!(d, Duration::ZERO),
+            other => panic!("expected demote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_gap_history_waits_out_the_support() {
+        // Every observed gap is 0.3 s: in-burst silence must be waited
+        // out, but silence *beyond* the observed support means the session
+        // ended (the virtual-sample prior) — so the chosen wait sits just
+        // past 0.3 s and never below it.
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[0.3; 50]);
+        let mut mi = MakeIdle::new();
+        let (wait, f) = mi.best_wait(&ctx(&p, &w)).unwrap();
+        assert!(f > 0.0, "f = {f}");
+        // Samples exactly at the wait count as interrupting the hold
+        // (the engine demotes only when gap > wait), so w* = 0.3 itself
+        // is the tightest safe wait.
+        assert!(wait >= Duration::from_millis(300), "w* = {wait}");
+        assert!(wait <= p.t_threshold());
+        // A 0.25 s gap (inside the support) therefore never demotes…
+        match mi.decide(&ctx(&p, &w), Duration::from_millis(250)) {
+            IdleDecision::DemoteAfter(chosen) => {
+                assert!(chosen >= Duration::from_millis(250));
+            }
+            IdleDecision::Timers => {}
+        }
+    }
+
+    #[test]
+    fn bimodal_history_waits_out_the_short_mode() {
+        // Half the gaps are 0.4 s (in-burst), half are 30 s (session ends).
+        // The optimal strategy holds just past the short mode, then
+        // demotes: 0 < w* ≤ threshold, and demoting must win (f > 0).
+        let p = CarrierProfile::att_hspa();
+        let mut gaps = vec![0.4; 25];
+        gaps.extend(vec![30.0; 25]);
+        let w = window_of(&gaps);
+        let mut mi = MakeIdle::new();
+        let (wait, f) = mi.best_wait(&ctx(&p, &w)).unwrap();
+        assert!(f > 0.0, "f = {f}");
+        // Samples exactly at the wait count as interrupting the hold, so
+        // w* = 0.4 s itself already excludes the short mode.
+        assert!(wait >= Duration::from_millis(400), "w* = {wait}");
+        assert!(wait <= p.t_threshold());
+    }
+
+    #[test]
+    fn chosen_wait_never_exceeds_threshold() {
+        let p = CarrierProfile::verizon_lte();
+        for pattern in [&[0.1, 5.0][..], &[1.0, 1.0, 20.0], &[8.0; 3]] {
+            let gaps: Vec<f64> = pattern.iter().cycle().take(60).copied().collect();
+            let w = window_of(&gaps);
+            let mut mi = MakeIdle::new();
+            if let Some((wait, _)) = mi.best_wait(&ctx(&p, &w)) {
+                assert!(wait <= p.t_threshold());
+            }
+        }
+    }
+
+    #[test]
+    fn p_twait_increases_with_wait_on_bursty_traffic() {
+        // The paper's observation: "P(t_wait) increases as t_wait
+        // increases" on real (bursty) inter-arrival distributions.
+        let p = CarrierProfile::att_hspa();
+        let mut gaps = vec![0.05; 40]; // dense in-burst gaps
+        gaps.extend(vec![10.0; 20]); // session gaps
+        let w = window_of(&gaps);
+        let c = ctx(&p, &w);
+        let p0 = MakeIdle::p_gap_exceeds_threshold(&c, Duration::ZERO);
+        let p_half = MakeIdle::p_gap_exceeds_threshold(&c, Duration::from_millis(600));
+        assert!(p_half >= p0, "{p_half} < {p0}");
+    }
+
+    #[test]
+    fn decision_ignores_the_actual_gap() {
+        // MakeIdle is online: whatever the future holds, the decision is a
+        // function of the window only.
+        let p = CarrierProfile::att_hspa();
+        let w = window_of(&[30.0; 50]);
+        let mut mi = MakeIdle::new();
+        let a = mi.decide(&ctx(&p, &w), Duration::from_millis(1));
+        let b = mi.decide(&ctx(&p, &w), Duration::from_secs(1000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_resolution_changes_granularity_not_direction() {
+        let p = CarrierProfile::att_hspa();
+        let mut gaps = vec![0.4; 25];
+        gaps.extend(vec![30.0; 25]);
+        let w = window_of(&gaps);
+        let mut coarse = MakeIdle::with_config(MakeIdleConfig { candidates: 3, min_samples: 10 });
+        let mut fine = MakeIdle::with_config(MakeIdleConfig { candidates: 200, min_samples: 10 });
+        let (_, f_coarse) = coarse.best_wait(&ctx(&p, &w)).unwrap();
+        let (_, f_fine) = fine.best_wait(&ctx(&p, &w)).unwrap();
+        // Finer grids can only find an equal-or-better optimum.
+        assert!(f_fine + 1e-12 >= f_coarse);
+    }
+}

@@ -1,0 +1,164 @@
+//! Hindsight baselines and regret accounting for the expert forecasters.
+//!
+//! Online-learning guarantees are stated against the *best static expert in
+//! hindsight* (and, for switching algorithms like Fixed-Share, the best
+//! sequence of experts). These helpers compute those comparators from a
+//! recorded loss matrix so tests and the `bench_experts` harness can verify
+//! that the forecasters' regret behaves.
+
+/// Total loss of each expert over a recorded sequence.
+///
+/// `loss_rounds[t][i]` is expert `i`'s loss at round `t`. All rounds must
+/// have the same arity.
+pub fn cumulative_losses(loss_rounds: &[Vec<f64>]) -> Vec<f64> {
+    if loss_rounds.is_empty() {
+        return Vec::new();
+    }
+    let n = loss_rounds[0].len();
+    let mut acc = vec![0.0; n];
+    for round in loss_rounds {
+        assert_eq!(round.len(), n, "inconsistent expert count across rounds");
+        for (a, l) in acc.iter_mut().zip(round) {
+            *a += l;
+        }
+    }
+    acc
+}
+
+/// Index and total loss of the best static expert in hindsight.
+pub fn best_static_expert(loss_rounds: &[Vec<f64>]) -> Option<(usize, f64)> {
+    let totals = cumulative_losses(loss_rounds);
+    totals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("losses are finite"))
+        .map(|(i, &l)| (i, l))
+}
+
+/// Loss of the best *sequence* of experts with at most `k` switches —
+/// the comparator Fixed-Share is designed for. Dynamic program over
+/// (round, expert, switches used); O(T · n² · k).
+pub fn best_switching_sequence(loss_rounds: &[Vec<f64>], k: usize) -> Option<f64> {
+    if loss_rounds.is_empty() {
+        return None;
+    }
+    let n = loss_rounds[0].len();
+    // cost[s][i] = best total loss through the current round ending at
+    // expert i having used s switches.
+    let mut cost = vec![vec![f64::INFINITY; n]; k + 1];
+    for i in 0..n {
+        cost[0][i] = loss_rounds[0][i];
+    }
+    for round in &loss_rounds[1..] {
+        let mut next = vec![vec![f64::INFINITY; n]; k + 1];
+        for s in 0..=k {
+            for i in 0..n {
+                if cost[s][i].is_finite() {
+                    // Stay.
+                    let stay = cost[s][i] + round[i];
+                    if stay < next[s][i] {
+                        next[s][i] = stay;
+                    }
+                    // Switch.
+                    if s < k {
+                        for j in 0..n {
+                            if j != i {
+                                let sw = cost[s][i] + round[j];
+                                if sw < next[s + 1][j] {
+                                    next[s + 1][j] = sw;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cost = next;
+    }
+    cost.into_iter()
+        .flatten()
+        .filter(|c| c.is_finite())
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+/// Regret of a forecaster that incurred `forecaster_loss` total against the
+/// best static expert on the same rounds.
+pub fn static_regret(forecaster_loss: f64, loss_rounds: &[Vec<f64>]) -> Option<f64> {
+    best_static_expert(loss_rounds).map(|(_, best)| forecaster_loss - best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed_share::FixedShare;
+
+    #[test]
+    fn cumulative_and_best_static() {
+        let rounds = vec![vec![1.0, 0.0], vec![1.0, 2.0], vec![0.0, 0.0]];
+        assert_eq!(cumulative_losses(&rounds), vec![2.0, 2.0]);
+        let (i, l) = best_static_expert(&rounds).unwrap();
+        assert_eq!(i, 0); // tie broken by min_by keeping the first minimum
+        assert_eq!(l, 2.0);
+        assert_eq!(best_static_expert(&[]), None);
+    }
+
+    #[test]
+    fn switching_comparator_beats_static_on_switching_data() {
+        // Expert 0 best in first half, expert 1 best in second.
+        let mut rounds = Vec::new();
+        for _ in 0..10 {
+            rounds.push(vec![0.0, 1.0]);
+        }
+        for _ in 0..10 {
+            rounds.push(vec![1.0, 0.0]);
+        }
+        let static_best = best_static_expert(&rounds).unwrap().1;
+        let switch0 = best_switching_sequence(&rounds, 0).unwrap();
+        let switch1 = best_switching_sequence(&rounds, 1).unwrap();
+        assert_eq!(static_best, 10.0);
+        assert_eq!(switch0, static_best); // k=0 is the static comparator
+        assert_eq!(switch1, 0.0); // one switch captures both phases
+    }
+
+    #[test]
+    fn fixed_share_regret_is_small_against_switching_comparator() {
+        // Mixture-loss regret of Fixed-Share vs the best 1-switch sequence
+        // on a two-phase stream. The Herbster–Warmuth bound is
+        // O(log n + k log T); with n = 4, T = 200 that is single digits.
+        let mut rounds = Vec::new();
+        for _ in 0..100 {
+            rounds.push(vec![0.0, 1.0, 1.0, 1.0]);
+        }
+        for _ in 0..100 {
+            rounds.push(vec![1.0, 1.0, 0.0, 1.0]);
+        }
+        let mut f = FixedShare::new(4, 0.02);
+        let mut total = 0.0;
+        for r in &rounds {
+            total += f.update(r);
+        }
+        let comparator = best_switching_sequence(&rounds, 1).unwrap();
+        let regret = total - comparator;
+        assert!(regret >= 0.0, "mixture loss cannot beat the offline optimum here");
+        assert!(regret < 10.0, "regret {regret} too large");
+    }
+
+    #[test]
+    fn static_regret_of_exponential_weights_is_logarithmic() {
+        let rounds: Vec<Vec<f64>> = (0..500).map(|_| vec![0.1, 0.9, 0.5]).collect();
+        let mut f = FixedShare::new(3, 0.0);
+        let mut total = 0.0;
+        for r in &rounds {
+            total += f.update(r);
+        }
+        let regret = static_regret(total, &rounds).unwrap();
+        assert!(regret >= 0.0);
+        assert!(regret <= (3.0f64).ln() + 1e-9, "EW regret bound violated: {regret}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent expert count")]
+    fn rejects_ragged_loss_matrix() {
+        cumulative_losses(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Fixed-Share forecaster (Herbster & Warmuth, "Tracking the best
+//! expert", 1998) — the inner layer of the paper's appendix.
+//!
+//! A bank of `n` experts each proposes a value. The forecaster keeps a
+//! probability vector `p_t` over experts and predicts the weighted average.
+//! After observing per-expert losses it performs the two-step update the
+//! appendix writes in one line:
+//!
+//! ```text
+//! p_t(i) = (1/Z_t) Σ_j p_{t-1}(j) e^{−L(j, t−1)} P(i | j, α)
+//! P(i|j,α) = 1−α          if i = j
+//!          = α / (n−1)    otherwise
+//! ```
+//!
+//! i.e. a Bayes/exponential-weights step followed by an α-share step that
+//! redistributes a fraction of every expert's weight to the others, letting
+//! the forecaster *re-pick* the best expert when the traffic pattern shifts
+//! ("suitable for cases where the observation may change rapidly, which
+//! matches the bursty character of network traffic").
+//!
+//! Numerics: weights are renormalized every update and losses are shifted
+//! by their minimum before exponentiation, so the forecaster is stable for
+//! arbitrarily large losses.
+
+/// A Fixed-Share forecaster over `n` experts.
+#[derive(Debug, Clone)]
+pub struct FixedShare {
+    alpha: f64,
+    weights: Vec<f64>,
+    updates: u64,
+}
+
+impl FixedShare {
+    /// Creates a forecaster with uniform initial weights.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha ∉ [0, 1]`.
+    pub fn new(n: usize, alpha: f64) -> FixedShare {
+        assert!(n > 0, "need at least one expert");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        FixedShare { alpha, weights: vec![1.0 / n as f64; n], updates: 0 }
+    }
+
+    /// Number of experts.
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The switching parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Updates performed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current probability vector over experts (sums to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Predicts the weighted average of per-expert `values`.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n`.
+    pub fn predict(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.weights.len(), "one value per expert");
+        self.weights.iter().zip(values).map(|(w, v)| w * v).sum()
+    }
+
+    /// Index and weight of the currently heaviest expert.
+    pub fn leader(&self) -> (usize, f64) {
+        let (i, w) = self
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .expect("n >= 1");
+        (i, *w)
+    }
+
+    /// Applies one loss observation (one value per expert).
+    ///
+    /// Returns the *mixture loss* `−log Σ_i p(i) e^{−L(i)}` of this round —
+    /// exactly the per-α loss `L(α_j, t)` that the Learn-α outer layer
+    /// consumes (appendix eq. 5).
+    ///
+    /// # Panics
+    /// Panics if `losses.len() != n` or any loss is not finite.
+    pub fn update(&mut self, losses: &[f64]) -> f64 {
+        assert_eq!(losses.len(), self.weights.len(), "one loss per expert");
+        assert!(losses.iter().all(|l| l.is_finite()), "losses must be finite");
+        let n = self.weights.len();
+        let min_loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
+
+        // Bayes step (shifted by min_loss for numerical stability; the
+        // shift cancels in the normalization).
+        let mut posterior: Vec<f64> =
+            self.weights.iter().zip(losses).map(|(w, l)| w * (-(l - min_loss)).exp()).collect();
+        let z: f64 = posterior.iter().sum();
+        debug_assert!(z > 0.0, "posterior mass vanished");
+        for w in &mut posterior {
+            *w /= z;
+        }
+        // Mixture loss, un-shifting the stabilizer: z = Σ w_i e^{-(L_i - min)}
+        // with Σ w_i = 1, so −log Σ w_i e^{−L_i} = min_loss − log z.
+        let mixture_loss = min_loss - z.ln();
+
+        // Share step.
+        if n > 1 && self.alpha > 0.0 {
+            let share = self.alpha / (n as f64 - 1.0);
+            let total: f64 = 1.0; // posterior is normalized
+            for w in posterior.iter_mut() {
+                *w = (1.0 - self.alpha) * *w + share * (total - *w);
+            }
+        }
+        self.weights = posterior;
+        self.updates += 1;
+        mixture_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_prob_vector(w: &[f64]) {
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "weights {w:?}");
+        assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn starts_uniform() {
+        let f = FixedShare::new(4, 0.1);
+        assert_eq!(f.weights(), &[0.25; 4]);
+        assert_eq!(f.n(), 4);
+        assert_eq!(f.updates(), 0);
+    }
+
+    #[test]
+    fn weights_remain_probability_vector() {
+        let mut f = FixedShare::new(5, 0.05);
+        for round in 0..100 {
+            let losses: Vec<f64> = (0..5).map(|i| ((i + round) % 5) as f64).collect();
+            f.update(&losses);
+            assert_prob_vector(f.weights());
+        }
+        assert_eq!(f.updates(), 100);
+    }
+
+    #[test]
+    fn concentrates_on_consistently_best_expert() {
+        let mut f = FixedShare::new(3, 0.01);
+        for _ in 0..50 {
+            f.update(&[1.0, 0.0, 1.0]);
+        }
+        let (leader, w) = f.leader();
+        assert_eq!(leader, 1);
+        assert!(w > 0.9, "leader weight {w}");
+    }
+
+    #[test]
+    fn alpha_floor_prevents_total_collapse() {
+        // With α > 0 every expert retains at least α/(n−1) of the mass the
+        // others shed, so weights never hit zero and recovery stays possible.
+        let mut f = FixedShare::new(3, 0.2);
+        for _ in 0..1000 {
+            f.update(&[0.0, 10.0, 10.0]);
+        }
+        for &w in f.weights() {
+            assert!(w > 1e-3, "weights {:?}", f.weights());
+        }
+    }
+
+    #[test]
+    fn tracks_a_switching_best_expert() {
+        // Expert 0 is best for 30 rounds, then expert 2. Fixed-share should
+        // move its leader; pure exponential weights (α=0) move much slower.
+        let run = |alpha: f64| {
+            let mut f = FixedShare::new(3, alpha);
+            for _ in 0..30 {
+                f.update(&[0.0, 1.0, 1.0]);
+            }
+            for _ in 0..10 {
+                f.update(&[1.0, 1.0, 0.0]);
+            }
+            f.weights()[2]
+        };
+        let shared = run(0.1);
+        let unshared = run(0.0);
+        assert!(shared > 0.5, "fixed-share weight on new leader {shared}");
+        assert!(shared > unshared, "sharing must speed up switching: {shared} vs {unshared}");
+    }
+
+    #[test]
+    fn alpha_zero_is_exponential_weights() {
+        // Closed form: p(i) ∝ exp(−Σ L(i)).
+        let mut f = FixedShare::new(2, 0.0);
+        f.update(&[1.0, 2.0]);
+        f.update(&[1.0, 2.0]);
+        let expect0 = 1.0 / (1.0 + (-2.0f64).exp());
+        assert!((f.weights()[0] - expect0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_is_weighted_average() {
+        let mut f = FixedShare::new(2, 0.0);
+        assert_eq!(f.predict(&[2.0, 4.0]), 3.0);
+        for _ in 0..100 {
+            f.update(&[0.0, 5.0]);
+        }
+        // Nearly all weight on expert 0.
+        assert!((f.predict(&[2.0, 4.0]) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn update_returns_mixture_loss() {
+        let mut f = FixedShare::new(2, 0.0);
+        // Uniform weights, losses [0, 0] → mixture loss −log(1) = 0.
+        assert!((f.update(&[0.0, 0.0]) - 0.0).abs() < 1e-12);
+        // Uniform again is gone; rebuild: new forecaster, losses [l, l]
+        // → mixture loss l regardless of weights.
+        let mut f = FixedShare::new(3, 0.3);
+        let ml = f.update(&[2.5, 2.5, 2.5]);
+        assert!((ml - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_loss_is_bounded_by_extremes() {
+        let mut f = FixedShare::new(4, 0.1);
+        let losses = [0.5, 1.5, 3.0, 0.2];
+        let ml = f.update(&losses);
+        assert!((0.2 - 1e-12..=3.0 + 1e-12).contains(&ml));
+    }
+
+    #[test]
+    fn survives_huge_losses() {
+        let mut f = FixedShare::new(3, 0.05);
+        for _ in 0..50 {
+            f.update(&[1e6, 2e6, 1e6 + 1.0]);
+        }
+        assert_prob_vector(f.weights());
+        assert_eq!(f.leader().0, 0);
+    }
+
+    #[test]
+    fn single_expert_degenerates_gracefully() {
+        let mut f = FixedShare::new(1, 0.5);
+        f.update(&[3.0]);
+        assert_eq!(f.weights(), &[1.0]);
+        assert_eq!(f.predict(&[7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn rejects_bad_alpha() {
+        let _ = FixedShare::new(2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one loss per expert")]
+    fn rejects_wrong_loss_arity() {
+        FixedShare::new(2, 0.1).update(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "losses must be finite")]
+    fn rejects_nan_losses() {
+        FixedShare::new(2, 0.1).update(&[f64::NAN, 0.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! The Learn-α two-layer forecaster (Monteleoni & Jaakkola, NIPS 2003) —
+//! the outer layer of the paper's appendix.
+//!
+//! Fixed-Share needs a switching rate α, and "it is hard to choose a good
+//! α. In reality, α should not be a fixed value since the network traffic
+//! pattern may change rapidly or remain stationary." Learn-α runs `m`
+//! *α-experts* — complete Fixed-Share forecasters, each with its own α —
+//! and learns a distribution over them with plain exponential weights:
+//!
+//! ```text
+//! T_t      = Σ_j Σ_i p'_t(j) p_{t,j}(i) T_i            (eq. 3)
+//! p'_t(j)  ∝ p'_{t−1}(j) e^{−L(α_j, t−1)}              (eq. 4)
+//! L(α_j,t) = −log Σ_i p_{t,j}(i) e^{−L(i,t)}            (eq. 5)
+//! ```
+//!
+//! Note the `t−1` in eq. 4: the α-weights used at time `t` are updated with
+//! the *previous* round's per-α mixture losses ("the loss function value
+//! for the current iteration is calculated from information learned at time
+//! t−1"). The implementation preserves that one-step lag.
+
+use crate::fixed_share::FixedShare;
+
+/// A Learn-α forecaster: `m` Fixed-Share sub-forecasters over `n` experts.
+#[derive(Debug, Clone)]
+pub struct LearnAlpha {
+    subs: Vec<FixedShare>,
+    alphas: Vec<f64>,
+    /// log-weights of the α-experts (log-space for stability).
+    log_weights: Vec<f64>,
+    /// Per-α mixture losses of the previous round (eq. 4's `t−1`).
+    pending_losses: Option<Vec<f64>>,
+    updates: u64,
+}
+
+impl LearnAlpha {
+    /// Creates a forecaster with `n` value-experts and the given α grid.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty, any α is outside `[0, 1]`, or `n == 0`.
+    pub fn new(n: usize, alphas: &[f64]) -> LearnAlpha {
+        assert!(!alphas.is_empty(), "need at least one alpha expert");
+        let subs: Vec<FixedShare> = alphas.iter().map(|&a| FixedShare::new(n, a)).collect();
+        let m = alphas.len();
+        LearnAlpha {
+            subs,
+            alphas: alphas.to_vec(),
+            log_weights: vec![-(m as f64).ln(); m],
+            pending_losses: None,
+            updates: 0,
+        }
+    }
+
+    /// Creates a forecaster with the default α grid: `m` values evenly
+    /// spaced in `(0, 0.5]`, plus α = 0 (the stationary hypothesis).
+    pub fn with_default_grid(n: usize, m: usize) -> LearnAlpha {
+        assert!(m >= 1, "need at least one alpha expert");
+        let mut alphas = vec![0.0];
+        for j in 1..=m {
+            alphas.push(0.5 * j as f64 / m as f64);
+        }
+        Self::new(n, &alphas)
+    }
+
+    /// Number of value-experts.
+    pub fn n(&self) -> usize {
+        self.subs[0].n()
+    }
+
+    /// The α grid.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Updates performed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Normalized weights over the α-experts.
+    pub fn alpha_weights(&self) -> Vec<f64> {
+        let max = self.log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let unnorm: Vec<f64> = self.log_weights.iter().map(|&lw| (lw - max).exp()).collect();
+        let z: f64 = unnorm.iter().sum();
+        unnorm.into_iter().map(|w| w / z).collect()
+    }
+
+    /// The effective α: the α-weight-averaged switching rate (diagnostic).
+    pub fn effective_alpha(&self) -> f64 {
+        self.alpha_weights().iter().zip(&self.alphas).map(|(w, a)| w * a).sum()
+    }
+
+    /// Combined weights over the value-experts:
+    /// `P(i) = Σ_j p'(j) · p_j(i)` — the distribution eq. 3 predicts with.
+    pub fn combined_weights(&self) -> Vec<f64> {
+        let aw = self.alpha_weights();
+        let n = self.n();
+        let mut out = vec![0.0; n];
+        for (j, sub) in self.subs.iter().enumerate() {
+            for (i, &w) in sub.weights().iter().enumerate() {
+                out[i] += aw[j] * w;
+            }
+        }
+        out
+    }
+
+    /// Predicts the two-layer weighted average of per-expert `values`
+    /// (eq. 3).
+    pub fn predict(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.n(), "one value per expert");
+        self.combined_weights().iter().zip(values).map(|(w, v)| w * v).sum()
+    }
+
+    /// Applies one round of per-expert losses to both layers.
+    ///
+    /// Order of operations (preserving the paper's `t−1` lag):
+    /// 1. fold the *previous* round's per-α mixture losses into the
+    ///    α-weights (eq. 4);
+    /// 2. compute this round's per-α mixture losses from the sub-forecasters'
+    ///    current weights (eq. 5) while updating each sub-forecaster.
+    pub fn update(&mut self, losses: &[f64]) {
+        assert_eq!(losses.len(), self.n(), "one loss per expert");
+        if let Some(prev) = self.pending_losses.take() {
+            for (lw, l) in self.log_weights.iter_mut().zip(&prev) {
+                *lw -= l;
+            }
+            // Renormalize in log space occasionally to avoid drift.
+            let max = self.log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for lw in &mut self.log_weights {
+                *lw -= max;
+            }
+        }
+        let mut current = Vec::with_capacity(self.subs.len());
+        for sub in &mut self.subs {
+            current.push(sub.update(losses));
+        }
+        self.pending_losses = Some(current);
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_shape() {
+        let la = LearnAlpha::with_default_grid(5, 4);
+        assert_eq!(la.alphas(), &[0.0, 0.125, 0.25, 0.375, 0.5]);
+        assert_eq!(la.n(), 5);
+        let aw = la.alpha_weights();
+        assert_eq!(aw.len(), 5);
+        assert!((aw.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(aw.iter().all(|&w| (w - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn alpha_weights_stay_normalized() {
+        let mut la = LearnAlpha::with_default_grid(4, 6);
+        for round in 0..200 {
+            let losses: Vec<f64> = (0..4).map(|i| ((i + round) % 4) as f64).collect();
+            la.update(&losses);
+            let aw = la.alpha_weights();
+            assert!((aw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(la.updates(), 200);
+    }
+
+    #[test]
+    fn stationary_losses_favor_small_alpha() {
+        // One expert is always best: sharing only leaks weight away, so the
+        // α = 0 expert should win.
+        let mut la = LearnAlpha::new(3, &[0.0, 0.3]);
+        for _ in 0..300 {
+            la.update(&[0.0, 2.0, 2.0]);
+        }
+        let aw = la.alpha_weights();
+        assert!(aw[0] > aw[1], "stationary data must favor alpha=0: {aw:?}");
+    }
+
+    #[test]
+    fn switching_losses_favor_large_alpha() {
+        // Best expert flips every 5 rounds: a switching α should win.
+        let mut la = LearnAlpha::new(2, &[0.0, 0.3]);
+        for round in 0..300 {
+            let losses = if (round / 5) % 2 == 0 { [0.0, 2.0] } else { [2.0, 0.0] };
+            la.update(&losses);
+        }
+        let aw = la.alpha_weights();
+        assert!(aw[1] > aw[0], "switching data must favor alpha>0: {aw:?}");
+    }
+
+    #[test]
+    fn prediction_tracks_the_best_expert() {
+        let mut la = LearnAlpha::with_default_grid(3, 5);
+        let values = [1.0, 5.0, 9.0];
+        // Expert 1 (value 5.0) always best.
+        for _ in 0..100 {
+            la.update(&[3.0, 0.0, 3.0]);
+        }
+        let pred = la.predict(&values);
+        assert!((pred - 5.0).abs() < 0.5, "prediction {pred}");
+    }
+
+    #[test]
+    fn combined_weights_are_a_distribution() {
+        let mut la = LearnAlpha::with_default_grid(6, 3);
+        for _ in 0..20 {
+            la.update(&[0.1, 0.5, 0.3, 0.9, 0.0, 0.2]);
+        }
+        let cw = la.combined_weights();
+        assert!((cw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(cw.iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn effective_alpha_moves_with_the_evidence() {
+        let mut stationary = LearnAlpha::with_default_grid(2, 8);
+        let mut switching = LearnAlpha::with_default_grid(2, 8);
+        for round in 0..200 {
+            stationary.update(&[0.0, 2.0]);
+            let losses = if (round / 3) % 2 == 0 { [0.0, 2.0] } else { [2.0, 0.0] };
+            switching.update(&losses);
+        }
+        assert!(
+            switching.effective_alpha() > stationary.effective_alpha(),
+            "switching {} vs stationary {}",
+            switching.effective_alpha(),
+            stationary.effective_alpha()
+        );
+    }
+
+    #[test]
+    fn first_update_has_no_pending_alpha_loss() {
+        // The α-layer must lag by one round; after a single update the
+        // α-weights are still uniform.
+        let mut la = LearnAlpha::new(2, &[0.0, 0.5]);
+        la.update(&[0.0, 10.0]);
+        let aw = la.alpha_weights();
+        assert!((aw[0] - 0.5).abs() < 1e-12 && (aw[1] - 0.5).abs() < 1e-12);
+        // Round 1's mixture losses are identical across α (both sub-banks
+        // start uniform), so even after folding them in the α-weights stay
+        // tied; the first *informative* α-losses come from round 2 and land
+        // in the weights at round 3.
+        la.update(&[0.0, 10.0]);
+        let aw = la.alpha_weights();
+        assert!((aw[0] - aw[1]).abs() < 1e-12);
+        la.update(&[0.0, 10.0]);
+        let aw = la.alpha_weights();
+        assert!((aw[0] - aw[1]).abs() > 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one alpha expert")]
+    fn rejects_empty_grid() {
+        let _ = LearnAlpha::new(2, &[]);
+    }
+}

@@ -1,0 +1,136 @@
+//! # tailwise-experts
+//!
+//! The bank-of-experts online learning machinery behind MakeActive's
+//! learned delay bound (appendix of Deng & Balakrishnan, CoNEXT 2012).
+//!
+//! * [`fixed_share`] — the Fixed-Share forecaster (Herbster & Warmuth
+//!   1998): exponential weights plus an α-share step that tracks a
+//!   *switching* best expert;
+//! * [`learn_alpha`] — Learn-α (Monteleoni & Jaakkola 2003): a second layer
+//!   of experts over α itself, eliminating the hand-tuned switching rate
+//!   (paper appendix eqs. 3–5);
+//! * [`loss`] — the MakeActive loss `L(i) = γ·Delay(T_i) + 1/b` (§5.2);
+//! * [`baselines`] — hindsight comparators (best static expert, best
+//!   k-switch sequence) and regret helpers used to validate the learners.
+//!
+//! The crate is domain-agnostic: nothing here knows about radios or
+//! packets, so the learners are reusable and testable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod fixed_share;
+pub mod learn_alpha;
+pub mod loss;
+
+pub use baselines::{best_static_expert, best_switching_sequence, cumulative_losses, static_regret};
+pub use fixed_share::FixedShare;
+pub use learn_alpha::LearnAlpha;
+pub use loss::MakeActiveLoss;
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based invariants of the learning machinery.
+
+    use proptest::prelude::*;
+
+    use crate::fixed_share::FixedShare;
+    use crate::learn_alpha::LearnAlpha;
+    use crate::loss::MakeActiveLoss;
+
+    proptest! {
+        #[test]
+        fn fixed_share_weights_always_sum_to_one(
+            n in 1usize..8,
+            alpha in 0.0f64..1.0,
+            rounds in prop::collection::vec(
+                prop::collection::vec(0.0f64..10.0, 8), 1..40),
+        ) {
+            let mut f = FixedShare::new(n, alpha);
+            for r in &rounds {
+                f.update(&r[..n]);
+                let sum: f64 = f.weights().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(f.weights().iter().all(|&w| w >= 0.0));
+            }
+        }
+
+        #[test]
+        fn mixture_loss_bounded_by_min_and_max(
+            n in 2usize..6,
+            losses in prop::collection::vec(0.0f64..100.0, 6),
+        ) {
+            let mut f = FixedShare::new(n, 0.1);
+            let ls = &losses[..n];
+            let ml = f.update(ls);
+            let lo = ls.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ls.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(ml >= lo - 1e-9 && ml <= hi + 1e-9);
+        }
+
+        #[test]
+        fn predictions_stay_in_value_hull(
+            n in 1usize..6,
+            alpha in 0.0f64..0.5,
+            values in prop::collection::vec(-100.0f64..100.0, 6),
+            rounds in prop::collection::vec(
+                prop::collection::vec(0.0f64..5.0, 6), 0..20),
+        ) {
+            let mut f = FixedShare::new(n, alpha);
+            for r in &rounds {
+                f.update(&r[..n]);
+            }
+            let vals = &values[..n];
+            let pred = f.predict(vals);
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        }
+
+        #[test]
+        fn learn_alpha_predictions_stay_in_value_hull(
+            values in prop::collection::vec(0.0f64..20.0, 4),
+            rounds in prop::collection::vec(
+                prop::collection::vec(0.0f64..5.0, 4), 0..15),
+        ) {
+            let mut la = LearnAlpha::with_default_grid(4, 3);
+            for r in &rounds {
+                la.update(r);
+            }
+            let pred = la.predict(&values);
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        }
+
+        #[test]
+        fn makeactive_loss_is_nonnegative_and_bounded_below_by_inv_b(
+            bound in 0.0f64..30.0,
+            offsets in prop::collection::vec(0.0f64..30.0, 1..20),
+        ) {
+            let mut offs = offsets;
+            offs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            offs[0] = 0.0;
+            let l = MakeActiveLoss::default();
+            let v = l.loss(bound, &offs);
+            prop_assert!(v > 0.0);
+            prop_assert!(v >= 1.0 / offs.len() as f64 - 1e-12);
+        }
+
+        #[test]
+        fn makeactive_loss_gamma_scales_delay_term(
+            bound in 0.1f64..30.0,
+            offsets in prop::collection::vec(0.0f64..30.0, 1..10),
+        ) {
+            let mut offs = offsets;
+            offs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            offs[0] = 0.0;
+            let l1 = MakeActiveLoss::new(0.01).loss(bound, &offs);
+            let l2 = MakeActiveLoss::new(0.02).loss(bound, &offs);
+            // Doubling gamma doubles the delay part: l2 - 1/b = 2(l1 - 1/b).
+            let b = offs.iter().filter(|&&o| o <= bound).count() as f64;
+            prop_assert!(((l2 - 1.0 / b) - 2.0 * (l1 - 1.0 / b)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The MakeActive loss function (§5.2).
+//!
+//! Each expert proposes a session-delay bound `T_i`. After every batching
+//! round the algorithm scores each expert *counterfactually*: had we used
+//! `T_i`, the sessions that arrived within `T_i` of the first one would have
+//! been buffered, each delayed until the bound elapsed. The paper's loss
+//!
+//! ```text
+//! L(i) = γ · Delay(T_i) + 1/b ,   Delay(T_i) = Σ_j (T_i − t_j)
+//! ```
+//!
+//! trades total added delay (first term) against batching effectiveness
+//! (`1/b` shrinks as more sessions share one promotion). γ = 0.008 is the
+//! paper's choice ("it gave the best energy-saving results among the values
+//! we tried"); the `ablation_gamma` bench sweeps it.
+
+/// Parameters of the MakeActive loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakeActiveLoss {
+    /// Scale between delay cost and batching reward. Paper value: 0.008
+    /// (per second of aggregate delay).
+    pub gamma: f64,
+}
+
+impl Default for MakeActiveLoss {
+    fn default() -> Self {
+        MakeActiveLoss { gamma: 0.008 }
+    }
+}
+
+impl MakeActiveLoss {
+    /// Creates a loss with the given γ.
+    pub fn new(gamma: f64) -> MakeActiveLoss {
+        assert!(gamma > 0.0, "gamma must be positive (got {gamma})");
+        MakeActiveLoss { gamma }
+    }
+
+    /// Scores one expert's proposed bound against an observed batching round.
+    ///
+    /// `proposed_bound` is the expert's `T_i` in seconds. `arrival_offsets`
+    /// are the observed session arrival times in seconds *relative to the
+    /// first session of the round* (so the first entry is 0.0); they must be
+    /// non-decreasing and non-negative.
+    ///
+    /// Counterfactual semantics: sessions with offset `≤ T_i` would have
+    /// been buffered (`b(i)` of them, always ≥ 1 since the first offset is
+    /// 0); each would have waited `T_i − offset`. Sessions arriving after
+    /// the bound play no role in this expert's loss — under its policy the
+    /// radio would already be Active when they arrived.
+    pub fn loss(&self, proposed_bound: f64, arrival_offsets: &[f64]) -> f64 {
+        assert!(
+            !arrival_offsets.is_empty(),
+            "a batching round has at least the session that opened it"
+        );
+        debug_assert!(arrival_offsets[0] >= 0.0);
+        debug_assert!(arrival_offsets.windows(2).all(|w| w[0] <= w[1]));
+        let t = proposed_bound.max(0.0);
+        let mut buffered = 0usize;
+        let mut delay_sum = 0.0;
+        for &off in arrival_offsets {
+            if off <= t {
+                buffered += 1;
+                delay_sum += t - off;
+            } else {
+                break;
+            }
+        }
+        // The first session (offset 0) is always within any non-negative
+        // bound, so buffered >= 1.
+        self.gamma * delay_sum + 1.0 / buffered as f64
+    }
+
+    /// Vectorized [`loss`](Self::loss) over a bank of proposed bounds.
+    pub fn losses(&self, proposed_bounds: &[f64], arrival_offsets: &[f64]) -> Vec<f64> {
+        proposed_bounds.iter().map(|&t| self.loss(t, arrival_offsets)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_session_prefers_zero_delay() {
+        // With only one session, batching buys nothing: loss is minimized
+        // by the smallest bound.
+        let l = MakeActiveLoss::default();
+        let offsets = [0.0];
+        assert!(l.loss(0.0, &offsets) < l.loss(5.0, &offsets));
+        assert_eq!(l.loss(0.0, &offsets), 1.0); // 1/b with b=1
+    }
+
+    #[test]
+    fn batching_two_sessions_beats_one_when_gamma_small() {
+        // Two sessions 1 s apart. Bound 1.0 buffers both: loss
+        // γ·(1+0) + 1/2; bound 0.5 buffers one: γ·0.5 + 1.
+        let l = MakeActiveLoss::new(0.008);
+        let offsets = [0.0, 1.0];
+        assert!(l.loss(1.0, &offsets) < l.loss(0.5, &offsets));
+    }
+
+    #[test]
+    fn huge_bounds_eventually_lose() {
+        // Past the last arrival, extra bound only adds delay.
+        let l = MakeActiveLoss::new(0.008);
+        let offsets = [0.0, 1.0, 2.0];
+        let at_last = l.loss(2.0, &offsets);
+        let way_past = l.loss(200.0, &offsets);
+        assert!(way_past > at_last);
+    }
+
+    #[test]
+    fn loss_matches_paper_formula_when_all_buffered() {
+        // b sessions all within the bound: L = γ·Σ(T − t_j) + 1/b.
+        let gamma = 0.01;
+        let l = MakeActiveLoss::new(gamma);
+        let offsets = [0.0, 2.0, 3.0];
+        let t = 5.0;
+        let expect = gamma * ((5.0 - 0.0) + (5.0 - 2.0) + (5.0 - 3.0)) + 1.0 / 3.0;
+        assert!((l.loss(t, &offsets) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_past_the_bound_are_excluded() {
+        let l = MakeActiveLoss::new(1.0);
+        let offsets = [0.0, 10.0];
+        // Bound 1.0 only buffers the first session.
+        let expect = 1.0 * (1.0 - 0.0) + 1.0 / 1.0;
+        assert!((l.loss(1.0, &offsets) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_bound_clamps_to_zero() {
+        let l = MakeActiveLoss::default();
+        assert_eq!(l.loss(-3.0, &[0.0]), l.loss(0.0, &[0.0]));
+    }
+
+    #[test]
+    fn losses_vectorizes() {
+        let l = MakeActiveLoss::default();
+        let bounds = [0.0, 1.0, 2.0];
+        let offsets = [0.0, 1.5];
+        let v = l.losses(&bounds, &offsets);
+        assert_eq!(v.len(), 3);
+        for (i, &b) in bounds.iter().enumerate() {
+            assert_eq!(v[i], l.loss(b, &offsets));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn rejects_nonpositive_gamma() {
+        let _ = MakeActiveLoss::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the session")]
+    fn rejects_empty_round() {
+        MakeActiveLoss::default().loss(1.0, &[]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Centralized energy accounting.
+//!
+//! Every scheme in the evaluation is measured by this one integrator, so
+//! differences between schemes can only come from *when they switch states*,
+//! never from accounting drift. The component split mirrors Figure 1 of the
+//! paper: **Data** (transmission/reception), **DCH timer** and **FACH
+//! timer** (tail residence), and **State switch** (promotion + demotion
+//! energy).
+
+use tailwise_trace::time::Duration;
+use tailwise_trace::Direction;
+
+use crate::profile::CarrierProfile;
+use crate::rrc::{Residence, RrcState};
+
+/// Energy in joules, decomposed by where it went.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Uplink data energy (Σ inter-arrival × `P_snd`), J.
+    pub data_up: f64,
+    /// Downlink data energy (Σ inter-arrival × `P_rcv`), J.
+    pub data_down: f64,
+    /// Tail energy in DCH / RRC_CONNECTED ("DCH timer" in Fig. 1), J.
+    pub tail_dch: f64,
+    /// Tail energy in FACH ("FACH timer" in Fig. 1), J.
+    pub tail_fach: f64,
+    /// Promotion (Idle → Active) switch energy, J.
+    pub promote: f64,
+    /// Demotion (Active → Idle) switch energy, J.
+    pub demote: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total data energy, J.
+    pub fn data(&self) -> f64 {
+        self.data_up + self.data_down
+    }
+
+    /// Total tail energy, J.
+    pub fn tail(&self) -> f64 {
+        self.tail_dch + self.tail_fach
+    }
+
+    /// Total state-switch energy, J.
+    pub fn switch(&self) -> f64 {
+        self.promote + self.demote
+    }
+
+    /// Grand total, J.
+    pub fn total(&self) -> f64 {
+        self.data() + self.tail() + self.switch()
+    }
+
+    /// Fraction of total energy per Figure 1 category:
+    /// `(data, dch_tail, fach_tail, switch)`. Returns zeros for zero total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let total = self.total();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.data() / total,
+            self.tail_dch / total,
+            self.tail_fach / total,
+            self.switch() / total,
+        )
+    }
+}
+
+impl core::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, o: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            data_up: self.data_up + o.data_up,
+            data_down: self.data_down + o.data_down,
+            tail_dch: self.tail_dch + o.tail_dch,
+            tail_fach: self.tail_fach + o.tail_fach,
+            promote: self.promote + o.promote,
+            demote: self.demote + o.demote,
+        }
+    }
+}
+
+impl core::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, o: EnergyBreakdown) {
+        *self = *self + o;
+    }
+}
+
+/// Accumulates energy against a fixed carrier profile.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    profile: CarrierProfile,
+    acc: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for the given carrier.
+    pub fn new(profile: CarrierProfile) -> EnergyMeter {
+        EnergyMeter { profile, acc: EnergyBreakdown::default() }
+    }
+
+    /// The carrier profile in force.
+    pub fn profile(&self) -> &CarrierProfile {
+        &self.profile
+    }
+
+    /// Charges data transfer: `dur × P_dir` (§6.1's per-second model).
+    pub fn add_data(&mut self, dir: Direction, dur: Duration) {
+        debug_assert!(!dur.is_negative());
+        let e = self.profile.p_data(dir) * dur.as_secs_f64().max(0.0);
+        match dir {
+            Direction::Up => self.acc.data_up += e,
+            Direction::Down => self.acc.data_down += e,
+        }
+    }
+
+    /// Charges tail residence in a radio state (Idle is free).
+    pub fn add_residence(&mut self, r: Residence) {
+        debug_assert!(!r.dur.is_negative());
+        let secs = r.dur.as_secs_f64().max(0.0);
+        match r.state {
+            RrcState::Dch => self.acc.tail_dch += self.profile.p_dch * secs,
+            RrcState::Fach => self.acc.tail_fach += self.profile.p_fach * secs,
+            RrcState::Idle => {}
+        }
+    }
+
+    /// Charges one Idle → Active promotion.
+    pub fn add_promotion(&mut self) {
+        self.acc.promote += self.profile.e_promote;
+    }
+
+    /// Charges one fast-dormancy demotion.
+    pub fn add_fd_demotion(&mut self) {
+        self.acc.demote += self.profile.e_demote_fd();
+    }
+
+    /// Charges one timer-driven demotion.
+    pub fn add_timer_demotion(&mut self) {
+        self.acc.demote += self.profile.e_demote_timer();
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.acc
+    }
+
+    /// Total joules so far.
+    pub fn total(&self) -> f64 {
+        self.acc.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(CarrierProfile::att_hspa())
+    }
+
+    #[test]
+    fn data_energy_uses_direction_power() {
+        let mut m = meter();
+        m.add_data(Direction::Up, Duration::from_secs(2));
+        m.add_data(Direction::Down, Duration::from_secs(3));
+        let b = m.breakdown();
+        assert!((b.data_up - 2.0 * 1.539).abs() < 1e-9);
+        assert!((b.data_down - 3.0 * 1.212).abs() < 1e-9);
+        assert_eq!(b.tail(), 0.0);
+    }
+
+    #[test]
+    fn residence_energy_by_state() {
+        let mut m = meter();
+        m.add_residence(Residence { state: RrcState::Dch, dur: Duration::from_secs(1) });
+        m.add_residence(Residence { state: RrcState::Fach, dur: Duration::from_secs(1) });
+        m.add_residence(Residence { state: RrcState::Idle, dur: Duration::from_secs(100) });
+        let b = m.breakdown();
+        assert!((b.tail_dch - 0.916).abs() < 1e-9);
+        assert!((b.tail_fach - 0.659).abs() < 1e-9);
+        assert_eq!(b.total(), b.tail()); // idle residence is free
+    }
+
+    #[test]
+    fn switch_energy_components() {
+        let mut m = meter();
+        m.add_promotion();
+        m.add_fd_demotion();
+        let b = m.breakdown();
+        let p = CarrierProfile::att_hspa();
+        assert!((b.promote - p.e_promote).abs() < 1e-12);
+        assert!((b.demote - p.e_demote_fd()).abs() < 1e-12);
+        assert!((b.switch() - p.e_switch()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let mut m = meter();
+        m.add_data(Direction::Up, Duration::from_millis(300));
+        m.add_residence(Residence { state: RrcState::Dch, dur: Duration::from_secs(4) });
+        m.add_residence(Residence { state: RrcState::Fach, dur: Duration::from_secs(7) });
+        m.add_promotion();
+        m.add_timer_demotion();
+        let b = m.breakdown();
+        let sum = b.data_up + b.data_down + b.tail_dch + b.tail_fach + b.promote + b.demote;
+        assert!((sum - b.total()).abs() < 1e-12);
+        let (fd, fdch, ffach, fsw) = b.fractions();
+        assert!((fd + fdch + ffach + fsw - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_fractions_are_zero() {
+        let b = EnergyBreakdown::default();
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn breakdowns_add() {
+        let a = EnergyBreakdown { data_up: 1.0, tail_dch: 2.0, ..Default::default() };
+        let b = EnergyBreakdown { data_up: 0.5, promote: 1.5, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.data_up, 1.5);
+        assert_eq!(c.tail_dch, 2.0);
+        assert_eq!(c.promote, 1.5);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn meter_matches_gap_energy_formula() {
+        // Integrating a full status-quo gap through the meter must equal the
+        // closed-form E(t) from the profile (the Fig. 5 model).
+        let p = CarrierProfile::att_hspa();
+        let gap = Duration::from_secs(20); // > t1 + t2 = 16.6
+        let mut m = EnergyMeter::new(p.clone());
+        m.add_residence(Residence { state: RrcState::Dch, dur: p.t1 });
+        m.add_residence(Residence { state: RrcState::Fach, dur: p.t2 });
+        m.add_timer_demotion();
+        m.add_promotion();
+        assert!((m.total() - p.gap_energy(gap)).abs() < 1e-9);
+    }
+}

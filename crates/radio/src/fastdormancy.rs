@@ -1,0 +1,190 @@
+//! Fast dormancy release policies.
+//!
+//! 3GPP Release 8 turned fast dormancy into a *request*: the device asks,
+//! the base station decides (§2.2). The paper's simulations assume the base
+//! station always accepts, and flag carrier policy as an open question
+//! (§8, future work). We make the decision point explicit so that question
+//! can be explored: the simulation engine consults a [`ReleasePolicy`]
+//! before honoring each fast-dormancy request, and denied requests leave
+//! the inactivity timers in charge.
+//!
+//! All policies here are deterministic (randomized behaviour uses a
+//! counter-hash, not an RNG), preserving bit-stable simulation output.
+
+use tailwise_trace::time::{Duration, Instant};
+
+/// Decides whether a base station accepts a fast-dormancy request.
+pub trait ReleasePolicy {
+    /// Returns `true` to release the channel (demote to Idle) for a request
+    /// arriving at `at`.
+    fn accept(&mut self, at: Instant) -> bool;
+
+    /// Diagnostic name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's modeling assumption: every request is honored (§2.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAccept;
+
+impl ReleasePolicy for AlwaysAccept {
+    fn accept(&mut self, _at: Instant) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "always-accept"
+    }
+}
+
+/// A network with fast dormancy disabled: every request is denied and the
+/// device falls back to the inactivity timers (the status-quo world).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverAccept;
+
+impl ReleasePolicy for NeverAccept {
+    fn accept(&mut self, _at: Instant) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "never-accept"
+    }
+}
+
+/// Rate-limited acceptance: requests within `min_interval` of the last
+/// *accepted* request are denied. Models a base station protecting itself
+/// from signaling storms — the §8 concern about "multiple phones triggering
+/// the feature".
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimited {
+    min_interval: Duration,
+    last_accept: Option<Instant>,
+}
+
+impl RateLimited {
+    /// Creates a policy that accepts at most one release per `min_interval`.
+    pub fn new(min_interval: Duration) -> RateLimited {
+        RateLimited { min_interval, last_accept: None }
+    }
+}
+
+impl ReleasePolicy for RateLimited {
+    fn accept(&mut self, at: Instant) -> bool {
+        match self.last_accept {
+            Some(prev) if at - prev < self.min_interval => false,
+            _ => {
+                self.last_accept = Some(at);
+                true
+            }
+        }
+    }
+    fn name(&self) -> &'static str {
+        "rate-limited"
+    }
+}
+
+/// Accepts a deterministic `p` fraction of requests, decided by a splitmix
+/// hash of the request counter — reproducible without an RNG dependency.
+/// Used by the fault-injection tests to exercise denial handling.
+#[derive(Debug, Clone, Copy)]
+pub struct FractionalAccept {
+    accept_per_1024: u16,
+    counter: u64,
+    seed: u64,
+}
+
+impl FractionalAccept {
+    /// Accepts approximately `fraction` of requests (clamped to `[0, 1]`).
+    pub fn new(fraction: f64, seed: u64) -> FractionalAccept {
+        let f = fraction.clamp(0.0, 1.0);
+        FractionalAccept { accept_per_1024: (f * 1024.0).round() as u16, counter: 0, seed }
+    }
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl ReleasePolicy for FractionalAccept {
+    fn accept(&mut self, _at: Instant) -> bool {
+        let h = Self::splitmix(self.seed ^ self.counter);
+        self.counter += 1;
+        (h % 1024) < self.accept_per_1024 as u64
+    }
+    fn name(&self) -> &'static str {
+        "fractional-accept"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Instant {
+        Instant::from_secs_f64(s)
+    }
+
+    #[test]
+    fn always_and_never() {
+        let mut a = AlwaysAccept;
+        let mut n = NeverAccept;
+        for i in 0..10 {
+            assert!(a.accept(t(i as f64)));
+            assert!(!n.accept(t(i as f64)));
+        }
+        assert_eq!(a.name(), "always-accept");
+        assert_eq!(n.name(), "never-accept");
+    }
+
+    #[test]
+    fn rate_limit_enforces_spacing() {
+        let mut p = RateLimited::new(Duration::from_secs(10));
+        assert!(p.accept(t(0.0)));
+        assert!(!p.accept(t(5.0)));
+        assert!(!p.accept(t(9.9)));
+        assert!(p.accept(t(10.0)));
+        assert!(!p.accept(t(15.0)));
+        assert!(p.accept(t(20.0)));
+    }
+
+    #[test]
+    fn rate_limit_denials_do_not_reset_the_clock() {
+        let mut p = RateLimited::new(Duration::from_secs(10));
+        assert!(p.accept(t(0.0)));
+        for s in [1.0, 2.0, 3.0] {
+            assert!(!p.accept(t(s)));
+        }
+        // Still measured from the accept at t=0, not the last denial.
+        assert!(p.accept(t(10.5)));
+    }
+
+    #[test]
+    fn fractional_hits_requested_rate() {
+        for frac in [0.0, 0.25, 0.5, 1.0] {
+            let mut p = FractionalAccept::new(frac, 42);
+            let accepted = (0..10_000).filter(|_| p.accept(t(0.0))).count();
+            let rate = accepted as f64 / 10_000.0;
+            assert!((rate - frac).abs() < 0.03, "frac {frac}: got {rate}");
+        }
+    }
+
+    #[test]
+    fn fractional_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = FractionalAccept::new(0.5, seed);
+            (0..64).map(|_| p.accept(t(0.0))).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fractional_clamps_out_of_range() {
+        let mut hi = FractionalAccept::new(7.0, 1);
+        assert!((0..100).all(|_| hi.accept(t(0.0))));
+        let mut lo = FractionalAccept::new(-1.0, 1);
+        assert!((0..100).all(|_| !lo.accept(t(0.0))));
+    }
+}

@@ -1,0 +1,471 @@
+//! Carrier profiles: the measured RRC parameters of §2 and Table 2, plus the
+//! tail-energy model of §4.1 (Figure 5).
+//!
+//! A [`CarrierProfile`] bundles everything the simulator and the control
+//! algorithms need to know about one network: state powers, inactivity
+//! timers, promotion characteristics, and switch energies. The paper's four
+//! measured carriers are provided as presets; two Sprint presets (promotion
+//! delays from §2.1, powers estimated) round out the US carriers the paper
+//! mentions.
+//!
+//! ## Units
+//!
+//! Powers are in **watts**, energies in **joules**, times in the simulation
+//! [`Duration`]. Table 2 of the paper reports milliwatts; the presets convert.
+//!
+//! ## Switch-energy calibration
+//!
+//! The paper never tabulates `E_switch`; its only anchor is
+//! `t_threshold ≈ 1.2 s` on AT&T (§4.1). We reconstruct per-carrier switch
+//! energies from the published promotion delays (§2.1):
+//!
+//! * `e_promote = PROMO_POWER_FACTOR × P_t1 × promotion_delay` — the device
+//!   runs near DCH power during the RACH/ RRC-setup exchange;
+//! * `e_demote_base = DEMOTE_TIME_EQUIV × P_t1` — the release handshake is a
+//!   short, DCH-power burst;
+//! * fast-dormancy demotions cost `fd_energy_fraction × e_demote_base`
+//!   (default 0.5, the paper's §6.1 modeling assumption, swept by the
+//!   `ablation_fd_fraction` bench).
+//!
+//! With `PROMO_POWER_FACTOR = 0.75` and `DEMOTE_TIME_EQUIV = 0.3 s`, the
+//! AT&T profile yields `t_threshold = 1.2 s` exactly, reproducing the
+//! paper's anchor; the same constants are applied uniformly to the other
+//! carriers.
+
+use tailwise_trace::time::Duration;
+
+/// Radio access technology, selecting the RRC state machine shape (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RadioTech {
+    /// 3G/UMTS-style: Cell_DCH → Cell_FACH → (Cell_PCH/IDLE), two timers.
+    ThreeG,
+    /// LTE-style: RRC_CONNECTED → RRC_IDLE, one timer (`t2 = 0`).
+    Lte,
+}
+
+impl RadioTech {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RadioTech::ThreeG => "3G",
+            RadioTech::Lte => "LTE",
+        }
+    }
+}
+
+/// Fraction of `P_t1` drawn during a promotion (see module docs).
+pub const PROMO_POWER_FACTOR: f64 = 0.75;
+/// DCH-power-equivalent seconds consumed by a full (non-FD) demotion.
+pub const DEMOTE_TIME_EQUIV: f64 = 0.3;
+/// Default fast-dormancy energy fraction (§6.1: FD turn-off modeled at 50%
+/// of the measured radio-off cost; 10–40% "did not change the results").
+pub const DEFAULT_FD_FRACTION: f64 = 0.5;
+
+/// Everything the model knows about one carrier's network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarrierProfile {
+    /// Display name, e.g. `"Verizon LTE"`.
+    pub name: &'static str,
+    /// Access technology (selects the state-machine shape).
+    pub tech: RadioTech,
+    /// Bulk uplink power while transmitting, W (Table 1 / Table 2 `Psnd`).
+    pub p_send: f64,
+    /// Bulk downlink power while receiving, W (Table 2 `Prcv`).
+    pub p_recv: f64,
+    /// Power in the Active state (Cell_DCH / RRC_CONNECTED), W (Table 2 `Pt1`).
+    pub p_dch: f64,
+    /// Power in the high-power idle state (Cell_FACH), W (Table 2 `Pt2`).
+    /// Unused when `t2` is zero (LTE, Verizon 3G).
+    pub p_fach: f64,
+    /// First inactivity timer `t1` (DCH → FACH).
+    pub t1: Duration,
+    /// Second inactivity timer `t2` (FACH → idle); zero collapses FACH.
+    pub t2: Duration,
+    /// Idle → Active promotion delay (§2.1 measurements).
+    pub promotion_delay: Duration,
+    /// Energy of one Idle → Active promotion, J.
+    pub e_promote: f64,
+    /// Energy of one full (timer or radio-off) Active → Idle demotion, J.
+    pub e_demote_base: f64,
+    /// Fast-dormancy demotion cost as a fraction of `e_demote_base`.
+    pub fd_energy_fraction: f64,
+}
+
+impl CarrierProfile {
+    /// Builds a profile from Table 2 style raw numbers (powers in mW, times
+    /// in seconds), deriving switch energies per the module-level
+    /// calibration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measurements(
+        name: &'static str,
+        tech: RadioTech,
+        p_send_mw: f64,
+        p_recv_mw: f64,
+        p_t1_mw: f64,
+        p_t2_mw: f64,
+        t1_s: f64,
+        t2_s: f64,
+        promotion_delay_s: f64,
+    ) -> CarrierProfile {
+        let p_dch = p_t1_mw / 1000.0;
+        CarrierProfile {
+            name,
+            tech,
+            p_send: p_send_mw / 1000.0,
+            p_recv: p_recv_mw / 1000.0,
+            p_dch,
+            p_fach: p_t2_mw / 1000.0,
+            t1: Duration::from_secs_f64(t1_s),
+            t2: Duration::from_secs_f64(t2_s),
+            promotion_delay: Duration::from_secs_f64(promotion_delay_s),
+            e_promote: PROMO_POWER_FACTOR * p_dch * promotion_delay_s,
+            e_demote_base: DEMOTE_TIME_EQUIV * p_dch,
+            fd_energy_fraction: DEFAULT_FD_FRACTION,
+        }
+    }
+
+    /// T-Mobile 3G (Table 2 row 1; promotion delay §2.1: ≈3.6 s).
+    pub fn tmobile_3g() -> CarrierProfile {
+        Self::from_measurements("T-Mobile 3G", RadioTech::ThreeG, 1202.0, 737.0, 445.0, 343.0, 3.2, 16.3, 3.6)
+    }
+
+    /// AT&T HSPA+ (Table 2 row 2; promotion delay §2.1: ≈1.4 s).
+    pub fn att_hspa() -> CarrierProfile {
+        Self::from_measurements("AT&T HSPA+", RadioTech::ThreeG, 1539.0, 1212.0, 916.0, 659.0, 6.2, 10.4, 1.4)
+    }
+
+    /// Verizon 3G (Table 2 row 3: `t2 = 0`, the two idle powers are
+    /// indistinguishable; promotion delay §2.1: ≈1.2 s).
+    pub fn verizon_3g() -> CarrierProfile {
+        Self::from_measurements("Verizon 3G", RadioTech::ThreeG, 2043.0, 1177.0, 1130.0, 1130.0, 9.8, 0.0, 1.2)
+    }
+
+    /// Verizon LTE (Table 2 row 4; promotion delay §2.1: ≈0.6 s).
+    pub fn verizon_lte() -> CarrierProfile {
+        Self::from_measurements("Verizon LTE", RadioTech::Lte, 2928.0, 1737.0, 1325.0, 0.0, 10.2, 0.0, 0.6)
+    }
+
+    /// Sprint 3G. Promotion delay is the paper's §2.1 measurement (≈2.0 s);
+    /// powers and timers are **estimates** (midpoints of the measured 3G
+    /// carriers) since Table 2 has no Sprint row. Not used in any paper
+    /// reproduction; provided for completeness.
+    pub fn sprint_3g() -> CarrierProfile {
+        Self::from_measurements("Sprint 3G", RadioTech::ThreeG, 1600.0, 1040.0, 830.0, 710.0, 6.4, 8.9, 2.0)
+    }
+
+    /// Sprint LTE. Promotion delay is the paper's §2.1 measurement (≈1.0 s);
+    /// powers and timer are **estimates** scaled from Verizon LTE. Not used
+    /// in any paper reproduction; provided for completeness.
+    pub fn sprint_lte() -> CarrierProfile {
+        Self::from_measurements("Sprint LTE", RadioTech::Lte, 2800.0, 1650.0, 1260.0, 0.0, 10.0, 0.0, 1.0)
+    }
+
+    /// The four carriers measured in Table 2, in the paper's order
+    /// (the populations of Figures 17/18 and Table 3).
+    pub fn paper_carriers() -> Vec<CarrierProfile> {
+        vec![Self::tmobile_3g(), Self::att_hspa(), Self::verizon_3g(), Self::verizon_lte()]
+    }
+
+    /// All built-in presets.
+    pub fn all_presets() -> Vec<CarrierProfile> {
+        vec![
+            Self::tmobile_3g(),
+            Self::att_hspa(),
+            Self::verizon_3g(),
+            Self::verizon_lte(),
+            Self::sprint_3g(),
+            Self::sprint_lte(),
+        ]
+    }
+
+    /// Combined status-quo tail window `t1 + t2`.
+    pub fn tail_window(&self) -> Duration {
+        self.t1 + self.t2
+    }
+
+    /// Bulk power for the given packet direction, W.
+    pub fn p_data(&self, dir: tailwise_trace::Direction) -> f64 {
+        match dir {
+            tailwise_trace::Direction::Up => self.p_send,
+            tailwise_trace::Direction::Down => self.p_recv,
+        }
+    }
+
+    /// Energy of one fast-dormancy demotion, J.
+    pub fn e_demote_fd(&self) -> f64 {
+        self.fd_energy_fraction * self.e_demote_base
+    }
+
+    /// Energy of one timer-driven demotion, J.
+    ///
+    /// Modeled equal to the fast-dormancy cost so that schemes differ only
+    /// in *when* they release, not in per-release cost; the base (radio-off)
+    /// cost remains available via [`e_demote_base`](Self::e_demote_base).
+    pub fn e_demote_timer(&self) -> f64 {
+        self.e_demote_fd()
+    }
+
+    /// Energy of one full demote→promote cycle triggered by fast dormancy,
+    /// J. This is the `E_switch` of §4.1 as seen by MakeIdle.
+    pub fn e_switch(&self) -> f64 {
+        self.e_demote_fd() + self.e_promote
+    }
+
+    /// The paper's tail-energy function `E(t)` (§4.1, Figure 5): energy the
+    /// status-quo RRC machine spends in a packet gap of length `t`,
+    /// including the switch cycle if the gap outlasts both timers.
+    pub fn gap_energy(&self, t: Duration) -> f64 {
+        let t = t.max_zero();
+        if t <= self.t1 {
+            self.p_dch * t.as_secs_f64()
+        } else if t <= self.t1 + self.t2 {
+            self.p_dch * self.t1.as_secs_f64() + self.p_fach * (t - self.t1).as_secs_f64()
+        } else {
+            self.p_dch * self.t1.as_secs_f64()
+                + self.p_fach * self.t2.as_secs_f64()
+                + self.e_demote_timer()
+                + self.e_promote
+        }
+    }
+
+    /// Energy spent keeping the radio up for `t` seconds of silence *without*
+    /// ever demoting (the `E(t_wait)` term of §4.2): the prefix of
+    /// [`gap_energy`](Self::gap_energy) with no switch cycle.
+    pub fn hold_energy(&self, t: Duration) -> f64 {
+        let t = t.max_zero();
+        if t <= self.t1 {
+            self.p_dch * t.as_secs_f64()
+        } else if t <= self.t1 + self.t2 {
+            self.p_dch * self.t1.as_secs_f64() + self.p_fach * (t - self.t1).as_secs_f64()
+        } else {
+            self.p_dch * self.t1.as_secs_f64() + self.p_fach * self.t2.as_secs_f64()
+        }
+    }
+
+    /// The gap length above which demoting immediately beats holding the
+    /// radio up — `t_threshold` of §4.1: the smallest `t` with
+    /// `E(t) ≥ E_switch`.
+    ///
+    /// For the AT&T preset this is exactly 1.2 s, the paper's anchor value.
+    pub fn t_threshold(&self) -> Duration {
+        let e_switch = self.e_switch();
+        let e_t1 = self.p_dch * self.t1.as_secs_f64();
+        if e_switch <= e_t1 {
+            return Duration::from_secs_f64(e_switch / self.p_dch);
+        }
+        let e_t2 = e_t1 + self.p_fach * self.t2.as_secs_f64();
+        if e_switch <= e_t2 && self.p_fach > 0.0 {
+            return self.t1 + Duration::from_secs_f64((e_switch - e_t1) / self.p_fach);
+        }
+        // Beyond the timers E(t) jumps by the timer switch cycle, which is
+        // at least E_switch, so the threshold is the tail window itself.
+        self.tail_window()
+    }
+
+    /// Validates physical plausibility; used by constructors in tests and by
+    /// the simulator's debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("p_send", self.p_send),
+            ("p_recv", self.p_recv),
+            ("p_dch", self.p_dch),
+            ("e_promote", self.e_promote),
+            ("e_demote_base", self.e_demote_base),
+        ];
+        for (name, v) in positive {
+            if v.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        if self.p_fach < 0.0 {
+            return Err(format!("p_fach must be non-negative, got {}", self.p_fach));
+        }
+        if !(0.0..=1.0).contains(&self.fd_energy_fraction) {
+            return Err(format!(
+                "fd_energy_fraction must be in [0,1], got {}",
+                self.fd_energy_fraction
+            ));
+        }
+        if self.t1 <= Duration::ZERO {
+            return Err("t1 must be positive".into());
+        }
+        if self.t2 < Duration::ZERO {
+            return Err("t2 must be non-negative".into());
+        }
+        if self.promotion_delay < Duration::ZERO {
+            return Err("promotion_delay must be non-negative".into());
+        }
+        if matches!(self.tech, RadioTech::Lte) && !self.t2.is_zero() {
+            return Err("LTE profiles must have t2 = 0 (no FACH state)".into());
+        }
+        if self.t2 > Duration::ZERO && self.p_fach == 0.0 {
+            return Err("profiles with t2 > 0 need p_fach > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for p in CarrierProfile::all_presets() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn table2_values_survive_conversion() {
+        let att = CarrierProfile::att_hspa();
+        assert!((att.p_send - 1.539).abs() < 1e-12);
+        assert!((att.p_recv - 1.212).abs() < 1e-12);
+        assert!((att.p_dch - 0.916).abs() < 1e-12);
+        assert!((att.p_fach - 0.659).abs() < 1e-12);
+        assert_eq!(att.t1, Duration::from_secs_f64(6.2));
+        assert_eq!(att.t2, Duration::from_secs_f64(10.4));
+        assert_eq!(att.promotion_delay, Duration::from_secs_f64(1.4));
+    }
+
+    #[test]
+    fn att_threshold_matches_paper_anchor() {
+        // §4.1: "on an HTC Vivid phone in the AT&T 3G network ... t_threshold
+        // works out to be 1.2 seconds."
+        let att = CarrierProfile::att_hspa();
+        let th = att.t_threshold().as_secs_f64();
+        assert!((th - 1.2).abs() < 0.01, "t_threshold = {th}");
+    }
+
+    #[test]
+    fn thresholds_are_below_tail_windows() {
+        for p in CarrierProfile::paper_carriers() {
+            let th = p.t_threshold();
+            assert!(th > Duration::ZERO, "{}", p.name);
+            assert!(th <= p.tail_window(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn lte_profiles_have_no_fach() {
+        let lte = CarrierProfile::verizon_lte();
+        assert_eq!(lte.t2, Duration::ZERO);
+        assert_eq!(lte.tech, RadioTech::Lte);
+        assert_eq!(lte.tail_window(), lte.t1);
+    }
+
+    #[test]
+    fn gap_energy_piecewise_shape() {
+        let att = CarrierProfile::att_hspa();
+        // Region 1: linear in t at P_t1.
+        let e2 = att.gap_energy(Duration::from_secs(2));
+        assert!((e2 - 2.0 * 0.916).abs() < 1e-9);
+        // Region 2: t1·P_t1 + (t−t1)·P_t2.
+        let e10 = att.gap_energy(Duration::from_secs(10));
+        assert!((e10 - (6.2 * 0.916 + 3.8 * 0.659)).abs() < 1e-9);
+        // Region 3: constant, includes a switch cycle.
+        let e_tail = 6.2 * 0.916 + 10.4 * 0.659;
+        let e20 = att.gap_energy(Duration::from_secs(20));
+        let e100 = att.gap_energy(Duration::from_secs(100));
+        assert!((e20 - e100).abs() < 1e-12);
+        assert!(e20 > e_tail);
+        assert!((e20 - (e_tail + att.e_demote_timer() + att.e_promote)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_energy_is_monotone_nondecreasing() {
+        for p in CarrierProfile::all_presets() {
+            let mut prev = -1.0;
+            for ms in (0..30_000).step_by(50) {
+                let e = p.gap_energy(Duration::from_millis(ms));
+                assert!(e + 1e-12 >= prev, "{} at {ms} ms", p.name);
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn gap_energy_clamps_negative_gaps() {
+        let att = CarrierProfile::att_hspa();
+        assert_eq!(att.gap_energy(Duration::from_secs(-5)), 0.0);
+        assert_eq!(att.hold_energy(Duration::from_secs(-5)), 0.0);
+    }
+
+    #[test]
+    fn hold_energy_saturates_at_tail() {
+        let att = CarrierProfile::att_hspa();
+        let full = att.hold_energy(att.tail_window());
+        assert_eq!(att.hold_energy(Duration::from_secs(100)), full);
+        assert!(att.hold_energy(Duration::from_secs(100)) < att.gap_energy(Duration::from_secs(100)));
+    }
+
+    #[test]
+    fn threshold_is_fixed_point_of_gap_energy() {
+        // E(t_threshold) == E_switch on carriers whose threshold falls
+        // inside the timer window.
+        for p in CarrierProfile::paper_carriers() {
+            let th = p.t_threshold();
+            if th < p.tail_window() {
+                assert!(
+                    (p.gap_energy(th) - p.e_switch()).abs() < 1e-6,
+                    "{}: E({}) = {} vs E_switch {}",
+                    p.name,
+                    th,
+                    p.gap_energy(th),
+                    p.e_switch()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verizon_3g_has_flat_fach() {
+        // Table 2 lists t2 = 0 for Verizon 3G: a gap just above t1 already
+        // pays the switch cycle.
+        let v = CarrierProfile::verizon_3g();
+        assert_eq!(v.t2, Duration::ZERO);
+        let before = v.gap_energy(v.t1);
+        let after = v.gap_energy(v.t1 + Duration::from_millis(1));
+        assert!(after > before + v.e_promote * 0.9);
+    }
+
+    #[test]
+    fn fd_fraction_scales_demote_energy() {
+        let mut p = CarrierProfile::att_hspa();
+        let full = p.e_demote_base;
+        assert!((p.e_demote_fd() - 0.5 * full).abs() < 1e-12);
+        p.fd_energy_fraction = 0.1;
+        assert!((p.e_demote_fd() - 0.1 * full).abs() < 1e-12);
+        // Lower FD cost ⇒ lower threshold ⇒ more demotion opportunities.
+        let cheap = p.t_threshold();
+        p.fd_energy_fraction = 0.9;
+        assert!(p.t_threshold() > cheap);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut p = CarrierProfile::att_hspa();
+        p.p_dch = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = CarrierProfile::att_hspa();
+        p.fd_energy_fraction = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = CarrierProfile::verizon_lte();
+        p.t2 = Duration::from_secs(1);
+        assert!(p.validate().is_err());
+
+        let mut p = CarrierProfile::att_hspa();
+        p.p_fach = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn data_power_by_direction() {
+        let p = CarrierProfile::verizon_lte();
+        assert_eq!(p.p_data(tailwise_trace::Direction::Up), p.p_send);
+        assert_eq!(p.p_data(tailwise_trace::Direction::Down), p.p_recv);
+        assert!(p.p_send > p.p_recv); // holds for all Table 1/2 rows
+    }
+}

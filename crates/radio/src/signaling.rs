@@ -1,0 +1,97 @@
+//! Signaling-overhead accounting.
+//!
+//! The paper uses "number of state switches" as its signaling metric
+//! (Figures 10b, 11b, 18): each demote→promote cycle costs the base station
+//! an RRC connection setup. This module keeps that primary metric and, as an
+//! extension, a message-level model with per-transition RRC message counts
+//! (useful when comparing against base-station capacity numbers).
+//!
+//! Default message counts follow the usual 3GPP accounting: an Idle→DCH
+//! promotion involves the RACH preamble plus ~25–30 RRC messages for
+//! connection + radio-bearer setup; timer demotions and fast-dormancy
+//! releases are short exchanges.
+
+use crate::rrc::TransitionCounters;
+
+/// RRC messages exchanged per transition type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalingModel {
+    /// Messages per Idle → DCH promotion (connection establishment).
+    pub per_promotion: u32,
+    /// Messages per FACH → DCH re-promotion (channel upgrade).
+    pub per_fach_promotion: u32,
+    /// Messages per DCH → FACH timer demotion.
+    pub per_t1_demotion: u32,
+    /// Messages per timer demotion to Idle (connection release).
+    pub per_timer_demotion: u32,
+    /// Messages per fast-dormancy release (request + release + confirm).
+    pub per_fd_demotion: u32,
+}
+
+impl Default for SignalingModel {
+    fn default() -> SignalingModel {
+        SignalingModel {
+            per_promotion: 28,
+            per_fach_promotion: 6,
+            per_t1_demotion: 4,
+            per_timer_demotion: 5,
+            per_fd_demotion: 3,
+        }
+    }
+}
+
+impl SignalingModel {
+    /// Total messages implied by a counter set.
+    pub fn total_messages(&self, c: &TransitionCounters) -> u64 {
+        c.promotions * self.per_promotion as u64
+            + c.fach_promotions * self.per_fach_promotion as u64
+            + c.t1_demotions * self.per_t1_demotion as u64
+            + c.timer_demotions * self.per_timer_demotion as u64
+            + c.fd_demotions * self.per_fd_demotion as u64
+    }
+
+    /// The paper's switch-count metric: one "state switch" per
+    /// demote→promote cycle, i.e. the number of Idle→Active promotions.
+    pub fn switch_cycles(c: &TransitionCounters) -> u64 {
+        c.promotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_totals_weight_each_transition() {
+        let m = SignalingModel::default();
+        let c = TransitionCounters {
+            promotions: 2,
+            fach_promotions: 3,
+            t1_demotions: 4,
+            timer_demotions: 1,
+            fd_demotions: 5,
+        };
+        let expect = 2 * 28 + 3 * 6 + 4 * 4 + 5 + 5 * 3;
+        assert_eq!(m.total_messages(&c), expect as u64);
+    }
+
+    #[test]
+    fn switch_cycles_counts_promotions() {
+        let c = TransitionCounters { promotions: 7, fd_demotions: 7, ..Default::default() };
+        assert_eq!(SignalingModel::switch_cycles(&c), 7);
+    }
+
+    #[test]
+    fn promotions_dominate_message_cost() {
+        // Sanity: the default model makes promotions the expensive event,
+        // which is why the paper counts cycles.
+        let m = SignalingModel::default();
+        assert!(m.per_promotion > m.per_fd_demotion * 5);
+    }
+
+    #[test]
+    fn zero_counters_zero_messages() {
+        let m = SignalingModel::default();
+        assert_eq!(m.total_messages(&TransitionCounters::default()), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Decision-quality metrics: the false/missed switch accounting of §6.3.
+//!
+//! The paper scores every demotion opportunity against the Oracle's
+//! offline-optimal choice (switch iff the gap exceeds `t_threshold`):
+//!
+//! * **False switch (false positive)** — the algorithm demoted, the Oracle
+//!   would not have: `FP / (FP + TN)`;
+//! * **Missed switch (false negative)** — the algorithm kept the radio up,
+//!   the Oracle would have demoted: `FN / (FN + TP)`.
+
+/// Confusion counts over demotion decisions, scored against the Oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Algorithm demoted, Oracle demoted.
+    pub tp: u64,
+    /// Algorithm demoted, Oracle did not (false switch).
+    pub fp: u64,
+    /// Neither demoted.
+    pub tn: u64,
+    /// Algorithm did not demote, Oracle did (missed switch).
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Records one decision.
+    pub fn record(&mut self, algorithm_switched: bool, oracle_switched: bool) {
+        match (algorithm_switched, oracle_switched) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// False-switch rate `FP / (FP + TN)` (§6.3), as a fraction.
+    /// Zero when there were no negatives.
+    pub fn false_switch_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// Missed-switch rate `FN / (FN + TP)` (§6.3), as a fraction.
+    /// Zero when there were no positives.
+    pub fn missed_switch_rate(&self) -> f64 {
+        let denom = self.fn_ + self.tp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / denom as f64
+        }
+    }
+}
+
+/// Mean of an f64 slice (`None` if empty).
+pub fn mean_f64(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Median (lower middle) of an f64 slice (`None` if empty).
+pub fn median_f64(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    let mid = (v.len() - 1) / 2;
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    Some(v[mid])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_routes_all_four_cells() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, false);
+        c.record(false, true);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.false_switch_rate(), 0.5);
+        assert_eq!(c.missed_switch_rate(), 0.5);
+    }
+
+    #[test]
+    fn rates_match_paper_definitions() {
+        // FalseSwitch = N_FS / (N_FS + N_TN); MissedSwitch = N_MS / (N_MS + N_TP).
+        let c = Confusion { tp: 30, fp: 5, tn: 95, fn_: 10 };
+        assert!((c.false_switch_rate() - 5.0 / 100.0).abs() < 1e-12);
+        assert!((c.missed_switch_rate() - 10.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_denominators_yield_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.false_switch_rate(), 0.0);
+        assert_eq!(c.missed_switch_rate(), 0.0);
+        let all_pos = Confusion { tp: 5, fn_: 1, ..Default::default() };
+        assert_eq!(all_pos.false_switch_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_median_helpers() {
+        assert_eq!(mean_f64(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median_f64(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median_f64(&[4.0, 1.0, 2.0, 3.0]), Some(2.0)); // lower middle
+        assert_eq!(mean_f64(&[]), None);
+        assert_eq!(median_f64(&[]), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! The Oracle comparator (§6.2).
+//!
+//! "The Oracle is an algorithm in which the packet inter-arrival time is
+//! known before the packet comes, and the algorithm compares the
+//! inter-arrival time with the t_threshold defined in Section 4.1."
+//!
+//! It demotes *immediately* after a packet exactly when the upcoming gap
+//! exceeds the threshold, paying one switch cycle instead of the tail —
+//! the per-gap optimal choice, and therefore "an upper bound of how much
+//! energy can be saved without introducing extra delay". It is also the
+//! ground truth for the §6.3 false/missed switch rates.
+
+use tailwise_trace::time::Duration;
+
+use crate::policy::{IdleContext, IdleDecision, IdlePolicy};
+
+/// The offline-optimal demotion policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleIdle;
+
+impl IdlePolicy for OracleIdle {
+    fn name(&self) -> String {
+        "oracle".into()
+    }
+
+    fn decide(&mut self, ctx: &IdleContext<'_>, actual_gap: Duration) -> IdleDecision {
+        // The one policy allowed to read the future.
+        if actual_gap > ctx.profile.t_threshold() {
+            IdleDecision::DemoteAfter(Duration::ZERO)
+        } else {
+            IdleDecision::Timers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_radio::profile::CarrierProfile;
+    use tailwise_trace::stats::SlidingWindow;
+    use tailwise_trace::time::Instant;
+
+    #[test]
+    fn oracle_switches_exactly_above_threshold() {
+        let p = CarrierProfile::att_hspa();
+        let w = SlidingWindow::new(4);
+        let ctx = IdleContext { profile: &p, window: &w, now: Instant::ZERO };
+        let mut o = OracleIdle;
+        let th = p.t_threshold();
+        assert_eq!(o.decide(&ctx, th), IdleDecision::Timers);
+        assert_eq!(
+            o.decide(&ctx, th + Duration::from_micros(1)),
+            IdleDecision::DemoteAfter(Duration::ZERO)
+        );
+        assert_eq!(o.decide(&ctx, Duration::FOREVER), IdleDecision::DemoteAfter(Duration::ZERO));
+    }
+}

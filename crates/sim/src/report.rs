@@ -1,0 +1,163 @@
+//! Simulation reports and cross-scheme comparison arithmetic.
+//!
+//! A [`SimReport`] is the complete outcome of one engine run. The paper's
+//! evaluation metrics are all *relative* — savings over the status quo
+//! (Figs. 9/10a/11a/17), switches normalized by the status quo
+//! (Figs. 10b/11b/18), energy saved per extra switch (Figs. 10c/11c) — so
+//! the comparison arithmetic lives here, next to the data it consumes.
+
+use tailwise_radio::energy::EnergyBreakdown;
+use tailwise_radio::rrc::TransitionCounters;
+use tailwise_trace::time::{Duration, Instant};
+
+use crate::engine::PowerSegment;
+use crate::metrics::{mean_f64, median_f64, Confusion};
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Scheme label (figure legend name).
+    pub scheme: String,
+    /// Carrier the run was simulated against.
+    pub carrier: String,
+    /// Number of packets in the (possibly batched) trace.
+    pub packets: usize,
+    /// Span of the trace.
+    pub span: Duration,
+    /// Energy, decomposed per Figure 1.
+    pub energy: EnergyBreakdown,
+    /// RRC transition counters.
+    pub counters: TransitionCounters,
+    /// Decision quality vs the Oracle (§6.3).
+    pub confusion: Confusion,
+    /// Fast-dormancy requests the base station denied.
+    pub denied_fd: u64,
+    /// Promotions that exist only because the policy demoted inside the
+    /// status-quo tail window (each adds one promotion delay of latency).
+    pub premature_promotions: u64,
+    /// Per-gap `(decision time, chosen wait)` log (Fig. 14), if recorded.
+    pub decisions: Option<Vec<(Instant, Duration)>>,
+    /// Power timeline (Fig. 3), if recorded.
+    pub timeline: Option<Vec<PowerSegment>>,
+    /// Timestamped RRC transitions (cell-level signaling analysis), if
+    /// recorded.
+    pub transitions: Option<Vec<tailwise_radio::rrc::Transition>>,
+    /// Per-session delays introduced by MakeActive batching (seconds);
+    /// empty when no batching ran.
+    pub session_delays: Vec<f64>,
+    /// Number of batching rounds MakeActive closed.
+    pub batching_rounds: u64,
+}
+
+impl SimReport {
+    /// Creates an empty report shell.
+    pub fn new(scheme: String, carrier: String) -> SimReport {
+        SimReport { scheme, carrier, ..Default::default() }
+    }
+
+    /// Total energy, J.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// The paper's switch metric: demote→promote cycles.
+    pub fn switch_cycles(&self) -> u64 {
+        self.counters.promotions
+    }
+
+    /// Energy saved relative to `baseline`, in percent
+    /// (Figs. 9, 10a, 11a, 17). Negative when the scheme loses energy.
+    pub fn savings_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.total_energy();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base - self.total_energy()) / base * 100.0
+    }
+
+    /// Switch count normalized by `baseline` (Figs. 10b, 11b, 18).
+    pub fn normalized_switches(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.switch_cycles();
+        if base == 0 {
+            return if self.switch_cycles() == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.switch_cycles() as f64 / base as f64
+    }
+
+    /// Energy saved per state switch, J (Figs. 10c, 11c): total joules
+    /// saved against the baseline divided by the scheme's switch count.
+    pub fn energy_saved_per_switch(&self, baseline: &SimReport) -> f64 {
+        let switches = self.switch_cycles();
+        if switches == 0 {
+            return 0.0;
+        }
+        (baseline.total_energy() - self.total_energy()) / switches as f64
+    }
+
+    /// Mean session delay introduced by batching, seconds (Fig. 15,
+    /// Table 3). Zero when nothing was delayed.
+    pub fn mean_session_delay(&self) -> f64 {
+        mean_f64(&self.session_delays).unwrap_or(0.0)
+    }
+
+    /// Median session delay, seconds.
+    pub fn median_session_delay(&self) -> f64 {
+        median_f64(&self.session_delays).unwrap_or(0.0)
+    }
+
+    /// Policy-added latency: premature promotions × the carrier promotion
+    /// delay would be seconds; reported here as the raw count so callers
+    /// can scale by their profile.
+    pub fn added_promotion_count(&self) -> u64 {
+        self.premature_promotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total_tail: f64, promotions: u64) -> SimReport {
+        let mut r = SimReport::new("x".into(), "c".into());
+        r.energy.tail_dch = total_tail;
+        r.counters.promotions = promotions;
+        r
+    }
+
+    #[test]
+    fn savings_percentage() {
+        let base = report(100.0, 10);
+        let better = report(40.0, 10);
+        let worse = report(130.0, 10);
+        assert!((better.savings_vs(&base) - 60.0).abs() < 1e-12);
+        assert!((worse.savings_vs(&base) + 30.0).abs() < 1e-12);
+        assert_eq!(report(5.0, 1).savings_vs(&report(0.0, 1)), 0.0);
+    }
+
+    #[test]
+    fn normalized_switches_handles_zero_baseline() {
+        let base = report(1.0, 0);
+        assert_eq!(report(1.0, 0).normalized_switches(&base), 1.0);
+        assert!(report(1.0, 3).normalized_switches(&base).is_infinite());
+        let base = report(1.0, 4);
+        assert_eq!(report(1.0, 6).normalized_switches(&base), 1.5);
+    }
+
+    #[test]
+    fn energy_saved_per_switch() {
+        let base = report(100.0, 10);
+        let scheme = report(40.0, 20);
+        assert!((scheme.energy_saved_per_switch(&base) - 3.0).abs() < 1e-12);
+        assert_eq!(report(40.0, 0).energy_saved_per_switch(&base), 0.0);
+    }
+
+    #[test]
+    fn delay_stats_empty_and_filled() {
+        let mut r = report(0.0, 0);
+        assert_eq!(r.mean_session_delay(), 0.0);
+        assert_eq!(r.median_session_delay(), 0.0);
+        r.session_delays = vec![2.0, 4.0, 9.0];
+        assert_eq!(r.mean_session_delay(), 5.0);
+        assert_eq!(r.median_session_delay(), 4.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Burst (session) segmentation.
+//!
+//! The paper treats traffic as a sequence of *bursts*: runs of packets with
+//! small inter-arrival gaps, separated by idle periods during which the RRC
+//! tail energy is spent. MakeActive (§5) operates on *sessions*, which are
+//! bursts that begin while the radio is Idle; "once a session begins, its
+//! packets do not get further delayed".
+//!
+//! A burst is defined by a single parameter, the maximum intra-burst gap:
+//! consecutive packets closer than the threshold belong to the same burst.
+//! The threshold also separates "data" energy from "tail" energy in the
+//! energy model (see `tailwise-radio`), so the same default (0.5 s) is used
+//! there.
+
+use crate::time::{Duration, Instant};
+use crate::trace::Trace;
+
+/// Default maximum gap between packets of the same burst.
+///
+/// The paper does not publish its segmentation constant; 0.5 s sits well
+/// above intra-transfer inter-arrival times (milliseconds) and well below
+/// every carrier's `t_threshold` (≥ 1.2 s), so the induced decomposition is
+/// insensitive to the exact value. `ablation_candidate_grid` in the bench
+/// crate sweeps it.
+pub const DEFAULT_INTRA_BURST_GAP: Duration = Duration::from_millis(500);
+
+/// A contiguous run of packets forming one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Index of the first packet of the burst in the source trace.
+    pub first: usize,
+    /// Number of packets in the burst.
+    pub len: usize,
+    /// Timestamp of the first packet.
+    pub start: Instant,
+    /// Timestamp of the last packet.
+    pub end: Instant,
+    /// Total bytes across the burst.
+    pub bytes: u64,
+}
+
+impl Burst {
+    /// Time from first to last packet of the burst.
+    pub fn span(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Index one past the last packet of the burst.
+    pub fn end_index(&self) -> usize {
+        self.first + self.len
+    }
+}
+
+/// Splits a trace into bursts using `max_gap` as the intra-burst threshold.
+///
+/// Every packet belongs to exactly one burst; bursts are returned in time
+/// order. An empty trace yields no bursts.
+pub fn segment(trace: &Trace, max_gap: Duration) -> Vec<Burst> {
+    let pkts = trace.packets();
+    let mut bursts = Vec::new();
+    if pkts.is_empty() {
+        return bursts;
+    }
+    let mut first = 0usize;
+    let mut bytes = pkts[0].len as u64;
+    for i in 1..pkts.len() {
+        let gap = pkts[i].ts - pkts[i - 1].ts;
+        if gap > max_gap {
+            bursts.push(Burst {
+                first,
+                len: i - first,
+                start: pkts[first].ts,
+                end: pkts[i - 1].ts,
+                bytes,
+            });
+            first = i;
+            bytes = 0;
+        }
+        bytes += pkts[i].len as u64;
+    }
+    bursts.push(Burst {
+        first,
+        len: pkts.len() - first,
+        start: pkts[first].ts,
+        end: pkts[pkts.len() - 1].ts,
+        bytes,
+    });
+    bursts
+}
+
+/// Splits with the default threshold ([`DEFAULT_INTRA_BURST_GAP`]).
+pub fn segment_default(trace: &Trace) -> Vec<Burst> {
+    segment(trace, DEFAULT_INTRA_BURST_GAP)
+}
+
+/// Statistics over a burst decomposition, used by MakeActive's fixed delay
+/// bound (`T_fix = k · (t1+t2)` where `k` is the average number of bursts per
+/// radio active period, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstStats {
+    /// Number of bursts.
+    pub count: usize,
+    /// Mean inter-burst gap (start-to-start of consecutive bursts).
+    pub mean_interburst_gap: Duration,
+    /// Mean packets per burst.
+    pub mean_len: f64,
+    /// Mean burst span.
+    pub mean_span: Duration,
+}
+
+/// Computes summary statistics of a burst decomposition.
+///
+/// Returns `None` if there are no bursts.
+pub fn stats(bursts: &[Burst]) -> Option<BurstStats> {
+    if bursts.is_empty() {
+        return None;
+    }
+    let count = bursts.len();
+    let mean_len = bursts.iter().map(|b| b.len as f64).sum::<f64>() / count as f64;
+    let mean_span = Duration::from_micros(
+        bursts.iter().map(|b| b.span().as_micros()).sum::<i64>() / count as i64,
+    );
+    let mean_interburst_gap = if count >= 2 {
+        let total: i64 = bursts.windows(2).map(|w| (w[1].start - w[0].start).as_micros()).sum();
+        Duration::from_micros(total / (count as i64 - 1))
+    } else {
+        Duration::ZERO
+    };
+    Some(BurstStats { count, mean_interburst_gap, mean_len, mean_span })
+}
+
+/// Average number of bursts per "active period", where an active period is a
+/// maximal run of bursts whose separating gaps are at most `active_window`.
+///
+/// The paper's MakeActive fixed bound uses `k` = "the average number of
+/// bursts during each of the radio's active period" with
+/// `active_window = t1 + t2` (the status-quo tail): bursts closer than the
+/// tail share one Active period without extra switches (§5.1).
+pub fn bursts_per_active_period(bursts: &[Burst], active_window: Duration) -> f64 {
+    if bursts.is_empty() {
+        return 0.0;
+    }
+    let mut periods = 1usize;
+    for w in bursts.windows(2) {
+        let gap = w[1].start - w[0].end;
+        if gap > active_window {
+            periods += 1;
+        }
+    }
+    bursts.len() as f64 / periods as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Direction, Packet};
+
+    fn trace_at(ms: &[i64]) -> Trace {
+        Trace::from_sorted(
+            ms.iter().map(|&m| Packet::new(Instant::from_millis(m), Direction::Up, 100)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_trace_has_no_bursts() {
+        assert!(segment_default(&Trace::new()).is_empty());
+        assert_eq!(stats(&[]), None);
+    }
+
+    #[test]
+    fn single_packet_is_one_burst() {
+        let b = segment_default(&trace_at(&[100]));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].len, 1);
+        assert_eq!(b[0].span(), Duration::ZERO);
+    }
+
+    #[test]
+    fn splits_on_gaps_above_threshold() {
+        // Gaps: 100ms (in-burst), 2000ms (split), 100ms (in-burst).
+        let t = trace_at(&[0, 100, 2100, 2200]);
+        let b = segment(&t, Duration::from_millis(500));
+        assert_eq!(b.len(), 2);
+        assert_eq!((b[0].first, b[0].len), (0, 2));
+        assert_eq!((b[1].first, b[1].len), (2, 2));
+        assert_eq!(b[0].end, Instant::from_millis(100));
+        assert_eq!(b[1].start, Instant::from_millis(2100));
+    }
+
+    #[test]
+    fn gap_exactly_at_threshold_stays_joined() {
+        let t = trace_at(&[0, 500]);
+        let b = segment(&t, Duration::from_millis(500));
+        assert_eq!(b.len(), 1);
+        let b = segment(&t, Duration::from_millis(499));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn bursts_partition_the_trace() {
+        let t = trace_at(&[0, 10, 5000, 5010, 5020, 9000]);
+        let b = segment_default(&t);
+        let total: usize = b.iter().map(|x| x.len).sum();
+        assert_eq!(total, t.len());
+        // Contiguous and ordered.
+        for w in b.windows(2) {
+            assert_eq!(w[0].end_index(), w[1].first);
+            assert!(w[0].end < w[1].start);
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let pkts = vec![
+            Packet::new(Instant::from_millis(0), Direction::Up, 10),
+            Packet::new(Instant::from_millis(10), Direction::Down, 20),
+            Packet::new(Instant::from_millis(5000), Direction::Down, 40),
+        ];
+        let t = Trace::from_sorted(pkts).unwrap();
+        let b = segment_default(&t);
+        assert_eq!(b[0].bytes, 30);
+        assert_eq!(b[1].bytes, 40);
+    }
+
+    #[test]
+    fn stats_on_regular_bursts() {
+        // Three bursts starting at 0s, 10s, 20s.
+        let t = trace_at(&[0, 100, 10_000, 10_100, 20_000, 20_100]);
+        let b = segment_default(&t);
+        let s = stats(&b).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_interburst_gap, Duration::from_secs(10));
+        assert!((s.mean_len - 2.0).abs() < 1e-12);
+        assert_eq!(s.mean_span, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn bursts_per_active_period_counts_shared_tails() {
+        // Bursts at 0, 2s, 30s. With a 5s active window the first two share
+        // a period: 3 bursts / 2 periods = 1.5.
+        let t = trace_at(&[0, 2000, 30_000]);
+        let b = segment_default(&t);
+        assert_eq!(b.len(), 3);
+        let k = bursts_per_active_period(&b, Duration::from_secs(5));
+        assert!((k - 1.5).abs() < 1e-12);
+        // Tiny window: every burst its own period.
+        let k1 = bursts_per_active_period(&b, Duration::from_millis(1));
+        assert!((k1 - 1.0).abs() < 1e-12);
+        assert_eq!(bursts_per_active_period(&[], Duration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for trace construction and I/O.
+
+use core::fmt;
+
+use crate::time::Instant;
+
+/// Errors produced while building, reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A packet's timestamp precedes its predecessor's.
+    OutOfOrder {
+        /// Index of the offending packet.
+        index: usize,
+        /// Timestamp of the offending packet.
+        ts: Instant,
+        /// Timestamp of its predecessor.
+        prev: Instant,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line or record could not be parsed.
+    Parse {
+        /// 1-based line (CSV) or 0-based record (binary) number.
+        location: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The file does not start with the expected magic/header.
+    BadHeader(String),
+    /// The file declares an unsupported format version.
+    UnsupportedVersion(u16),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::OutOfOrder { index, ts, prev } => write!(
+                f,
+                "packet {index} at {ts} precedes its predecessor at {prev}; traces must be time-ordered"
+            ),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { location, message } => {
+                write!(f, "trace parse error at record {location}: {message}")
+            }
+            TraceError::BadHeader(h) => write!(f, "not a tailwise trace (header {h:?})"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported tailwise trace version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = TraceError::OutOfOrder {
+            index: 3,
+            ts: Instant::from_secs(1),
+            prev: Instant::from_secs(2),
+        };
+        assert!(format!("{e}").contains("packet 3"));
+        let e = TraceError::Parse { location: 7, message: "bad direction".into() };
+        assert!(format!("{e}").contains("record 7"));
+        let e = TraceError::UnsupportedVersion(9);
+        assert!(format!("{e}").contains('9'));
+        let e = TraceError::BadHeader("XXXX".into());
+        assert!(format!("{e}").contains("XXXX"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: TraceError = io.into();
+        assert!(format!("{e}").contains("gone"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

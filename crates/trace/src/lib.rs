@@ -1,0 +1,199 @@
+//! # tailwise-trace
+//!
+//! Packet-trace substrate for the tailwise reproduction of *"Traffic-Aware
+//! Techniques to Reduce 3G/LTE Wireless Energy Consumption"* (Deng &
+//! Balakrishnan, CoNEXT 2012).
+//!
+//! Everything the paper's algorithms observe about the world is a packet
+//! trace: timestamps, directions and lengths (§4, §6.1). This crate provides
+//! that world-model and nothing else:
+//!
+//! * [`time`] — deterministic microsecond [`time::Instant`]/[`time::Duration`]
+//!   simulation time (the smoltcp idiom: integer time, no wall clock);
+//! * [`packet`]/[`Trace`] — validated, time-ordered packet containers with
+//!   per-application attribution and k-way merge;
+//! * [`stats`] — the sliding-window empirical inter-arrival distribution
+//!   that MakeIdle's online predictor is built on (§4.2);
+//! * [`bursts`] — burst/session segmentation used by MakeActive (§5);
+//! * [`io`] — CSV and binary persistence with full validation;
+//! * [`pcap`] — libpcap ingestion with device-relative direction
+//!   inference, so real tcpdump captures (the paper's §6.1 input format)
+//!   run through the same pipeline as synthetic workloads.
+//!
+//! The crate is `std`-only with zero third-party dependencies, so the
+//! higher layers (radio model, simulator, algorithms) stay auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bursts;
+pub mod error;
+pub mod io;
+pub mod packet;
+pub mod pcap;
+pub mod stats;
+pub mod time;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub use error::TraceError;
+pub use packet::{AppId, Direction, Packet};
+pub use time::{Duration, Instant};
+pub use trace::{Trace, TraceSummary};
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based tests over the trace substrate invariants.
+
+    use proptest::prelude::*;
+
+    use crate::bursts;
+    use crate::packet::{AppId, Direction, Packet};
+    use crate::stats::{EmpiricalDist, SlidingWindow};
+    use crate::time::{Duration, Instant};
+    use crate::trace::Trace;
+
+    fn arb_packet() -> impl Strategy<Value = Packet> {
+        (0i64..100_000_000, prop::bool::ANY, 1u32..65536, 0u32..8, 0u16..8).prop_map(
+            |(us, up, len, flow, app)| {
+                Packet::new(
+                    Instant::from_micros(us),
+                    if up { Direction::Up } else { Direction::Down },
+                    len,
+                )
+                .with_flow(flow)
+                .with_app(AppId(app))
+            },
+        )
+    }
+
+    fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+        prop::collection::vec(arb_packet(), 0..max_len).prop_map(Trace::from_unsorted)
+    }
+
+    proptest! {
+        #[test]
+        fn from_unsorted_always_yields_monotonic_traces(t in arb_trace(200)) {
+            for w in t.packets().windows(2) {
+                prop_assert!(w[0].ts <= w[1].ts);
+            }
+        }
+
+        #[test]
+        fn csv_roundtrip_is_identity(t in arb_trace(100)) {
+            let mut buf = Vec::new();
+            crate::io::write_csv(&t, &mut buf).unwrap();
+            let back = crate::io::read_csv(buf.as_slice()).unwrap();
+            prop_assert_eq!(t, back);
+        }
+
+        #[test]
+        fn binary_roundtrip_is_identity(t in arb_trace(100)) {
+            let mut buf = Vec::new();
+            crate::io::write_binary(&t, &mut buf).unwrap();
+            let back = crate::io::read_binary(buf.as_slice()).unwrap();
+            prop_assert_eq!(t, back);
+        }
+
+        #[test]
+        fn merge_preserves_packet_multiset(
+            a in arb_trace(60),
+            b in arb_trace(60),
+        ) {
+            let m = Trace::merge([a.clone(), b.clone()]);
+            prop_assert_eq!(m.len(), a.len() + b.len());
+            prop_assert_eq!(m.total_bytes(), a.total_bytes() + b.total_bytes());
+            for w in m.packets().windows(2) {
+                prop_assert!(w[0].ts <= w[1].ts);
+            }
+        }
+
+        #[test]
+        fn bursts_partition_any_trace(t in arb_trace(150), gap_ms in 1i64..5_000) {
+            let bs = bursts::segment(&t, Duration::from_millis(gap_ms));
+            let total: usize = bs.iter().map(|b| b.len).sum();
+            prop_assert_eq!(total, t.len());
+            let total_bytes: u64 = bs.iter().map(|b| b.bytes).sum();
+            prop_assert_eq!(total_bytes, t.total_bytes());
+            for w in bs.windows(2) {
+                // Separating gap really exceeds the threshold.
+                let gap = t.packets()[w[1].first].ts - t.packets()[w[1].first - 1].ts;
+                prop_assert!(gap > Duration::from_millis(gap_ms));
+            }
+            for b in &bs {
+                // Intra-burst gaps do not exceed the threshold.
+                for i in b.first + 1..b.end_index() {
+                    let gap = t.packets()[i].ts - t.packets()[i - 1].ts;
+                    prop_assert!(gap <= Duration::from_millis(gap_ms));
+                }
+            }
+        }
+
+        #[test]
+        fn cdf_is_monotone_and_bounded(
+            samples in prop::collection::vec(0i64..10_000_000, 1..200),
+            probes in prop::collection::vec(0i64..10_000_000, 2..20),
+        ) {
+            let dist = EmpiricalDist::from_samples(
+                samples.into_iter().map(Duration::from_micros).collect(),
+            );
+            let mut probes: Vec<i64> = probes;
+            probes.sort_unstable();
+            let mut prev = 0.0f64;
+            for p in probes {
+                let c = dist.cdf(Duration::from_micros(p));
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+                let s = dist.survival(Duration::from_micros(p));
+                prop_assert!((c + s - 1.0).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn window_matches_batch_distribution(
+            samples in prop::collection::vec(0i64..1_000_000, 1..300),
+            cap in 1usize..64,
+        ) {
+            let mut w = SlidingWindow::new(cap);
+            for &s in &samples {
+                w.push(Duration::from_micros(s));
+            }
+            // The window must equal the distribution over the last `cap` samples.
+            let keep = samples.len().saturating_sub(cap);
+            let expect = EmpiricalDist::from_samples(
+                samples[keep..].iter().map(|&s| Duration::from_micros(s)).collect(),
+            );
+            prop_assert_eq!(w.sorted_samples(), expect.sorted_samples());
+            for probe in [0i64, 500_000, 1_000_000] {
+                let d = Duration::from_micros(probe);
+                prop_assert_eq!(w.cdf(d), expect.cdf(d));
+            }
+        }
+
+        #[test]
+        fn quantiles_are_order_statistics(
+            samples in prop::collection::vec(0i64..1_000_000, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let dist = EmpiricalDist::from_samples(
+                samples.iter().map(|&s| Duration::from_micros(s)).collect(),
+            );
+            let v = dist.quantile(q).unwrap();
+            // Nearest-rank quantile is always an actual sample...
+            prop_assert!(dist.sorted_samples().contains(&v));
+            // ...and at least a q-fraction of samples are <= it.
+            prop_assert!(dist.cdf(v) + 1e-12 >= q);
+        }
+
+        #[test]
+        fn rebased_traces_start_at_zero(t in arb_trace(50)) {
+            let r = t.rebased();
+            if !r.is_empty() {
+                prop_assert_eq!(r.start(), Some(Instant::ZERO));
+                prop_assert_eq!(r.span(), t.span());
+                prop_assert_eq!(r.gaps(), t.gaps());
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Simulation time types.
+//!
+//! All simulation time in tailwise is expressed with these two types rather
+//! than [`std::time`]: a trace has its own epoch (the start of the capture),
+//! event ordering must be exact and reproducible, and times can meaningfully
+//! be *negative* (e.g. "0.3 s before the first packet"). Following the
+//! smoltcp idiom, both types are thin wrappers around a signed microsecond
+//! count, so comparisons and arithmetic are integer-exact; floating point
+//! only enters when energy or probability is computed *from* a duration.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+/// Number of microseconds in one millisecond.
+pub const MICROS_PER_MILLI: i64 = 1_000;
+
+/// A point in simulation time, measured in microseconds from the trace epoch.
+///
+/// The epoch is by convention the timestamp of the first packet of a capture,
+/// but nothing in the library depends on that; `Instant` is only ever compared
+/// and subtracted, never interpreted as wall-clock time.
+///
+/// ```
+/// use tailwise_trace::time::{Duration, Instant};
+/// let t0 = Instant::from_secs_f64(1.5);
+/// let t1 = t0 + Duration::from_millis(250);
+/// assert_eq!((t1 - t0).as_millis(), 250);
+/// assert!(t1 > t0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    micros: i64,
+}
+
+impl Instant {
+    /// The trace epoch (time zero).
+    pub const ZERO: Instant = Instant { micros: 0 };
+    /// The latest representable instant; useful as an "infinitely far" sentinel.
+    pub const FAR_FUTURE: Instant = Instant { micros: i64::MAX / 4 };
+
+    /// Creates an instant from a raw microsecond count.
+    #[inline]
+    pub const fn from_micros(micros: i64) -> Self {
+        Instant { micros }
+    }
+
+    /// Creates an instant from a millisecond count.
+    #[inline]
+    pub const fn from_millis(millis: i64) -> Self {
+        Instant { micros: millis * MICROS_PER_MILLI }
+    }
+
+    /// Creates an instant from a whole-second count.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Instant { micros: secs * MICROS_PER_SEC }
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Instant { micros: (secs * MICROS_PER_SEC as f64).round() as i64 }
+    }
+
+    /// The raw microsecond count since the epoch.
+    #[inline]
+    pub const fn as_micros(&self) -> i64 {
+        self.micros
+    }
+
+    /// This instant expressed in whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(&self) -> i64 {
+        self.micros / MICROS_PER_MILLI
+    }
+
+    /// This instant expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`. Negative if `earlier` is later.
+    #[inline]
+    pub fn since(&self, earlier: Instant) -> Duration {
+        Duration::from_micros(self.micros - earlier.micros)
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulation time in microseconds. May be negative.
+///
+/// ```
+/// use tailwise_trace::time::Duration;
+/// let d = Duration::from_secs_f64(4.5);
+/// assert_eq!(d.as_micros(), 4_500_000);
+/// assert_eq!(d * 2, Duration::from_secs(9));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration {
+    micros: i64,
+}
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration { micros: 0 };
+    /// An effectively infinite duration; used as a "never" sentinel for timers.
+    pub const FOREVER: Duration = Duration { micros: i64::MAX / 4 };
+
+    /// Creates a duration from a raw microsecond count.
+    #[inline]
+    pub const fn from_micros(micros: i64) -> Self {
+        Duration { micros }
+    }
+
+    /// Creates a duration from a millisecond count.
+    #[inline]
+    pub const fn from_millis(millis: i64) -> Self {
+        Duration { micros: millis * MICROS_PER_MILLI }
+    }
+
+    /// Creates a duration from a whole-second count.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Duration { micros: secs * MICROS_PER_SEC }
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Duration { micros: (secs * MICROS_PER_SEC as f64).round() as i64 }
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub const fn as_micros(&self) -> i64 {
+        self.micros
+    }
+
+    /// The duration in whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(&self) -> i64 {
+        self.micros / MICROS_PER_MILLI
+    }
+
+    /// The duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True if this duration is negative.
+    #[inline]
+    pub const fn is_negative(&self) -> bool {
+        self.micros < 0
+    }
+
+    /// True if this duration is exactly zero.
+    #[inline]
+    pub const fn is_zero(&self) -> bool {
+        self.micros == 0
+    }
+
+    /// Clamps a negative duration to zero.
+    #[inline]
+    pub fn max_zero(self) -> Duration {
+        if self.micros < 0 {
+            Duration::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction clamped at zero (like `std`'s
+    /// `Duration::saturating_sub` for unsigned durations).
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration::from_micros((self.micros - other.micros).max(0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros + rhs.micros)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros - rhs.micros)
+    }
+}
+
+impl SubAssign<Duration> for Instant {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.micros -= rhs.micros;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration::from_micros(self.micros - rhs.micros)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros + rhs.micros)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros - rhs.micros)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.micros -= rhs.micros;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration::from_micros(-self.micros)
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: i64) -> Duration {
+        Duration::from_micros(self.micros * rhs)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_micros((self.micros as f64 * rhs).round() as i64)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: i64) -> Duration {
+        Duration::from_micros(self.micros / rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.micros as f64 / rhs.micros as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_construction_roundtrips() {
+        assert_eq!(Instant::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(Instant::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Instant::from_micros(42).as_micros(), 42);
+        assert_eq!(Instant::from_secs_f64(1.25).as_micros(), 1_250_000);
+        assert_eq!(Instant::from_secs_f64(-0.5).as_micros(), -500_000);
+    }
+
+    #[test]
+    fn duration_construction_roundtrips() {
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Duration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(Duration::from_secs_f64(0.000_001).as_micros(), 1);
+    }
+
+    #[test]
+    fn rounding_is_nearest_not_truncating() {
+        assert_eq!(Duration::from_secs_f64(0.000_000_6).as_micros(), 1);
+        assert_eq!(Duration::from_secs_f64(0.000_000_4).as_micros(), 0);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant::from_secs(10);
+        assert_eq!(t + Duration::from_secs(5), Instant::from_secs(15));
+        assert_eq!(t - Duration::from_secs(5), Instant::from_secs(5));
+        assert_eq!(Instant::from_secs(15) - t, Duration::from_secs(5));
+        assert_eq!(t - Instant::from_secs(15), Duration::from_secs(-5));
+        let mut u = t;
+        u += Duration::from_secs(1);
+        u -= Duration::from_millis(500);
+        assert_eq!(u, Instant::from_millis(10_500));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_secs(4);
+        assert_eq!(d + Duration::from_secs(1), Duration::from_secs(5));
+        assert_eq!(d - Duration::from_secs(5), Duration::from_secs(-1));
+        assert_eq!(-d, Duration::from_secs(-4));
+        assert_eq!(d * 3, Duration::from_secs(12));
+        assert_eq!(d * 0.5, Duration::from_secs(2));
+        assert_eq!(d / 2, Duration::from_secs(2));
+        assert_eq!(d / Duration::from_secs(8), 0.5);
+    }
+
+    #[test]
+    fn duration_clamping_helpers() {
+        assert!(Duration::from_secs(-1).is_negative());
+        assert_eq!(Duration::from_secs(-1).max_zero(), Duration::ZERO);
+        assert_eq!(Duration::from_secs(1).max_zero(), Duration::from_secs(1));
+        assert_eq!(
+            Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Duration::from_secs(3).saturating_sub(Duration::from_secs(2)),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Instant::from_secs(1);
+        let b = Instant::from_secs(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = Duration::from_secs(1);
+        let y = Duration::from_secs(2);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+
+    #[test]
+    fn since_is_signed() {
+        let a = Instant::from_secs(1);
+        let b = Instant::from_secs(3);
+        assert_eq!(b.since(a), Duration::from_secs(2));
+        assert_eq!(a.since(b), Duration::from_secs(-2));
+    }
+
+    #[test]
+    fn sentinels_are_far_apart_but_do_not_overflow() {
+        let far = Instant::FAR_FUTURE + Duration::FOREVER;
+        assert!(far.as_micros() > 0); // no wrap-around
+        assert!(Instant::FAR_FUTURE > Instant::from_secs(1_000_000_000));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", Instant::from_millis(1500)), "1.500000s");
+        assert_eq!(format!("{}", Duration::from_micros(-250)), "-0.000250s");
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`Trace`] container: a time-ordered sequence of packets.
+//!
+//! A `Trace` is the unit every tailwise component exchanges: workload
+//! generators produce them, the I/O module persists them, the simulation
+//! engine consumes them. The container enforces the single invariant the rest
+//! of the system relies on — *timestamps are non-decreasing* — at
+//! construction time, so downstream code never re-validates.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::error::TraceError;
+use crate::packet::{AppId, Direction, Packet};
+use crate::time::{Duration, Instant};
+
+/// A validated, time-ordered packet trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace { packets: Vec::new() }
+    }
+
+    /// Builds a trace from packets that are already sorted by timestamp.
+    ///
+    /// Returns [`TraceError::OutOfOrder`] if any packet precedes its
+    /// predecessor. Ties (equal timestamps) are allowed: real captures
+    /// contain them and the simulator treats them as a zero-length gap.
+    pub fn from_sorted(packets: Vec<Packet>) -> Result<Trace, TraceError> {
+        for (i, w) in packets.windows(2).enumerate() {
+            if w[1].ts < w[0].ts {
+                return Err(TraceError::OutOfOrder { index: i + 1, ts: w[1].ts, prev: w[0].ts });
+            }
+        }
+        Ok(Trace { packets })
+    }
+
+    /// Builds a trace from packets in arbitrary order, sorting them
+    /// (stably) by timestamp.
+    pub fn from_unsorted(mut packets: Vec<Packet>) -> Trace {
+        packets.sort_by_key(|p| p.ts);
+        Trace { packets }
+    }
+
+    /// Appends a packet, which must not precede the current last packet.
+    pub fn push(&mut self, p: Packet) -> Result<(), TraceError> {
+        if let Some(last) = self.packets.last() {
+            if p.ts < last.ts {
+                return Err(TraceError::OutOfOrder {
+                    index: self.packets.len(),
+                    ts: p.ts,
+                    prev: last.ts,
+                });
+            }
+        }
+        self.packets.push(p);
+        Ok(())
+    }
+
+    /// The packets, in time order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterator over the packets.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.packets.iter()
+    }
+
+    /// Timestamp of the first packet, if any.
+    pub fn start(&self) -> Option<Instant> {
+        self.packets.first().map(|p| p.ts)
+    }
+
+    /// Timestamp of the last packet, if any.
+    pub fn end(&self) -> Option<Instant> {
+        self.packets.last().map(|p| p.ts)
+    }
+
+    /// Time between the first and last packet (zero for traces with fewer
+    /// than two packets).
+    pub fn span(&self) -> Duration {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Total bytes in the given direction.
+    pub fn bytes(&self, dir: Direction) -> u64 {
+        self.packets.iter().filter(|p| p.dir == dir).map(|p| p.len as u64).sum()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| p.len as u64).sum()
+    }
+
+    /// Successive inter-arrival gaps: element `i` is `ts[i+1] - ts[i]`.
+    ///
+    /// Length is `len() - 1` (empty for traces with fewer than two packets).
+    pub fn gaps(&self) -> Vec<Duration> {
+        self.packets.windows(2).map(|w| w[1].ts - w[0].ts).collect()
+    }
+
+    /// Returns a copy of the trace with every timestamp rebased so the first
+    /// packet sits at `Instant::ZERO`.
+    pub fn rebased(&self) -> Trace {
+        let Some(start) = self.start() else { return Trace::new() };
+        let shift = Instant::ZERO - start;
+        Trace {
+            packets: self.packets.iter().map(|p| p.shifted(shift)).collect(),
+        }
+    }
+
+    /// Returns the sub-trace with timestamps in `[from, to)`.
+    pub fn slice(&self, from: Instant, to: Instant) -> Trace {
+        let lo = self.packets.partition_point(|p| p.ts < from);
+        let hi = self.packets.partition_point(|p| p.ts < to);
+        Trace { packets: self.packets[lo..hi].to_vec() }
+    }
+
+    /// Returns the sub-trace belonging to one application.
+    pub fn filter_app(&self, app: AppId) -> Trace {
+        Trace {
+            packets: self.packets.iter().copied().filter(|p| p.app == app).collect(),
+        }
+    }
+
+    /// Returns the set of distinct application ids present, with packet
+    /// counts, in id order.
+    pub fn apps(&self) -> Vec<(AppId, usize)> {
+        let mut counts: BTreeMap<AppId, usize> = BTreeMap::new();
+        for p in &self.packets {
+            *counts.entry(p.app).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Merges several traces into one time-ordered trace (k-way merge).
+    ///
+    /// This is how multi-application user traces are assembled from
+    /// per-application generator output. The merge is stable: packets with
+    /// equal timestamps keep the order of the input list.
+    pub fn merge<I>(traces: I) -> Trace
+    where
+        I: IntoIterator<Item = Trace>,
+    {
+        // Simple concatenate-and-stable-sort; input traces are each sorted,
+        // and for the trace sizes tailwise handles (≤ tens of millions of
+        // packets) sort's O(n log n) on mostly-sorted data is effectively
+        // linear and far simpler than a heap-based k-way merge.
+        let mut all: Vec<Packet> = Vec::new();
+        for t in traces {
+            all.extend_from_slice(&t.packets);
+        }
+        all.sort_by_key(|p| p.ts);
+        Trace { packets: all }
+    }
+
+    /// Basic summary statistics, for logging and examples.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            packets: self.len(),
+            up_bytes: self.bytes(Direction::Up),
+            down_bytes: self.bytes(Direction::Down),
+            span: self.span(),
+            apps: self.apps().len(),
+        }
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Packet;
+    type IntoIter = core::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+/// Headline statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total number of packets.
+    pub packets: usize,
+    /// Total uplink bytes.
+    pub up_bytes: u64,
+    /// Total downlink bytes.
+    pub down_bytes: u64,
+    /// Time between first and last packet.
+    pub span: Duration,
+    /// Number of distinct application ids.
+    pub apps: usize,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} packets, {} B up / {} B down over {} ({} apps)",
+            self.packets, self.up_bytes, self.down_bytes, self.span, self.apps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ms: i64) -> Packet {
+        Packet::new(Instant::from_millis(ms), Direction::Up, 100)
+    }
+
+    #[test]
+    fn from_sorted_accepts_ties_and_rejects_regressions() {
+        assert!(Trace::from_sorted(vec![pkt(0), pkt(0), pkt(5)]).is_ok());
+        let err = Trace::from_sorted(vec![pkt(5), pkt(0)]).unwrap_err();
+        match err {
+            TraceError::OutOfOrder { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let t = Trace::from_unsorted(vec![pkt(5), pkt(1), pkt(3)]);
+        let ts: Vec<i64> = t.iter().map(|p| p.ts.as_millis()).collect();
+        assert_eq!(ts, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut t = Trace::new();
+        t.push(pkt(10)).unwrap();
+        t.push(pkt(10)).unwrap();
+        assert!(t.push(pkt(5)).is_err());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn span_and_gaps() {
+        let t = Trace::from_sorted(vec![pkt(0), pkt(250), pkt(1000)]).unwrap();
+        assert_eq!(t.span(), Duration::from_millis(1000));
+        assert_eq!(t.gaps(), vec![Duration::from_millis(250), Duration::from_millis(750)]);
+        assert_eq!(Trace::new().span(), Duration::ZERO);
+        assert!(Trace::new().gaps().is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_by_direction() {
+        let t = Trace::from_sorted(vec![
+            Packet::new(Instant::ZERO, Direction::Up, 10),
+            Packet::new(Instant::from_millis(1), Direction::Down, 20),
+            Packet::new(Instant::from_millis(2), Direction::Down, 30),
+        ])
+        .unwrap();
+        assert_eq!(t.bytes(Direction::Up), 10);
+        assert_eq!(t.bytes(Direction::Down), 50);
+        assert_eq!(t.total_bytes(), 60);
+    }
+
+    #[test]
+    fn rebase_moves_first_packet_to_zero() {
+        let t = Trace::from_sorted(vec![pkt(500), pkt(700)]).unwrap();
+        let r = t.rebased();
+        assert_eq!(r.start(), Some(Instant::ZERO));
+        assert_eq!(r.end(), Some(Instant::from_millis(200)));
+        assert_eq!(r.span(), t.span());
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let t = Trace::from_sorted(vec![pkt(0), pkt(100), pkt(200), pkt(300)]).unwrap();
+        let s = t.slice(Instant::from_millis(100), Instant::from_millis(300));
+        let ts: Vec<i64> = s.iter().map(|p| p.ts.as_millis()).collect();
+        assert_eq!(ts, vec![100, 200]);
+    }
+
+    #[test]
+    fn merge_interleaves_and_keeps_order() {
+        let a = Trace::from_sorted(vec![pkt(0), pkt(100)]).unwrap();
+        let b = Trace::from_sorted(vec![pkt(50), pkt(150)]).unwrap();
+        let m = Trace::merge([a, b]);
+        let ts: Vec<i64> = m.iter().map(|p| p.ts.as_millis()).collect();
+        assert_eq!(ts, vec![0, 50, 100, 150]);
+    }
+
+    #[test]
+    fn app_filter_and_counts() {
+        let t = Trace::from_sorted(vec![
+            pkt(0).with_app(AppId(1)),
+            pkt(1).with_app(AppId(2)),
+            pkt(2).with_app(AppId(1)),
+        ])
+        .unwrap();
+        assert_eq!(t.apps(), vec![(AppId(1), 2), (AppId(2), 1)]);
+        assert_eq!(t.filter_app(AppId(1)).len(), 2);
+        assert_eq!(t.filter_app(AppId(9)).len(), 0);
+    }
+
+    #[test]
+    fn summary_reports_all_fields() {
+        let t = Trace::from_sorted(vec![
+            Packet::new(Instant::ZERO, Direction::Up, 10).with_app(AppId(1)),
+            Packet::new(Instant::from_secs(1), Direction::Down, 20).with_app(AppId(2)),
+        ])
+        .unwrap();
+        let s = t.summary();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.up_bytes, 10);
+        assert_eq!(s.down_bytes, 20);
+        assert_eq!(s.span, Duration::from_secs(1));
+        assert_eq!(s.apps, 2);
+        assert!(format!("{s}").contains("2 packets"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Burst construction: the shared building block of every application
+//! model.
+//!
+//! All seven §6.1 applications ultimately emit *transfer bursts* — an
+//! uplink request followed by a volley of downlink packets with
+//! millisecond-scale inter-arrivals, optionally acknowledged. The knobs
+//! that differ between applications (how often bursts happen, how large
+//! they are) live in [`crate::apps`]; the packet-level shape lives here.
+
+use rand::Rng;
+use tailwise_trace::packet::{AppId, Direction, Packet};
+use tailwise_trace::time::{Duration, Instant};
+
+use crate::dist;
+
+/// Shape of one request/response transfer burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Downlink packets in the burst (requests/acks are added on top).
+    pub down_packets: u32,
+    /// Mean intra-burst packet gap (exponential).
+    pub mean_gap: Duration,
+    /// Uplink request size in bytes.
+    pub request_len: u32,
+    /// Downlink payload packet size in bytes (MTU-ish for bulk).
+    pub response_len: u32,
+    /// Send an uplink ACK every `ack_every` downlink packets (0 = none).
+    pub ack_every: u32,
+}
+
+impl BurstSpec {
+    /// A small control exchange (heartbeats, presence): 1 packet each way.
+    pub fn heartbeat() -> BurstSpec {
+        BurstSpec {
+            down_packets: 1,
+            mean_gap: Duration::from_millis(120),
+            request_len: 78,
+            response_len: 94,
+            ack_every: 0,
+        }
+    }
+
+    /// A content fetch of `down_packets` MTU-sized packets.
+    pub fn fetch(down_packets: u32) -> BurstSpec {
+        BurstSpec {
+            down_packets,
+            mean_gap: Duration::from_millis(25),
+            request_len: 350,
+            response_len: 1400,
+            ack_every: 4,
+        }
+    }
+}
+
+/// Generates one burst starting at `start`; returns the packets in time
+/// order together with the timestamp of the last packet.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: Instant,
+    spec: &BurstSpec,
+    flow: u32,
+    app: AppId,
+) -> (Vec<Packet>, Instant) {
+    let mut pkts = Vec::with_capacity(spec.down_packets as usize + 4);
+    let mut t = start;
+    // Uplink request opens the burst.
+    pkts.push(Packet::new(t, Direction::Up, spec.request_len).with_flow(flow).with_app(app));
+    for i in 0..spec.down_packets {
+        t += dist::exp_duration(rng, spec.mean_gap);
+        pkts.push(Packet::new(t, Direction::Down, spec.response_len).with_flow(flow).with_app(app));
+        if spec.ack_every > 0 && (i + 1) % spec.ack_every == 0 {
+            t += Duration::from_millis(rng.random_range(1..8));
+            pkts.push(Packet::new(t, Direction::Up, 52).with_flow(flow).with_app(app));
+        }
+    }
+    (pkts, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn burst_opens_with_uplink_request() {
+        let (pkts, _) = generate(&mut rng(), Instant::ZERO, &BurstSpec::fetch(10), 5, AppId(3));
+        assert_eq!(pkts[0].dir, Direction::Up);
+        assert_eq!(pkts[0].ts, Instant::ZERO);
+        assert_eq!(pkts[0].flow, 5);
+        assert_eq!(pkts[0].app, AppId(3));
+    }
+
+    #[test]
+    fn burst_is_time_ordered_and_ends_at_reported_instant() {
+        let (pkts, end) = generate(&mut rng(), Instant::from_secs(9), &BurstSpec::fetch(30), 1, AppId(1));
+        for w in pkts.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert_eq!(pkts.last().unwrap().ts, end);
+        assert!(end > Instant::from_secs(9));
+    }
+
+    #[test]
+    fn packet_counts_match_spec() {
+        let spec = BurstSpec { ack_every: 4, ..BurstSpec::fetch(20) };
+        let (pkts, _) = generate(&mut rng(), Instant::ZERO, &spec, 0, AppId(0));
+        let down = pkts.iter().filter(|p| p.dir == Direction::Down).count();
+        let up = pkts.iter().filter(|p| p.dir == Direction::Up).count();
+        assert_eq!(down, 20);
+        assert_eq!(up, 1 + 20 / 4); // request + acks
+    }
+
+    #[test]
+    fn heartbeat_is_two_packets() {
+        let (pkts, _) = generate(&mut rng(), Instant::ZERO, &BurstSpec::heartbeat(), 0, AppId(0));
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].dir, Direction::Up);
+        assert_eq!(pkts[1].dir, Direction::Down);
+    }
+
+    #[test]
+    fn bursts_stay_compact() {
+        // A 40-packet fetch with 25 ms mean gaps should span well under the
+        // 0.5 s intra-burst threshold per gap (it is one burst downstream).
+        let (pkts, _) = generate(&mut rng(), Instant::ZERO, &BurstSpec::fetch(40), 0, AppId(0));
+        for w in pkts.windows(2) {
+            assert!(w[1].ts - w[0].ts < Duration::from_millis(500));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Sampling primitives for the workload generators.
+//!
+//! The generators need a handful of standard distributions (exponential
+//! inter-arrivals, Pareto think times, log-normal durations). Rather than
+//! pull in `rand_distr`, the few we need are implemented here by inverse
+//! transform / Box–Muller over `rand`'s uniform source — ~40 lines that keep
+//! the dependency surface minimal and the sampling auditable.
+
+use rand::Rng;
+use tailwise_trace::time::Duration;
+
+/// Exponential sample with the given mean (inverse transform).
+pub fn exp_f64<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    // random::<f64>() ∈ [0,1); flip to (0,1] so ln() is finite.
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+/// Exponential duration with the given mean.
+pub fn exp_duration<R: Rng + ?Sized>(rng: &mut R, mean: Duration) -> Duration {
+    Duration::from_secs_f64(exp_f64(rng, mean.as_secs_f64()))
+}
+
+/// Uniform duration in `[lo, hi)`.
+pub fn uniform_duration<R: Rng + ?Sized>(rng: &mut R, lo: Duration, hi: Duration) -> Duration {
+    debug_assert!(hi >= lo);
+    if hi == lo {
+        return lo;
+    }
+    Duration::from_micros(rng.random_range(lo.as_micros()..hi.as_micros()))
+}
+
+/// Bounded Pareto sample: scale `xm`, shape `alpha`, hard cap `cap`.
+///
+/// Pareto think times are the standard model for human interactive pauses;
+/// the cap keeps a single sample from swallowing a whole usage session.
+pub fn pareto_f64<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64, cap: f64) -> f64 {
+    debug_assert!(xm > 0.0 && alpha > 0.0 && cap >= xm);
+    let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    (xm / u.powf(1.0 / alpha)).min(cap)
+}
+
+/// Log-normal sample parameterized by the *median* (`exp(mu)`) and `sigma`
+/// of the underlying normal, via Box–Muller.
+pub fn lognormal_f64<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    debug_assert!(median > 0.0 && sigma >= 0.0);
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+/// Poisson sample by Knuth's method; suitable for the small rates the
+/// generators use (events per hour, packets per burst).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    // For large lambda fall back to a normal approximation to stay O(1).
+    if lambda > 64.0 {
+        let z = {
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+        };
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEC0DE)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| exp_f64(&mut r, mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.1, "estimated mean {est}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        assert!((0..10_000).all(|_| exp_f64(&mut r, 0.001) > 0.0));
+    }
+
+    #[test]
+    fn uniform_duration_respects_bounds() {
+        let mut r = rng();
+        let lo = Duration::from_millis(100);
+        let hi = Duration::from_millis(200);
+        for _ in 0..10_000 {
+            let d = uniform_duration(&mut r, lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+        assert_eq!(uniform_duration(&mut r, lo, lo), lo);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = pareto_f64(&mut r, 2.0, 1.5, 60.0);
+            assert!((2.0..=60.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With alpha = 1.2 a noticeable fraction of mass sits far above xm.
+        let mut r = rng();
+        let big = (0..20_000).filter(|_| pareto_f64(&mut r, 1.0, 1.2, 1e9) > 10.0).count();
+        let frac = big as f64 / 20_000.0;
+        // P(X > 10) = 10^-1.2 ≈ 0.063.
+        assert!((frac - 0.063).abs() < 0.01, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn lognormal_median_converges() {
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| lognormal_f64(&mut r, 5.0, 0.8)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 5.0).abs() < 0.25, "median {med}");
+    }
+
+    #[test]
+    fn poisson_mean_converges_small_and_large_lambda() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 200.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let est = sum as f64 / n as f64;
+            assert!((est - lambda).abs() < lambda.max(1.0) * 0.05, "λ={lambda}: {est}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(exp_f64(&mut a, 1.0).to_bits(), exp_f64(&mut b, 1.0).to_bits());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Diurnal activity modulation for multi-day user traces.
+//!
+//! Real user captures (the paper's 28 days across 9 users) have strong
+//! time-of-day structure: heavy interactive use in the evening, nothing but
+//! background heartbeats at night. Background applications run around the
+//! clock; *foreground* applications only run while the user is actually on
+//! the phone. This module generates those usage sessions.
+
+use rand::Rng;
+use tailwise_trace::time::{Duration, Instant};
+
+use crate::dist;
+
+/// Seconds per hour/day, as durations.
+const HOUR: Duration = Duration::from_secs(3600);
+/// One day.
+pub const DAY: Duration = Duration::from_secs(86_400);
+
+/// Relative propensity to start a foreground session in each hour of the
+/// day (0 = midnight). Values are weights, not probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// A typical smartphone-user shape: near-silent 1 am – 6 am, commute
+    /// bumps, evening peak.
+    pub fn typical() -> DiurnalProfile {
+        DiurnalProfile {
+            weights: [
+                0.15, 0.05, 0.02, 0.02, 0.02, 0.05, // 00–05
+                0.30, 0.80, 1.00, 0.70, 0.60, 0.70, // 06–11
+                0.90, 0.80, 0.60, 0.60, 0.70, 0.90, // 12–17
+                1.10, 1.30, 1.40, 1.20, 0.80, 0.40, // 18–23
+            ],
+        }
+    }
+
+    /// A flat profile (no time-of-day structure) — useful as an ablation
+    /// control.
+    pub fn flat() -> DiurnalProfile {
+        DiurnalProfile { weights: [1.0; 24] }
+    }
+
+    /// A heavier user: the typical shape, uniformly scaled.
+    pub fn heavy() -> DiurnalProfile {
+        let mut p = Self::typical();
+        for w in &mut p.weights {
+            *w *= 1.8;
+        }
+        p
+    }
+
+    /// A lighter user.
+    pub fn light() -> DiurnalProfile {
+        let mut p = Self::typical();
+        for w in &mut p.weights {
+            *w *= 0.5;
+        }
+        p
+    }
+
+    /// The weight for the hour containing `t` (hours cycle per day).
+    pub fn weight_at(&self, t: Instant) -> f64 {
+        let secs = t.as_micros().rem_euclid(DAY.as_micros()) / 1_000_000;
+        self.weights[(secs / 3600) as usize % 24]
+    }
+
+    /// Raw weight table.
+    pub fn weights(&self) -> &[f64; 24] {
+        &self.weights
+    }
+
+    /// Generates foreground usage sessions over `days` days.
+    ///
+    /// Sessions start as an inhomogeneous Poisson process with rate
+    /// `base_sessions_per_day` shaped by the hourly weights (thinning
+    /// method), and last log-normal(`median_session`) each. Sessions are
+    /// non-overlapping: a session that would start inside the previous one
+    /// is skipped (the user is already on the phone).
+    pub fn usage_sessions<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        days: u32,
+        base_sessions_per_day: f64,
+        median_session: Duration,
+    ) -> Vec<(Instant, Duration)> {
+        let horizon = Instant::ZERO + DAY * days as i64;
+        let mean_weight: f64 = self.weights.iter().sum::<f64>() / 24.0;
+        let max_weight = self.weights.iter().copied().fold(0.0f64, f64::max);
+        if max_weight <= 0.0 || base_sessions_per_day <= 0.0 {
+            return Vec::new();
+        }
+        // Candidate rate: sessions/day at the *peak* hour, in events/sec.
+        let peak_rate = base_sessions_per_day * (max_weight / mean_weight) / DAY.as_secs_f64();
+        let mut sessions: Vec<(Instant, Duration)> = Vec::new();
+        let mut t = Instant::ZERO;
+        loop {
+            t += dist::exp_duration(rng, Duration::from_secs_f64(1.0 / peak_rate));
+            if t >= horizon {
+                break;
+            }
+            // Thinning: accept with probability w(t)/max_weight.
+            if rng.random::<f64>() >= self.weight_at(t) / max_weight {
+                continue;
+            }
+            if let Some(&(start, dur)) = sessions.last() {
+                if t < start + dur {
+                    continue; // still in the previous session
+                }
+            }
+            let dur = Duration::from_secs_f64(
+                dist::lognormal_f64(rng, median_session.as_secs_f64(), 0.7)
+                    .clamp(30.0, 3.0 * HOUR.as_secs_f64()),
+            );
+            sessions.push((t, dur));
+        }
+        sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD1)
+    }
+
+    #[test]
+    fn weight_lookup_cycles_daily() {
+        let p = DiurnalProfile::typical();
+        let eight_pm_day0 = Instant::from_secs(20 * 3600);
+        let eight_pm_day3 = eight_pm_day0 + DAY * 3;
+        assert_eq!(p.weight_at(eight_pm_day0), p.weight_at(eight_pm_day3));
+        assert_eq!(p.weight_at(eight_pm_day0), 1.40);
+        // 3 am is the trough.
+        assert_eq!(p.weight_at(Instant::from_secs(3 * 3600)), 0.02);
+    }
+
+    #[test]
+    fn sessions_fall_within_horizon_and_do_not_overlap() {
+        let p = DiurnalProfile::typical();
+        let sessions = p.usage_sessions(&mut rng(), 5, 8.0, Duration::from_secs(400));
+        assert!(!sessions.is_empty());
+        for (start, dur) in &sessions {
+            assert!(*start >= Instant::ZERO && *start < Instant::ZERO + DAY * 5);
+            assert!(*dur >= Duration::from_secs(30));
+        }
+        for w in sessions.windows(2) {
+            assert!(w[1].0 >= w[0].0 + w[0].1, "sessions overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn session_count_tracks_the_requested_rate() {
+        let p = DiurnalProfile::typical();
+        let sessions = p.usage_sessions(&mut rng(), 30, 10.0, Duration::from_secs(300));
+        let per_day = sessions.len() as f64 / 30.0;
+        // Thinning + overlap-skipping lands near the target.
+        assert!((5.0..=13.0).contains(&per_day), "{per_day} sessions/day");
+    }
+
+    #[test]
+    fn night_hours_see_far_fewer_sessions() {
+        let p = DiurnalProfile::typical();
+        let sessions = p.usage_sessions(&mut rng(), 60, 12.0, Duration::from_secs(300));
+        let hour_of = |t: Instant| (t.as_micros().rem_euclid(DAY.as_micros()) / 3_600_000_000) as u32;
+        let night = sessions.iter().filter(|(s, _)| (1..6).contains(&hour_of(*s))).count();
+        let evening = sessions.iter().filter(|(s, _)| (18..23).contains(&hour_of(*s))).count();
+        assert!(
+            evening > night * 5,
+            "evening {evening} vs night {night} sessions"
+        );
+    }
+
+    #[test]
+    fn flat_profile_is_uniform() {
+        let p = DiurnalProfile::flat();
+        for h in 0..24 {
+            assert_eq!(p.weight_at(Instant::from_secs(h * 3600)), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_yields_no_sessions() {
+        let p = DiurnalProfile::typical();
+        assert!(p.usage_sessions(&mut rng(), 3, 0.0, Duration::from_secs(300)).is_empty());
+    }
+
+    #[test]
+    fn heavy_and_light_scale_the_same_shape() {
+        let h = DiurnalProfile::heavy();
+        let l = DiurnalProfile::light();
+        let t = Instant::from_secs(20 * 3600);
+        assert!(h.weight_at(t) > l.weight_at(t));
+        let ratio = h.weight_at(t) / l.weight_at(t);
+        let t2 = Instant::from_secs(8 * 3600);
+        assert!((h.weight_at(t2) / l.weight_at(t2) - ratio).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-day, multi-application user trace synthesis.
+//!
+//! The paper's evaluation data is "real user data from six different users
+//! ... and from four different users ... Across all users, we collected 28
+//! days of data. For each user, the amount of data collected varies from
+//! two to five days" (§6.1). Those captures are proprietary, so this module
+//! synthesizes stand-ins with the same *structure*: each user runs a
+//! personal mix of the §6.1 applications — background apps around the
+//! clock, foreground apps during diurnal usage sessions — for a per-user
+//! number of days, driven by a per-user seed.
+//!
+//! The built-in populations mirror the figure populations: six users for
+//! the Verizon 3G panels (Fig. 10/12a), three for the Verizon LTE panels
+//! (Fig. 11/12b), 28 user-days in total.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tailwise_trace::time::Duration;
+use tailwise_trace::Trace;
+
+use crate::apps::{AppKind, AppParams};
+use crate::diurnal::{DiurnalProfile, DAY};
+
+/// A synthetic user: an application mix plus usage habits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserModel {
+    /// Display name ("3G user 1").
+    pub name: String,
+    /// Master seed; every derived stream re-seeds from this.
+    pub seed: u64,
+    /// Days of data to synthesize (paper: 2–5 per user).
+    pub days: u32,
+    /// Applications running unattended all day.
+    pub background_apps: Vec<AppParams>,
+    /// Applications used only during foreground sessions.
+    pub foreground_apps: Vec<AppParams>,
+    /// Time-of-day shape of foreground use.
+    pub diurnal: DiurnalProfile,
+    /// Mean foreground sessions per day.
+    pub sessions_per_day: f64,
+    /// Median foreground session length.
+    pub median_session: Duration,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl UserModel {
+    /// Total span of the synthesized trace.
+    pub fn span(&self) -> Duration {
+        DAY * self.days as i64
+    }
+
+    /// Synthesizes the user's full trace.
+    ///
+    /// Deterministic: the same `UserModel` always yields the same trace.
+    pub fn generate(&self) -> Trace {
+        let span = self.span();
+        let mut parts: Vec<Trace> = Vec::new();
+
+        for (i, app) in self.background_apps.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(splitmix(self.seed ^ (0xB000 + i as u64)));
+            parts.push(app.generate(span, &mut rng));
+        }
+
+        if !self.foreground_apps.is_empty() {
+            let mut srng = StdRng::seed_from_u64(splitmix(self.seed ^ 0x5E55));
+            let sessions = self.diurnal.usage_sessions(
+                &mut srng,
+                self.days,
+                self.sessions_per_day,
+                self.median_session,
+            );
+            for (si, (start, dur)) in sessions.iter().enumerate() {
+                // Each session uses one foreground app (users rarely split
+                // attention between two foreground apps).
+                let app = &self.foreground_apps[si % self.foreground_apps.len()];
+                let mut rng =
+                    StdRng::seed_from_u64(splitmix(self.seed ^ (0xF000 + si as u64)));
+                let t = app.generate(*dur, &mut rng);
+                let shift = *start - tailwise_trace::Instant::ZERO;
+                let shifted: Vec<_> = t.into_iter().map(|p| p.shifted(shift)).collect();
+                parts.push(Trace::from_unsorted(shifted));
+            }
+        }
+
+        Trace::merge(parts)
+    }
+
+    /// The six-user population of the Verizon 3G panels (Figures 10, 12a,
+    /// 15a). Days per user: 5+4+3+2+3+3 = 20.
+    pub fn verizon_3g_users() -> Vec<UserModel> {
+        let b = |k: AppKind| AppParams::defaults(k);
+        vec![
+            UserModel {
+                name: "3G user 1".into(),
+                seed: splitmix(0x3001),
+                days: 5,
+                background_apps: vec![b(AppKind::Im), b(AppKind::Email), b(AppKind::News)],
+                foreground_apps: vec![b(AppKind::Social), b(AppKind::Finance)],
+                diurnal: DiurnalProfile::typical(),
+                sessions_per_day: 10.0,
+                median_session: Duration::from_secs(420),
+            },
+            UserModel {
+                name: "3G user 2".into(),
+                seed: splitmix(0x3002),
+                days: 4,
+                background_apps: vec![b(AppKind::Im), b(AppKind::MicroBlog)],
+                foreground_apps: vec![b(AppKind::Social)],
+                diurnal: DiurnalProfile::heavy(),
+                sessions_per_day: 14.0,
+                median_session: Duration::from_secs(600),
+            },
+            UserModel {
+                name: "3G user 3".into(),
+                seed: splitmix(0x3003),
+                days: 3,
+                background_apps: vec![b(AppKind::Email), b(AppKind::GameAds)],
+                foreground_apps: vec![b(AppKind::Finance)],
+                diurnal: DiurnalProfile::light(),
+                sessions_per_day: 6.0,
+                median_session: Duration::from_secs(300),
+            },
+            UserModel {
+                name: "3G user 4".into(),
+                seed: splitmix(0x3004),
+                days: 2,
+                background_apps: vec![b(AppKind::Im)],
+                foreground_apps: vec![b(AppKind::Social)],
+                diurnal: DiurnalProfile::typical(),
+                sessions_per_day: 8.0,
+                median_session: Duration::from_secs(240),
+            },
+            UserModel {
+                name: "3G user 5".into(),
+                seed: splitmix(0x3005),
+                days: 3,
+                background_apps: vec![b(AppKind::News), b(AppKind::MicroBlog), b(AppKind::Email)],
+                foreground_apps: vec![],
+                diurnal: DiurnalProfile::typical(),
+                sessions_per_day: 0.0,
+                median_session: Duration::from_secs(300),
+            },
+            UserModel {
+                name: "3G user 6".into(),
+                seed: splitmix(0x3006),
+                days: 3,
+                background_apps: vec![b(AppKind::Im), b(AppKind::Email), b(AppKind::GameAds)],
+                foreground_apps: vec![b(AppKind::Social), b(AppKind::Finance)],
+                diurnal: DiurnalProfile::heavy(),
+                sessions_per_day: 12.0,
+                median_session: Duration::from_secs(480),
+            },
+        ]
+    }
+
+    /// The three-user population of the Verizon LTE panels (Figures 11,
+    /// 12b, 15b). Days per user: 3+3+2 = 8 (28 total with the 3G users).
+    pub fn verizon_lte_users() -> Vec<UserModel> {
+        let b = |k: AppKind| AppParams::defaults(k);
+        vec![
+            UserModel {
+                name: "LTE user 1".into(),
+                seed: splitmix(0x17E1),
+                days: 3,
+                background_apps: vec![b(AppKind::Im), b(AppKind::News), b(AppKind::Email)],
+                foreground_apps: vec![b(AppKind::Social)],
+                diurnal: DiurnalProfile::typical(),
+                sessions_per_day: 11.0,
+                median_session: Duration::from_secs(420),
+            },
+            UserModel {
+                name: "LTE user 2".into(),
+                seed: splitmix(0x17E2),
+                days: 3,
+                background_apps: vec![b(AppKind::MicroBlog), b(AppKind::GameAds)],
+                foreground_apps: vec![b(AppKind::Social), b(AppKind::Finance)],
+                diurnal: DiurnalProfile::heavy(),
+                sessions_per_day: 13.0,
+                median_session: Duration::from_secs(540),
+            },
+            UserModel {
+                name: "LTE user 3".into(),
+                seed: splitmix(0x17E3),
+                days: 2,
+                background_apps: vec![b(AppKind::Im), b(AppKind::Email)],
+                foreground_apps: vec![b(AppKind::Finance)],
+                diurnal: DiurnalProfile::light(),
+                sessions_per_day: 5.0,
+                median_session: Duration::from_secs(300),
+            },
+        ]
+    }
+
+    /// A down-scaled copy of this user (fewer days) for fast tests and
+    /// smoke runs.
+    pub fn scaled_to_days(&self, days: u32) -> UserModel {
+        let mut u = self.clone();
+        u.days = days;
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_trace::bursts;
+    use tailwise_trace::Instant;
+
+    #[test]
+    fn populations_total_28_user_days() {
+        let d3: u32 = UserModel::verizon_3g_users().iter().map(|u| u.days).sum();
+        let dl: u32 = UserModel::verizon_lte_users().iter().map(|u| u.days).sum();
+        assert_eq!(d3, 20);
+        assert_eq!(dl, 8);
+        assert_eq!(d3 + dl, 28); // §6.1: "we collected 28 days of data"
+        for u in UserModel::verizon_3g_users().iter().chain(&UserModel::verizon_lte_users()) {
+            assert!((2..=5).contains(&u.days), "{}: {} days", u.name, u.days);
+        }
+    }
+
+    #[test]
+    fn user_trace_is_valid_and_deterministic() {
+        let u = UserModel::verizon_3g_users()[3].scaled_to_days(1);
+        let a = u.generate();
+        let b = u.generate();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.span() <= u.span());
+        for w in a.packets().windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn different_users_get_different_traffic() {
+        let users = UserModel::verizon_3g_users();
+        let a = users[0].scaled_to_days(1).generate();
+        let b = users[1].scaled_to_days(1).generate();
+        assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn background_apps_cover_the_night() {
+        // IM heartbeats must appear in the 2–5 am window even though
+        // foreground sessions avoid it.
+        let u = UserModel::verizon_3g_users()[0].scaled_to_days(1);
+        let t = u.generate();
+        let night = t.slice(Instant::from_secs(2 * 3600), Instant::from_secs(5 * 3600));
+        assert!(
+            night.len() > 100,
+            "only {} packets between 2 am and 5 am",
+            night.len()
+        );
+    }
+
+    #[test]
+    fn foreground_apps_appear_only_in_sessions() {
+        let u = UserModel::verizon_3g_users()[0].scaled_to_days(1);
+        let t = u.generate();
+        let social = t.filter_app(AppKind::Social.id());
+        let finance = t.filter_app(AppKind::Finance.id());
+        assert!(!social.is_empty() || !finance.is_empty(), "no foreground traffic at all");
+        // Foreground traffic clusters: its bursts-per-hour variance must be
+        // high compared to a background app's.
+        let im = t.filter_app(AppKind::Im.id());
+        assert!(!im.is_empty());
+        let hourly = |tr: &Trace| {
+            let mut counts = [0usize; 24];
+            for p in tr.iter() {
+                counts[(p.ts.as_micros() / 3_600_000_000) as usize % 24] += 1;
+            }
+            counts
+        };
+        let im_counts = hourly(&im);
+        let empty_im_hours = im_counts.iter().filter(|&&c| c == 0).count();
+        assert!(empty_im_hours <= 2, "IM missing from {empty_im_hours} hours");
+    }
+
+    #[test]
+    fn multi_day_traces_scale_roughly_linearly() {
+        let u1 = UserModel::verizon_lte_users()[2].scaled_to_days(1);
+        let u2 = UserModel::verizon_lte_users()[2].scaled_to_days(2);
+        let n1 = u1.generate().len() as f64;
+        let n2 = u2.generate().len() as f64;
+        let ratio = n2 / n1;
+        assert!((1.5..=2.6).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn merged_trace_interleaves_apps() {
+        let u = UserModel::verizon_3g_users()[0].scaled_to_days(1);
+        let t = u.generate();
+        let apps = t.apps();
+        assert!(apps.len() >= 3, "expected several apps, got {apps:?}");
+        // And the merged trace still segments into sane bursts.
+        let bs = bursts::segment_default(&t);
+        assert!(bs.len() > 100);
+    }
+}

@@ -1,0 +1,68 @@
+//! Driving the deployable control module (Figure 4) event by event.
+//!
+//! This is what an OS socket-layer shim would do: report every socket call
+//! to the [`ControlModule`], arm a timer for `poll_at()`, and obey the
+//! returned actions (fast-dormancy requests, session holds/releases). The
+//! example scripts a believable evening: background heartbeats warm the
+//! predictor, the radio is demoted between them, and two app syncs that
+//! arrive while idle get batched into a single promotion.
+//!
+//! Run with: `cargo run --release --example online_control`
+
+use tailwise::core::control::{Action, ControlModule, SocketEvent};
+use tailwise::prelude::*;
+use tailwise::trace::{Duration, Instant};
+
+fn show(actions: &[Action], now: Instant) {
+    for a in actions {
+        match a {
+            Action::RequestFastDormancy => {
+                println!("{now}  -> modem: fast-dormancy request (radio to IDLE)")
+            }
+            Action::HoldSession { flow, release_at } => {
+                println!("{now}  -> hold session flow={flow} until {release_at}")
+            }
+            Action::ReleaseSessions { flows } => {
+                println!("{now}  -> release {} batched session(s): {flows:?}", flows.len())
+            }
+        }
+    }
+}
+
+fn main() {
+    let profile = CarrierProfile::att_hspa();
+    let mut module = ControlModule::with_batching(profile);
+
+    println!("== phase 1: background heartbeats warm the predictor ==");
+    let mut now = Instant::ZERO;
+    for i in 0..25 {
+        now = Instant::from_secs(i * 30);
+        let actions = module.on_event(now, 1, SocketEvent::Recv { bytes: 96 });
+        show(&actions, now);
+    }
+
+    // The predictor has seen 30 s gaps; after the last packet it arms a
+    // short fast-dormancy timer.
+    let deadline = module.poll_at().expect("fast-dormancy timer armed");
+    println!("\npredictor armed fast dormancy for {deadline} (last packet {now})");
+    now = deadline;
+    show(&module.poll(now), now);
+    assert!(module.radio_idle());
+
+    println!("\n== phase 2: two app syncs arrive while idle — batched ==");
+    now += Duration::from_secs(40);
+    let a = module.on_event(now, 7, SocketEvent::Connect);
+    show(&a, now);
+    now += Duration::from_secs(2);
+    let b = module.on_event(now, 8, SocketEvent::Connect);
+    show(&b, now);
+    println!("  ({} sessions held)", module.held_sessions());
+
+    let release = module.poll_at().expect("batching release pending");
+    now = release;
+    show(&module.poll(now), now);
+    println!(
+        "\nboth sessions share one Idle→Active promotion — the §5 batching\n\
+         win — and traffic from them will re-arm the demotion predictor."
+    );
+}

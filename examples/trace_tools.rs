@@ -1,0 +1,71 @@
+//! Trace tooling tour: generate, persist, reload, and dissect a capture.
+//!
+//! Shows the `tailwise-trace` substrate end to end: deterministic workload
+//! synthesis, CSV and binary round-trips, burst segmentation, inter-arrival
+//! statistics (including the 95%-IAT statistic the paper's baseline uses),
+//! and fault injection.
+//!
+//! Run with: `cargo run --release --example trace_tools`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tailwise::sim::faults;
+use tailwise::trace::bursts;
+use tailwise::trace::stats::EmpiricalDist;
+use tailwise::trace::{io, Duration};
+use tailwise::workload::AppKind;
+
+fn main() {
+    // 1. Generate a half-hour news-reader capture.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let trace = AppKind::News.default_model().generate(Duration::from_secs(1800), &mut rng);
+    println!("generated : {}", trace.summary());
+
+    // 2. Round-trip through both on-disk formats.
+    let dir = std::env::temp_dir().join("tailwise-trace-tools");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("news.csv");
+    let bin = dir.join("news.twt");
+    io::save(&trace, &csv).expect("save csv");
+    io::save(&trace, &bin).expect("save binary");
+    let csv_size = std::fs::metadata(&csv).expect("csv metadata").len();
+    let bin_size = std::fs::metadata(&bin).expect("bin metadata").len();
+    let back = io::load(&bin).expect("reload binary");
+    assert_eq!(back, trace);
+    println!("persisted : csv {csv_size} B, binary {bin_size} B (lossless round-trip)");
+
+    // 3. Burst structure.
+    let bs = bursts::segment_default(&trace);
+    let stats = bursts::stats(&bs).expect("non-empty trace");
+    println!(
+        "bursts    : {} bursts, mean {:.1} packets, mean inter-burst gap {:.1} s",
+        stats.count,
+        stats.mean_len,
+        stats.mean_interburst_gap.as_secs_f64()
+    );
+
+    // 4. Inter-arrival statistics — the raw material of every scheme.
+    let dist = EmpiricalDist::from_samples(trace.gaps());
+    for q in [0.50, 0.90, 0.95, 0.99] {
+        let v = dist.quantile(q).expect("non-empty distribution");
+        println!("IAT p{:<3} : {:>10.4} s", (q * 100.0) as u32, v.as_secs_f64());
+    }
+    println!("(p95 is what the paper's '95% IAT' baseline would use as its timer)");
+
+    // 5. Fault injection: how robust is the burst structure to jitter?
+    let jittered = faults::jitter_timestamps(&trace, 1, Duration::from_millis(50));
+    let jittered_bursts = bursts::segment_default(&jittered).len();
+    println!(
+        "faults    : +/-50 ms jitter changes burst count {} -> {}",
+        stats.count, jittered_bursts
+    );
+    let dropped = faults::drop_packets(&trace, 2, 0.15);
+    println!(
+        "          : 15% loss keeps {}/{} packets; burst count {}",
+        dropped.len(),
+        trace.len(),
+        bursts::segment_default(&dropped).len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
