@@ -26,11 +26,8 @@ fn makeidle_decision(c: &mut Criterion) {
     let mut mi = MakeIdle::new();
     c.bench_function("makeidle_decide_per_packet_n100", |b| {
         b.iter(|| {
-            let ctx = IdleContext {
-                profile: &profile,
-                window: black_box(&window),
-                now: Instant::ZERO,
-            };
+            let ctx =
+                IdleContext { profile: &profile, window: black_box(&window), now: Instant::ZERO };
             black_box(mi.decide(&ctx, Duration::FOREVER))
         })
     });

@@ -1,0 +1,54 @@
+//! Fleet-simulation throughput: user-days per second through the full
+//! generate→simulate→fold pipeline, single- versus multi-threaded.
+//!
+//! This is the repo's first scalability benchmark: it measures the whole
+//! population path (hierarchical seeding, workload synthesis, two engine
+//! runs per user, streaming aggregation), not just the inner engine loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tailwise_core::schemes::Scheme;
+use tailwise_fleet::{run, Scenario};
+use tailwise_radio::profile::CarrierProfile;
+
+fn fleet_scenario(users: u64) -> Scenario {
+    let mut s = Scenario::new(users, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+    s.shard_size = 8;
+    s.master_seed = 0xBEAC4;
+    s
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let scenario = fleet_scenario(24);
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.throughput(Throughput::Elements(scenario.user_days()));
+    for threads in [1usize, 2, max_threads] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &threads,
+            |b, &threads| b.iter(|| black_box(run(black_box(&scenario), threads))),
+        );
+    }
+    group.finish();
+}
+
+fn fleet_scheme_cost(c: &mut Criterion) {
+    // Per-scheme population cost: how much slower is the full learning
+    // pipeline than plain MakeIdle at fleet scale?
+    let mut group = c.benchmark_group("fleet_scheme");
+    group.throughput(Throughput::Elements(8));
+    for scheme in [Scheme::MakeIdle, Scheme::Oracle, Scheme::MakeIdleActiveLearn] {
+        let mut scenario = fleet_scenario(8);
+        scenario.scheme = scheme;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(run(scenario, 2))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput, fleet_scheme_cost);
+criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Figure 10: Verizon 3G per-user savings / switches / J-per-switch.
 fn main() {
     let mut h = tailwise_bench::Harness::new();
-    for (t, stem) in tailwise_bench::figures::fig10_verizon3g(&mut h)
-        .iter()
-        .zip(["fig10a_savings", "fig10b_switches", "fig10c_energy_per_switch"])
-    {
+    for (t, stem) in tailwise_bench::figures::fig10_verizon3g(&mut h).iter().zip([
+        "fig10a_savings",
+        "fig10b_switches",
+        "fig10c_energy_per_switch",
+    ]) {
         t.emit(stem);
     }
 }

@@ -1,10 +1,11 @@
 //! Figure 11: Verizon LTE per-user savings / switches / J-per-switch.
 fn main() {
     let mut h = tailwise_bench::Harness::new();
-    for (t, stem) in tailwise_bench::figures::fig11_verizonlte(&mut h)
-        .iter()
-        .zip(["fig11a_savings", "fig11b_switches", "fig11c_energy_per_switch"])
-    {
+    for (t, stem) in tailwise_bench::figures::fig11_verizonlte(&mut h).iter().zip([
+        "fig11a_savings",
+        "fig11b_switches",
+        "fig11c_energy_per_switch",
+    ]) {
         t.emit(stem);
     }
 }

@@ -18,16 +18,18 @@ fn main() {
     f::fig09_apps().emit("fig09_apps");
 
     let mut h = tailwise_bench::Harness::new();
-    for (t, stem) in f::fig10_verizon3g(&mut h)
-        .iter()
-        .zip(["fig10a_savings", "fig10b_switches", "fig10c_energy_per_switch"])
-    {
+    for (t, stem) in f::fig10_verizon3g(&mut h).iter().zip([
+        "fig10a_savings",
+        "fig10b_switches",
+        "fig10c_energy_per_switch",
+    ]) {
         t.emit(stem);
     }
-    for (t, stem) in f::fig11_verizonlte(&mut h)
-        .iter()
-        .zip(["fig11a_savings", "fig11b_switches", "fig11c_energy_per_switch"])
-    {
+    for (t, stem) in f::fig11_verizonlte(&mut h).iter().zip([
+        "fig11a_savings",
+        "fig11b_switches",
+        "fig11c_energy_per_switch",
+    ]) {
         t.emit(stem);
     }
     for (t, stem) in f::fig12_fpfn(&mut h).iter().zip(["fig12a_fpfn_3g", "fig12b_fpfn_lte"]) {
@@ -52,5 +54,9 @@ fn main() {
     f::ext_cell_signaling(&mut h).emit("ext_cell_signaling");
     f::ext_energy_attribution(&mut h).emit("ext_energy_attribution");
 
-    println!("done in {:.1}s — CSVs in {:?}", started.elapsed().as_secs_f64(), tailwise_bench::table::results_dir());
+    println!(
+        "done in {:.1}s — CSVs in {:?}",
+        started.elapsed().as_secs_f64(),
+        tailwise_bench::table::results_dir()
+    );
 }

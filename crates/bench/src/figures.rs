@@ -158,20 +158,12 @@ pub fn fig08_energy_error() -> Table {
         "Fig 8 — simulation energy error vs fine-grained ground truth",
         &["network", "min", "q1", "median", "q3", "max"],
     );
-    for (profile, tput) in [
-        (CarrierProfile::verizon_3g(), 3_000_000.0),
-        (CarrierProfile::verizon_lte(), 12_000_000.0),
-    ] {
+    for (profile, tput) in
+        [(CarrierProfile::verizon_3g(), 3_000_000.0), (CarrierProfile::verizon_lte(), 12_000_000.0)]
+    {
         let errors = groundtruth::error_population(&profile, tput);
         let (min, q1, med, q3, max) = groundtruth::five_number(&errors);
-        t.push(vec![
-            profile.name.into(),
-            f3(min),
-            f3(q1),
-            f3(med),
-            f3(q3),
-            f3(max),
-        ]);
+        t.push(vec![profile.name.into(), f3(min), f3(q1), f3(med), f3(q3), f3(max)]);
     }
     t
 }
@@ -273,7 +265,15 @@ pub fn fig12_fpfn(h: &mut Harness) -> Vec<Table> {
     ] {
         let mut t = Table::new(
             format!("{panel} — false/missed switches vs Oracle (%)"),
-            &["user", "4.5s FP", "4.5s FN", "95% IAT FP", "95% IAT FN", "MakeIdle FP", "MakeIdle FN"],
+            &[
+                "user",
+                "4.5s FP",
+                "4.5s FN",
+                "95% IAT FP",
+                "95% IAT FN",
+                "MakeIdle FP",
+                "MakeIdle FN",
+            ],
         );
         for user in users {
             let mut row = vec![user.clone()];
@@ -403,12 +403,8 @@ type CarrierAggregate = (CarrierProfile, Vec<SchemeAggregate>, f64, u64);
 
 /// Aggregated per-carrier runs over the full nine-user population.
 fn carrier_aggregates(h: &mut Harness) -> Vec<CarrierAggregate> {
-    let all_users: Vec<String> = h
-        .users_3g()
-        .iter()
-        .chain(h.users_lte())
-        .map(|(n, _)| n.clone())
-        .collect();
+    let all_users: Vec<String> =
+        h.users_3g().iter().chain(h.users_lte()).map(|(n, _)| n.clone()).collect();
     let mut out = Vec::new();
     for profile in CarrierProfile::paper_carriers() {
         let mut base_energy = 0.0;
@@ -479,11 +475,7 @@ pub fn tab01_power() -> Table {
         &["network", "sending_mw", "receiving_mw"],
     );
     for p in [CarrierProfile::att_hspa(), CarrierProfile::verizon_lte()] {
-        t.push(vec![
-            p.name.into(),
-            f1(p.p_send * 1000.0),
-            f1(p.p_recv * 1000.0),
-        ]);
+        t.push(vec![p.name.into(), f1(p.p_send * 1000.0), f1(p.p_recv * 1000.0)]);
     }
     t
 }
@@ -493,7 +485,18 @@ pub fn tab01_power() -> Table {
 pub fn tab02_rrc_params() -> Table {
     let mut t = Table::new(
         "Table 2 — RRC power and timer values per carrier",
-        &["network", "Psnd_mw", "Prcv_mw", "Pt1_mw", "Pt2_mw", "t1_s", "t2_s", "promo_s", "E_switch_J", "t_threshold_s"],
+        &[
+            "network",
+            "Psnd_mw",
+            "Prcv_mw",
+            "Pt1_mw",
+            "Pt2_mw",
+            "t1_s",
+            "t2_s",
+            "promo_s",
+            "E_switch_J",
+            "t_threshold_s",
+        ],
     );
     for p in CarrierProfile::paper_carriers() {
         t.push(vec![
@@ -515,12 +518,8 @@ pub fn tab02_rrc_params() -> Table {
 /// Table 3: mean/median MakeActive session delays per carrier
 /// (learning batcher, all users).
 pub fn tab03_session_delays(h: &mut Harness) -> Table {
-    let all_users: Vec<String> = h
-        .users_3g()
-        .iter()
-        .chain(h.users_lte())
-        .map(|(n, _)| n.clone())
-        .collect();
+    let all_users: Vec<String> =
+        h.users_3g().iter().chain(h.users_lte()).map(|(n, _)| n.clone()).collect();
     let mut t = Table::new(
         "Table 3 — MakeActive session delays per carrier (s)",
         &["network", "mean_delay", "median_delay"],
@@ -620,8 +619,7 @@ pub fn ablation_candidate_grid(h: &mut Harness) -> Table {
         &["candidates", "savings_pct", "fp_pct", "fn_pct"],
     );
     for candidates in [3usize, 5, 10, 25, 50, 100] {
-        let mut mi =
-            MakeIdle::with_config(MakeIdleConfig { candidates, ..Default::default() });
+        let mut mi = MakeIdle::with_config(MakeIdleConfig { candidates, ..Default::default() });
         let r = run(&profile, &h.cfg, &trace, &mut mi);
         t.push(vec![
             candidates.to_string(),
@@ -677,12 +675,8 @@ pub fn ext_cell_signaling(h: &mut Harness) -> Table {
     // One-day slices of the user population as the phones in the cell.
     let day = tailwise_workload::DAY;
     let slice = |trace: &Trace| trace.slice(Instant::ZERO, Instant::ZERO + day);
-    let population: Vec<Trace> = h
-        .users_3g()
-        .iter()
-        .chain(h.users_lte())
-        .map(|(_, t)| slice(t))
-        .collect();
+    let population: Vec<Trace> =
+        h.users_3g().iter().chain(h.users_lte()).map(|(_, t)| slice(t)).collect();
 
     let make_devices = |n: usize, batched: bool| -> Vec<CellDevice> {
         (0..n)
@@ -699,11 +693,7 @@ pub fn ext_cell_signaling(h: &mut Harness) -> Table {
                 } else {
                     trace
                 };
-                CellDevice {
-                    name: format!("phone {i}"),
-                    trace,
-                    policy: Box::new(MakeIdle::new()),
-                }
+                CellDevice { name: format!("phone {i}"), trace, policy: Box::new(MakeIdle::new()) }
             })
             .collect()
     };
@@ -850,7 +840,7 @@ mod tests {
         let r = t2.render();
         assert!(r.contains("916.0")); // AT&T Pt1
         assert!(r.contains("16.3")); // T-Mobile t2
-        // AT&T threshold anchor.
+                                     // AT&T threshold anchor.
         let att_row = t2.rows.iter().find(|row| row[0].contains("AT&T")).unwrap();
         let th: f64 = att_row[9].parse().unwrap();
         assert!((th - 1.2).abs() < 0.05, "threshold {th}");

@@ -98,8 +98,7 @@ mod tests {
         for p in [CarrierProfile::verizon_3g(), CarrierProfile::verizon_lte()] {
             let errors = error_population(&p, 5_000_000.0);
             assert_eq!(errors.len(), 30);
-            let mean_abs: f64 =
-                errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
+            let mean_abs: f64 = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
             assert!(mean_abs <= 0.10, "{}: mean |err| {mean_abs}", p.name);
             let (lo, _, _, _, hi) = five_number(&errors);
             assert!(lo >= -0.15 && hi <= 0.15, "{}: [{lo}, {hi}]", p.name);

@@ -112,7 +112,9 @@ fn csv_line(cells: &[String]) -> String {
 /// The directory results are written to: `$TAILWISE_RESULTS` or
 /// `./results`.
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("TAILWISE_RESULTS").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"))
+    std::env::var_os("TAILWISE_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Formats a float with one decimal.

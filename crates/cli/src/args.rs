@@ -31,9 +31,8 @@ impl Args {
     /// Parses raw arguments (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
         let mut it = raw.into_iter().peekable();
-        let command = it
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand; try `tailwise help`".into()))?;
+        let command =
+            it.next().ok_or_else(|| ArgError("missing subcommand; try `tailwise help`".into()))?;
         if command.starts_with('-') {
             return Err(ArgError(format!("expected a subcommand, got flag {command:?}")));
         }
@@ -47,9 +46,8 @@ impl Args {
                 let (key, value) = match key.split_once('=') {
                     Some((k, v)) => (k.to_string(), v.to_string()),
                     None => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                        let v =
+                            it.next().ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
                         (key.to_string(), v)
                     }
                 };
@@ -80,10 +78,9 @@ impl Args {
     {
         match self.opt(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse::<T>()
-                .map(Some)
-                .map_err(|e| ArgError(format!("--{key} {v:?}: {e}"))),
+            Some(v) => {
+                v.parse::<T>().map(Some).map_err(|e| ArgError(format!("--{key} {v:?}: {e}")))
+            }
         }
     }
 

@@ -1,0 +1,46 @@
+//! # tailwise
+//!
+//! The facade crate of the tailwise workspace: every layer of the
+//! reproduction of *"Traffic-Aware Techniques to Reduce 3G/LTE Wireless
+//! Energy Consumption"* (Deng & Balakrishnan, CoNEXT 2012) re-exported
+//! behind one `tailwise::` namespace, plus the `tailwise` command-line
+//! binary (see `src/main.rs`).
+//!
+//! The repo-root examples are written against this facade:
+//!
+//! ```
+//! use tailwise::prelude::*;
+//! use tailwise::trace::{Duration, Instant};
+//!
+//! let trace = tailwise::trace::Trace::from_sorted(
+//!     (0..10)
+//!         .map(|i| tailwise::trace::Packet::new(
+//!             Instant::from_secs(i * 30),
+//!             tailwise::trace::Direction::Down,
+//!             200,
+//!         ))
+//!         .collect(),
+//! )
+//! .unwrap();
+//! let profile = CarrierProfile::att_hspa();
+//! let report = Scheme::MakeIdle.run(&profile, &SimConfig::default(), &trace);
+//! assert!(report.total_energy() > 0.0);
+//! let _ = Duration::from_secs(1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tailwise_core as core;
+pub use tailwise_experts as experts;
+pub use tailwise_fleet as fleet;
+pub use tailwise_radio as radio;
+pub use tailwise_sim as sim;
+pub use tailwise_trace as trace;
+pub use tailwise_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use tailwise_core::prelude::*;
+    pub use tailwise_fleet::{FleetReport, Scenario};
+}

@@ -51,6 +51,16 @@ COMMANDS
   attribute <trace>
                    per-application energy attribution (status quo)
                      --carrier <...>
+  fleet            population-scale parallel simulation (tailwise-fleet)
+                     --users <n>          (default 1000)
+                     --scheme <statusquo|tail45|iat95|makeidle|oracle|
+                               makeidle-activefix|makeidle-activelearn>
+                                          (default makeidle)
+                     --carrier <...>      (default verizon-lte)
+                     --days <n>           (days per user, default 1)
+                     --threads <t>        (default: all hardware threads)
+                     --seed <n>           (master seed, default 1)
+                     --shard <n>          (users per shard, default 64)
   carriers         print the built-in carrier profiles
   help             this text
 ";
@@ -78,10 +88,9 @@ fn dispatch(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "convert" => cmd_convert(&args),
         "sim" => cmd_sim(&args),
         "attribute" => cmd_attribute(&args),
+        "fleet" => cmd_fleet(&args),
         "carriers" => cmd_carriers(&args),
-        other => Err(Box::new(ArgError(format!(
-            "unknown command {other:?}; try `tailwise help`"
-        )))),
+        other => Err(Box::new(ArgError(format!("unknown command {other:?}; try `tailwise help`")))),
     }
 }
 
@@ -93,23 +102,17 @@ fn carrier_from(args: &Args) -> Result<CarrierProfile, ArgError> {
         "verizon-lte" => Ok(CarrierProfile::verizon_lte()),
         "sprint-3g" => Ok(CarrierProfile::sprint_3g()),
         "sprint-lte" => Ok(CarrierProfile::sprint_lte()),
-        other => Err(ArgError(format!(
-            "unknown carrier {other:?}; see `tailwise carriers`"
-        ))),
+        other => Err(ArgError(format!("unknown carrier {other:?}; see `tailwise carriers`"))),
     }
 }
 
 fn app_from(name: &str) -> Result<AppKind, ArgError> {
-    AppKind::ALL
-        .iter()
-        .copied()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            ArgError(format!(
-                "unknown app {name:?}; one of {}",
-                AppKind::ALL.map(|k| k.name().to_lowercase()).join(", ")
-            ))
-        })
+    AppKind::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        ArgError(format!(
+            "unknown app {name:?}; one of {}",
+            AppKind::ALL.map(|k| k.name().to_lowercase()).join(", ")
+        ))
+    })
 }
 
 fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
@@ -118,9 +121,7 @@ fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
 
 fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["app", "user", "days", "hours", "seed"])?;
-    let out = args
-        .positional(0)
-        .ok_or_else(|| ArgError("gen needs an output path".into()))?;
+    let out = args.positional(0).ok_or_else(|| ArgError("gen needs an output path".into()))?;
     let seed: u64 = args.opt_parse("seed")?.unwrap_or(1);
     let trace = if let Some(user) = args.opt_parse::<usize>("user")? {
         let presets = UserModel::verizon_3g_users();
@@ -151,9 +152,7 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&[])?;
-    let path = args
-        .positional(0)
-        .ok_or_else(|| ArgError("info needs a trace path".into()))?;
+    let path = args.positional(0).ok_or_else(|| ArgError("info needs a trace path".into()))?;
     let trace = load_trace(path)?;
     println!("{path}: {}", trace.summary());
     if trace.is_empty() {
@@ -187,12 +186,9 @@ fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_convert(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["device"])?;
-    let input = args
-        .positional(0)
-        .ok_or_else(|| ArgError("convert needs an input path".into()))?;
-    let output = args
-        .positional(1)
-        .ok_or_else(|| ArgError("convert needs an output path".into()))?;
+    let input = args.positional(0).ok_or_else(|| ArgError("convert needs an input path".into()))?;
+    let output =
+        args.positional(1).ok_or_else(|| ArgError("convert needs an output path".into()))?;
     let is_pcap = Path::new(input)
         .extension()
         .is_some_and(|e| e.eq_ignore_ascii_case("pcap") || e.eq_ignore_ascii_case("cap"));
@@ -213,9 +209,7 @@ fn cmd_convert(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_sim(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["carrier", "window"])?;
-    let path = args
-        .positional(0)
-        .ok_or_else(|| ArgError("sim needs a trace path".into()))?;
+    let path = args.positional(0).ok_or_else(|| ArgError("sim needs a trace path".into()))?;
     let trace = load_trace(path)?;
     let profile = carrier_from(args)?;
     let mut config = SimConfig::default();
@@ -252,13 +246,14 @@ fn cmd_sim(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_attribute(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["carrier"])?;
-    let path = args
-        .positional(0)
-        .ok_or_else(|| ArgError("attribute needs a trace path".into()))?;
+    let path = args.positional(0).ok_or_else(|| ArgError("attribute needs a trace path".into()))?;
     let trace = load_trace(path)?;
     let profile = carrier_from(args)?;
     let attr = tailwise_sim::attribution::attribute(&profile, &SimConfig::default(), &trace);
-    println!("{:<12} {:>9} {:>12} {:>7} {:>10} {:>10}", "app", "packets", "energy (J)", "share", "data (J)", "tail (J)");
+    println!(
+        "{:<12} {:>9} {:>12} {:>7} {:>10} {:>10}",
+        "app", "packets", "energy (J)", "share", "data (J)", "tail (J)"
+    );
     for a in &attr.apps {
         let name = AppKind::ALL
             .iter()
@@ -275,6 +270,57 @@ fn cmd_attribute(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             a.energy.tail(),
         );
     }
+    Ok(())
+}
+
+fn scheme_from(name: &str) -> Result<Scheme, ArgError> {
+    match name {
+        "statusquo" | "status-quo" => Ok(Scheme::StatusQuo),
+        "tail45" | "4.5s" => Ok(Scheme::FixedTail45),
+        "iat95" | "95iat" => Ok(Scheme::PercentileIat(0.95)),
+        "makeidle" => Ok(Scheme::MakeIdle),
+        "oracle" => Ok(Scheme::Oracle),
+        "makeidle-activefix" | "activefix" => Ok(Scheme::MakeIdleActiveFix),
+        "makeidle-activelearn" | "activelearn" => Ok(Scheme::MakeIdleActiveLearn),
+        other => Err(ArgError(format!(
+            "unknown scheme {other:?}; one of statusquo, tail45, iat95, makeidle, \
+             oracle, makeidle-activefix, makeidle-activelearn"
+        ))),
+    }
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["users", "scheme", "carrier", "days", "threads", "seed", "shard"])?;
+    let users: u64 = args.opt_parse("users")?.unwrap_or(1000);
+    let scheme = scheme_from(args.opt_or("scheme", "makeidle"))?;
+    let carrier = match args.opt("carrier") {
+        Some(_) => carrier_from(args)?,
+        None => CarrierProfile::verizon_lte(),
+    };
+    let threads: usize = match args.opt_parse("threads")? {
+        Some(t) if t > 0 => t,
+        Some(_) => return Err(Box::new(ArgError("--threads must be positive".into()))),
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    let mut scenario = tailwise_fleet::Scenario::new(users, scheme, carrier);
+    scenario.master_seed = args.opt_parse("seed")?.unwrap_or(1);
+    if let Some(days) = args.opt_parse::<u32>("days")? {
+        scenario.days_per_user = days.max(1);
+    }
+    if let Some(shard) = args.opt_parse::<u64>("shard")? {
+        scenario.shard_size = shard.max(1);
+    }
+    println!(
+        "simulating {} users × {} day(s) of {} on {} ({} threads, seed {})…",
+        scenario.users,
+        scenario.days_per_user,
+        scenario.scheme.label(),
+        scenario.carrier_mix[0].0.name,
+        threads,
+        scenario.master_seed,
+    );
+    let report = tailwise_fleet::run(&scenario, threads);
+    print!("{}", report.render());
     Ok(())
 }
 

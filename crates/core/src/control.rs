@@ -166,8 +166,7 @@ impl ControlModule {
             SocketEvent::Send { .. } | SocketEvent::Recv { .. } => {
                 self.note_traffic(now);
                 // Re-arm the demotion timer from this packet.
-                let ctx =
-                    IdleContext { profile: &self.profile, window: &self.window, now };
+                let ctx = IdleContext { profile: &self.profile, window: &self.window, now };
                 self.fd_deadline = match self.makeidle.decide(&ctx, Duration::FOREVER) {
                     IdleDecision::DemoteAfter(w) => Some(now + w),
                     IdleDecision::Timers => None,
@@ -318,8 +317,7 @@ mod tests {
         assert!(m.radio_idle());
 
         m.set_interactive(true);
-        let actions =
-            m.on_event(deadline + Duration::from_secs(5), 9, SocketEvent::Connect);
+        let actions = m.on_event(deadline + Duration::from_secs(5), 9, SocketEvent::Connect);
         // No hold: the session starts immediately (only possibly-due timer
         // actions may precede, none here).
         assert!(actions.iter().all(|a| !matches!(a, Action::HoldSession { .. })));
@@ -340,7 +338,8 @@ mod tests {
     fn close_events_are_inert() {
         let mut m = warmed_module();
         let before = m.poll_at();
-        let actions = m.on_event(m.poll_at().unwrap() - Duration::from_millis(1), 1, SocketEvent::Close);
+        let actions =
+            m.on_event(m.poll_at().unwrap() - Duration::from_millis(1), 1, SocketEvent::Close);
         assert!(actions.is_empty());
         assert_eq!(m.poll_at(), before);
     }

@@ -132,6 +132,36 @@ mod proptests {
             }
         }
 
+        /// The closed-form MakeIdle evaluation agrees with the direct
+        /// per-sample formula on arbitrary windows and carriers: the
+        /// optimum values match to float tolerance (the argmax itself may
+        /// legitimately differ only between exactly-tied candidates).
+        #[test]
+        fn makeidle_closed_form_matches_reference(
+            gaps_ms in prop::collection::vec(1i64..60_000, 10..120),
+            carrier in 0usize..6,
+        ) {
+            use tailwise_sim::policy::IdleContext;
+            use tailwise_trace::stats::SlidingWindow;
+
+            let p = &CarrierProfile::all_presets()[carrier];
+            let mut window = SlidingWindow::new(100);
+            for &g in &gaps_ms {
+                window.push(Duration::from_millis(g));
+            }
+            let ctx = IdleContext { profile: p, window: &window, now: Instant::ZERO };
+            let mut mi = MakeIdle::new();
+            let fast = mi.best_wait(&ctx).expect("window is warm");
+            let reference = mi.best_wait_reference(&ctx).expect("window is warm");
+            let scale = reference.1.abs().max(1.0);
+            prop_assert!(
+                (fast.1 - reference.1).abs() <= 1e-9 * scale,
+                "f mismatch: fast {:?} vs reference {:?}",
+                fast,
+                reference
+            );
+        }
+
         /// On workloads whose every gap is longer than the tail window,
         /// the status quo is the worst possible scheme — everything else
         /// must save energy (or tie).

@@ -101,17 +101,15 @@ mod tests {
         let cfg = SimConfig::default();
         // Bursts every 5 s: all share active periods (gap < 16.6 s), so the
         // whole trace is one active period with 12 bursts → k = 12 → cap.
-        let pkts: Vec<Packet> = (0..12)
-            .map(|i| Packet::new(Instant::from_secs(i * 5), Direction::Up, 100))
-            .collect();
+        let pkts: Vec<Packet> =
+            (0..12).map(|i| Packet::new(Instant::from_secs(i * 5), Direction::Up, 100)).collect();
         let t = Trace::from_sorted(pkts).unwrap();
         let f = FixedDelayBound::from_trace(&p, &cfg, &t);
         assert_eq!(f.bound(), DEFAULT_MAX_BOUND);
 
         // Bursts every 60 s: each its own active period → k = 1 → 16.6 s.
-        let pkts: Vec<Packet> = (0..12)
-            .map(|i| Packet::new(Instant::from_secs(i * 60), Direction::Up, 100))
-            .collect();
+        let pkts: Vec<Packet> =
+            (0..12).map(|i| Packet::new(Instant::from_secs(i * 60), Direction::Up, 100)).collect();
         let t = Trace::from_sorted(pkts).unwrap();
         let f = FixedDelayBound::from_trace(&p, &cfg, &t);
         assert_eq!(f.bound(), p.tail_window());
@@ -121,9 +119,6 @@ mod tests {
     fn negative_and_zero_inputs_clamp() {
         let p = CarrierProfile::att_hspa();
         assert_eq!(FixedDelayBound::from_k(&p, -2.0).bound(), Duration::ZERO);
-        assert_eq!(
-            FixedDelayBound::new(Duration::from_secs(-5)).bound(),
-            Duration::ZERO
-        );
+        assert_eq!(FixedDelayBound::new(Duration::from_secs(-5)).bound(), Duration::ZERO);
     }
 }

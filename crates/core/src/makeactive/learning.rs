@@ -76,9 +76,8 @@ impl LearningDelay {
     /// Creates a learner with a custom configuration.
     pub fn with_config(config: LearningConfig) -> LearningDelay {
         assert!(config.experts >= 1, "need at least one delay expert");
-        let proposals: Vec<f64> = (1..=config.experts)
-            .map(|i| config.expert_step.as_secs_f64() * i as f64)
-            .collect();
+        let proposals: Vec<f64> =
+            (1..=config.experts).map(|i| config.expert_step.as_secs_f64() * i as f64).collect();
         let learner = LearnAlpha::with_default_grid(config.experts, config.alpha_experts);
         let loss = MakeActiveLoss::new(config.gamma);
         LearningDelay { config, proposals, learner, loss, pending: None, history: Vec::new() }
@@ -129,7 +128,8 @@ impl ActivePolicy for LearningDelay {
         self.learner.update(&losses);
         let proposed = self.pending.take().unwrap_or_else(|| self.current_delay());
         if self.history.len() < self.config.history_limit {
-            self.history.push(RoundRecord { proposed_delay: proposed, buffered: arrival_offsets.len() });
+            self.history
+                .push(RoundRecord { proposed_delay: proposed, buffered: arrival_offsets.len() });
         }
     }
 }
@@ -208,8 +208,7 @@ mod tests {
     fn delays_stay_within_the_expert_hull() {
         let mut ld = LearningDelay::new();
         for round in 0..100 {
-            let offsets: Vec<f64> =
-                (0..(round % 7 + 1)).map(|i| i as f64 * 1.3).collect();
+            let offsets: Vec<f64> = (0..(round % 7 + 1)).map(|i| i as f64 * 1.3).collect();
             let d = ld.open_round(Instant::ZERO).as_secs_f64();
             assert!((1.0..=16.0 + 1e-9).contains(&d), "round {round}: {d}");
             ld.close_round(&offsets);

@@ -69,14 +69,39 @@ impl Default for MakeIdleConfig {
     }
 }
 
+/// Fingerprint of every profile/config input the cached candidate grid
+/// depends on (`t_threshold` fixes the waits; `t1`/`p_dch`/`p_fach` fix
+/// each wait's hold energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GridKey {
+    threshold_us: i64,
+    candidates: usize,
+    t1_us: i64,
+    p_dch_bits: u64,
+    p_fach_bits: u64,
+}
+
 /// The MakeIdle policy. The inter-arrival window itself is owned by the
 /// simulation engine (its capacity is the paper's *n*, default 100,
 /// swept in Fig. 13) and handed in through the [`IdleContext`].
 #[derive(Debug, Clone, Default)]
 pub struct MakeIdle {
     config: MakeIdleConfig,
-    /// Scratch buffer of per-sample gap energies (reused across decisions).
-    energies: Vec<f64>,
+    /// Scratch buffer of cumulative sample microseconds (reused across
+    /// decisions): `prefix_us[k]` = Σ of the first `k` sorted samples.
+    /// Integer accumulation keeps the per-sample sweep to one add; the
+    /// float conversion happens only at the O(candidates) cut points.
+    prefix_us: Vec<i64>,
+    /// Scratch: per-candidate `(k, Σ first k sample-µs)` where `k` is
+    /// the number of samples ≤ the candidate wait.
+    cut: Vec<(usize, i64)>,
+    /// Cached candidate grid for the current profile: `(wait,
+    /// hold_energy(wait))` per candidate. Profiles are fixed for a whole
+    /// run, so this builds once; the key fingerprints every profile
+    /// field the cached values depend on, so a policy instance reused
+    /// across carriers stays correct.
+    grid: Vec<(Duration, f64)>,
+    grid_key: Option<GridKey>,
 }
 
 impl MakeIdle {
@@ -87,7 +112,7 @@ impl MakeIdle {
 
     /// Creates a MakeIdle policy with a custom configuration.
     pub fn with_config(config: MakeIdleConfig) -> MakeIdle {
-        MakeIdle { config, energies: Vec::new() }
+        MakeIdle { config, ..MakeIdle::default() }
     }
 
     /// The configuration in force.
@@ -106,7 +131,123 @@ impl MakeIdle {
     ///
     /// Public so the Fig. 14 harness can plot the chosen waits without
     /// running a full simulation.
+    ///
+    /// ### Hot-path note
+    ///
+    /// This runs once per packet gap over the whole fleet, so the
+    /// per-sample energy evaluation is done in closed form: `E(t)` is
+    /// piecewise linear in `t` below the tail window and constant above
+    /// it, so Σ `E(sᵢ)` over any sorted prefix reduces to prefix sums of
+    /// raw sample seconds plus per-piece coefficients. The only
+    /// per-sample work left is one conversion and one addition;
+    /// [`best_wait_reference`](Self::best_wait_reference) keeps the
+    /// direct per-sample evaluation and the equivalence is pinned by a
+    /// property test.
     pub fn best_wait(&mut self, ctx: &IdleContext<'_>) -> Option<(Duration, f64)> {
+        let samples = ctx.window.sorted_samples();
+        if samples.len() < self.config.min_samples {
+            return None;
+        }
+        let profile = ctx.profile;
+        let e_switch = profile.e_switch();
+        let t1 = profile.t1;
+        let tail_window = profile.tail_window();
+        let t1_secs = t1.as_secs_f64();
+        // Past both timers E(t) is the constant full status-quo cycle —
+        // also the energy of the virtual session-ending pseudo-sample
+        // (see module docs).
+        let e_cycle = profile.gap_energy(tail_window + Duration::from_secs(1));
+        let n = samples.len() as f64 + 1.0;
+
+        // The candidate grid (and each candidate's hold energy) depends
+        // only on the profile, which is fixed for a whole run: build once.
+        let c = self.config.candidates.max(2);
+        let threshold = profile.t_threshold();
+        let key = GridKey {
+            threshold_us: threshold.as_micros(),
+            candidates: c,
+            t1_us: t1.as_micros(),
+            p_dch_bits: profile.p_dch.to_bits(),
+            p_fach_bits: profile.p_fach.to_bits(),
+        };
+        if self.grid_key != Some(key) {
+            self.grid.clear();
+            for i in 0..c {
+                let w = Duration::from_micros(
+                    (threshold.as_micros() as f64 * i as f64 / (c - 1) as f64).round() as i64,
+                );
+                self.grid.push((w, profile.hold_energy(w)));
+            }
+            self.grid_key = Some(key);
+        }
+
+        // One sweep over the sorted samples builds the cumulative-µs
+        // prefix AND the per-candidate cuts (k = #samples ≤ wait, plus
+        // the prefix at k) — candidates ascend, so a single forward
+        // pointer replaces a binary search per candidate, and the only
+        // per-sample work is one integer add.
+        self.prefix_us.clear();
+        self.prefix_us.push(0);
+        self.cut.clear();
+        let mut acc: i64 = 0;
+        let mut gi = 0;
+        for (idx, &s) in samples.iter().enumerate() {
+            while gi < c && s > self.grid[gi].0 {
+                self.cut.push((idx, acc));
+                gi += 1;
+            }
+            acc += s.as_micros();
+            self.prefix_us.push(acc);
+        }
+        while gi < c {
+            self.cut.push((samples.len(), acc));
+            gi += 1;
+        }
+        let secs = |us: i64| us as f64 * 1e-6;
+        // Piece boundaries within the sorted samples.
+        let k1 = samples.partition_point(|&s| s <= t1);
+        let k2 = samples.partition_point(|&s| s <= tail_window);
+        // Σ E(sᵢ) for the first k sorted samples, in closed form from the
+        // prefix sums (E is linear within each piece).
+        let energy_prefix = |k: usize, pus_k: i64| -> f64 {
+            if k <= k1 {
+                // Piece 1 only (s ≤ t1): E = p_dch·s.
+                return profile.p_dch * secs(pus_k);
+            }
+            let mut sum = profile.p_dch * secs(self.prefix_us[k1]);
+            // Piece 2 (t1 < s ≤ t1+t2): E = p_dch·t1 + p_fach·(s − t1).
+            let b = k.min(k2);
+            let m = (b - k1) as f64;
+            let piece_secs = secs(self.prefix_us[b] - self.prefix_us[k1]);
+            sum += m * profile.p_dch * t1_secs + profile.p_fach * (piece_secs - m * t1_secs);
+            // Piece 3 (s beyond the timers): E is the constant cycle.
+            if k > k2 {
+                sum += (k - k2) as f64 * e_cycle;
+            }
+            sum
+        };
+        let e_status_quo = (energy_prefix(samples.len(), acc) + e_cycle) / n;
+
+        let mut best: Option<(Duration, f64)> = None;
+        for (&(w, hold), &(k, pus_k)) in self.grid.iter().zip(&self.cut) {
+            // k samples interrupt the hold; the virtual long gap survives
+            // every candidate.
+            let survivors = samples.len() - k + 1;
+            let e_strategy = (energy_prefix(k, pus_k) + survivors as f64 * (hold + e_switch)) / n;
+            let f = e_status_quo - e_strategy;
+            if best.is_none_or(|(_, fb)| f > fb) {
+                best = Some((w, f));
+            }
+        }
+        best
+    }
+
+    /// The direct per-sample evaluation of `f(w)` — the formula as
+    /// written in the module docs, with no algebraic regrouping. Kept as
+    /// the oracle for the [`best_wait`](Self::best_wait) equivalence
+    /// property test and for ablation studies that want to instrument
+    /// per-sample energies.
+    pub fn best_wait_reference(&self, ctx: &IdleContext<'_>) -> Option<(Duration, f64)> {
         let samples = ctx.window.sorted_samples();
         if samples.len() < self.config.min_samples {
             return None;
@@ -114,21 +255,17 @@ impl MakeIdle {
         let profile = ctx.profile;
         let threshold = profile.t_threshold();
         let e_switch = profile.e_switch();
-        // The virtual session-ending gap (see module docs): one pseudo-
-        // sample longer than the timers, paying the full status-quo cycle.
         let e_virtual = profile.gap_energy(profile.tail_window() + Duration::from_secs(1));
         let n = samples.len() as f64 + 1.0;
 
-        // Per-sample status-quo gap energies, then prefix sums.
-        self.energies.clear();
-        self.energies.reserve(samples.len());
+        let mut energies = Vec::with_capacity(samples.len());
         let mut acc = 0.0;
         for &s in samples {
             acc += profile.gap_energy(s);
-            self.energies.push(acc);
+            energies.push(acc);
         }
         let e_status_quo = (acc + e_virtual) / n;
-        let prefix = |k: usize| if k == 0 { 0.0 } else { self.energies[k - 1] };
+        let prefix = |k: usize| if k == 0 { 0.0 } else { energies[k - 1] };
 
         let c = self.config.candidates.max(2);
         let mut best: Option<(Duration, f64)> = None;
@@ -136,13 +273,10 @@ impl MakeIdle {
             let w = Duration::from_micros(
                 (threshold.as_micros() as f64 * i as f64 / (c - 1) as f64).round() as i64,
             );
-            // k = #samples with gap <= w (they interrupt the hold); the
-            // virtual long gap survives every candidate.
             let k = samples.partition_point(|&s| s <= w);
             let survivors = samples.len() - k + 1;
-            let e_strategy = (prefix(k)
-                + survivors as f64 * (profile.hold_energy(w) + e_switch))
-                / n;
+            let e_strategy =
+                (prefix(k) + survivors as f64 * (profile.hold_energy(w) + e_switch)) / n;
             let f = e_status_quo - e_strategy;
             if best.is_none_or(|(_, fb)| f > fb) {
                 best = Some((w, f));
@@ -290,6 +424,35 @@ mod tests {
         let a = mi.decide(&ctx(&p, &w), Duration::from_millis(1));
         let b = mi.decide(&ctx(&p, &w), Duration::from_secs(1000));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_instance_refreshes_grid_across_profiles() {
+        // Two profiles with the same t_threshold (all powers and switch
+        // energies scaled ×2, so the ratio is invariant) must not share
+        // cached hold energies when one MakeIdle instance serves both.
+        let a = CarrierProfile::att_hspa();
+        let mut b = a.clone();
+        b.p_dch *= 2.0;
+        b.p_fach *= 2.0;
+        b.e_promote *= 2.0;
+        b.e_demote_base *= 2.0;
+        assert_eq!(a.t_threshold(), b.t_threshold());
+
+        let mut gaps = vec![0.4; 25];
+        gaps.extend(vec![30.0; 25]);
+        let w = window_of(&gaps);
+        let mut mi = MakeIdle::new();
+        for p in [&a, &b, &a] {
+            let fast = mi.best_wait(&ctx(p, &w)).unwrap();
+            let reference = mi.best_wait_reference(&ctx(p, &w)).unwrap();
+            assert_eq!(fast.0, reference.0, "wait mismatch on {}", p.name);
+            assert!(
+                (fast.1 - reference.1).abs() <= 1e-9 * reference.1.abs().max(1.0),
+                "f mismatch on {}: {fast:?} vs {reference:?}",
+                p.name
+            );
+        }
     }
 
     #[test]

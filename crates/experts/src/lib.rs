@@ -24,7 +24,9 @@ pub mod fixed_share;
 pub mod learn_alpha;
 pub mod loss;
 
-pub use baselines::{best_static_expert, best_switching_sequence, cumulative_losses, static_regret};
+pub use baselines::{
+    best_static_expert, best_switching_sequence, cumulative_losses, static_regret,
+};
 pub use fixed_share::FixedShare;
 pub use learn_alpha::LearnAlpha;
 pub use loss::MakeActiveLoss;

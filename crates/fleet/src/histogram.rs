@@ -1,0 +1,204 @@
+//! Fixed-bin streaming histograms for population-scale aggregates.
+//!
+//! Per-user metrics (savings percentages, per-user-day energy) must be
+//! aggregated across hundreds of thousands of users without keeping a
+//! per-user sample vector alive. A [`Histogram`] has a fixed range and
+//! bin count chosen up front, so it costs O(bins) memory however many
+//! samples stream through it, merges exactly (bin counts add), and its
+//! percentile readout is reproducible bit for bit regardless of the
+//! order samples arrived in — the property the fleet's thread-count
+//! invariance test leans on.
+
+/// A fixed-range, fixed-bin-count histogram over `f64` samples.
+///
+/// Samples outside `[lo, hi)` are clamped into the edge bins (and also
+/// tracked exactly in `min`/`max`), so no sample is ever dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+    /// Exact running sum (for the mean; summed in insertion order).
+    sum: f64,
+    /// Smallest sample seen, unclamped.
+    min: f64,
+    /// Largest sample seen, unclamped.
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The standard savings-percentage histogram: 1-point bins across
+    /// −100 %..+100 % (schemes can lose energy, hence the negative half).
+    pub fn savings_percent() -> Histogram {
+        Histogram::new(-100.0, 100.0, 200)
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "histogram sample must be finite");
+        let idx = if x < self.lo {
+            0
+        } else {
+            let raw = ((x - self.lo) / self.bin_width()) as usize;
+            raw.min(self.bins.len() - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the center of the bin holding
+    /// the nearest-rank sample (`None` when empty).
+    ///
+    /// Resolution is one bin width — the usual fixed-bin trade: exact
+    /// percentile ranks, approximate percentile values.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest bin whose cumulative count reaches
+        // ceil(q * n), matching EmpiricalDist::quantile's convention.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.lo + (i as f64 + 0.5) * self.bin_width());
+            }
+        }
+        Some(self.hi - 0.5 * self.bin_width())
+    }
+
+    /// Adds `other`'s counts into `self`. Panics if shapes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo.to_bits(), other.lo.to_bits(), "histogram range mismatch");
+        assert_eq!(self.hi.to_bits(), other.hi.to_bits(), "histogram range mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "histogram bin-count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(42.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bins()[0], 2); // -5 clamped down
+        assert_eq!(h.bins()[9], 2); // 42 clamped up
+        assert_eq!(h.min(), Some(-5.0));
+        assert_eq!(h.max(), Some(42.0));
+    }
+
+    #[test]
+    fn percentiles_hit_the_right_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((p50 - 49.5).abs() < 1.0, "p50 {p50}");
+        let p95 = h.percentile(0.95).unwrap();
+        assert!((p95 - 94.5).abs() < 1.0, "p95 {p95}");
+        assert_eq!(h.percentile(0.0).unwrap(), 0.5);
+        assert_eq!(h.percentile(1.0).unwrap(), 99.5);
+        assert_eq!(Histogram::savings_percent().percentile(0.5), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut all = Histogram::new(-10.0, 10.0, 40);
+        let mut a = all.clone();
+        let mut b = all.clone();
+        for i in 0..100 {
+            let x = (i as f64 * 0.37).sin() * 12.0;
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), all.bins());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.percentile(0.5), all.percentile(0.5));
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.25, 0.75] {
+            h.record(x);
+        }
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 4).mean(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Population-scale run outcomes.
+//!
+//! A [`FleetReport`] is the streaming fold of per-user
+//! [`SimReport`](tailwise_sim::report::SimReport)s: totals, a
+//! savings-distribution histogram, and decision-quality counts. Folds
+//! happen per shard in user order, and shard partials merge in shard
+//! order — so the report is a deterministic function of the scenario,
+//! independent of how many threads produced it. Wall-clock fields are
+//! measured, not derived, and are excluded from equality.
+
+use tailwise_sim::report::SimReport;
+
+use crate::histogram::Histogram;
+
+/// Aggregate outcome of one fleet run (or one shard of it).
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Scenario display name.
+    pub scenario: String,
+    /// Scheme label under test.
+    pub scheme: String,
+    /// Users simulated.
+    pub users: u64,
+    /// Total user-days simulated.
+    pub user_days: u64,
+    /// Total packets pushed through the engine (scheme run).
+    pub packets: u64,
+    /// Total energy under the scheme, J.
+    pub energy_j: f64,
+    /// Total energy under the status quo, J.
+    pub baseline_energy_j: f64,
+    /// Total demote→promote switch cycles under the scheme.
+    pub switches: u64,
+    /// Switch cycles under the status quo.
+    pub baseline_switches: u64,
+    /// False switches (§6.3 FP) summed over users.
+    pub false_switches: u64,
+    /// Missed switches (§6.3 FN) summed over users.
+    pub missed_switches: u64,
+    /// Total demotion decisions scored.
+    pub decisions: u64,
+    /// Per-user savings-vs-status-quo distribution, percent.
+    pub savings: Histogram,
+    /// Wall-clock seconds the run took (0 for unmerged partials;
+    /// excluded from equality).
+    pub wall_seconds: f64,
+    /// Threads the run used (execution detail; excluded from equality).
+    pub threads: usize,
+}
+
+impl FleetReport {
+    /// An empty report shell for streaming folds.
+    pub fn empty(scenario: String, scheme: String) -> FleetReport {
+        FleetReport {
+            scenario,
+            scheme,
+            users: 0,
+            user_days: 0,
+            packets: 0,
+            energy_j: 0.0,
+            baseline_energy_j: 0.0,
+            switches: 0,
+            baseline_switches: 0,
+            false_switches: 0,
+            missed_switches: 0,
+            decisions: 0,
+            savings: Histogram::savings_percent(),
+            wall_seconds: 0.0,
+            threads: 1,
+        }
+    }
+
+    /// Folds one user's pair of runs (scheme, status-quo baseline) into
+    /// the aggregate.
+    pub fn fold_user(&mut self, days: u32, scheme_run: &SimReport, baseline: &SimReport) {
+        self.users += 1;
+        self.user_days += days as u64;
+        self.packets += scheme_run.packets as u64;
+        self.energy_j += scheme_run.total_energy();
+        self.baseline_energy_j += baseline.total_energy();
+        self.switches += scheme_run.switch_cycles();
+        self.baseline_switches += baseline.switch_cycles();
+        self.false_switches += scheme_run.confusion.fp;
+        self.missed_switches += scheme_run.confusion.fn_;
+        self.decisions += scheme_run.confusion.total();
+        self.savings.record(scheme_run.savings_vs(baseline));
+    }
+
+    /// Appends another partial (typically the next shard, in shard
+    /// order).
+    pub fn merge(&mut self, other: &FleetReport) {
+        self.users += other.users;
+        self.user_days += other.user_days;
+        self.packets += other.packets;
+        self.energy_j += other.energy_j;
+        self.baseline_energy_j += other.baseline_energy_j;
+        self.switches += other.switches;
+        self.baseline_switches += other.baseline_switches;
+        self.false_switches += other.false_switches;
+        self.missed_switches += other.missed_switches;
+        self.decisions += other.decisions;
+        self.savings.merge(&other.savings);
+    }
+
+    /// Population-level savings: joules saved over the whole fleet as a
+    /// percentage of the status-quo total (energy-weighted, so heavy
+    /// users count more than in the per-user mean).
+    pub fn aggregate_savings_pct(&self) -> f64 {
+        if self.baseline_energy_j <= 0.0 {
+            return 0.0;
+        }
+        (self.baseline_energy_j - self.energy_j) / self.baseline_energy_j * 100.0
+    }
+
+    /// Mean of the per-user savings percentages.
+    pub fn mean_user_savings_pct(&self) -> f64 {
+        self.savings.mean()
+    }
+
+    /// Mean energy per user-day, J.
+    pub fn mean_energy_per_user_day(&self) -> f64 {
+        if self.user_days == 0 {
+            return 0.0;
+        }
+        self.energy_j / self.user_days as f64
+    }
+
+    /// Switches relative to status quo (1.0 = parity).
+    pub fn normalized_switches(&self) -> f64 {
+        if self.baseline_switches == 0 {
+            return if self.switches == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.switches as f64 / self.baseline_switches as f64
+    }
+
+    /// Simulation throughput in user-days per wall-clock second.
+    pub fn user_days_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.user_days as f64 / self.wall_seconds
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = |q: f64| {
+            self.savings.percentile(q).map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!("fleet    : {}\n", self.scenario));
+        out.push_str(&format!(
+            "population: {} users, {} user-days, {} packets\n",
+            self.users, self.user_days, self.packets
+        ));
+        out.push_str(&format!(
+            "energy   : {:.1} J under {} vs {:.1} J status quo — {:.1}% saved in aggregate\n",
+            self.energy_j,
+            self.scheme,
+            self.baseline_energy_j,
+            self.aggregate_savings_pct()
+        ));
+        out.push_str(&format!(
+            "per user : savings mean {:.1}%  p5 {}  p25 {}  p50 {}  p75 {}  p95 {}\n",
+            self.mean_user_savings_pct(),
+            pct(0.05),
+            pct(0.25),
+            pct(0.50),
+            pct(0.75),
+            pct(0.95)
+        ));
+        out.push_str(&format!(
+            "switches : {} vs {} status quo ({:.2}× normalized)\n",
+            self.switches,
+            self.baseline_switches,
+            self.normalized_switches()
+        ));
+        out.push_str(&format!(
+            "decisions: {} scored — {} false switches, {} missed switches\n",
+            self.decisions, self.false_switches, self.missed_switches
+        ));
+        if self.wall_seconds > 0.0 {
+            out.push_str(&format!(
+                "speed    : {:.2} s wall on {} thread(s) — {:.1} user-days/sec\n",
+                self.wall_seconds,
+                self.threads,
+                self.user_days_per_sec()
+            ));
+        }
+        out
+    }
+}
+
+// Equality covers only the deterministic aggregate — wall-clock and
+// thread count are measurement details. This is the comparison the
+// thread-count invariance guarantee is stated in terms of: every f64 is
+// compared exactly, not within a tolerance.
+impl PartialEq for FleetReport {
+    fn eq(&self, other: &FleetReport) -> bool {
+        self.scenario == other.scenario
+            && self.scheme == other.scheme
+            && self.users == other.users
+            && self.user_days == other.user_days
+            && self.packets == other.packets
+            && self.energy_j.to_bits() == other.energy_j.to_bits()
+            && self.baseline_energy_j.to_bits() == other.baseline_energy_j.to_bits()
+            && self.switches == other.switches
+            && self.baseline_switches == other.baseline_switches
+            && self.false_switches == other.false_switches
+            && self.missed_switches == other.missed_switches
+            && self.decisions == other.decisions
+            && self.savings == other.savings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_report(energy: f64, promotions: u64, packets: usize) -> SimReport {
+        let mut r = SimReport::new("s".into(), "c".into());
+        r.energy.tail_dch = energy;
+        r.counters.promotions = promotions;
+        r.packets = packets;
+        r
+    }
+
+    #[test]
+    fn fold_accumulates_and_savings_distribute() {
+        let mut f = FleetReport::empty("test".into(), "MakeIdle".into());
+        let base = sim_report(100.0, 10, 500);
+        f.fold_user(1, &sim_report(40.0, 15, 500), &base);
+        f.fold_user(2, &sim_report(80.0, 12, 700), &base);
+        assert_eq!(f.users, 2);
+        assert_eq!(f.user_days, 3);
+        assert_eq!(f.packets, 1200);
+        assert_eq!(f.switches, 27);
+        assert_eq!(f.baseline_switches, 20);
+        assert!((f.energy_j - 120.0).abs() < 1e-12);
+        assert!((f.aggregate_savings_pct() - 40.0).abs() < 1e-12);
+        assert!((f.mean_user_savings_pct() - 40.0).abs() < 1e-12);
+        assert_eq!(f.savings.count(), 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential_fold() {
+        // Merging shard partials must agree with a sequential fold on
+        // every count exactly; the float totals agree to tolerance (the
+        // reduction *tree* differs, which is precisely why shard size is
+        // part of the scenario identity while thread count is not).
+        let base = sim_report(90.0, 9, 300);
+        let runs: Vec<SimReport> =
+            (0..10).map(|i| sim_report(30.0 + i as f64 * 5.0, 8 + i, 300)).collect();
+        let mut whole = FleetReport::empty("x".into(), "s".into());
+        for r in &runs {
+            whole.fold_user(1, r, &base);
+        }
+        let mut a = FleetReport::empty("x".into(), "s".into());
+        let mut b = FleetReport::empty("x".into(), "s".into());
+        for (i, r) in runs.iter().enumerate() {
+            if i < 5 { &mut a } else { &mut b }.fold_user(1, r, &base);
+        }
+        a.merge(&b);
+        assert_eq!(a.users, whole.users);
+        assert_eq!(a.user_days, whole.user_days);
+        assert_eq!(a.packets, whole.packets);
+        assert_eq!(a.switches, whole.switches);
+        assert_eq!(a.baseline_switches, whole.baseline_switches);
+        assert_eq!(a.savings.bins(), whole.savings.bins());
+        assert_eq!(a.savings.min(), whole.savings.min());
+        assert_eq!(a.savings.max(), whole.savings.max());
+        assert!((a.energy_j - whole.energy_j).abs() < 1e-9);
+        assert!((a.baseline_energy_j - whole.baseline_energy_j).abs() < 1e-9);
+        assert!((a.mean_user_savings_pct() - whole.mean_user_savings_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_merge_trees_are_bit_identical() {
+        // The guarantee the runner actually relies on: the same shard
+        // partition merged twice gives the same bits.
+        let base = sim_report(90.0, 9, 300);
+        let runs: Vec<SimReport> =
+            (0..10).map(|i| sim_report(30.0 + i as f64 * 5.0, 8 + i, 300)).collect();
+        let build = || {
+            let mut shards: Vec<FleetReport> = Vec::new();
+            for chunk in runs.chunks(3) {
+                let mut s = FleetReport::empty("x".into(), "s".into());
+                for r in chunk {
+                    s.fold_user(1, r, &base);
+                }
+                shards.push(s);
+            }
+            let mut total = FleetReport::empty("x".into(), "s".into());
+            for s in &shards {
+                total.merge(s);
+            }
+            total
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mut a = FleetReport::empty("x".into(), "s".into());
+        let mut b = a.clone();
+        b.wall_seconds = 9.0;
+        b.threads = 8;
+        assert_eq!(a, b);
+        a.users = 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_population_edge_cases() {
+        let f = FleetReport::empty("x".into(), "s".into());
+        assert_eq!(f.aggregate_savings_pct(), 0.0);
+        assert_eq!(f.mean_energy_per_user_day(), 0.0);
+        assert_eq!(f.normalized_switches(), 1.0);
+        assert_eq!(f.user_days_per_sec(), 0.0);
+        assert!(f.render().contains("0 users"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Sharded, multi-threaded fleet execution.
+//!
+//! The population is partitioned into fixed shards of
+//! [`Scenario::shard_size`] users. Worker threads claim shards from an
+//! atomic cursor (work stealing keeps long shards from serializing the
+//! run), and each worker streams its shard generate→simulate→discard:
+//! one user's trace is materialized, pushed through the scheme under
+//! test and the status-quo baseline, folded into the shard's partial
+//! [`FleetReport`], and dropped before the next user is touched. Peak
+//! memory is one trace per worker thread plus O(threads) buffered shard
+//! partials at the merge frontier — independent of population size.
+//!
+//! Determinism: which thread simulates a shard never matters. User
+//! synthesis is a pure function of `(scenario, user index)`
+//! ([hierarchical seeding](crate::scenario::user_seed)), folds happen in
+//! user order within each shard, and shard partials merge in shard-index
+//! order at a streaming frontier — fixing the floating-point reduction
+//! tree, so the same scenario yields a bit-identical report at any
+//! thread count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use tailwise_core::schemes::Scheme;
+
+use crate::report::FleetReport;
+use crate::scenario::Scenario;
+
+/// Merge frontier: folds shard partials into the total strictly in
+/// shard-index order, buffering only partials that finish ahead of the
+/// frontier. Keeps the reduction tree fixed — and therefore the report
+/// bit-identical — while the `run` loop bounds the buffer, so memory
+/// stays O(threads) rather than O(shard_count) even when one slow shard
+/// stalls the frontier.
+struct Frontier {
+    total: FleetReport,
+    next: u64,
+    pending: BTreeMap<u64, FleetReport>,
+}
+
+impl Frontier {
+    /// Inserts a partial and advances the frontier as far as it now
+    /// reaches. Returns true if the frontier moved.
+    fn push(&mut self, shard: u64, partial: FleetReport) -> bool {
+        self.pending.insert(shard, partial);
+        let before = self.next;
+        while let Some(partial) = self.pending.remove(&self.next) {
+            self.total.merge(&partial);
+            self.next += 1;
+        }
+        self.next != before
+    }
+}
+
+/// Runs `scenario` across `threads` worker threads.
+///
+/// `threads` is purely an execution knob: any value ≥ 1 produces the
+/// same [`FleetReport`] (see the module docs). Zero is treated as 1.
+pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
+    let started = std::time::Instant::now();
+    let threads = threads.max(1);
+    let shard_count = scenario.shard_count();
+    let cursor = AtomicU64::new(0);
+    let frontier =
+        Mutex::new(Frontier { total: empty_report(scenario), next: 0, pending: BTreeMap::new() });
+    let merged = Condvar::new();
+    // Out-of-order partials a worker may buffer before it must wait for
+    // the frontier to catch up. The worker holding the frontier shard is
+    // always allowed to push, so the wait cannot deadlock.
+    let pending_cap = threads * 2 + 4;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shard_count.max(1) as usize) {
+            scope.spawn(|| loop {
+                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                if shard >= shard_count {
+                    break;
+                }
+                let partial = run_shard(scenario, shard);
+                let mut f = frontier.lock().expect("fleet frontier lock");
+                while shard != f.next && f.pending.len() >= pending_cap {
+                    f = merged.wait(f).expect("fleet frontier lock");
+                }
+                if f.push(shard, partial) {
+                    merged.notify_all();
+                }
+            });
+        }
+    });
+
+    let frontier = frontier.into_inner().expect("fleet frontier lock");
+    debug_assert!(frontier.pending.is_empty(), "all shards merged");
+    let mut report = frontier.total;
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    report.threads = threads;
+    report
+}
+
+/// Simulates one shard serially, folding users in index order.
+fn run_shard(scenario: &Scenario, shard: u64) -> FleetReport {
+    let mut partial = empty_report(scenario);
+    for index in scenario.shard_range(shard) {
+        let (carrier, model) = scenario.user(index);
+        let trace = model.generate();
+        let baseline = Scheme::StatusQuo.run(&carrier, &scenario.sim, &trace);
+        let scheme_run = if scenario.scheme == Scheme::StatusQuo {
+            baseline.clone()
+        } else {
+            scenario.scheme.run(&carrier, &scenario.sim, &trace)
+        };
+        partial.fold_user(model.days, &scheme_run, &baseline);
+        // `trace` drops here: generate-simulate-discard.
+    }
+    partial
+}
+
+fn empty_report(scenario: &Scenario) -> FleetReport {
+    FleetReport::empty(scenario.name.clone(), scenario.scheme.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_radio::profile::CarrierProfile;
+
+    fn tiny(users: u64) -> Scenario {
+        let mut s = Scenario::new(users, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+        s.shard_size = 4;
+        s
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let s = tiny(3);
+        let r = run(&s, 64);
+        assert_eq!(r.users, 3);
+        assert!(r.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn zero_users_yields_empty_report() {
+        let r = run(&tiny(0), 4);
+        assert_eq!(r.users, 0);
+        assert_eq!(r.energy_j, 0.0);
+        assert_eq!(r.savings.count(), 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let s = tiny(2);
+        assert_eq!(run(&s, 0), run(&s, 1));
+    }
+
+    #[test]
+    fn status_quo_scenario_reports_zero_savings() {
+        let mut s = tiny(4);
+        s.scheme = Scheme::StatusQuo;
+        let r = run(&s, 2);
+        assert_eq!(r.users, 4);
+        assert_eq!(r.energy_j.to_bits(), r.baseline_energy_j.to_bits());
+        assert_eq!(r.aggregate_savings_pct(), 0.0);
+        assert_eq!(r.switches, r.baseline_switches);
+    }
+}

@@ -58,12 +58,7 @@ impl EnergyBreakdown {
         if total <= 0.0 {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        (
-            self.data() / total,
-            self.tail_dch / total,
-            self.tail_fach / total,
-            self.switch() / total,
-        )
+        (self.data() / total, self.tail_dch / total, self.tail_fach / total, self.switch() / total)
     }
 }
 

@@ -98,18 +98,11 @@ impl FractionalAccept {
         let f = fraction.clamp(0.0, 1.0);
         FractionalAccept { accept_per_1024: (f * 1024.0).round() as u16, counter: 0, seed }
     }
-
-    fn splitmix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
 }
 
 impl ReleasePolicy for FractionalAccept {
     fn accept(&mut self, _at: Instant) -> bool {
-        let h = Self::splitmix(self.seed ^ self.counter);
+        let h = tailwise_trace::mix::splitmix64(self.seed ^ self.counter);
         self.counter += 1;
         (h % 1024) < self.accept_per_1024 as u64
     }

@@ -29,7 +29,9 @@ pub mod signaling;
 pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use fastdormancy::{AlwaysAccept, FractionalAccept, NeverAccept, RateLimited, ReleasePolicy};
 pub use profile::{CarrierProfile, RadioTech};
-pub use rrc::{Advance, Residence, RrcMachine, RrcState, Transition, TransitionCause, TransitionCounters};
+pub use rrc::{
+    Advance, Residence, RrcMachine, RrcState, Transition, TransitionCause, TransitionCounters,
+};
 pub use signaling::SignalingModel;
 
 #[cfg(test)]

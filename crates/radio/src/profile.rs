@@ -126,23 +126,63 @@ impl CarrierProfile {
 
     /// T-Mobile 3G (Table 2 row 1; promotion delay §2.1: ≈3.6 s).
     pub fn tmobile_3g() -> CarrierProfile {
-        Self::from_measurements("T-Mobile 3G", RadioTech::ThreeG, 1202.0, 737.0, 445.0, 343.0, 3.2, 16.3, 3.6)
+        Self::from_measurements(
+            "T-Mobile 3G",
+            RadioTech::ThreeG,
+            1202.0,
+            737.0,
+            445.0,
+            343.0,
+            3.2,
+            16.3,
+            3.6,
+        )
     }
 
     /// AT&T HSPA+ (Table 2 row 2; promotion delay §2.1: ≈1.4 s).
     pub fn att_hspa() -> CarrierProfile {
-        Self::from_measurements("AT&T HSPA+", RadioTech::ThreeG, 1539.0, 1212.0, 916.0, 659.0, 6.2, 10.4, 1.4)
+        Self::from_measurements(
+            "AT&T HSPA+",
+            RadioTech::ThreeG,
+            1539.0,
+            1212.0,
+            916.0,
+            659.0,
+            6.2,
+            10.4,
+            1.4,
+        )
     }
 
     /// Verizon 3G (Table 2 row 3: `t2 = 0`, the two idle powers are
     /// indistinguishable; promotion delay §2.1: ≈1.2 s).
     pub fn verizon_3g() -> CarrierProfile {
-        Self::from_measurements("Verizon 3G", RadioTech::ThreeG, 2043.0, 1177.0, 1130.0, 1130.0, 9.8, 0.0, 1.2)
+        Self::from_measurements(
+            "Verizon 3G",
+            RadioTech::ThreeG,
+            2043.0,
+            1177.0,
+            1130.0,
+            1130.0,
+            9.8,
+            0.0,
+            1.2,
+        )
     }
 
     /// Verizon LTE (Table 2 row 4; promotion delay §2.1: ≈0.6 s).
     pub fn verizon_lte() -> CarrierProfile {
-        Self::from_measurements("Verizon LTE", RadioTech::Lte, 2928.0, 1737.0, 1325.0, 0.0, 10.2, 0.0, 0.6)
+        Self::from_measurements(
+            "Verizon LTE",
+            RadioTech::Lte,
+            2928.0,
+            1737.0,
+            1325.0,
+            0.0,
+            10.2,
+            0.0,
+            0.6,
+        )
     }
 
     /// Sprint 3G. Promotion delay is the paper's §2.1 measurement (≈2.0 s);
@@ -150,14 +190,34 @@ impl CarrierProfile {
     /// carriers) since Table 2 has no Sprint row. Not used in any paper
     /// reproduction; provided for completeness.
     pub fn sprint_3g() -> CarrierProfile {
-        Self::from_measurements("Sprint 3G", RadioTech::ThreeG, 1600.0, 1040.0, 830.0, 710.0, 6.4, 8.9, 2.0)
+        Self::from_measurements(
+            "Sprint 3G",
+            RadioTech::ThreeG,
+            1600.0,
+            1040.0,
+            830.0,
+            710.0,
+            6.4,
+            8.9,
+            2.0,
+        )
     }
 
     /// Sprint LTE. Promotion delay is the paper's §2.1 measurement (≈1.0 s);
     /// powers and timer are **estimates** scaled from Verizon LTE. Not used
     /// in any paper reproduction; provided for completeness.
     pub fn sprint_lte() -> CarrierProfile {
-        Self::from_measurements("Sprint LTE", RadioTech::Lte, 2800.0, 1650.0, 1260.0, 0.0, 10.0, 0.0, 1.0)
+        Self::from_measurements(
+            "Sprint LTE",
+            RadioTech::Lte,
+            2800.0,
+            1650.0,
+            1260.0,
+            0.0,
+            10.0,
+            0.0,
+            1.0,
+        )
     }
 
     /// The four carriers measured in Table 2, in the paper's order
@@ -396,7 +456,9 @@ mod tests {
         let att = CarrierProfile::att_hspa();
         let full = att.hold_energy(att.tail_window());
         assert_eq!(att.hold_energy(Duration::from_secs(100)), full);
-        assert!(att.hold_energy(Duration::from_secs(100)) < att.gap_energy(Duration::from_secs(100)));
+        assert!(
+            att.hold_energy(Duration::from_secs(100)) < att.gap_energy(Duration::from_secs(100))
+        );
     }
 
     #[test]

@@ -314,7 +314,12 @@ impl RrcMachine {
             from @ (RrcState::Dch | RrcState::Fach) => {
                 self.state = RrcState::Idle;
                 self.counters.fd_demotions += 1;
-                Some(Transition { at, from, to: RrcState::Idle, cause: TransitionCause::FastDormancy })
+                Some(Transition {
+                    at,
+                    from,
+                    to: RrcState::Idle,
+                    cause: TransitionCause::FastDormancy,
+                })
             }
         }
     }
@@ -411,7 +416,7 @@ mod tests {
         let adv = m.advance(secs(5.0));
         assert_eq!(adv.transitions().count(), 0);
         assert_eq!(m.notify_data(secs(5.0)), None); // still DCH, no transition
-        // Timer now measures from t=5: DCH until 11.2.
+                                                    // Timer now measures from t=5: DCH until 11.2.
         assert_eq!(m.next_timer_expiry(), Some(secs(11.2)));
         let adv = m.advance(secs(11.0));
         assert_eq!(m.state(), RrcState::Dch);

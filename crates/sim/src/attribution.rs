@@ -68,11 +68,7 @@ impl AttributionReport {
 }
 
 /// Attributes a trace's status-quo radio energy to its applications.
-pub fn attribute(
-    profile: &CarrierProfile,
-    config: &SimConfig,
-    trace: &Trace,
-) -> AttributionReport {
+pub fn attribute(profile: &CarrierProfile, config: &SimConfig, trace: &Trace) -> AttributionReport {
     profile.validate().expect("invalid carrier profile");
     config.validate(profile).expect("invalid simulation config");
 
@@ -147,10 +143,7 @@ pub fn attribute(
         .map(|(app, (meter, packets))| AppEnergy { app, energy: meter.breakdown(), packets })
         .collect();
     apps.sort_by(|a, b| {
-        b.energy
-            .total()
-            .partial_cmp(&a.energy.total())
-            .expect("energies are finite")
+        b.energy.total().partial_cmp(&a.energy.total()).expect("energies are finite")
     });
     AttributionReport { apps }
 }
@@ -174,12 +167,8 @@ mod tests {
         }
         for j in 0..50 {
             pkts.push(
-                Packet::new(
-                    Instant::from_millis(601_000 + j * 20),
-                    Direction::Down,
-                    1400,
-                )
-                .with_app(AppId(2)),
+                Packet::new(Instant::from_millis(601_000 + j * 20), Direction::Down, 1400)
+                    .with_app(AppId(2)),
             );
         }
         Trace::from_unsorted(pkts)

@@ -258,7 +258,12 @@ mod tests {
             &mut hold,
             &mut tailwise_radio::fastdormancy::AlwaysAccept,
         );
-        assert!(batched.switch_cycles() < plain.switch_cycles() / 2, "{} vs {}", batched.switch_cycles(), plain.switch_cycles());
+        assert!(
+            batched.switch_cycles() < plain.switch_cycles() / 2,
+            "{} vs {}",
+            batched.switch_cycles(),
+            plain.switch_cycles()
+        );
         assert!(batched.total_energy() < plain.total_energy());
         assert!(batched.batching_rounds > 0);
         assert!(!batched.session_delays.is_empty());
@@ -283,8 +288,12 @@ mod tests {
 
     #[test]
     fn empty_trace_batches_to_empty() {
-        let out =
-            batch_sessions(&att(), &SimConfig::default(), &Trace::new(), &mut Hold(5.0, Vec::new()));
+        let out = batch_sessions(
+            &att(),
+            &SimConfig::default(),
+            &Trace::new(),
+            &mut Hold(5.0, Vec::new()),
+        );
         assert!(out.trace.is_empty());
         assert_eq!(out.rounds, 0);
     }

@@ -136,8 +136,7 @@ pub fn run_cell(
         }
     }
     merged.sort_by_key(|&(at, dev, seq)| (at, dev, seq));
-    let mut verdicts: Vec<Vec<bool>> =
-        request_times.iter().map(|t| vec![false; t.len()]).collect();
+    let mut verdicts: Vec<Vec<bool>> = request_times.iter().map(|t| vec![false; t.len()]).collect();
     let (mut granted, mut denied) = (0u64, 0u64);
     for &(at, dev, seq) in &merged {
         let ok = release.accept(at);
@@ -254,14 +253,8 @@ mod tests {
     fn always_accept_cell_matches_independent_runs() {
         let p = CarrierProfile::att_hspa();
         let cfg = SimConfig::default();
-        let report = run_cell(
-            &p,
-            &cfg,
-            cell(4),
-            &mut AlwaysAccept,
-            &SignalingModel::default(),
-            None,
-        );
+        let report =
+            run_cell(&p, &cfg, cell(4), &mut AlwaysAccept, &SignalingModel::default(), None);
         assert_eq!(report.devices.len(), 4);
         assert_eq!(report.denied, 0);
         // Each device independently: one request per gap + trailing.
@@ -279,33 +272,15 @@ mod tests {
         // 8 devices × a request every 30 s, but the cell only grants one
         // release per 10 s: about 2/3 of requests must be denied.
         let mut release = RateLimited::new(Duration::from_secs(10));
-        let report = run_cell(
-            &p,
-            &cfg,
-            cell(8),
-            &mut release,
-            &SignalingModel::default(),
-            None,
-        );
+        let report = run_cell(&p, &cfg, cell(8), &mut release, &SignalingModel::default(), None);
         assert!(report.denied > 0, "a shared rate limit must deny someone");
         assert!(report.granted > 0);
         // Denials hit more than one device (fairness of time-ordering).
-        let devices_denied = report
-            .devices
-            .iter()
-            .filter(|d| d.denied_fd > 0)
-            .count();
+        let devices_denied = report.devices.iter().filter(|d| d.denied_fd > 0).count();
         assert!(devices_denied >= 2, "only {devices_denied} device(s) saw denials");
         // Denied devices fall back to timers: cell energy must exceed the
         // always-accept cell's.
-        let free = run_cell(
-            &p,
-            &cfg,
-            cell(8),
-            &mut AlwaysAccept,
-            &SignalingModel::default(),
-            None,
-        );
+        let free = run_cell(&p, &cfg, cell(8), &mut AlwaysAccept, &SignalingModel::default(), None);
         assert!(report.total_energy() > free.total_energy());
     }
 
@@ -316,11 +291,7 @@ mod tests {
         let model = SignalingModel::default();
         let report = run_cell(&p, &cfg, cell(3), &mut AlwaysAccept, &model, None);
         // Total messages must equal the per-device counter accounting.
-        let expect: u64 = report
-            .devices
-            .iter()
-            .map(|d| model.total_messages(&d.counters))
-            .sum();
+        let expect: u64 = report.devices.iter().map(|d| model.total_messages(&d.counters)).sum();
         assert_eq!(report.total_messages, expect);
         assert!(report.peak_messages_per_s > 0);
         assert_eq!(report.overload_seconds, 0); // no capacity configured
@@ -334,24 +305,12 @@ mod tests {
         // same seconds, so a tight capacity must overload.
         let devices: Vec<CellDevice> =
             (0..6).map(|i| heartbeat_device(&format!("p{i}"), 0, 30)).collect();
-        let tight = run_cell(
-            &p,
-            &cfg,
-            devices,
-            &mut AlwaysAccept,
-            &SignalingModel::default(),
-            Some(35),
-        );
+        let tight =
+            run_cell(&p, &cfg, devices, &mut AlwaysAccept, &SignalingModel::default(), Some(35));
         assert!(tight.overload_seconds > 0, "synchronized cell must overload a 35 msg/s cap");
         // De-phased devices spread the load.
-        let spread = run_cell(
-            &p,
-            &cfg,
-            cell(6),
-            &mut AlwaysAccept,
-            &SignalingModel::default(),
-            Some(35),
-        );
+        let spread =
+            run_cell(&p, &cfg, cell(6), &mut AlwaysAccept, &SignalingModel::default(), Some(35));
         assert_eq!(spread.overload_seconds, 0, "de-phased devices fit under the cap");
     }
 
@@ -359,14 +318,8 @@ mod tests {
     fn empty_cell_is_empty() {
         let p = CarrierProfile::att_hspa();
         let cfg = SimConfig::default();
-        let r = run_cell(
-            &p,
-            &cfg,
-            Vec::new(),
-            &mut AlwaysAccept,
-            &SignalingModel::default(),
-            Some(10),
-        );
+        let r =
+            run_cell(&p, &cfg, Vec::new(), &mut AlwaysAccept, &SignalingModel::default(), Some(10));
         assert_eq!(r.total_energy(), 0.0);
         assert_eq!(r.total_messages, 0);
         assert_eq!(r.peak_messages_per_s, 0);

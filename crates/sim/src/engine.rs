@@ -145,6 +145,7 @@ pub fn run_with_release(
     let mut meter = EnergyMeter::new(profile.clone());
     let mut machine = RrcMachine::new(profile, pkts[0].ts);
     let mut window = SlidingWindow::new(config.window_capacity);
+    let maintain_window = idle_policy.uses_window();
     let mut confusion = Confusion::default();
     let mut decisions: Vec<(Instant, Duration)> = Vec::new();
     let mut timeline: Vec<PowerSegment> = Vec::new();
@@ -214,14 +215,28 @@ pub fn run_with_release(
             // The synthetic trailing gap ends at the tail-window flush,
             // which a long policy wait can overshoot; never run backwards.
             let next_ts = next_ts.max(demote_at);
-            charge_advance(&mut machine, &mut meter, demote_at, config, &mut timeline, &mut transitions);
+            charge_advance(
+                &mut machine,
+                &mut meter,
+                demote_at,
+                config,
+                &mut timeline,
+                &mut transitions,
+            );
             let tr = machine
                 .fast_dormancy(demote_at)
                 .expect("wait below the tail window, radio must still be up");
             meter.add_fd_demotion();
             record_transition(&mut transitions, config, tr);
             // Remainder of the gap is spent Idle.
-            charge_advance(&mut machine, &mut meter, next_ts, config, &mut timeline, &mut transitions);
+            charge_advance(
+                &mut machine,
+                &mut meter,
+                next_ts,
+                config,
+                &mut timeline,
+                &mut transitions,
+            );
         } else if gap <= config.intra_burst_gap {
             // Intra-burst: data energy at bulk power for the packet that
             // closes the gap (§6.1's per-second model). Timers cannot fire
@@ -238,7 +253,14 @@ pub fn run_with_release(
                 SegmentKind::Data,
             );
         } else {
-            charge_advance(&mut machine, &mut meter, next_ts, config, &mut timeline, &mut transitions);
+            charge_advance(
+                &mut machine,
+                &mut meter,
+                next_ts,
+                config,
+                &mut timeline,
+                &mut transitions,
+            );
         }
 
         // 4. Next packet arrives (skipped for the synthetic trailing gap).
@@ -255,7 +277,9 @@ pub fn run_with_release(
                 &mut timeline,
                 &mut transitions,
             );
-            window.push(gap);
+            if maintain_window {
+                window.push(gap);
+            }
         }
     }
 
@@ -374,8 +398,8 @@ fn push_segment(
 mod tests {
     use super::*;
     use crate::policy::{FixedWait, StatusQuo};
-    use tailwise_trace::packet::{Direction, Packet};
     use tailwise_radio::fastdormancy::NeverAccept;
+    use tailwise_trace::packet::{Direction, Packet};
 
     fn att() -> CarrierProfile {
         CarrierProfile::att_hspa()
@@ -437,7 +461,12 @@ mod tests {
         let base = run(&p, &cfg, &t, &mut StatusQuo);
         let mut pol = FixedWait::new(Duration::from_millis(1500), "1.5s");
         let r = run(&p, &cfg, &t, &mut pol);
-        assert!(r.energy.total() < base.energy.total() * 0.5, "{} vs {}", r.energy.total(), base.energy.total());
+        assert!(
+            r.energy.total() < base.energy.total() * 0.5,
+            "{} vs {}",
+            r.energy.total(),
+            base.energy.total()
+        );
         assert!(r.savings_vs(&base) > 50.0);
     }
 
@@ -560,10 +589,7 @@ mod tests {
         }
         // Total timeline energy matches the meter, minus demotions (which
         // are instantaneous impulses the timeline cannot depict).
-        let tl_energy: f64 = tl
-            .iter()
-            .map(|s| s.power * (s.end - s.start).as_secs_f64())
-            .sum();
+        let tl_energy: f64 = tl.iter().map(|s| s.power * (s.end - s.start).as_secs_f64()).sum();
         assert!((tl_energy - (r.energy.total() - r.energy.demote)).abs() < 1e-6);
     }
 

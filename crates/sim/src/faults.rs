@@ -68,7 +68,7 @@ pub fn dilate_time(trace: &Trace, factor: f64) -> Trace {
         .map(|p| {
             let mut q = *p;
             q.ts = tailwise_trace::Instant::from_micros(
-                (p.ts.as_micros() as f64 * factor).round() as i64,
+                (p.ts.as_micros() as f64 * factor).round() as i64
             );
             q
         })
@@ -85,9 +85,7 @@ mod tests {
     fn trace(n: usize, step_ms: i64) -> Trace {
         Trace::from_sorted(
             (0..n)
-                .map(|i| {
-                    Packet::new(Instant::from_millis(i as i64 * step_ms), Direction::Up, 100)
-                })
+                .map(|i| Packet::new(Instant::from_millis(i as i64 * step_ms), Direction::Up, 100))
                 .collect(),
         )
         .unwrap()

@@ -37,7 +37,9 @@ pub use cell::{run_cell, CellDevice, CellReport};
 pub use engine::{run, run_with_release, PowerSegment, SegmentKind, SimConfig};
 pub use metrics::Confusion;
 pub use oracle::OracleIdle;
-pub use policy::{ActivePolicy, FixedWait, IdleContext, IdleDecision, IdlePolicy, NoBatching, StatusQuo};
+pub use policy::{
+    ActivePolicy, FixedWait, IdleContext, IdleDecision, IdlePolicy, NoBatching, StatusQuo,
+};
 pub use report::SimReport;
 
 #[cfg(test)]

@@ -31,6 +31,10 @@ impl IdlePolicy for OracleIdle {
             IdleDecision::Timers
         }
     }
+
+    fn uses_window(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

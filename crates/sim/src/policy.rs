@@ -13,9 +13,9 @@
 //! all side effects (radio state, energy, counters), which is what makes
 //! every scheme directly comparable.
 
+use tailwise_radio::profile::CarrierProfile;
 use tailwise_trace::stats::SlidingWindow;
 use tailwise_trace::time::{Duration, Instant};
-use tailwise_radio::profile::CarrierProfile;
 
 /// Everything an [`IdlePolicy`] may observe when deciding.
 pub struct IdleContext<'a> {
@@ -51,6 +51,17 @@ pub trait IdlePolicy {
     /// online policies must not read it — the engine's confusion-matrix
     /// accounting (§6.3) would be meaningless otherwise.
     fn decide(&mut self, ctx: &IdleContext<'_>, actual_gap: Duration) -> IdleDecision;
+
+    /// Whether [`decide`](Self::decide) reads the inter-arrival window.
+    ///
+    /// The engine maintains the window (an O(capacity) sorted insert per
+    /// gap) only when this returns true; the baselines that ignore it —
+    /// status quo, fixed waits, the Oracle — override this to skip that
+    /// work. Purely a performance hint: a policy that returns false
+    /// simply sees an empty window.
+    fn uses_window(&self) -> bool {
+        true
+    }
 }
 
 /// The status quo: never request fast dormancy.
@@ -63,6 +74,9 @@ impl IdlePolicy for StatusQuo {
     }
     fn decide(&mut self, _ctx: &IdleContext<'_>, _actual_gap: Duration) -> IdleDecision {
         IdleDecision::Timers
+    }
+    fn uses_window(&self) -> bool {
+        false
     }
 }
 
@@ -98,6 +112,9 @@ impl IdlePolicy for FixedWait {
     }
     fn decide(&mut self, _ctx: &IdleContext<'_>, _actual_gap: Duration) -> IdleDecision {
         IdleDecision::DemoteAfter(self.wait)
+    }
+    fn uses_window(&self) -> bool {
+        false
     }
 }
 

@@ -68,9 +68,7 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Packet, TraceError> {
     let mut next = |name: &str| {
         fields.next().map(str::trim).ok_or_else(|| err(format!("missing field `{name}`")))
     };
-    let ts: i64 = next("ts_us")?
-        .parse()
-        .map_err(|e| err(format!("bad ts_us: {e}")))?;
+    let ts: i64 = next("ts_us")?.parse().map_err(|e| err(format!("bad ts_us: {e}")))?;
     let dir_field = next("dir")?;
     let mut chars = dir_field.chars();
     let (dir_char, extra) = (chars.next(), chars.next());
@@ -86,13 +84,7 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Packet, TraceError> {
     if let Some(stray) = fields.next() {
         return Err(err(format!("unexpected trailing field {stray:?}")));
     }
-    Ok(Packet {
-        ts: Instant::from_micros(ts),
-        dir,
-        len,
-        flow,
-        app: AppId(app),
-    })
+    Ok(Packet { ts: Instant::from_micros(ts), dir, len, flow, app: AppId(app) })
 }
 
 // ------------------------------------------------------------- binary ----
@@ -160,13 +152,7 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, TraceError> {
         let len = u32::from_le_bytes(rec[9..13].try_into().expect("fixed slice"));
         let flow = u32::from_le_bytes(rec[13..17].try_into().expect("fixed slice"));
         let app = u16::from_le_bytes(rec[17..19].try_into().expect("fixed slice"));
-        packets.push(Packet {
-            ts: Instant::from_micros(ts),
-            dir,
-            len,
-            flow,
-            app: AppId(app),
-        });
+        packets.push(Packet { ts: Instant::from_micros(ts), dir, len, flow, app: AppId(app) });
     }
     Trace::from_sorted(packets)
 }
@@ -269,12 +255,9 @@ mod tests {
 
     #[test]
     fn binary_roundtrips_negative_timestamps() {
-        let t = Trace::from_sorted(vec![Packet::new(
-            Instant::from_micros(-42),
-            Direction::Down,
-            1,
-        )])
-        .unwrap();
+        let t =
+            Trace::from_sorted(vec![Packet::new(Instant::from_micros(-42), Direction::Down, 1)])
+                .unwrap();
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
         assert_eq!(read_binary(buf.as_slice()).unwrap(), t);

@@ -29,6 +29,7 @@
 pub mod bursts;
 pub mod error;
 pub mod io;
+pub mod mix;
 pub mod packet;
 pub mod pcap;
 pub mod stats;

@@ -1,0 +1,42 @@
+//! Deterministic seed mixing.
+//!
+//! Every layer that derives child seeds from a master seed (user
+//! populations in `tailwise-workload`, fleet scenarios in
+//! `tailwise-fleet`, fractional release policies in `tailwise-radio`)
+//! must use the *same* mixing function, or regenerating a dataset from a
+//! recorded seed would depend on which crate did the deriving. This
+//! module is that single definition; it lives here because the trace
+//! crate is the workspace's zero-dependency root.
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a cheap, high-quality
+/// 64-bit mixer. Bit-stable across platforms and releases — recorded
+/// seeds depend on it.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_are_pinned() {
+        // Regenerating recorded datasets depends on these exact outputs;
+        // if this test ever fails, the mixing constants changed.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(0x3001), splitmix64(0x3001));
+        assert_ne!(splitmix64(2), splitmix64(3));
+    }
+
+    #[test]
+    fn consecutive_inputs_decorrelate() {
+        // Adjacent seeds must not share low bits (they feed RNG states).
+        let a = splitmix64(100);
+        let b = splitmix64(101);
+        assert!((a ^ b).count_ones() > 16, "{a:#x} vs {b:#x}");
+    }
+}

@@ -133,9 +133,8 @@ mod tests {
 
     #[test]
     fn packet_builders() {
-        let p = Packet::new(Instant::from_secs(1), Direction::Up, 100)
-            .with_flow(7)
-            .with_app(AppId(3));
+        let p =
+            Packet::new(Instant::from_secs(1), Direction::Up, 100).with_flow(7).with_app(AppId(3));
         assert_eq!(p.flow, 7);
         assert_eq!(p.app, AppId(3));
         assert_eq!(p.len, 100);

@@ -97,16 +97,16 @@ pub fn read_pcap<R: Read>(mut input: R, device: Ipv4Addr) -> Result<Trace, Trace
         (_, MAGIC_NSEC) => (true, true),
         _ if magic_le == MAGIC_PCAPNG || magic_be == MAGIC_PCAPNG => {
             return Err(TraceError::BadHeader(
-                "pcapng is not supported; convert with `tcpdump -r in.pcapng -w out.pcap`"
-                    .into(),
+                "pcapng is not supported; convert with `tcpdump -r in.pcapng -w out.pcap`".into(),
             ))
         }
         _ => return Err(TraceError::BadHeader(format!("unknown pcap magic {magic_le:#010x}"))),
     };
     let tmp = Reader { big_endian, nanos, link: LinkType::RawIp };
     let dlt = tmp.u32(&header[20..24]);
-    let link = LinkType::from_dlt(dlt).ok_or_else(|| {
-        TraceError::Parse { location: 0, message: format!("unsupported link type DLT {dlt}") }
+    let link = LinkType::from_dlt(dlt).ok_or_else(|| TraceError::Parse {
+        location: 0,
+        message: format!("unsupported link type DLT {dlt}"),
     })?;
     let r = Reader { big_endian, nanos, link };
 
@@ -181,9 +181,7 @@ pub fn read_pcap<R: Read>(mut input: R, device: Ipv4Addr) -> Result<Trace, Trace
         let next_flow = flows.len() as u32 + 1;
         let flow = *flows.entry((a, b, ap, bp, proto)).or_insert(next_flow);
 
-        packets.push(
-            Packet::new(Instant::from_micros(micros), dir, orig_len).with_flow(flow),
-        );
+        packets.push(Packet::new(Instant::from_micros(micros), dir, orig_len).with_flow(flow));
     }
     Ok(Trace::from_unsorted(packets).rebased())
 }

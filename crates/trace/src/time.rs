@@ -398,10 +398,7 @@ mod tests {
         assert!(Duration::from_secs(-1).is_negative());
         assert_eq!(Duration::from_secs(-1).max_zero(), Duration::ZERO);
         assert_eq!(Duration::from_secs(1).max_zero(), Duration::from_secs(1));
-        assert_eq!(
-            Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
-            Duration::ZERO
-        );
+        assert_eq!(Duration::from_secs(1).saturating_sub(Duration::from_secs(2)), Duration::ZERO);
         assert_eq!(
             Duration::from_secs(3).saturating_sub(Duration::from_secs(2)),
             Duration::from_secs(1)

@@ -122,9 +122,7 @@ impl Trace {
     pub fn rebased(&self) -> Trace {
         let Some(start) = self.start() else { return Trace::new() };
         let shift = Instant::ZERO - start;
-        Trace {
-            packets: self.packets.iter().map(|p| p.shifted(shift)).collect(),
-        }
+        Trace { packets: self.packets.iter().map(|p| p.shifted(shift)).collect() }
     }
 
     /// Returns the sub-trace with timestamps in `[from, to)`.
@@ -136,9 +134,7 @@ impl Trace {
 
     /// Returns the sub-trace belonging to one application.
     pub fn filter_app(&self, app: AppId) -> Trace {
-        Trace {
-            packets: self.packets.iter().copied().filter(|p| p.app == app).collect(),
-        }
+        Trace { packets: self.packets.iter().copied().filter(|p| p.app == app).collect() }
     }
 
     /// Returns the set of distinct application ids present, with packet

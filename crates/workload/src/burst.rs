@@ -97,7 +97,8 @@ mod tests {
 
     #[test]
     fn burst_is_time_ordered_and_ends_at_reported_instant() {
-        let (pkts, end) = generate(&mut rng(), Instant::from_secs(9), &BurstSpec::fetch(30), 1, AppId(1));
+        let (pkts, end) =
+            generate(&mut rng(), Instant::from_secs(9), &BurstSpec::fetch(30), 1, AppId(1));
         for w in pkts.windows(2) {
             assert!(w[0].ts <= w[1].ts);
         }

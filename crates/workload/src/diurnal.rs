@@ -168,13 +168,11 @@ mod tests {
     fn night_hours_see_far_fewer_sessions() {
         let p = DiurnalProfile::typical();
         let sessions = p.usage_sessions(&mut rng(), 60, 12.0, Duration::from_secs(300));
-        let hour_of = |t: Instant| (t.as_micros().rem_euclid(DAY.as_micros()) / 3_600_000_000) as u32;
+        let hour_of =
+            |t: Instant| (t.as_micros().rem_euclid(DAY.as_micros()) / 3_600_000_000) as u32;
         let night = sessions.iter().filter(|(s, _)| (1..6).contains(&hour_of(*s))).count();
         let evening = sessions.iter().filter(|(s, _)| (18..23).contains(&hour_of(*s))).count();
-        assert!(
-            evening > night * 5,
-            "evening {evening} vs night {night} sessions"
-        );
+        assert!(evening > night * 5, "evening {evening} vs night {night} sessions");
     }
 
     #[test]

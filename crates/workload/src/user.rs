@@ -15,6 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tailwise_trace::mix::splitmix64 as splitmix;
 use tailwise_trace::time::Duration;
 use tailwise_trace::Trace;
 
@@ -40,13 +41,6 @@ pub struct UserModel {
     pub sessions_per_day: f64,
     /// Median foreground session length.
     pub median_session: Duration,
-}
-
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl UserModel {
@@ -79,8 +73,7 @@ impl UserModel {
                 // Each session uses one foreground app (users rarely split
                 // attention between two foreground apps).
                 let app = &self.foreground_apps[si % self.foreground_apps.len()];
-                let mut rng =
-                    StdRng::seed_from_u64(splitmix(self.seed ^ (0xF000 + si as u64)));
+                let mut rng = StdRng::seed_from_u64(splitmix(self.seed ^ (0xF000 + si as u64)));
                 let t = app.generate(*dur, &mut rng);
                 let shift = *start - tailwise_trace::Instant::ZERO;
                 let shifted: Vec<_> = t.into_iter().map(|p| p.shifted(shift)).collect();
@@ -252,11 +245,7 @@ mod tests {
         let u = UserModel::verizon_3g_users()[0].scaled_to_days(1);
         let t = u.generate();
         let night = t.slice(Instant::from_secs(2 * 3600), Instant::from_secs(5 * 3600));
-        assert!(
-            night.len() > 100,
-            "only {} packets between 2 am and 5 am",
-            night.len()
-        );
+        assert!(night.len() > 100, "only {} packets between 2 am and 5 am", night.len());
     }
 
     #[test]

@@ -18,7 +18,11 @@ fn main() {
     println!("user     : {}", user.name);
     println!("workload : {}", trace.summary());
     let apps = trace.apps();
-    println!("apps     : {} distinct, {:?} packets each", apps.len(), apps.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    println!(
+        "apps     : {} distinct, {:?} packets each",
+        apps.len(),
+        apps.iter().map(|(_, c)| *c).collect::<Vec<_>>()
+    );
 
     let profile = CarrierProfile::verizon_3g();
     let config = SimConfig::default();

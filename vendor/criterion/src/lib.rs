@@ -1,0 +1,345 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the `criterion` 0.5 API the workspace's
+//! benches use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until `measurement_time` elapses (default 300 ms — small, so
+//! `cargo test` finishes fast; tune per group with
+//! [`BenchmarkGroup::measurement_time`]). Results print as median
+//! ns/iteration plus derived throughput when one was declared. There is
+//! no statistical analysis, plotting, or baseline persistence — this is a
+//! smoke-measurement harness that keeps bench code compiling and gives
+//! order-of-magnitude numbers.
+//!
+//! Passing `--test` (what `cargo test` does for harness-less bench
+//! targets) switches to a single-iteration sanity run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Workload magnitude declared for a benchmark, used to derive
+/// throughput from the measured time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier (name, or name + parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: one call, also used to size the timed batches.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((0.01 / once) as usize).clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.samples.push(0.0);
+            return;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(label: &str, ns_per_iter: f64, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("bench {label:<40} ok (test mode)");
+        return;
+    }
+    let mut line = format!("bench {label:<40} {:>12}/iter", human_time(ns_per_iter));
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / ns_per_iter * 1e3),
+            Throughput::Bytes(n) => {
+                format!("{:.3} MiB/s", n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64)
+            }
+        };
+        line.push_str(&format!("  {per_sec:>16}"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { test_mode: false, measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` → sanity mode).
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(id.label.clone(), self.test_mode, self.measurement_time, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: String,
+    test_mode: bool,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher { samples: &mut samples, test_mode, measurement_time };
+    f(&mut bencher);
+    report(&label, median(&mut samples), throughput, test_mode);
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            format!("{}/{}", self.name, id.label),
+            self.criterion.test_mode,
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks one routine with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion { test_mode: false, measurement_time: Duration::from_millis(5) };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_support_throughput_and_batched() {
+        let mut c = Criterion { test_mode: true, measurement_time: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::new("n", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

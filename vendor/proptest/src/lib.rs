@@ -1,0 +1,405 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the `proptest` 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges, tuples, and [`prop::collection::vec`];
+//! * [`test_runner::ProptestConfig`] / [`test_runner::TestRunner`].
+//!
+//! Differences from upstream, deliberately accepted for an offline stub:
+//! no shrinking (failures report the case number and seed instead of a
+//! minimized input) and no persistence files. Case generation is fully
+//! deterministic: case `i` of every test derives its RNG from a fixed
+//! base seed, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy producing a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// The `prop::` namespace (`proptest::prelude::prop`).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy value (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.random::<bool>()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Allowed lengths of a generated collection.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi_exclusive: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange { lo: r.start, hi_exclusive: r.end }
+            }
+        }
+
+        /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is drawn from `size` (a `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.lo + 1 == self.size.hi_exclusive {
+                    self.size.lo
+                } else {
+                    rng.random_range(self.size.lo..self.size.hi_exclusive)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (subset of upstream's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    /// Runs the cases of one property test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case with a deterministic
+        /// per-case RNG; panics (failing the host `#[test]`) on the first
+        /// case error.
+        pub fn run(
+            &mut self,
+            name: &str,
+            mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        ) {
+            // Mix the test name into the stream so distinct tests explore
+            // distinct inputs, deterministically.
+            let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            for i in 0..self.config.cases {
+                let seed = name_hash ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Err(e) = case(&mut rng) {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed (reproduce with seed {:#x}):\n{}",
+                        i + 1,
+                        self.config.cases,
+                        name,
+                        seed,
+                        e.message
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests (subset of upstream's `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", &l, &r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, y in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((0u32..10, prop::bool::ANY).prop_map(|(n, b)| if b { n } else { 0 }), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&n| n < 10));
+        }
+
+        #[test]
+        fn fixed_size_vecs(v in prop::collection::vec(0.0f64..10.0, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Doc comments and extra attributes must pass through.
+        #[test]
+        fn config_override_applies(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            // No #[test] here: invoked directly below to observe the panic.
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
