@@ -61,6 +61,14 @@ COMMANDS
                      --threads <t>        (default: all hardware threads)
                      --seed <n>           (master seed, default 1)
                      --shard <n>          (users per shard, default 64)
+  fleet run <file.toml>
+                   run an on-disk scenario file (docs/SCENARIO_FORMAT.md);
+                   files with [[sweep]] axes expand into a matrix of runs
+                   and fold into one side-by-side comparison table
+                     --threads <t>        (default: all hardware threads)
+  fleet export <out.toml>
+                   write the flag-built fleet scenario to a scenario file
+                     (accepts the same flags as `fleet`, minus --threads)
   carriers         print the built-in carrier profiles
   help             this text
 ";
@@ -95,24 +103,11 @@ fn dispatch(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn carrier_from(args: &Args) -> Result<CarrierProfile, ArgError> {
-    match args.opt_or("carrier", "att") {
-        "tmobile" | "tmobile-3g" => Ok(CarrierProfile::tmobile_3g()),
-        "att" | "att-hspa" => Ok(CarrierProfile::att_hspa()),
-        "verizon-3g" => Ok(CarrierProfile::verizon_3g()),
-        "verizon-lte" => Ok(CarrierProfile::verizon_lte()),
-        "sprint-3g" => Ok(CarrierProfile::sprint_3g()),
-        "sprint-lte" => Ok(CarrierProfile::sprint_lte()),
-        other => Err(ArgError(format!("unknown carrier {other:?}; see `tailwise carriers`"))),
-    }
+    args.opt_or("carrier", "att").parse().map_err(ArgError)
 }
 
 fn app_from(name: &str) -> Result<AppKind, ArgError> {
-    AppKind::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
-        ArgError(format!(
-            "unknown app {name:?}; one of {}",
-            AppKind::ALL.map(|k| k.name().to_lowercase()).join(", ")
-        ))
-    })
+    name.parse().map_err(ArgError)
 }
 
 fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
@@ -274,33 +269,26 @@ fn cmd_attribute(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn scheme_from(name: &str) -> Result<Scheme, ArgError> {
-    match name {
-        "statusquo" | "status-quo" => Ok(Scheme::StatusQuo),
-        "tail45" | "4.5s" => Ok(Scheme::FixedTail45),
-        "iat95" | "95iat" => Ok(Scheme::PercentileIat(0.95)),
-        "makeidle" => Ok(Scheme::MakeIdle),
-        "oracle" => Ok(Scheme::Oracle),
-        "makeidle-activefix" | "activefix" => Ok(Scheme::MakeIdleActiveFix),
-        "makeidle-activelearn" | "activelearn" => Ok(Scheme::MakeIdleActiveLearn),
-        other => Err(ArgError(format!(
-            "unknown scheme {other:?}; one of statusquo, tail45, iat95, makeidle, \
-             oracle, makeidle-activefix, makeidle-activelearn"
-        ))),
+    name.parse().map_err(ArgError)
+}
+
+fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    match args.opt_parse("threads")? {
+        Some(t) if t > 0 => Ok(t),
+        Some(_) => Err(Box::new(ArgError("--threads must be positive".into()))),
+        None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
     }
 }
 
-fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.check_known(&["users", "scheme", "carrier", "days", "threads", "seed", "shard"])?;
+/// Builds the scenario described by the `fleet` / `fleet export` flags.
+fn fleet_scenario_from_flags(
+    args: &Args,
+) -> Result<tailwise_fleet::Scenario, Box<dyn std::error::Error>> {
     let users: u64 = args.opt_parse("users")?.unwrap_or(1000);
     let scheme = scheme_from(args.opt_or("scheme", "makeidle"))?;
     let carrier = match args.opt("carrier") {
         Some(_) => carrier_from(args)?,
         None => CarrierProfile::verizon_lte(),
-    };
-    let threads: usize = match args.opt_parse("threads")? {
-        Some(t) if t > 0 => t,
-        Some(_) => return Err(Box::new(ArgError("--threads must be positive".into()))),
-        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     };
     let mut scenario = tailwise_fleet::Scenario::new(users, scheme, carrier);
     scenario.master_seed = args.opt_parse("seed")?.unwrap_or(1);
@@ -310,6 +298,24 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(shard) = args.opt_parse::<u64>("shard")? {
         scenario.shard_size = shard.max(1);
     }
+    Ok(scenario)
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.positional(0) {
+        Some("run") => return cmd_fleet_run(args),
+        Some("export") => return cmd_fleet_export(args),
+        Some(other) => {
+            return Err(Box::new(ArgError(format!(
+                "unknown fleet subcommand {other:?}; expected `run <file.toml>`, \
+                 `export <out.toml>`, or flags only"
+            ))))
+        }
+        None => {}
+    }
+    args.check_known(&["users", "scheme", "carrier", "days", "threads", "seed", "shard"])?;
+    let threads = threads_from(args)?;
+    let scenario = fleet_scenario_from_flags(args)?;
     println!(
         "simulating {} users × {} day(s) of {} on {} ({} threads, seed {})…",
         scenario.users,
@@ -321,6 +327,70 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = tailwise_fleet::run(&scenario, threads);
     print!("{}", report.render());
+    Ok(())
+}
+
+/// `tailwise fleet run <file.toml>`: execute an on-disk scenario file —
+/// a single fleet run, or a sweep matrix folded into one comparison
+/// table.
+fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["threads"])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet run needs a scenario file path".into()))?;
+    if let Some(extra) = args.positional(2) {
+        return Err(Box::new(ArgError(format!(
+            "fleet run takes exactly one scenario file, got extra operand {extra:?} \
+             (run files one at a time, or express the matrix as [[sweep]] axes in one file)"
+        ))));
+    }
+    let set = tailwise_fleet::ScenarioSet::from_file(path)?;
+    let threads = threads_from(args)?;
+    if set.is_sweep() {
+        println!(
+            "running {} from {path}: {} scenario(s) across {} sweep axis(es), {} threads…",
+            set.base.name,
+            set.expansion_count(),
+            set.axes.len(),
+            threads,
+        );
+        let report = tailwise_fleet::run_sweep(&set, threads);
+        print!("{}", report.render());
+    } else {
+        println!(
+            "running {} from {path}: {} users × {} day(s) of {} ({} threads, seed {})…",
+            set.base.name,
+            set.base.users,
+            set.base.days_per_user,
+            set.base.scheme.label(),
+            threads,
+            set.base.master_seed,
+        );
+        let report = tailwise_fleet::run(&set.base, threads);
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// `tailwise fleet export <out.toml>`: write the flag-built scenario to
+/// a scenario file (the starting point for hand-edited experiments).
+fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["users", "scheme", "carrier", "days", "seed", "shard"])?;
+    let out =
+        args.positional(1).ok_or_else(|| ArgError("fleet export needs an output path".into()))?;
+    if let Some(extra) = args.positional(2) {
+        return Err(Box::new(ArgError(format!(
+            "fleet export takes exactly one output path, got extra operand {extra:?}"
+        ))));
+    }
+    let scenario = fleet_scenario_from_flags(args)?;
+    scenario.to_file(out).map_err(ArgError)?;
+    println!(
+        "wrote {out}: {} users × {} day(s) of {} (run with `tailwise fleet run {out}`)",
+        scenario.users,
+        scenario.days_per_user,
+        scenario.scheme.label(),
+    );
     Ok(())
 }
 

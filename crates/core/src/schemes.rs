@@ -78,6 +78,18 @@ impl Scheme {
         }
     }
 
+    /// The canonical scheme names accepted by `Scheme::from_str`,
+    /// for error messages and documentation.
+    pub const NAMES: [&'static str; 7] = [
+        "statusquo",
+        "tail45",
+        "iat95",
+        "makeidle",
+        "oracle",
+        "makeidle-activefix",
+        "makeidle-activelearn",
+    ];
+
     /// Runs the scheme over `trace` on `profile`, with the paper's
     /// always-accept fast-dormancy assumption.
     pub fn run(&self, profile: &CarrierProfile, config: &SimConfig, trace: &Trace) -> SimReport {
@@ -114,6 +126,63 @@ impl Scheme {
         };
         report.scheme = self.label();
         report
+    }
+}
+
+/// The stable on-disk/CLI token of each scheme.
+///
+/// Round-trips through `Scheme::from_str` for every scheme in
+/// [`Scheme::NAMES`] (scenario files and the `tailwise` CLI rely on
+/// this). `PercentileIat(q)` renders as `iat<percent>` with the percent
+/// in shortest round-trip float form (`iat95`, `iat87.5`); re-parsing
+/// recovers `q` exactly whenever `q` itself came from such a token.
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::StatusQuo => f.write_str("statusquo"),
+            Scheme::FixedTail45 => f.write_str("tail45"),
+            Scheme::PercentileIat(q) => {
+                let pct = q * 100.0;
+                if pct.fract() == 0.0 {
+                    write!(f, "iat{}", pct as i64)
+                } else {
+                    write!(f, "iat{pct:?}")
+                }
+            }
+            Scheme::MakeIdle => f.write_str("makeidle"),
+            Scheme::Oracle => f.write_str("oracle"),
+            Scheme::MakeIdleActiveFix => f.write_str("makeidle-activefix"),
+            Scheme::MakeIdleActiveLearn => f.write_str("makeidle-activelearn"),
+        }
+    }
+}
+
+/// Parses a scheme token (canonical names plus a few historical CLI
+/// aliases), case-insensitively.
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scheme, String> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "statusquo" | "status-quo" => return Ok(Scheme::StatusQuo),
+            "tail45" | "4.5s" => return Ok(Scheme::FixedTail45),
+            "95iat" => return Ok(Scheme::PercentileIat(0.95)),
+            "makeidle" => return Ok(Scheme::MakeIdle),
+            "oracle" => return Ok(Scheme::Oracle),
+            "makeidle-activefix" | "activefix" => return Ok(Scheme::MakeIdleActiveFix),
+            "makeidle-activelearn" | "activelearn" => return Ok(Scheme::MakeIdleActiveLearn),
+            _ => {}
+        }
+        if let Some(pct) = lower.strip_prefix("iat") {
+            let pct: f64 =
+                pct.parse().map_err(|_| format!("invalid IAT percentile in scheme {s:?}"))?;
+            if !(0.0..100.0).contains(&pct) || pct <= 0.0 {
+                return Err(format!("IAT percentile must be in (0, 100), got {pct}"));
+            }
+            return Ok(Scheme::PercentileIat(pct / 100.0));
+        }
+        Err(format!("unknown scheme {s:?}; one of {}", Scheme::NAMES.join(", ")))
     }
 }
 
@@ -201,6 +270,31 @@ mod tests {
         // And the batched run actually delayed some sessions.
         assert!(!learn.session_delays.is_empty());
         assert!(learn.batching_rounds > 0);
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        let mut all = vec![Scheme::StatusQuo];
+        all.extend(Scheme::paper_set());
+        for scheme in all {
+            let token = scheme.to_string();
+            assert!(Scheme::NAMES.contains(&token.as_str()), "{token} not in NAMES");
+            assert_eq!(token.parse::<Scheme>().unwrap(), scheme, "{token}");
+        }
+        // Fractional percentiles round-trip through the iat<pct> form.
+        let odd = Scheme::PercentileIat(0.875);
+        assert_eq!(odd.to_string(), "iat87.5");
+        assert_eq!("iat87.5".parse::<Scheme>().unwrap(), odd);
+        // Aliases and case-insensitivity.
+        assert_eq!("MakeIdle".parse::<Scheme>().unwrap(), Scheme::MakeIdle);
+        assert_eq!("95iat".parse::<Scheme>().unwrap(), Scheme::PercentileIat(0.95));
+        assert_eq!("activelearn".parse::<Scheme>().unwrap(), Scheme::MakeIdleActiveLearn);
+        // Rejections name the valid set.
+        let err = "makeactive".parse::<Scheme>().unwrap_err();
+        assert!(err.contains("makeidle-activefix"), "{err}");
+        assert!("iat0".parse::<Scheme>().is_err());
+        assert!("iat100".parse::<Scheme>().is_err());
+        assert!("iatx".parse::<Scheme>().is_err());
     }
 
     #[test]

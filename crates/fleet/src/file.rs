@@ -1,0 +1,654 @@
+//! The on-disk scenario schema: mapping between [`Scenario`] /
+//! [`ScenarioSet`] and the TOML-subset documents of
+//! `tailwise-scenfile`.
+//!
+//! The format itself is specified key-by-key in
+//! `docs/SCENARIO_FORMAT.md`; this module is the single point where
+//! that spec is enforced. Schema errors reuse the parser's
+//! line/column-carrying [`ScenError`], so `scheme = "makeidel"` fails
+//! with the exact position of the bad token, and unknown keys are
+//! rejected rather than ignored (`deny_unknown`).
+//!
+//! Round-trip contract: for any scenario whose carrier profiles are
+//! built-in presets (the only carriers the format can name) and whose
+//! engine config only customizes the exposed `[sim]` keys,
+//! `scenario_from_doc(parse(scenario_to_toml(s))) == s` — pinned by a
+//! property test in this module.
+
+use tailwise_core::schemes::Scheme;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_scenfile::{parse, str_elements, u64_elements, DocWriter, ScenError, Table};
+use tailwise_sim::engine::SimConfig;
+use tailwise_trace::time::Duration;
+use tailwise_workload::apps::AppKind;
+
+use crate::scenario::Scenario;
+use crate::sweep::{ScenarioSet, SweepAxis};
+
+/// Parses a full scenario document (base scenario + any sweep axes).
+pub(crate) fn set_from_str(src: &str) -> Result<ScenarioSet, ScenError> {
+    let doc = parse(src)?;
+    doc.deny_unknown(&[], &["scenario", "sim"], &["carrier", "app", "sweep"])?;
+
+    let scenario_table = doc
+        .table("scenario")
+        .ok_or_else(|| ScenError::at(doc.pos(), "missing required table `[scenario]`"))?;
+    scenario_table.deny_unknown(
+        &["name", "users", "days_per_user", "scheme", "master_seed", "shard_size"],
+        &[],
+        &[],
+    )?;
+
+    let users = scenario_table.req_u64("users")?;
+    let days_per_user = match scenario_table.get_u32("days_per_user")? {
+        Some(0) => return Err(at_least_one(scenario_table, "days_per_user")),
+        Some(days) => days,
+        None => 1,
+    };
+    let scheme = match scenario_table.get_str("scheme")? {
+        None => Scheme::MakeIdle,
+        Some(token) => parse_token::<Scheme>(scenario_table, "scheme", token)?,
+    };
+    let master_seed = scenario_table.get_u64("master_seed")?.unwrap_or(1);
+    let shard_size = match scenario_table.get_u64("shard_size")? {
+        Some(0) => return Err(at_least_one(scenario_table, "shard_size")),
+        Some(shard) => shard,
+        None => 64,
+    };
+
+    let carrier_mix = weighted_entries(&doc, "carrier", "profile", |table, token| {
+        parse_token::<CarrierProfile>(table, "profile", token)
+    })?;
+    let app_mix = weighted_entries(&doc, "app", "kind", |table, token| {
+        parse_token::<AppKind>(table, "kind", token)
+    })?;
+
+    let sim = sim_from_doc(&doc)?;
+
+    let name = match scenario_table.get_str("name")? {
+        Some(name) => name.to_string(),
+        None => default_name(users, &scheme, &carrier_mix),
+    };
+
+    let base = Scenario {
+        name,
+        users,
+        days_per_user,
+        scheme,
+        carrier_mix,
+        app_mix,
+        master_seed,
+        shard_size,
+        sim,
+    };
+    let axes = sweep_axes(&doc)?;
+    Ok(ScenarioSet { base, axes })
+}
+
+/// Serializes a scenario (and optional sweep axes) to document text
+/// that parses back to the same values.
+pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String, String> {
+    check_sim_representable(&base.sim)?;
+    for (field, value) in [
+        ("days_per_user", u64::from(base.days_per_user)),
+        ("shard_size", base.shard_size),
+        ("window_capacity", base.sim.window_capacity as u64),
+    ] {
+        if value == 0 {
+            return Err(format!("{field} of 0 is not representable (scenario files require ≥ 1)"));
+        }
+    }
+    let mut w = DocWriter::new();
+    w.comment("tailwise fleet scenario — run with: tailwise fleet run <this file>")
+        .comment("format spec: docs/SCENARIO_FORMAT.md");
+    w.blank().table("scenario");
+    w.str("name", &base.name);
+    w.uint("users", base.users);
+    w.uint("days_per_user", u64::from(base.days_per_user));
+    w.str("scheme", &scheme_token(&base.scheme)?);
+    w.uint("master_seed", base.master_seed);
+    w.uint("shard_size", base.shard_size);
+
+    w.blank().table("sim");
+    w.float("intra_burst_gap_s", base.sim.intra_burst_gap.as_secs_f64());
+    w.uint("window_capacity", base.sim.window_capacity as u64);
+
+    for (profile, weight) in &base.carrier_mix {
+        let slug = profile.slug().ok_or_else(|| {
+            format!(
+                "carrier profile {:?} does not match any built-in preset; \
+                 scenario files can only name presets ({})",
+                profile.name,
+                CarrierProfile::PRESET_SLUGS.join(", ")
+            )
+        })?;
+        check_weight(*weight, slug)?;
+        w.blank().array_table("carrier").str("profile", slug).float("weight", *weight);
+    }
+    for (kind, weight) in &base.app_mix {
+        check_weight(*weight, kind.token())?;
+        w.blank().array_table("app").str("kind", kind.token()).float("weight", *weight);
+    }
+    for axis in axes {
+        w.blank().array_table("sweep");
+        match axis {
+            SweepAxis::Schemes(schemes) => {
+                let tokens =
+                    schemes.iter().map(scheme_token).collect::<Result<Vec<String>, String>>()?;
+                w.str("axis", "scheme").str_array("values", &tokens);
+            }
+            SweepAxis::Carriers(carriers) => {
+                let slugs = carriers
+                    .iter()
+                    .map(|c| {
+                        c.slug().map(str::to_string).ok_or_else(|| {
+                            format!("sweep carrier {:?} is not a built-in preset", c.name)
+                        })
+                    })
+                    .collect::<Result<Vec<String>, String>>()?;
+                w.str("axis", "carrier").str_array("values", &slugs);
+            }
+            SweepAxis::Users(sizes) => {
+                w.str("axis", "users").uint_array("values", sizes);
+            }
+        }
+    }
+    Ok(w.finish())
+}
+
+/// The scheme's on-disk token, verified loadable: the token must parse
+/// back to the identical scheme, so `to_file` can never produce a file
+/// `from_file` rejects (e.g. `PercentileIat(1.0)` would print `iat100`,
+/// which the parser refuses) or reads back differently.
+fn scheme_token(scheme: &Scheme) -> Result<String, String> {
+    let token = scheme.to_string();
+    match token.parse::<Scheme>() {
+        Ok(parsed) if parsed == *scheme => Ok(token),
+        _ => Err(format!(
+            "scheme {scheme:?} has no loadable on-disk token ({token:?} does not parse back \
+             to it); IAT percentiles must lie strictly inside (0, 1)"
+        )),
+    }
+}
+
+/// Errors when the engine config customizes a field the on-disk format
+/// cannot express — the alternative is a `to_file` that succeeds and a
+/// `from_file` that silently returns a different scenario.
+fn check_sim_representable(sim: &SimConfig) -> Result<(), String> {
+    let default = SimConfig::default();
+    let hidden = [
+        ("record_decisions", sim.record_decisions == default.record_decisions),
+        ("decision_log_limit", sim.decision_log_limit == default.decision_log_limit),
+        ("record_timeline", sim.record_timeline == default.record_timeline),
+        ("timeline_limit", sim.timeline_limit == default.timeline_limit),
+        ("record_transitions", sim.record_transitions == default.record_transitions),
+        ("transition_log_limit", sim.transition_log_limit == default.transition_log_limit),
+    ];
+    match hidden.iter().find(|(_, unchanged)| !unchanged) {
+        None => Ok(()),
+        Some((field, _)) => Err(format!(
+            "sim config field `{field}` differs from its default and is not representable \
+             in scenario files (only intra_burst_gap_s and window_capacity are; see \
+             docs/SCENARIO_FORMAT.md §2.2)"
+        )),
+    }
+}
+
+/// A positioned "must be at least 1" error for `key` — zero is always a
+/// bug in the file (the format's rule is loud failure, never a silent
+/// clamp that runs a different experiment than the author wrote).
+fn at_least_one(table: &Table, key: &str) -> ScenError {
+    let pos = table.get(key).map(|i| i.pos).unwrap_or(table.pos());
+    ScenError::at(pos, format!("`{key}` must be at least 1"))
+}
+
+fn check_weight(weight: f64, what: &str) -> Result<(), String> {
+    if weight.is_finite() && weight > 0.0 {
+        Ok(())
+    } else {
+        Err(format!("weight of {what:?} must be a positive finite number, got {weight}"))
+    }
+}
+
+/// Parses the `[[carrier]]` / `[[app]]` weighted-entry arrays.
+fn weighted_entries<T>(
+    doc: &Table,
+    array: &str,
+    token_key: &str,
+    parse_entry: impl Fn(&Table, &str) -> Result<T, ScenError>,
+) -> Result<Vec<(T, f64)>, ScenError> {
+    let tables = doc.array_of_tables(array);
+    if tables.is_empty() {
+        return Err(ScenError::at(
+            doc.pos(),
+            format!("scenario needs at least one `[[{array}]]` entry"),
+        ));
+    }
+    let mut out = Vec::with_capacity(tables.len());
+    for table in tables {
+        table.deny_unknown(&[token_key, "weight"], &[], &[])?;
+        let token = table.req_str(token_key)?;
+        let value = parse_entry(table, token)?;
+        let weight = table.get_float("weight")?.unwrap_or(1.0);
+        if !(weight.is_finite() && weight > 0.0) {
+            let pos = table.get("weight").map(|i| i.pos).unwrap_or(table.pos());
+            return Err(ScenError::at(pos, format!("`weight` must be positive, got {weight}")));
+        }
+        out.push((value, weight));
+    }
+    Ok(out)
+}
+
+fn sim_from_doc(doc: &Table) -> Result<SimConfig, ScenError> {
+    let mut sim = SimConfig::default();
+    let Some(table) = doc.table("sim") else { return Ok(sim) };
+    table.deny_unknown(&["intra_burst_gap_s", "window_capacity"], &[], &[])?;
+    if let Some(gap) = table.get_float("intra_burst_gap_s")? {
+        if !(gap.is_finite() && gap > 0.0) {
+            let pos = table.get("intra_burst_gap_s").map(|i| i.pos).unwrap_or(table.pos());
+            return Err(ScenError::at(
+                pos,
+                format!("`intra_burst_gap_s` must be positive, got {gap}"),
+            ));
+        }
+        sim.intra_burst_gap = Duration::from_secs_f64(gap);
+    }
+    match table.get_u64("window_capacity")? {
+        Some(0) => return Err(at_least_one(table, "window_capacity")),
+        Some(capacity) => sim.window_capacity = capacity as usize,
+        None => {}
+    }
+    Ok(sim)
+}
+
+fn sweep_axes(doc: &Table) -> Result<Vec<SweepAxis>, ScenError> {
+    let mut axes = Vec::new();
+    for table in doc.array_of_tables("sweep") {
+        table.deny_unknown(&["axis", "values"], &[], &[])?;
+        let axis = table.req_str("axis")?;
+        let values = table.req_array("values")?;
+        if values.is_empty() {
+            let pos = table.get("values").map(|i| i.pos).unwrap_or(table.pos());
+            return Err(ScenError::at(pos, "sweep `values` must not be empty"));
+        }
+        let axis_pos = table.get("axis").map(|i| i.pos).unwrap_or(table.pos());
+        axes.push(match axis {
+            "scheme" => SweepAxis::Schemes(
+                str_elements("values", values)?
+                    .into_iter()
+                    .map(|token| token.parse::<Scheme>().map_err(|e| ScenError::at(axis_pos, e)))
+                    .collect::<Result<Vec<Scheme>, ScenError>>()?,
+            ),
+            "carrier" => SweepAxis::Carriers(
+                str_elements("values", values)?
+                    .into_iter()
+                    .map(|token| {
+                        token.parse::<CarrierProfile>().map_err(|e| ScenError::at(axis_pos, e))
+                    })
+                    .collect::<Result<Vec<CarrierProfile>, ScenError>>()?,
+            ),
+            "users" => SweepAxis::Users(u64_elements("values", values)?),
+            other => {
+                return Err(ScenError::at(
+                    axis_pos,
+                    format!("unknown sweep axis {other:?}; one of scheme, carrier, users"),
+                ))
+            }
+        });
+    }
+    Ok(axes)
+}
+
+/// Parses a string token bound to `key` into `T`, anchoring failures at
+/// the token's position in the file.
+fn parse_token<T: std::str::FromStr<Err = String>>(
+    table: &Table,
+    key: &str,
+    token: &str,
+) -> Result<T, ScenError> {
+    token.parse::<T>().map_err(|message| {
+        let pos = table.get(key).map(|i| i.pos).unwrap_or(table.pos());
+        ScenError::at(pos, message)
+    })
+}
+
+fn default_name(users: u64, scheme: &Scheme, carrier_mix: &[(CarrierProfile, f64)]) -> String {
+    match carrier_mix {
+        [(only, _)] => format!("{} × {} on {}", users, scheme.label(), only.name),
+        _ => format!("{} × {} on {} carriers", users, scheme.label(), carrier_mix.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tailwise_scenfile::Pos;
+
+    const MINIMAL: &str = concat!(
+        "[scenario]\n",
+        "users = 40\n",
+        "\n",
+        "[[carrier]]\n",
+        "profile = \"verizon-lte\"\n",
+        "\n",
+        "[[app]]\n",
+        "kind = \"im\"\n",
+    );
+
+    #[test]
+    fn minimal_file_fills_defaults() {
+        let set = set_from_str(MINIMAL).unwrap();
+        assert!(!set.is_sweep());
+        let s = &set.base;
+        assert_eq!(s.users, 40);
+        assert_eq!(s.days_per_user, 1);
+        assert_eq!(s.scheme, Scheme::MakeIdle);
+        assert_eq!(s.master_seed, 1);
+        assert_eq!(s.shard_size, 64);
+        assert_eq!(s.carrier_mix.len(), 1);
+        assert_eq!(s.carrier_mix[0].1, 1.0);
+        assert_eq!(s.app_mix, vec![(AppKind::Im, 1.0)]);
+        assert_eq!(s.sim, SimConfig::default());
+        assert_eq!(s.name, "40 × MakeIdle on Verizon LTE");
+    }
+
+    #[test]
+    fn full_file_round_trips_every_field() {
+        let src = concat!(
+            "[scenario]\n",
+            "name = \"full house\"\n",
+            "users = 1_000\n",
+            "days_per_user = 3\n",
+            "scheme = \"makeidle-activelearn\"\n",
+            "master_seed = 0xF1EE7\n",
+            "shard_size = 32\n",
+            "\n",
+            "[sim]\n",
+            "intra_burst_gap_s = 0.25\n",
+            "window_capacity = 150\n",
+            "\n",
+            "[[carrier]]\n",
+            "profile = \"att-hspa\"\n",
+            "weight = 3.0\n",
+            "\n",
+            "[[carrier]]\n",
+            "profile = \"verizon-lte\"\n",
+            "\n",
+            "[[app]]\n",
+            "kind = \"im\"\n",
+            "weight = 2.5\n",
+            "\n",
+            "[[app]]\n",
+            "kind = \"finance\"\n",
+        );
+        let set = set_from_str(src).unwrap();
+        let s = &set.base;
+        assert_eq!(s.name, "full house");
+        assert_eq!((s.users, s.days_per_user, s.master_seed, s.shard_size), (1000, 3, 0xF1EE7, 32));
+        assert_eq!(s.scheme, Scheme::MakeIdleActiveLearn);
+        assert_eq!(s.sim.intra_burst_gap, Duration::from_secs_f64(0.25));
+        assert_eq!(s.sim.window_capacity, 150);
+        assert_eq!(s.carrier_mix[0].0, CarrierProfile::att_hspa());
+        assert_eq!(s.carrier_mix[0].1, 3.0);
+        assert_eq!(s.carrier_mix[1].1, 1.0);
+
+        // And through the writer: emitted text reparses to an equal set.
+        let text = set_to_toml(s, &set.axes).unwrap();
+        let again = set_from_str(&text).unwrap();
+        assert_eq!(again.base, *s);
+        assert_eq!(again.axes, set.axes);
+    }
+
+    #[test]
+    fn sweep_axes_parse_and_serialize() {
+        let src = concat!(
+            "[scenario]\n",
+            "users = 10\n",
+            "[[carrier]]\n",
+            "profile = \"att-hspa\"\n",
+            "[[app]]\n",
+            "kind = \"im\"\n",
+            "[[sweep]]\n",
+            "axis = \"scheme\"\n",
+            "values = [\"statusquo\", \"makeidle\", \"oracle\"]\n",
+            "[[sweep]]\n",
+            "axis = \"users\"\n",
+            "values = [10, 100]\n",
+        );
+        let set = set_from_str(src).unwrap();
+        assert!(set.is_sweep());
+        assert_eq!(set.axes.len(), 2);
+        assert_eq!(
+            set.axes[0],
+            SweepAxis::Schemes(vec![Scheme::StatusQuo, Scheme::MakeIdle, Scheme::Oracle])
+        );
+        assert_eq!(set.axes[1], SweepAxis::Users(vec![10, 100]));
+
+        let text = set_to_toml(&set.base, &set.axes).unwrap();
+        let again = set_from_str(&text).unwrap();
+        assert_eq!(again.axes, set.axes);
+    }
+
+    // ------------------------------------------------------------------
+    // Golden schema errors: position and message.
+
+    fn err_of(src: &str) -> ScenError {
+        set_from_str(src).expect_err("expected a schema error")
+    }
+
+    #[test]
+    fn golden_missing_scenario_table() {
+        let e = err_of("[[carrier]]\nprofile = \"att-hspa\"\n");
+        assert_eq!(e.pos, Pos::new(1, 1));
+        assert!(e.message.contains("missing required table `[scenario]`"), "{e}");
+    }
+
+    #[test]
+    fn golden_missing_users_points_at_scenario_header() {
+        let e = err_of(
+            "[scenario]\nname = \"x\"\n[[carrier]]\nprofile = \"att\"\n[[app]]\nkind = \"im\"\n",
+        );
+        assert_eq!(e.pos, Pos::new(1, 1));
+        assert!(e.message.contains("missing required key `users`"), "{e}");
+    }
+
+    #[test]
+    fn golden_unknown_key_is_rejected_with_position() {
+        let e = err_of("[scenario]\nusers = 5\nshardsize = 8\n");
+        assert_eq!(e.pos, Pos::new(3, 1));
+        assert!(e.message.contains("unknown key `shardsize`"), "{e}");
+        assert!(e.message.contains("shard_size"), "suggests the valid keys: {e}");
+    }
+
+    #[test]
+    fn golden_bad_scheme_token_points_at_value() {
+        let e = err_of("[scenario]\nusers = 5\nscheme = \"makeidel\"\n");
+        assert_eq!(e.pos, Pos::new(3, 10));
+        assert!(e.message.contains("unknown scheme \"makeidel\""), "{e}");
+    }
+
+    #[test]
+    fn golden_bad_carrier_slug() {
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"verizon\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(4, 11));
+        assert!(e.message.contains("unknown carrier \"verizon\""), "{e}");
+        assert!(e.message.contains("verizon-lte"), "{e}");
+    }
+
+    #[test]
+    fn golden_missing_carrier_array() {
+        let e = err_of("[scenario]\nusers = 5\n[[app]]\nkind = \"im\"\n");
+        assert!(e.message.contains("at least one `[[carrier]]`"), "{e}");
+    }
+
+    #[test]
+    fn golden_negative_weight() {
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\nweight = -1.0\n",
+            "[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 10));
+        assert!(e.message.contains("`weight` must be positive"), "{e}");
+    }
+
+    #[test]
+    fn golden_bad_sweep_axis() {
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\naxis = \"shards\"\nvalues = [1]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(8, 8));
+        assert!(e.message.contains("unknown sweep axis \"shards\""), "{e}");
+    }
+
+    #[test]
+    fn golden_empty_sweep_values() {
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\naxis = \"users\"\nvalues = []\n",
+        ));
+        assert_eq!(e.pos, Pos::new(9, 10));
+        assert!(e.message.contains("must not be empty"), "{e}");
+    }
+
+    #[test]
+    fn golden_zero_values_are_rejected_not_clamped() {
+        let zero_shard = concat!(
+            "[scenario]\nusers = 5\nshard_size = 0\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let e = err_of(zero_shard);
+        assert_eq!(e.pos, Pos::new(3, 14));
+        assert!(e.message.contains("`shard_size` must be at least 1"), "{e}");
+
+        let zero_days = zero_shard.replace("shard_size", "days_per_user");
+        let e = err_of(&zero_days);
+        assert!(e.message.contains("`days_per_user` must be at least 1"), "{e}");
+
+        let zero_window = concat!(
+            "[scenario]\nusers = 5\n",
+            "[sim]\nwindow_capacity = 0\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let e = err_of(zero_window);
+        assert_eq!(e.pos, Pos::new(4, 19));
+        assert!(e.message.contains("`window_capacity` must be at least 1"), "{e}");
+    }
+
+    #[test]
+    fn unloadable_schemes_cannot_serialize() {
+        // PercentileIat(1.0) would print `iat100`, which from_file
+        // rejects — to_file must refuse up front instead of writing an
+        // unloadable file.
+        let mut s = Scenario::new(4, Scheme::PercentileIat(1.0), CarrierProfile::att_hspa());
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.contains("no loadable on-disk token"), "{err}");
+        // …and the same guard covers sweep axis values.
+        s.scheme = Scheme::MakeIdle;
+        let axes = vec![SweepAxis::Schemes(vec![Scheme::MakeIdle, Scheme::PercentileIat(0.0)])];
+        let err = set_to_toml(&s, &axes).unwrap_err();
+        assert!(err.contains("no loadable on-disk token"), "{err}");
+    }
+
+    #[test]
+    fn hidden_sim_fields_cannot_serialize_silently() {
+        let mut s = Scenario::new(4, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        s.sim.record_decisions = true;
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.contains("`record_decisions`"), "{err}");
+        assert!(err.contains("not representable"), "{err}");
+
+        s.sim.record_decisions = false;
+        s.sim.transition_log_limit = 7;
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.contains("`transition_log_limit`"), "{err}");
+
+        // Zero-valued identity fields are equally unrepresentable.
+        s.sim = SimConfig::default();
+        s.shard_size = 0;
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.contains("shard_size of 0"), "{err}");
+    }
+
+    #[test]
+    fn mutated_profiles_cannot_serialize() {
+        let mut s = Scenario::new(4, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        s.carrier_mix[0].0.fd_energy_fraction = 0.2;
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.contains("does not match any built-in preset"), "{err}");
+    }
+
+    // ------------------------------------------------------------------
+    // Property: Scenario → to_file text → from_file → equal scenario,
+    // over the full expressible space (preset carriers, canonical
+    // schemes, µs-grained sim gaps).
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn to_toml_from_toml_round_trips(
+            (users, days, scheme_i, seed) in (0u64..100_000, 1u32..6, 0usize..7, 0u64..u64::MAX),
+            (shard, gap_us, window) in (1u64..512, 1_000i64..2_000_000, 1u64..500),
+            carrier_bits in 1u32..64,
+            app_bits in 1u32..128,
+            weights in proptest::prop::collection::vec(0.001f64..50.0, 14),
+        ) {
+            let schemes = [
+                Scheme::StatusQuo,
+                Scheme::FixedTail45,
+                Scheme::PercentileIat(0.95),
+                Scheme::MakeIdle,
+                Scheme::Oracle,
+                Scheme::MakeIdleActiveFix,
+                Scheme::MakeIdleActiveLearn,
+            ];
+            let carrier_mix: Vec<(CarrierProfile, f64)> = CarrierProfile::all_presets()
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| carrier_bits & (1 << i) != 0)
+                .map(|(i, c)| (c, weights[i]))
+                .collect();
+            let app_mix: Vec<(AppKind, f64)> = AppKind::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| app_bits & (1 << i) != 0)
+                .map(|(i, k)| (k, weights[7 + i]))
+                .collect();
+            prop_assert!(!carrier_mix.is_empty() && !app_mix.is_empty());
+            let sim = SimConfig {
+                intra_burst_gap: Duration::from_micros(gap_us),
+                window_capacity: window as usize,
+                ..SimConfig::default()
+            };
+            let scenario = Scenario {
+                name: format!("prop {users} × {seed}"),
+                users,
+                days_per_user: days,
+                scheme: schemes[scheme_i],
+                carrier_mix,
+                app_mix,
+                master_seed: seed,
+                shard_size: shard,
+                sim,
+            };
+            let text = set_to_toml(&scenario, &[]).unwrap();
+            let reparsed = set_from_str(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+            prop_assert!(reparsed.axes.is_empty());
+            prop_assert_eq!(reparsed.base, scenario);
+        }
+    }
+}

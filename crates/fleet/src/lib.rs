@@ -17,6 +17,11 @@
 //!   under test, days per user, master seed;
 //! * [`scenario`] — hierarchical seeding: user `i` is a pure function of
 //!   `(master_seed, i)`, so any worker can materialize any user;
+//! * [`mod@file`]/[`sweep`] — the on-disk scenario format
+//!   (`docs/SCENARIO_FORMAT.md`): [`Scenario::from_file`] /
+//!   [`Scenario::to_file`] round-tripping, plus [`ScenarioSet`] files
+//!   whose `[[sweep]]` axes expand into a matrix of runs folded into a
+//!   side-by-side [`SweepReport`];
 //! * [`runner`] — sharded multi-threaded execution,
 //!   generate→simulate→discard (peak memory: one trace per worker);
 //! * [`Histogram`] — fixed-bin streaming distribution with percentile
@@ -31,7 +36,9 @@
 //! `t ≥ 1`. The reduction order is fixed by the scenario's shard size,
 //! not by thread scheduling: users fold in index order within a shard,
 //! shards merge in index order at the end. The tests in this crate pin
-//! that contract at 1, 2, and 8 threads.
+//! that contract at 1, 2, and 8 threads. Sweep expansion preserves it
+//! cell-by-cell: every [`SweepReport`] cell is bit-identical to running
+//! that expansion individually.
 //!
 //! ## Quick start
 //!
@@ -51,17 +58,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod file;
 pub mod histogram;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 
 pub use histogram::Histogram;
 pub use report::FleetReport;
 pub use runner::run;
 pub use scenario::{user_seed, Scenario};
+pub use sweep::{run_sweep, ScenarioSet, SweepAxis, SweepReport, SweepRow};
 
 #[cfg(test)]
 mod tests {

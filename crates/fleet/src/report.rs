@@ -1,7 +1,7 @@
 //! Population-scale run outcomes.
 //!
 //! A [`FleetReport`] is the streaming fold of per-user
-//! [`SimReport`](tailwise_sim::report::SimReport)s: totals, a
+//! [`SimReport`]s: totals, a
 //! savings-distribution histogram, and decision-quality counts. Folds
 //! happen per shard in user order, and shard partials merge in shard
 //! order — so the report is a deterministic function of the scenario,

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
+use tailwise_scenfile::ScenError;
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::mix::splitmix64 as splitmix;
 use tailwise_trace::time::Duration;
@@ -39,7 +40,7 @@ pub fn user_seed(master_seed: u64, index: u64) -> u64 {
 /// [`FleetReport`](crate::FleetReport). Thread count deliberately does
 /// *not* appear here — it is an execution knob passed to
 /// [`run`](crate::run), and can never change the report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display name for reports.
     pub name: String,
@@ -89,6 +90,62 @@ impl Scenario {
             shard_size: 64,
             sim: SimConfig::default(),
         }
+    }
+
+    /// Loads a scenario from an on-disk file (see
+    /// `docs/SCENARIO_FORMAT.md` for the format).
+    ///
+    /// Errors — including the file declaring `[[sweep]]` axes, which a
+    /// single `Scenario` cannot represent — carry the file path and a
+    /// line/column position. Use
+    /// [`ScenarioSet::from_file`](crate::sweep::ScenarioSet::from_file)
+    /// to load sweep files.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Scenario, ScenError> {
+        let path = path.as_ref();
+        crate::sweep::ScenarioSet::from_file(path).and_then(|set| {
+            if set.is_sweep() {
+                Err(ScenError::at(
+                    tailwise_scenfile::Pos::START,
+                    "file declares [[sweep]] axes; load it with ScenarioSet::from_file \
+                     (or run it with `tailwise fleet run`)",
+                )
+                .with_origin(path.display().to_string()))
+            } else {
+                Ok(set.base)
+            }
+        })
+    }
+
+    /// Parses a scenario from document text (no sweep axes allowed; see
+    /// [`from_file`](Self::from_file)).
+    pub fn from_toml_str(src: &str) -> Result<Scenario, ScenError> {
+        let set = crate::sweep::ScenarioSet::from_toml_str(src)?;
+        if set.is_sweep() {
+            return Err(ScenError::at(
+                tailwise_scenfile::Pos::START,
+                "document declares [[sweep]] axes; parse it as a ScenarioSet",
+            ));
+        }
+        Ok(set.base)
+    }
+
+    /// Serializes the scenario to document text that
+    /// [`from_toml_str`](Self::from_toml_str) parses back to an equal
+    /// value (pinned by a property test).
+    ///
+    /// Errors when the scenario is not representable on disk: carrier
+    /// profiles must be built-in presets, and every mix weight must be
+    /// positive and finite.
+    pub fn to_toml_string(&self) -> Result<String, String> {
+        crate::file::set_to_toml(self, &[])
+    }
+
+    /// Writes [`to_toml_string`](Self::to_toml_string) to `path`.
+    pub fn to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let text = self.to_toml_string()?;
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write scenario file {}: {e}", path.display()))
     }
 
     /// Number of shards the population partitions into.
@@ -271,6 +328,35 @@ mod tests {
         assert_eq!(covered, s.users);
         assert!(s.shard_range(s.shard_count() + 5).is_empty());
         assert_eq!(scenario(0).shard_count(), 0);
+    }
+
+    #[test]
+    fn file_round_trip_through_disk() {
+        let mut s = scenario(120);
+        s.master_seed = 0xDEADBEEF_00C0FFEE;
+        s.shard_size = 17;
+        s.days_per_user = 2;
+        let path = std::env::temp_dir().join("tailwise_scenario_roundtrip_test.toml");
+        s.to_file(&path).unwrap();
+        let loaded = Scenario::from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, s);
+    }
+
+    #[test]
+    fn from_file_reports_missing_files_and_rejects_sweeps() {
+        let err = Scenario::from_file("/nonexistent/scenario.toml").unwrap_err();
+        assert!(err.message.contains("cannot read scenario file"), "{err}");
+        assert!(err.to_string().contains("/nonexistent/scenario.toml"), "{err}");
+
+        let sweep_doc = concat!(
+            "[scenario]\nusers = 4\n",
+            "[[carrier]]\nprofile = \"verizon-lte\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\naxis = \"users\"\nvalues = [4, 8]\n",
+        );
+        let err = Scenario::from_toml_str(sweep_doc).unwrap_err();
+        assert!(err.message.contains("[[sweep]]"), "{err}");
     }
 
     #[test]

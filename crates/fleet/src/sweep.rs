@@ -1,0 +1,329 @@
+//! Scenario sets: one on-disk file expanding into a matrix of fleet
+//! runs with a side-by-side comparison table.
+//!
+//! The paper's evaluation (§6) is exactly this shape — the same
+//! population pushed through every scheme (Fig. 9–11), or the same
+//! scheme across every carrier (Fig. 17–18). A [`ScenarioSet`] captures
+//! it declaratively: a base [`Scenario`] plus `[[sweep]]` axes over
+//! schemes, carriers, or population sizes. [`ScenarioSet::expand`]
+//! takes the Cartesian product (axes in declared order, later axes
+//! varying fastest) and [`run_sweep`] executes every expansion through
+//! the sharded runner.
+//!
+//! Determinism: expansion only rewrites the swept fields, so each
+//! expanded scenario is a complete, self-contained [`Scenario`] — its
+//! cell in the comparison table is **bit-identical** to running that
+//! scenario individually (e.g. after `tailwise fleet export`) at any
+//! thread count. Tests pin this.
+
+use tailwise_core::schemes::Scheme;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_scenfile::ScenError;
+
+use crate::report::FleetReport;
+use crate::runner::run;
+use crate::scenario::Scenario;
+
+/// One `[[sweep]]` axis: the values substituted into the base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Sweep the scheme under test.
+    Schemes(Vec<Scheme>),
+    /// Sweep the carrier (each value replaces the whole carrier mix
+    /// with that single preset at weight 1).
+    Carriers(Vec<CarrierProfile>),
+    /// Sweep the population size.
+    Users(Vec<u64>),
+}
+
+impl SweepAxis {
+    /// The axis name used in scenario files and expansion labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::Schemes(_) => "scheme",
+            SweepAxis::Carriers(_) => "carrier",
+            SweepAxis::Users(_) => "users",
+        }
+    }
+
+    /// Number of values on this axis (always ≥ 1 after parsing).
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::Schemes(v) => v.len(),
+            SweepAxis::Carriers(v) => v.len(),
+            SweepAxis::Users(v) => v.len(),
+        }
+    }
+
+    /// True when the axis has no values (never the case for parsed
+    /// files; the schema rejects empty `values`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies value `index` of this axis to `scenario`, returning the
+    /// `axis=value` label fragment.
+    fn apply(&self, index: usize, scenario: &mut Scenario) -> String {
+        match self {
+            SweepAxis::Schemes(v) => {
+                scenario.scheme = v[index];
+                format!("scheme={}", v[index])
+            }
+            SweepAxis::Carriers(v) => {
+                scenario.carrier_mix = vec![(v[index].clone(), 1.0)];
+                format!("carrier={}", v[index])
+            }
+            SweepAxis::Users(v) => {
+                scenario.users = v[index];
+                format!("users={}", v[index])
+            }
+        }
+    }
+}
+
+/// A parsed scenario file: the base scenario plus any sweep axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSet {
+    /// The scenario described by the file's non-sweep tables.
+    pub base: Scenario,
+    /// The `[[sweep]]` axes, in declaration order.
+    pub axes: Vec<SweepAxis>,
+}
+
+impl ScenarioSet {
+    /// Parses a scenario file from disk.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<ScenarioSet, ScenError> {
+        let path = path.as_ref();
+        let src = std::fs::read_to_string(path).map_err(|e| {
+            ScenError::at(tailwise_scenfile::Pos::START, format!("cannot read scenario file: {e}"))
+                .with_origin(path.display().to_string())
+        })?;
+        Self::from_toml_str(&src).map_err(|e| e.with_origin(path.display().to_string()))
+    }
+
+    /// Parses a scenario document from a string.
+    pub fn from_toml_str(src: &str) -> Result<ScenarioSet, ScenError> {
+        crate::file::set_from_str(src)
+    }
+
+    /// Serializes the set back to document text (see
+    /// [`Scenario::to_toml_string`] for the representability rules).
+    pub fn to_toml_string(&self) -> Result<String, String> {
+        crate::file::set_to_toml(&self.base, &self.axes)
+    }
+
+    /// True when the file declared at least one `[[sweep]]` axis.
+    pub fn is_sweep(&self) -> bool {
+        !self.axes.is_empty()
+    }
+
+    /// Number of scenarios the set expands into.
+    pub fn expansion_count(&self) -> usize {
+        self.axes.iter().map(SweepAxis::len).product()
+    }
+
+    /// Expands the Cartesian product of the sweep axes over the base
+    /// scenario — axes in declared order, later axes varying fastest.
+    /// A set with no axes expands to the base scenario alone.
+    ///
+    /// Each expansion is labeled `base-name [axis=value …]`, and every
+    /// non-swept field (master seed, shard size, app mix, …) is copied
+    /// verbatim, so an expanded scenario run individually reproduces
+    /// its sweep cell bit-for-bit.
+    pub fn expand(&self) -> Vec<Scenario> {
+        self.expand_labeled().into_iter().map(|(_, scenario)| scenario).collect()
+    }
+
+    /// [`expand`](Self::expand) plus each expansion's `axis=value …`
+    /// label fragment (empty for a no-sweep set's single expansion).
+    fn expand_labeled(&self) -> Vec<(String, Scenario)> {
+        let total = self.expansion_count();
+        let mut out = Vec::with_capacity(total);
+        for mut flat in 0..total {
+            let mut scenario = self.base.clone();
+            // Decompose `flat` in mixed radix, most significant digit
+            // first, so the first declared axis varies slowest.
+            let mut labels = Vec::with_capacity(self.axes.len());
+            let mut stride = total;
+            for axis in &self.axes {
+                stride /= axis.len();
+                let index = flat / stride;
+                flat %= stride;
+                labels.push(axis.apply(index, &mut scenario));
+            }
+            let label = labels.join(" ");
+            if !label.is_empty() {
+                scenario.name = format!("{} [{label}]", self.base.name);
+            }
+            out.push((label, scenario));
+        }
+        out
+    }
+}
+
+/// One row of a sweep comparison: the expanded scenario's swept-axis
+/// label and its full fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The `axis=value …` fragment naming this cell (empty for a
+    /// no-sweep file's single row).
+    pub label: String,
+    /// The scenario that produced the row.
+    pub scenario: Scenario,
+    /// The aggregate outcome (identical to `run(&scenario, t)` for any
+    /// `t ≥ 1`).
+    pub report: FleetReport,
+}
+
+/// The outcome of running every expansion of a [`ScenarioSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The base scenario's name.
+    pub name: String,
+    /// One row per expansion, in [`ScenarioSet::expand`] order.
+    pub rows: Vec<SweepRow>,
+}
+
+/// Runs every expansion of `set` on `threads` worker threads, folding
+/// the results into a side-by-side comparison.
+///
+/// Expansions run sequentially — each one already saturates the thread
+/// pool via the sharded runner — so peak memory stays one trace per
+/// worker regardless of how many cells the sweep has.
+pub fn run_sweep(set: &ScenarioSet, threads: usize) -> SweepReport {
+    let rows = set
+        .expand_labeled()
+        .into_iter()
+        .map(|(label, scenario)| {
+            let report = run(&scenario, threads);
+            SweepRow { label, scenario, report }
+        })
+        .collect();
+    SweepReport { name: set.base.name.clone(), rows }
+}
+
+impl SweepReport {
+    /// The side-by-side comparison table (the Fig. 10/11 shape: one row
+    /// per cell, savings and switch columns against the shared status
+    /// quo normalizer).
+    pub fn render(&self) -> String {
+        let label_width =
+            self.rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max("variant".len());
+        let mut out = String::new();
+        out.push_str(&format!("sweep    : {} ({} runs)\n", self.name, self.rows.len()));
+        out.push_str(&format!(
+            "{:<label_width$} {:>9} {:>13} {:>8} {:>8} {:>8} {:>9} {:>10}\n",
+            "variant", "users", "energy (J)", "saved", "p50", "p95", "switch×", "ud/sec"
+        ));
+        for row in &self.rows {
+            let r = &row.report;
+            let pct =
+                |q: f64| r.savings.percentile(q).map(|v| format!("{v:.1}")).unwrap_or("-".into());
+            out.push_str(&format!(
+                "{:<label_width$} {:>9} {:>13.1} {:>7.1}% {:>8} {:>8} {:>8.2}× {:>10.1}\n",
+                if row.label.is_empty() { "(base)" } else { &row.label },
+                r.users,
+                r.energy_j,
+                r.aggregate_savings_pct(),
+                pct(0.50),
+                pct(0.95),
+                r.normalized_switches(),
+                r.user_days_per_sec(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_workload::apps::AppKind;
+
+    fn base() -> Scenario {
+        let mut s = Scenario::new(6, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+        s.shard_size = 4;
+        s.app_mix = vec![(AppKind::Im, 3.0), (AppKind::Finance, 1.0)];
+        s
+    }
+
+    fn sweep_set() -> ScenarioSet {
+        ScenarioSet {
+            base: base(),
+            axes: vec![
+                SweepAxis::Schemes(vec![Scheme::StatusQuo, Scheme::MakeIdle]),
+                SweepAxis::Users(vec![4, 6, 9]),
+            ],
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_cartesian_product_in_declared_order() {
+        let set = sweep_set();
+        assert_eq!(set.expansion_count(), 6);
+        let expanded = set.expand();
+        assert_eq!(expanded.len(), 6);
+        // First axis slowest: statusquo×{4,6,9}, then makeidle×{4,6,9}.
+        assert_eq!(expanded[0].scheme, Scheme::StatusQuo);
+        assert_eq!(expanded[0].users, 4);
+        assert_eq!(expanded[2].users, 9);
+        assert_eq!(expanded[3].scheme, Scheme::MakeIdle);
+        assert_eq!(expanded[3].users, 4);
+        assert!(expanded[5].name.ends_with("[scheme=makeidle users=9]"), "{}", expanded[5].name);
+        // Non-swept identity fields are untouched.
+        for s in &expanded {
+            assert_eq!(s.master_seed, set.base.master_seed);
+            assert_eq!(s.shard_size, set.base.shard_size);
+            assert_eq!(s.app_mix, set.base.app_mix);
+        }
+    }
+
+    #[test]
+    fn empty_axes_expand_to_the_base_alone() {
+        let set = ScenarioSet { base: base(), axes: vec![] };
+        let expanded = set.expand();
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0], set.base);
+        let report = run_sweep(&set, 2);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].label, "");
+        assert!(report.render().contains("(base)"));
+    }
+
+    #[test]
+    fn sweep_cells_match_individual_runs_at_any_thread_count() {
+        // The acceptance claim: per-cell numbers are bit-identical to
+        // running each expanded scenario on its own, at any thread
+        // count.
+        let set = sweep_set();
+        let sweep = run_sweep(&set, 4);
+        for (row, scenario) in sweep.rows.iter().zip(set.expand()) {
+            assert_eq!(row.scenario, scenario);
+            assert_eq!(row.report, run(&scenario, 1), "{}", scenario.name);
+            assert_eq!(row.report, run(&scenario, 8), "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn carrier_axis_replaces_the_mix() {
+        let set = ScenarioSet {
+            base: base(),
+            axes: vec![SweepAxis::Carriers(vec![
+                CarrierProfile::att_hspa(),
+                CarrierProfile::verizon_lte(),
+            ])],
+        };
+        let expanded = set.expand();
+        assert_eq!(expanded[0].carrier_mix, vec![(CarrierProfile::att_hspa(), 1.0)]);
+        assert!(expanded[0].name.contains("carrier=att-hspa"), "{}", expanded[0].name);
+    }
+
+    #[test]
+    fn render_lines_up_one_row_per_cell() {
+        let set = sweep_set();
+        let table = run_sweep(&set, 2).render();
+        assert_eq!(table.lines().count(), 2 + 6, "{table}");
+        assert!(table.contains("scheme=statusquo users=4"), "{table}");
+        assert!(table.contains("scheme=makeidle users=9"), "{table}");
+    }
+}

@@ -238,6 +238,37 @@ impl CarrierProfile {
         ]
     }
 
+    /// The stable slugs of the built-in presets, in
+    /// [`all_presets`](Self::all_presets) order — the tokens scenario
+    /// files and the CLI use to name carriers.
+    pub const PRESET_SLUGS: [&'static str; 6] =
+        ["tmobile-3g", "att-hspa", "verizon-3g", "verizon-lte", "sprint-3g", "sprint-lte"];
+
+    /// Looks up a built-in preset by slug (or CLI alias),
+    /// case-insensitively. `None` for unknown names.
+    pub fn preset(slug: &str) -> Option<CarrierProfile> {
+        match slug.to_ascii_lowercase().as_str() {
+            "tmobile-3g" | "tmobile" => Some(Self::tmobile_3g()),
+            "att-hspa" | "att" => Some(Self::att_hspa()),
+            "verizon-3g" => Some(Self::verizon_3g()),
+            "verizon-lte" => Some(Self::verizon_lte()),
+            "sprint-3g" => Some(Self::sprint_3g()),
+            "sprint-lte" => Some(Self::sprint_lte()),
+            _ => None,
+        }
+    }
+
+    /// The preset slug this profile round-trips through, or `None` when
+    /// any field differs from every built-in preset (a mutated profile
+    /// has no stable on-disk name).
+    pub fn slug(&self) -> Option<&'static str> {
+        Self::all_presets()
+            .into_iter()
+            .zip(Self::PRESET_SLUGS)
+            .find(|(preset, _)| preset == self)
+            .map(|(_, slug)| slug)
+    }
+
     /// Combined status-quo tail window `t1 + t2`.
     pub fn tail_window(&self) -> Duration {
         self.t1 + self.t2
@@ -362,6 +393,28 @@ impl CarrierProfile {
             return Err("profiles with t2 > 0 need p_fach > 0".into());
         }
         Ok(())
+    }
+}
+
+/// Writes the preset slug when the profile matches a built-in preset
+/// (the round-trip form scenario files use), falling back to the
+/// display name for mutated profiles.
+impl std::fmt::Display for CarrierProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug().unwrap_or(self.name))
+    }
+}
+
+/// Parses a preset slug (see [`CarrierProfile::PRESET_SLUGS`]) or CLI
+/// alias, case-insensitively. Round-trips with
+/// [`Display`](struct@CarrierProfile) for every built-in preset.
+impl std::str::FromStr for CarrierProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CarrierProfile, String> {
+        Self::preset(s).ok_or_else(|| {
+            format!("unknown carrier {s:?}; one of {}", Self::PRESET_SLUGS.join(", "))
+        })
     }
 }
 
@@ -521,6 +574,28 @@ mod tests {
         let mut p = CarrierProfile::att_hspa();
         p.p_fach = 0.0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn preset_slugs_round_trip() {
+        for (preset, slug) in
+            CarrierProfile::all_presets().into_iter().zip(CarrierProfile::PRESET_SLUGS)
+        {
+            assert_eq!(preset.slug(), Some(slug), "{}", preset.name);
+            assert_eq!(preset.to_string(), slug);
+            assert_eq!(slug.parse::<CarrierProfile>().unwrap(), preset);
+            assert_eq!(slug.to_uppercase().parse::<CarrierProfile>().unwrap(), preset);
+        }
+        // CLI aliases resolve too.
+        assert_eq!("att".parse::<CarrierProfile>().unwrap(), CarrierProfile::att_hspa());
+        assert_eq!("tmobile".parse::<CarrierProfile>().unwrap(), CarrierProfile::tmobile_3g());
+        // A mutated profile has no stable slug and displays its name.
+        let mut p = CarrierProfile::att_hspa();
+        p.fd_energy_fraction = 0.25;
+        assert_eq!(p.slug(), None);
+        assert_eq!(p.to_string(), "AT&T HSPA+");
+        let err = "comcast".parse::<CarrierProfile>().unwrap_err();
+        assert!(err.contains("verizon-lte"), "{err}");
     }
 
     #[test]

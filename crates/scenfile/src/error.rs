@@ -1,0 +1,92 @@
+//! Line/column-carrying parse and schema errors.
+
+use std::fmt;
+
+/// A 1-based line/column position inside a scenario file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: usize,
+    /// Column number (in characters), starting at 1.
+    pub col: usize,
+}
+
+impl Pos {
+    /// The start of the document.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+
+    /// Builds a position.
+    pub const fn new(line: usize, col: usize) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse or schema error, carrying the position it was detected at.
+///
+/// Renders as `origin:line:col: message` (the conventional compiler
+/// format, so editors can jump to the offending key), with `origin`
+/// omitted when the source was an anonymous string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenError {
+    /// Where the error was detected.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+    /// File path (or other source label), when known.
+    pub origin: Option<String>,
+}
+
+impl ScenError {
+    /// An error at an explicit position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> ScenError {
+        ScenError { pos, message: message.into(), origin: None }
+    }
+
+    /// Attaches a source label (typically the file path) if none is set.
+    pub fn with_origin(mut self, origin: impl Into<String>) -> ScenError {
+        if self.origin.is_none() {
+            self.origin = Some(origin.into());
+        }
+        self
+    }
+}
+
+impl fmt::Display for ScenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.origin {
+            Some(origin) => write!(f, "{origin}:{}: {}", self.pos, self.message),
+            None => write!(f, "{}: {}", self.pos, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compiler_style() {
+        let e = ScenError::at(Pos::new(3, 7), "expected a value");
+        assert_eq!(e.to_string(), "3:7: expected a value");
+        let e = e.with_origin("scenarios/x.toml");
+        assert_eq!(e.to_string(), "scenarios/x.toml:3:7: expected a value");
+        // A second origin does not overwrite the first.
+        let e = e.with_origin("other.toml");
+        assert_eq!(e.origin.as_deref(), Some("scenarios/x.toml"));
+    }
+
+    #[test]
+    fn positions_order_naturally() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+        assert_eq!(Pos::START, Pos::new(1, 1));
+    }
+}

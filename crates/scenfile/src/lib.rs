@@ -1,0 +1,61 @@
+//! # tailwise-scenfile
+//!
+//! A dependency-free parser and writer for the on-disk scenario format
+//! of the tailwise fleet simulator (`tailwise fleet run <file.toml>`).
+//!
+//! The format is a strict subset of TOML — tables, arrays of tables,
+//! basic strings, 64-bit integers, floats, booleans, and one-line
+//! inline arrays — chosen so experiments are shareable and diffable
+//! without pulling `serde`/`toml` into the offline build environment
+//! (see the workspace's vendored-dependency policy). The full grammar
+//! and the scenario schema built on top of it are specified in
+//! `docs/SCENARIO_FORMAT.md`.
+//!
+//! Three design rules shape the API:
+//!
+//! 1. **Positions everywhere.** Every parse or schema error is a
+//!    [`ScenError`] carrying a 1-based line/column ([`Pos`]) and renders
+//!    compiler-style (`file.toml:12:7: message`), so a typo in a 200-line
+//!    sweep file is a jump-to-location fix, not a hunt.
+//! 2. **Typed, strict access.** [`Table`] exposes typed getters that
+//!    range-check integers (seeds are `u64`; hex literals like `0xF1EE7`
+//!    parse exactly), coerce `1` → `1.0` where a float is expected, and
+//!    support [`Table::deny_unknown`] so schemas reject misspelled keys
+//!    instead of ignoring them.
+//! 3. **Round-trip emission.** [`DocWriter`] emits documents that
+//!    re-parse to the same values — the basis of the
+//!    `Scenario → to_file → from_file → ==` property pinned by
+//!    `tailwise-fleet`'s tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use tailwise_scenfile::{parse, DocWriter};
+//!
+//! let mut w = DocWriter::new();
+//! w.table("scenario").str("name", "demo").uint("users", 1000);
+//! w.blank().array_table("app").str("kind", "im").float("weight", 3.0);
+//! let text = w.finish();
+//!
+//! let doc = parse(&text).unwrap();
+//! let scenario = doc.table("scenario").unwrap();
+//! assert_eq!(scenario.req_u64("users").unwrap(), 1000);
+//! assert_eq!(doc.array_of_tables("app")[0].req_float("weight").unwrap(), 3.0);
+//!
+//! // Errors carry line and column:
+//! let err = parse("users 1000").unwrap_err();
+//! assert_eq!((err.pos.line, err.pos.col), (1, 7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod parse;
+pub mod value;
+pub mod write;
+
+pub use error::{Pos, ScenError};
+pub use parse::parse;
+pub use value::{str_elements, u64_elements, Entry, Item, Table, Value};
+pub use write::{escape_str, format_float, is_bare_key, DocWriter};

@@ -1,0 +1,562 @@
+//! The line-oriented TOML-subset parser.
+//!
+//! The accepted grammar (see `docs/SCENARIO_FORMAT.md` for the full
+//! spec) is deliberately line-oriented: every non-blank line is a
+//! comment, a `[table]` header, a `[[table-array]]` header, or one
+//! `key = value` binding. Arrays therefore fit on a single line — the
+//! one restriction versus real TOML that keeps this parser small enough
+//! to audit while still reporting precise line/column positions.
+
+use crate::error::{Pos, ScenError};
+use crate::value::{Entry, Item, Table, Value};
+
+/// Parses a document into its root [`Table`].
+///
+/// Errors carry the 1-based line/column where the problem was detected;
+/// attach the file path afterwards with
+/// [`ScenError::with_origin`](crate::ScenError::with_origin).
+pub fn parse(src: &str) -> Result<Table, ScenError> {
+    let mut root = Table::new(Pos::START);
+    // Path of `[..]` headers from the root to the table currently
+    // receiving `key = value` lines; empty means the root itself.
+    let mut current: Vec<PathSeg> = Vec::new();
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut cur = Cursor::new(raw_line, line_no);
+        cur.skip_ws();
+        if cur.at_end_or_comment() {
+            continue;
+        }
+        if cur.peek() == Some('[') {
+            let header_pos = cur.pos();
+            let is_array = cur.lookahead_is("[[");
+            let opener = if is_array { "[[" } else { "[" };
+            let closer = if is_array { "]]" } else { "]" };
+            cur.expect_literal(opener)?;
+            cur.skip_ws();
+            let path = parse_header_path(&mut cur)?;
+            cur.skip_ws();
+            cur.expect_literal(closer)?;
+            cur.skip_ws();
+            cur.expect_line_end()?;
+            current = Vec::with_capacity(path.len());
+            for (depth, seg) in path.iter().enumerate() {
+                let last = depth == path.len() - 1;
+                current.push(PathSeg {
+                    name: seg.clone(),
+                    kind: if last && is_array { SegKind::ArrayElem } else { SegKind::Table },
+                    pos: header_pos,
+                    define: last,
+                });
+            }
+            // Materialize the path now so empty tables still exist and
+            // double definitions are caught at the header line.
+            navigate(&mut root, &mut current)?;
+        } else {
+            let key_pos = cur.pos();
+            let key = cur.parse_bare_key()?;
+            cur.skip_ws();
+            if cur.peek() != Some('=') {
+                return Err(ScenError::at(cur.pos(), format!("expected `=` after key `{key}`")));
+            }
+            cur.advance();
+            cur.skip_ws();
+            let item = parse_value(&mut cur)?;
+            cur.skip_ws();
+            cur.expect_line_end()?;
+            let table = navigate(&mut root, &mut current)?;
+            table.insert_entry(&key, Entry { key_pos, item })?;
+        }
+    }
+    Ok(root)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SegKind {
+    Table,
+    ArrayElem,
+}
+
+struct PathSeg {
+    name: String,
+    kind: SegKind,
+    pos: Pos,
+    /// True on the final segment of a header line the first time it is
+    /// walked: that walk *defines* the table (or appends the array
+    /// element). Re-walks for subsequent `key = value` lines must reuse
+    /// the existing table instead.
+    define: bool,
+}
+
+/// Walks (and on first visit, creates) the table at `path`, flipping
+/// each segment's `define` flag off so later walks reuse it.
+fn navigate<'a>(root: &'a mut Table, path: &mut [PathSeg]) -> Result<&'a mut Table, ScenError> {
+    let mut table = root;
+    for seg in path.iter_mut() {
+        let define = std::mem::take(&mut seg.define);
+        table = match seg.kind {
+            SegKind::ArrayElem => {
+                if define {
+                    table.push_array_table(&seg.name, seg.pos)?
+                } else {
+                    table.last_array_table(&seg.name).ok_or_else(|| {
+                        ScenError::at(seg.pos, format!("internal: lost table array `{}`", seg.name))
+                    })?
+                }
+            }
+            SegKind::Table => {
+                if define {
+                    table.define_table(&seg.name, seg.pos)?
+                } else {
+                    table.open_table(&seg.name, seg.pos)?
+                }
+            }
+        };
+    }
+    Ok(table)
+}
+
+/// `a` or `a.b.c` inside a header.
+fn parse_header_path(cur: &mut Cursor) -> Result<Vec<String>, ScenError> {
+    let mut path = vec![cur.parse_bare_key()?];
+    loop {
+        cur.skip_ws();
+        if cur.peek() == Some('.') {
+            cur.advance();
+            cur.skip_ws();
+            path.push(cur.parse_bare_key()?);
+        } else {
+            return Ok(path);
+        }
+    }
+}
+
+fn parse_value(cur: &mut Cursor) -> Result<Item, ScenError> {
+    let pos = cur.pos();
+    let value = match cur.peek() {
+        None => return Err(ScenError::at(pos, "expected a value")),
+        Some('"') => Value::Str(parse_basic_string(cur)?),
+        Some('[') => parse_array(cur)?,
+        Some('t') | Some('f') if cur.lookahead_is("true") || cur.lookahead_is("false") => {
+            let b = cur.lookahead_is("true");
+            cur.expect_literal(if b { "true" } else { "false" })?;
+            // `trueish` must not parse as `true` + trailing garbage —
+            // require a terminator right after the literal.
+            if !cur.at_value_boundary() {
+                return Err(ScenError::at(pos, "expected a value"));
+            }
+            Value::Bool(b)
+        }
+        Some(c) if c == '+' || c == '-' || c.is_ascii_digit() => parse_number(cur)?,
+        Some(c) => {
+            return Err(ScenError::at(
+                pos,
+                format!("expected a value, found `{c}` (strings must be double-quoted)"),
+            ))
+        }
+    };
+    Ok(Item { value, pos })
+}
+
+fn parse_array(cur: &mut Cursor) -> Result<Value, ScenError> {
+    cur.expect_literal("[")?;
+    let mut items = Vec::new();
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            None => {
+                return Err(ScenError::at(
+                    cur.pos(),
+                    "unterminated array (arrays must close on the same line)",
+                ))
+            }
+            Some(']') => {
+                cur.advance();
+                return Ok(Value::Array(items));
+            }
+            _ => {
+                if !items.is_empty() {
+                    if cur.peek() != Some(',') {
+                        return Err(ScenError::at(
+                            cur.pos(),
+                            "expected `,` or `]` in array".to_string(),
+                        ));
+                    }
+                    cur.advance();
+                    cur.skip_ws();
+                    // Allow a trailing comma before the closer.
+                    if cur.peek() == Some(']') {
+                        cur.advance();
+                        return Ok(Value::Array(items));
+                    }
+                }
+                items.push(parse_value(cur)?);
+            }
+        }
+    }
+}
+
+fn parse_basic_string(cur: &mut Cursor) -> Result<String, ScenError> {
+    let open_pos = cur.pos();
+    cur.expect_literal("\"")?;
+    let mut out = String::new();
+    loop {
+        match cur.peek() {
+            None => {
+                return Err(ScenError::at(open_pos, "unterminated string".to_string()));
+            }
+            Some('"') => {
+                cur.advance();
+                return Ok(out);
+            }
+            Some('\\') => {
+                let esc_pos = cur.pos();
+                cur.advance();
+                match cur.peek() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some(other) => {
+                        return Err(ScenError::at(
+                            esc_pos,
+                            format!(
+                                "unknown escape `\\{other}` (supported: \\\" \\\\ \\n \\t \\r)"
+                            ),
+                        ))
+                    }
+                    None => return Err(ScenError::at(open_pos, "unterminated string".to_string())),
+                }
+                cur.advance();
+            }
+            Some(c) => {
+                out.push(c);
+                cur.advance();
+            }
+        }
+    }
+}
+
+fn parse_number(cur: &mut Cursor) -> Result<Value, ScenError> {
+    let pos = cur.pos();
+    let mut token = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.' | '_') {
+            token.push(c);
+            cur.advance();
+        } else {
+            break;
+        }
+    }
+    if !cur.at_value_boundary() {
+        return Err(ScenError::at(cur.pos(), format!("unexpected character after `{token}`")));
+    }
+    let clean: String = token.chars().filter(|&c| c != '_').collect();
+    let (sign, magnitude) = match clean.strip_prefix('-') {
+        Some(rest) => (-1i128, rest),
+        None => (1i128, clean.strip_prefix('+').unwrap_or(&clean)),
+    };
+    let radix = match magnitude.get(..2) {
+        Some("0x") | Some("0X") => Some(16),
+        Some("0o") | Some("0O") => Some(8),
+        Some("0b") | Some("0B") => Some(2),
+        _ => None,
+    };
+    if let Some(radix) = radix {
+        return match u64::from_str_radix(&magnitude[2..], radix) {
+            Ok(v) => Ok(Value::Int(sign * v as i128)),
+            Err(_) => Err(ScenError::at(pos, format!("invalid integer literal `{token}`"))),
+        };
+    }
+    let is_float = clean.contains(['.', 'e', 'E']);
+    if is_float {
+        match clean.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Float(v)),
+            _ => Err(ScenError::at(pos, format!("invalid float literal `{token}`"))),
+        }
+    } else {
+        match clean.parse::<i128>() {
+            Ok(v) if i128::from(u64::MAX).wrapping_neg() <= v && v <= i128::from(u64::MAX) => {
+                Ok(Value::Int(v))
+            }
+            _ => Err(ScenError::at(pos, format!("invalid integer literal `{token}`"))),
+        }
+    }
+}
+
+/// A character cursor over one line, tracking 1-based columns.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn new(line_text: &str, line: usize) -> Cursor {
+        Cursor { chars: line_text.chars().collect(), i: 0, line }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.i + 1)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn advance(&mut self) {
+        self.i += 1;
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.advance();
+        }
+    }
+
+    fn lookahead_is(&self, literal: &str) -> bool {
+        literal.chars().enumerate().all(|(k, c)| self.chars.get(self.i + k) == Some(&c))
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), ScenError> {
+        if self.lookahead_is(literal) {
+            self.i += literal.chars().count();
+            Ok(())
+        } else {
+            Err(ScenError::at(self.pos(), format!("expected `{literal}`")))
+        }
+    }
+
+    fn at_end_or_comment(&self) -> bool {
+        matches!(self.peek(), None | Some('#'))
+    }
+
+    /// True at whitespace, a comment, an array delimiter, or the line
+    /// end — everywhere a completed value may legally stop.
+    fn at_value_boundary(&self) -> bool {
+        matches!(self.peek(), None | Some('#') | Some(' ') | Some('\t') | Some(',') | Some(']'))
+    }
+
+    fn expect_line_end(&mut self) -> Result<(), ScenError> {
+        self.skip_ws();
+        if self.at_end_or_comment() {
+            Ok(())
+        } else {
+            Err(ScenError::at(self.pos(), "unexpected trailing characters".to_string()))
+        }
+    }
+
+    /// `A-Z a-z 0-9 _ -`, at least one character.
+    fn parse_bare_key(&mut self) -> Result<String, ScenError> {
+        let start = self.pos();
+        let mut key = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                key.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            return Err(ScenError::at(
+                start,
+                "expected a key (letters, digits, `_`, `-`)".to_string(),
+            ));
+        }
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn must(src: &str) -> Table {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}"))
+    }
+
+    #[test]
+    fn parses_flat_keys_of_every_type() {
+        let doc = must(concat!(
+            "name = \"paper mix\"   # trailing comment\n",
+            "users = 10_000\n",
+            "seed = 0xF1EE7\n",
+            "weight = 2.5\n",
+            "negative = -3\n",
+            "sci = 1e3\n",
+            "enabled = true\n",
+            "values = [\"a\", \"b\"]\n",
+            "counts = [1, 2, 3,]\n",
+        ));
+        assert_eq!(doc.get_str("name").unwrap(), Some("paper mix"));
+        assert_eq!(doc.get_u64("users").unwrap(), Some(10_000));
+        assert_eq!(doc.get_u64("seed").unwrap(), Some(0xF1EE7));
+        assert_eq!(doc.get_float("weight").unwrap(), Some(2.5));
+        assert_eq!(doc.get_int("negative").unwrap(), Some(-3));
+        assert_eq!(doc.get_float("sci").unwrap(), Some(1000.0));
+        assert_eq!(doc.get_bool("enabled").unwrap(), Some(true));
+        assert_eq!(doc.get_array("values").unwrap().unwrap().len(), 2);
+        assert_eq!(doc.get_array("counts").unwrap().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parses_tables_and_arrays_of_tables() {
+        let doc = must(concat!(
+            "top = 1\n",
+            "\n",
+            "[scenario]\n",
+            "users = 5\n",
+            "\n",
+            "[scenario.sim]\n",
+            "window = 100\n",
+            "\n",
+            "[[carrier]]\n",
+            "profile = \"att-hspa\"\n",
+            "\n",
+            "[[carrier]]\n",
+            "profile = \"verizon-lte\"\n",
+        ));
+        assert_eq!(doc.get_int("top").unwrap(), Some(1));
+        let scenario = doc.table("scenario").unwrap();
+        assert_eq!(scenario.get_u64("users").unwrap(), Some(5));
+        assert_eq!(scenario.table("sim").unwrap().get_int("window").unwrap(), Some(100));
+        let carriers = doc.array_of_tables("carrier");
+        assert_eq!(carriers.len(), 2);
+        assert_eq!(carriers[1].get_str("profile").unwrap(), Some("verizon-lte"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = must(r#"s = "a \"quoted\" line\nwith\ttabs \\ done""#);
+        assert_eq!(doc.get_str("s").unwrap(), Some("a \"quoted\" line\nwith\ttabs \\ done"));
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let doc = must("seed = 18446744073709551615\n");
+        assert_eq!(doc.get_u64("seed").unwrap(), Some(u64::MAX));
+    }
+
+    // ------------------------------------------------------------------
+    // Golden error positions: each malformed input must fail at the
+    // documented line/column with the documented message.
+
+    fn err_of(src: &str) -> ScenError {
+        parse(src).expect_err("expected a parse error")
+    }
+
+    #[test]
+    fn golden_missing_equals() {
+        let e = err_of("users 1000\n");
+        assert_eq!(e.pos, Pos::new(1, 7));
+        assert_eq!(e.message, "expected `=` after key `users`");
+    }
+
+    #[test]
+    fn golden_missing_value() {
+        let e = err_of("[scenario]\nusers =\n");
+        assert_eq!(e.pos, Pos::new(2, 8));
+        assert_eq!(e.message, "expected a value");
+    }
+
+    #[test]
+    fn golden_unquoted_string() {
+        let e = err_of("scheme = makeidle\n");
+        assert_eq!(e.pos, Pos::new(1, 10));
+        assert!(e.message.contains("strings must be double-quoted"), "{e}");
+    }
+
+    #[test]
+    fn golden_unterminated_string_points_at_opening_quote() {
+        let e = err_of("name = \"oops\n");
+        assert_eq!(e.pos, Pos::new(1, 8));
+        assert_eq!(e.message, "unterminated string");
+    }
+
+    #[test]
+    fn golden_unknown_escape() {
+        let e = err_of(r#"name = "a\qb""#);
+        assert_eq!(e.pos, Pos::new(1, 10));
+        assert!(e.message.starts_with("unknown escape `\\q`"), "{e}");
+    }
+
+    #[test]
+    fn golden_unterminated_array() {
+        let e = err_of("values = [1, 2\n");
+        assert_eq!(e.pos, Pos::new(1, 15));
+        assert!(e.message.contains("unterminated array"), "{e}");
+    }
+
+    #[test]
+    fn golden_array_missing_comma() {
+        let e = err_of("values = [1 2]\n");
+        assert_eq!(e.pos, Pos::new(1, 13));
+        assert!(e.message.contains("expected `,` or `]`"), "{e}");
+    }
+
+    #[test]
+    fn golden_unclosed_header() {
+        let e = err_of("[scenario\nusers = 1\n");
+        assert_eq!(e.pos, Pos::new(1, 10));
+        assert_eq!(e.message, "expected `]`");
+    }
+
+    #[test]
+    fn golden_duplicate_key_cites_first_definition() {
+        let e = err_of("users = 1\nusers = 2\n");
+        assert_eq!(e.pos, Pos::new(2, 1));
+        assert!(e.message.contains("duplicate key `users` (first set at 1:1)"), "{e}");
+    }
+
+    #[test]
+    fn golden_duplicate_table() {
+        let e = err_of("[a]\nx = 1\n[a]\ny = 2\n");
+        assert_eq!(e.pos, Pos::new(3, 1));
+        assert!(e.message.contains("table `[a]` defined twice (first at 1:1)"), "{e}");
+    }
+
+    #[test]
+    fn golden_trailing_garbage() {
+        let e = err_of("users = 1 oops\n");
+        assert_eq!(e.pos, Pos::new(1, 11));
+        assert_eq!(e.message, "unexpected trailing characters");
+    }
+
+    #[test]
+    fn golden_bad_literals() {
+        assert!(err_of("x = 1.2.3\n").message.contains("invalid float literal `1.2.3`"));
+        assert!(err_of("x = 0xZZ\n").message.contains("invalid integer literal `0xZZ`"));
+        assert!(err_of("x = truely\n").message.contains("expected a value"));
+        // Integers larger than u64 are rejected, not silently wrapped.
+        assert!(err_of("x = 99999999999999999999999\n").message.contains("invalid integer"));
+    }
+
+    #[test]
+    fn golden_flag_like_line() {
+        // CLI flags pasted into a scenario file fail at the `=` check
+        // (hyphens are legal bare-key characters, so `--users` lexes as
+        // a key).
+        let e = err_of("--users 1000\n");
+        assert_eq!(e.pos, Pos::new(1, 9));
+        assert_eq!(e.message, "expected `=` after key `--users`");
+        let e = err_of("= 3\n");
+        assert_eq!(e.pos, Pos::new(1, 1));
+        assert!(e.message.contains("expected a key"), "{e}");
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_free() {
+        let doc = must("# a comment\n\n   \t\n# another\nx = 1\n");
+        assert_eq!(doc.get_int("x").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn empty_tables_still_exist() {
+        let doc = must("[scenario]\n");
+        assert!(doc.table("scenario").is_some());
+        assert!(doc.table("scenario").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,483 @@
+//! The parsed document tree: values, positioned items, and tables with
+//! typed, error-reporting accessors.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Pos, ScenError};
+
+/// A primitive or array value.
+///
+/// Integers are held as `i128` internally so both `i64` and `u64`
+/// literals (e.g. hexadecimal master seeds) survive parsing exactly; the
+/// typed accessors range-check on the way out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic (double-quoted) string.
+    Str(String),
+    /// An integer literal (decimal, `0x`, `0o`, or `0b`).
+    Int(i128),
+    /// A float literal.
+    Float(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// A one-line inline array `[v, v, …]`.
+    Array(Vec<Item>),
+}
+
+impl Value {
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+            Value::Array(_) => "an array",
+        }
+    }
+}
+
+/// A value plus the position it was parsed at (used for type errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// The parsed value.
+    pub value: Value,
+    /// Where the value starts.
+    pub pos: Pos,
+}
+
+/// One `key = value` binding inside a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Where the key starts (used for duplicate/unknown-key errors).
+    pub key_pos: Pos,
+    /// The bound value.
+    pub item: Item,
+}
+
+/// A table: `key = value` entries, named sub-tables (`[name]`), and
+/// arrays of tables (`[[name]]`). The document root is itself a `Table`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pos: Pos,
+    /// Whether a `[name]` header line has explicitly defined this table
+    /// (as opposed to implicit creation as a dotted-header parent);
+    /// guards the duplicate-definition check.
+    explicit: bool,
+    entries: BTreeMap<String, Entry>,
+    tables: BTreeMap<String, Table>,
+    arrays: BTreeMap<String, Vec<Table>>,
+}
+
+impl Table {
+    /// An empty table anchored at `pos` (its header line, or 1:1 for the
+    /// document root).
+    pub fn new(pos: Pos) -> Table {
+        Table {
+            pos,
+            explicit: false,
+            entries: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+        }
+    }
+
+    /// The position of the table's header (1:1 for the root).
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// True when the table holds no entries, sub-tables, or table arrays.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.tables.is_empty() && self.arrays.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction (used by the parser).
+
+    /// Inserts a `key = value` entry; errors on any name collision.
+    pub(crate) fn insert_entry(&mut self, key: &str, entry: Entry) -> Result<(), ScenError> {
+        let pos = entry.key_pos;
+        if let Some(prev) = self.entries.get(key) {
+            return Err(ScenError::at(
+                pos,
+                format!("duplicate key `{key}` (first set at {})", prev.key_pos),
+            ));
+        }
+        if self.tables.contains_key(key) || self.arrays.contains_key(key) {
+            return Err(ScenError::at(pos, format!("key `{key}` collides with a table name")));
+        }
+        self.entries.insert(key.to_string(), entry);
+        Ok(())
+    }
+
+    /// Explicitly defines the sub-table `key` (a `[key]` header line);
+    /// errors on collisions and double definitions.
+    pub(crate) fn define_table(&mut self, key: &str, pos: Pos) -> Result<&mut Table, ScenError> {
+        if self.entries.contains_key(key) || self.arrays.contains_key(key) {
+            return Err(ScenError::at(
+                pos,
+                format!("table `[{key}]` collides with an existing key or table array"),
+            ));
+        }
+        if let Some(prev) = self.tables.get(key) {
+            if prev.explicit {
+                return Err(ScenError::at(
+                    pos,
+                    format!("table `[{key}]` defined twice (first at {})", prev.pos),
+                ));
+            }
+        }
+        let table = self.tables.entry(key.to_string()).or_insert_with(|| Table::new(pos));
+        table.explicit = true;
+        Ok(table)
+    }
+
+    /// Walks into the sub-table `key`, creating it implicitly when
+    /// absent (dotted-header parents). When `key` names a table array,
+    /// walks into its most recent element, per TOML's dotted-path rule.
+    pub(crate) fn open_table(&mut self, key: &str, pos: Pos) -> Result<&mut Table, ScenError> {
+        if self.entries.contains_key(key) {
+            return Err(ScenError::at(pos, format!("`{key}` is a value key, not a table")));
+        }
+        if let Some(list) = self.arrays.get_mut(key) {
+            return Ok(list.last_mut().expect("table arrays are never empty"));
+        }
+        Ok(self.tables.entry(key.to_string()).or_insert_with(|| Table::new(pos)))
+    }
+
+    /// The most recent element of the table array `key`, if any.
+    pub(crate) fn last_array_table(&mut self, key: &str) -> Option<&mut Table> {
+        self.arrays.get_mut(key).and_then(|list| list.last_mut())
+    }
+
+    /// Appends a fresh element to the table array `key`.
+    pub(crate) fn push_array_table(
+        &mut self,
+        key: &str,
+        pos: Pos,
+    ) -> Result<&mut Table, ScenError> {
+        if self.entries.contains_key(key) || self.tables.contains_key(key) {
+            return Err(ScenError::at(
+                pos,
+                format!("table array `[[{key}]]` collides with an existing key or table"),
+            ));
+        }
+        let list = self.arrays.entry(key.to_string()).or_default();
+        list.push(Table::new(pos));
+        Ok(list.last_mut().expect("just pushed"))
+    }
+
+    // ------------------------------------------------------------------
+    // Untyped lookups.
+
+    /// The raw item bound to `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries.get(key).map(|e| &e.item)
+    }
+
+    /// The sub-table `[key]`, if defined.
+    pub fn table(&self, key: &str) -> Option<&Table> {
+        self.tables.get(key)
+    }
+
+    /// The elements of the table array `[[key]]` (empty when absent).
+    pub fn array_of_tables(&self, key: &str) -> &[Table] {
+        self.arrays.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All entry keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// All sub-table names, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// All table-array names, sorted.
+    pub fn array_names(&self) -> impl Iterator<Item = &str> {
+        self.arrays.keys().map(String::as_str)
+    }
+
+    /// Errors (at the offending name's position) if the table holds an
+    /// entry key not in `keys`, a sub-table not in `tables`, or a table
+    /// array not in `arrays`. The scenario schema uses this so typos fail
+    /// loudly instead of being silently ignored.
+    pub fn deny_unknown(
+        &self,
+        keys: &[&str],
+        tables: &[&str],
+        arrays: &[&str],
+    ) -> Result<(), ScenError> {
+        for (key, entry) in &self.entries {
+            if !keys.contains(&key.as_str()) {
+                return Err(ScenError::at(
+                    entry.key_pos,
+                    format!("unknown key `{key}`; expected one of: {}", keys.join(", ")),
+                ));
+            }
+        }
+        for (name, table) in &self.tables {
+            if !tables.contains(&name.as_str()) {
+                return Err(ScenError::at(table.pos, format!("unknown table `[{name}]`")));
+            }
+        }
+        for (name, list) in &self.arrays {
+            if !arrays.contains(&name.as_str()) {
+                let pos = list.first().map(|t| t.pos).unwrap_or(self.pos);
+                return Err(ScenError::at(pos, format!("unknown table array `[[{name}]]`")));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Typed optional accessors: `Ok(None)` when absent, a positioned
+    // error when present with the wrong type.
+
+    /// Optional string.
+    pub fn get_str(&self, key: &str) -> Result<Option<&str>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Str(s) => Ok(Some(s)),
+                other => Err(type_error(key, other, item.pos, "a string")),
+            },
+        }
+    }
+
+    /// Optional `i64` (range-checked).
+    pub fn get_int(&self, key: &str) -> Result<Option<i64>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Int(i) => i64::try_from(*i).map(Some).map_err(|_| {
+                    ScenError::at(item.pos, format!("`{key}` is out of range for a 64-bit integer"))
+                }),
+                other => Err(type_error(key, other, item.pos, "an integer")),
+            },
+        }
+    }
+
+    /// Optional `u64` (range-checked; rejects negatives).
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Int(i) => u64::try_from(*i).map(Some).map_err(|_| {
+                    ScenError::at(
+                        item.pos,
+                        format!("`{key}` must be a non-negative 64-bit integer"),
+                    )
+                }),
+                other => Err(type_error(key, other, item.pos, "an integer")),
+            },
+        }
+    }
+
+    /// Optional `u32` (range-checked).
+    pub fn get_u32(&self, key: &str) -> Result<Option<u32>, ScenError> {
+        match self.get_u64(key)? {
+            None => Ok(None),
+            Some(v) => u32::try_from(v).map(Some).map_err(|_| {
+                let pos = self.get(key).map(|i| i.pos).unwrap_or(self.pos);
+                ScenError::at(pos, format!("`{key}` is out of range for a 32-bit integer"))
+            }),
+        }
+    }
+
+    /// Optional float. Integer literals coerce (so `weight = 1` works
+    /// where `1.0` is meant).
+    pub fn get_float(&self, key: &str) -> Result<Option<f64>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Float(f) => Ok(Some(*f)),
+                Value::Int(i) => Ok(Some(*i as f64)),
+                other => Err(type_error(key, other, item.pos, "a float")),
+            },
+        }
+    }
+
+    /// Optional boolean.
+    pub fn get_bool(&self, key: &str) -> Result<Option<bool>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Bool(b) => Ok(Some(*b)),
+                other => Err(type_error(key, other, item.pos, "a boolean")),
+            },
+        }
+    }
+
+    /// Optional array of raw items.
+    pub fn get_array(&self, key: &str) -> Result<Option<&[Item]>, ScenError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(item) => match &item.value {
+                Value::Array(items) => Ok(Some(items)),
+                other => Err(type_error(key, other, item.pos, "an array")),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Required accessors: a positioned error when absent.
+
+    /// Required string.
+    pub fn req_str(&self, key: &str) -> Result<&str, ScenError> {
+        self.get_str(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Required `u64`.
+    pub fn req_u64(&self, key: &str) -> Result<u64, ScenError> {
+        self.get_u64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Required float (integer literals coerce).
+    pub fn req_float(&self, key: &str) -> Result<f64, ScenError> {
+        self.get_float(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Required array.
+    pub fn req_array(&self, key: &str) -> Result<&[Item], ScenError> {
+        self.get_array(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn missing(&self, key: &str) -> ScenError {
+        ScenError::at(self.pos, format!("missing required key `{key}`"))
+    }
+}
+
+fn type_error(key: &str, got: &Value, pos: Pos, want: &str) -> ScenError {
+    ScenError::at(pos, format!("`{key}` is {}, expected {want}", got.type_name()))
+}
+
+/// Extracts the strings of an array, erroring (with each element's
+/// position) on non-string elements. Convenience for sweep axes like
+/// `values = ["makeidle", "oracle"]`.
+pub fn str_elements<'a>(key: &str, items: &'a [Item]) -> Result<Vec<&'a str>, ScenError> {
+    items
+        .iter()
+        .map(|item| match &item.value {
+            Value::Str(s) => Ok(s.as_str()),
+            other => Err(ScenError::at(
+                item.pos,
+                format!("elements of `{key}` must be strings, found {}", other.type_name()),
+            )),
+        })
+        .collect()
+}
+
+/// Extracts the `u64`s of an array, erroring on non-integer elements.
+pub fn u64_elements(key: &str, items: &[Item]) -> Result<Vec<u64>, ScenError> {
+    items
+        .iter()
+        .map(|item| match &item.value {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| {
+                ScenError::at(
+                    item.pos,
+                    format!("elements of `{key}` must be non-negative 64-bit integers"),
+                )
+            }),
+            other => Err(ScenError::at(
+                item.pos,
+                format!("elements of `{key}` must be integers, found {}", other.type_name()),
+            )),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(key: &str, value: Value) -> Table {
+        let mut t = Table::new(Pos::new(1, 1));
+        t.insert_entry(
+            key,
+            Entry { key_pos: Pos::new(2, 1), item: Item { value, pos: Pos::new(2, 8) } },
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn typed_accessors_check_types_and_report_positions() {
+        let t = table_with("users", Value::Str("many".into()));
+        let err = t.get_int("users").unwrap_err();
+        assert_eq!(err.pos, Pos::new(2, 8));
+        assert!(err.message.contains("`users` is a string, expected an integer"), "{err}");
+        assert_eq!(t.get_str("users").unwrap(), Some("many"));
+        assert_eq!(t.get_str("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn int_coerces_to_float_but_not_vice_versa() {
+        let t = table_with("w", Value::Int(3));
+        assert_eq!(t.get_float("w").unwrap(), Some(3.0));
+        let t = table_with("n", Value::Float(3.5));
+        assert!(t.get_int("n").is_err());
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        let t = table_with("seed", Value::Int(u64::MAX as i128));
+        assert_eq!(t.get_u64("seed").unwrap(), Some(u64::MAX));
+        assert!(t.get_int("seed").is_err());
+        let t = table_with("neg", Value::Int(-1));
+        assert!(t.get_u64("neg").is_err());
+        assert_eq!(t.get_int("neg").unwrap(), Some(-1));
+        let t = table_with("big", Value::Int(1 << 40));
+        assert!(t.get_u32("big").is_err());
+    }
+
+    #[test]
+    fn required_accessors_point_at_the_table_header() {
+        let t = Table::new(Pos::new(5, 1));
+        let err = t.req_str("name").unwrap_err();
+        assert_eq!(err.pos, Pos::new(5, 1));
+        assert!(err.message.contains("missing required key `name`"));
+    }
+
+    #[test]
+    fn duplicate_and_colliding_names_are_rejected() {
+        let mut t = table_with("k", Value::Int(1));
+        let dup = t
+            .insert_entry(
+                "k",
+                Entry {
+                    key_pos: Pos::new(9, 1),
+                    item: Item { value: Value::Int(2), pos: Pos::new(9, 5) },
+                },
+            )
+            .unwrap_err();
+        assert!(dup.message.contains("duplicate key `k`"), "{dup}");
+        assert!(dup.message.contains("2:1"), "{dup}");
+        assert!(t.define_table("k", Pos::new(10, 1)).is_err());
+        assert!(t.push_array_table("k", Pos::new(11, 1)).is_err());
+    }
+
+    #[test]
+    fn deny_unknown_reports_the_offending_name() {
+        let t = table_with("uzers", Value::Int(1));
+        let err = t.deny_unknown(&["users"], &[], &[]).unwrap_err();
+        assert_eq!(err.pos, Pos::new(2, 1));
+        assert!(err.message.contains("unknown key `uzers`"));
+        assert!(err.message.contains("users"));
+    }
+
+    #[test]
+    fn element_extractors() {
+        let items = vec![
+            Item { value: Value::Str("a".into()), pos: Pos::new(1, 10) },
+            Item { value: Value::Int(3), pos: Pos::new(1, 15) },
+        ];
+        let err = str_elements("values", &items).unwrap_err();
+        assert_eq!(err.pos, Pos::new(1, 15));
+        let ints = vec![Item { value: Value::Int(7), pos: Pos::new(1, 10) }];
+        assert_eq!(u64_elements("values", &ints).unwrap(), vec![7]);
+    }
+}

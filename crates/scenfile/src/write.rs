@@ -1,0 +1,206 @@
+//! Emission of scenario files that re-parse to the same document.
+//!
+//! [`DocWriter`] is a small append-only builder: callers lay out
+//! comments, `[table]` / `[[table]]` headers, and typed `key = value`
+//! lines in the order they should appear on disk. Every emitter is
+//! lossless under [`parse`](crate::parse()):
+//!
+//! * strings are escaped with the same escape set the parser accepts;
+//! * floats print via Rust's shortest round-trip formatting, with a
+//!   forced `.0` so they re-parse as floats rather than integers;
+//! * integers print in decimal.
+//!
+//! Non-finite floats cannot be represented in the format; emitting one
+//! is a caller bug and panics.
+
+use std::fmt::Write as _;
+
+/// Append-only writer producing a parseable scenario document.
+#[derive(Debug, Default)]
+pub struct DocWriter {
+    out: String,
+}
+
+/// True when `key` consists solely of bare-key characters
+/// (`A-Z a-z 0-9 _ -`) and is non-empty — the only keys the format can
+/// express.
+pub fn is_bare_key(key: &str) -> bool {
+    !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Escapes `s` for a double-quoted basic string.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a float so it re-parses exactly and as a float.
+///
+/// Panics on non-finite values — the format has no representation for
+/// them, and a scenario containing one is already corrupt.
+pub fn format_float(v: f64) -> String {
+    assert!(v.is_finite(), "scenario files cannot represent non-finite float {v}");
+    // `{:?}` is Rust's shortest representation that round-trips through
+    // `str::parse::<f64>`, and always contains `.` or `e` — so the
+    // parser classifies it as a float.
+    format!("{v:?}")
+}
+
+impl DocWriter {
+    /// A new empty document.
+    pub fn new() -> DocWriter {
+        DocWriter::default()
+    }
+
+    /// Appends a `# comment` line (multi-line text becomes one comment
+    /// line per input line).
+    pub fn comment(&mut self, text: &str) -> &mut Self {
+        for line in text.lines() {
+            if line.is_empty() {
+                self.out.push_str("#\n");
+            } else {
+                let _ = writeln!(self.out, "# {line}");
+            }
+        }
+        self
+    }
+
+    /// Appends a blank separator line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Opens a `[name]` table.
+    pub fn table(&mut self, name: &str) -> &mut Self {
+        assert!(is_bare_key(name), "table name {name:?} is not a bare key");
+        let _ = writeln!(self.out, "[{name}]");
+        self
+    }
+
+    /// Appends a `[[name]]` table-array element header.
+    pub fn array_table(&mut self, name: &str) -> &mut Self {
+        assert!(is_bare_key(name), "table name {name:?} is not a bare key");
+        let _ = writeln!(self.out, "[[{name}]]");
+        self
+    }
+
+    /// Writes `key = "value"`.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, &format!("\"{}\"", escape_str(value)))
+    }
+
+    /// Writes `key = value` for a signed integer.
+    pub fn int(&mut self, key: &str, value: i64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Writes `key = value` for an unsigned integer.
+    pub fn uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Writes `key = value` for a finite float (panics on NaN/inf).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, &format_float(value))
+    }
+
+    /// Writes `key = true|false`.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Writes `key = ["a", "b", …]`.
+    pub fn str_array<S: AsRef<str>>(&mut self, key: &str, values: &[S]) -> &mut Self {
+        let body: Vec<String> =
+            values.iter().map(|v| format!("\"{}\"", escape_str(v.as_ref()))).collect();
+        self.raw(key, &format!("[{}]", body.join(", ")))
+    }
+
+    /// Writes `key = [1, 2, …]` for unsigned integers.
+    pub fn uint_array(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        let body: Vec<String> = values.iter().map(u64::to_string).collect();
+        self.raw(key, &format!("[{}]", body.join(", ")))
+    }
+
+    fn raw(&mut self, key: &str, rendered: &str) -> &mut Self {
+        assert!(is_bare_key(key), "key {key:?} is not a bare key");
+        let _ = writeln!(self.out, "{key} = {rendered}");
+        self
+    }
+
+    /// The finished document text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn written_documents_reparse_losslessly() {
+        let mut w = DocWriter::new();
+        w.comment("generated by a test\nsecond line")
+            .blank()
+            .table("scenario")
+            .str("name", "tricky \"name\"\nwith\ttabs \\")
+            .uint("users", u64::MAX)
+            .int("offset", -42)
+            .float("weight", 0.1)
+            .float("whole", 3.0)
+            .bool("enabled", false)
+            .str_array("schemes", &["makeidle", "oracle"])
+            .uint_array("sizes", &[1, 200_000]);
+        w.blank().array_table("carrier").str("profile", "att-hspa");
+        let text = w.finish();
+
+        let doc = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        let s = doc.table("scenario").unwrap();
+        assert_eq!(s.req_str("name").unwrap(), "tricky \"name\"\nwith\ttabs \\");
+        assert_eq!(s.req_u64("users").unwrap(), u64::MAX);
+        assert_eq!(s.get_int("offset").unwrap(), Some(-42));
+        assert_eq!(s.req_float("weight").unwrap(), 0.1);
+        // 3.0 must come back as a *float*, not an integer.
+        assert!(matches!(s.get("whole").unwrap().value, crate::Value::Float(v) if v == 3.0));
+        assert_eq!(s.get_bool("enabled").unwrap(), Some(false));
+        assert_eq!(s.req_array("schemes").unwrap().len(), 2);
+        assert_eq!(doc.array_of_tables("carrier").len(), 1);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_extremes() {
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-7, 95.0] {
+            let text = format_float(v);
+            assert_eq!(text.parse::<f64>().unwrap(), v, "{text}");
+            assert!(text.contains('.') || text.contains('e'), "{text} would reparse as int");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_panic() {
+        format_float(f64::NAN);
+    }
+
+    #[test]
+    fn bare_key_validation() {
+        assert!(is_bare_key("shard_size"));
+        assert!(is_bare_key("att-hspa"));
+        assert!(!is_bare_key(""));
+        assert!(!is_bare_key("a b"));
+        assert!(!is_bare_key("a.b"));
+    }
+}

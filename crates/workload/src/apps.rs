@@ -86,6 +86,43 @@ impl AppKind {
     pub fn default_model(&self) -> AppParams {
         AppParams::defaults(*self)
     }
+
+    /// The stable lowercase token (`"im"`, `"news"`, …) scenario files
+    /// and the CLI use; round-trips through `AppKind::from_str`.
+    pub fn token(&self) -> &'static str {
+        match self {
+            AppKind::News => "news",
+            AppKind::Im => "im",
+            AppKind::MicroBlog => "microblog",
+            AppKind::GameAds => "game",
+            AppKind::Email => "email",
+            AppKind::Social => "social",
+            AppKind::Finance => "finance",
+        }
+    }
+}
+
+/// Writes the stable lowercase token (see [`AppKind::token`]).
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Parses an application token case-insensitively (`"game-ads"` and
+/// `"gameads"` are accepted aliases for `"game"`).
+impl std::str::FromStr for AppKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<AppKind, String> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "game-ads" || lower == "gameads" {
+            return Ok(AppKind::GameAds);
+        }
+        AppKind::ALL.into_iter().find(|k| k.token() == lower).ok_or_else(|| {
+            format!("unknown app {s:?}; one of {}", AppKind::ALL.map(|k| k.token()).join(", "))
+        })
+    }
 }
 
 /// Tunable parameters of one application model.
@@ -433,6 +470,20 @@ mod tests {
         for p in t.iter() {
             assert!(p.flow > 1_000_000 && p.flow < 2_000_000);
         }
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for kind in AppKind::ALL {
+            let token = kind.token();
+            assert_eq!(kind.to_string(), token);
+            assert_eq!(token.parse::<AppKind>().unwrap(), kind);
+            assert_eq!(token.to_uppercase().parse::<AppKind>().unwrap(), kind);
+        }
+        assert_eq!("game-ads".parse::<AppKind>().unwrap(), AppKind::GameAds);
+        assert_eq!("gameads".parse::<AppKind>().unwrap(), AppKind::GameAds);
+        let err = "solitaire".parse::<AppKind>().unwrap_err();
+        assert!(err.contains("microblog"), "{err}");
     }
 
     #[test]

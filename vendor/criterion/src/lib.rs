@@ -11,10 +11,12 @@
 //! batches until `measurement_time` elapses (default 300 ms — small, so
 //! `cargo test` finishes fast; tune per group with
 //! [`BenchmarkGroup::measurement_time`]). Results print as median
-//! ns/iteration plus derived throughput when one was declared. There is
-//! no statistical analysis, plotting, or baseline persistence — this is a
+//! ns/iteration with the spread that makes regressions detectable in
+//! CI logs — the median absolute deviation (MAD, a robust ±) and the
+//! p05/p95 sample percentiles — plus derived throughput when one was
+//! declared. There is no plotting or baseline persistence — this is a
 //! smoke-measurement harness that keeps bench code compiling and gives
-//! order-of-magnitude numbers.
+//! order-of-magnitude numbers with honest error bars.
 //!
 //! Passing `--test` (what `cargo test` does for harness-less bench
 //! targets) switches to a single-iteration sanity run.
@@ -126,12 +128,41 @@ impl Bencher<'_> {
     }
 }
 
-fn median(samples: &mut [f64]) -> f64 {
-    if samples.is_empty() {
+/// Robust sample statistics of one benchmark's per-iteration times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stats {
+    median: f64,
+    /// Median absolute deviation from the median — a robust spread
+    /// estimate that one GC pause or scheduler hiccup cannot inflate.
+    mad: f64,
+    p05: f64,
+    p95: f64,
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
         return 0.0;
     }
+    // Nearest-rank on the sorted samples; exact enough for a smoke
+    // harness and stable for tiny sample counts.
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn stats(samples: &mut [f64]) -> Stats {
+    if samples.is_empty() {
+        return Stats { median: 0.0, mad: 0.0, p05: 0.0, p95: 0.0 };
+    }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let median = samples[samples.len() / 2];
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Stats {
+        median,
+        mad: deviations[deviations.len() / 2],
+        p05: percentile_sorted(samples, 0.05),
+        p95: percentile_sorted(samples, 0.95),
+    }
 }
 
 fn human_time(ns: f64) -> String {
@@ -146,12 +177,19 @@ fn human_time(ns: f64) -> String {
     }
 }
 
-fn report(label: &str, ns_per_iter: f64, throughput: Option<Throughput>, test_mode: bool) {
+fn report(label: &str, stats: Stats, throughput: Option<Throughput>, test_mode: bool) {
     if test_mode {
         println!("bench {label:<40} ok (test mode)");
         return;
     }
-    let mut line = format!("bench {label:<40} {:>12}/iter", human_time(ns_per_iter));
+    let ns_per_iter = stats.median;
+    let mut line = format!(
+        "bench {label:<40} {:>12}/iter ±{} MAD  [p05 {}, p95 {}]",
+        human_time(ns_per_iter),
+        human_time(stats.mad),
+        human_time(stats.p05),
+        human_time(stats.p95),
+    );
     if let Some(t) = throughput {
         let per_sec = match t {
             Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / ns_per_iter * 1e3),
@@ -220,7 +258,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mut samples = Vec::new();
     let mut bencher = Bencher { samples: &mut samples, test_mode, measurement_time };
     f(&mut bencher);
-    report(&label, median(&mut samples), throughput, test_mode);
+    report(&label, stats(&mut samples), throughput, test_mode);
 }
 
 /// A group of related benchmarks sharing a name prefix and throughput.
@@ -341,5 +379,35 @@ mod tests {
     fn ids_format_as_expected() {
         assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn stats_report_median_mad_and_percentiles() {
+        // 1..=100: median (index 50 of 0-based sorted) = 51, MAD = 25,
+        // p05 at round(99*0.05)=5 → 6, p95 at round(99*0.95)=94 → 95.
+        let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = stats(&mut samples);
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.mad, 25.0);
+        assert_eq!(s.p05, 6.0);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_outliers() {
+        // One wild outlier moves the mean by ~10x but leaves the MAD
+        // small — the property that makes the ± usable in CI.
+        let mut samples = vec![10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9_999.0];
+        let s = stats(&mut samples);
+        assert_eq!(s.median, 10.1);
+        assert!(s.mad <= 0.5, "MAD {} blew up on an outlier", s.mad);
+        assert_eq!(s.p95, 9_999.0);
+    }
+
+    #[test]
+    fn stats_degenerate_inputs() {
+        assert_eq!(stats(&mut []).median, 0.0);
+        let one = stats(&mut [7.0]);
+        assert_eq!((one.median, one.mad, one.p05, one.p95), (7.0, 0.0, 7.0, 7.0));
     }
 }
