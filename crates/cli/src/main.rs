@@ -62,13 +62,22 @@ COMMANDS
                      --seed <n>           (master seed, default 1)
                      --shard <n>          (users per shard, default 64)
   fleet run <file.toml>
-                   run an on-disk scenario file (docs/SCENARIO_FORMAT.md);
-                   files with [[sweep]] axes expand into a matrix of runs
-                   and fold into one side-by-side comparison table
+                   run an on-disk scenario file (docs/SCENARIO_FORMAT.md):
+                   a synthetic population, or a [corpus] table replaying a
+                   directory of .twt/.twt.csv traces; files with [[sweep]]
+                   axes expand into a matrix of runs and fold into one
+                   side-by-side comparison table
                      --threads <t>        (default: all hardware threads)
   fleet export <out.toml>
                    write the flag-built fleet scenario to a scenario file
                      (accepts the same flags as `fleet`, minus --threads)
+  fleet synth <scenario.toml>
+                   materialize a synthetic scenario into an on-disk trace
+                   corpus: one trace file per user, named so the corpus
+                   walk replays users in synthesis order
+                     --out <dir>          (required; must hold no traces)
+                     --format <twt|csv>   (default twt)
+                     --threads <t>        (default: all hardware threads)
   carriers         print the built-in carrier profiles
   help             this text
 ";
@@ -305,10 +314,11 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     match args.positional(0) {
         Some("run") => return cmd_fleet_run(args),
         Some("export") => return cmd_fleet_export(args),
+        Some("synth") => return cmd_fleet_synth(args),
         Some(other) => {
             return Err(Box::new(ArgError(format!(
                 "unknown fleet subcommand {other:?}; expected `run <file.toml>`, \
-                 `export <out.toml>`, or flags only"
+                 `export <out.toml>`, `synth <scenario.toml>`, or flags only"
             ))))
         }
         None => {}
@@ -331,8 +341,8 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `tailwise fleet run <file.toml>`: execute an on-disk scenario file —
-/// a single fleet run, or a sweep matrix folded into one comparison
-/// table.
+/// a single fleet run (synthetic or corpus replay), or a sweep matrix
+/// folded into one comparison table.
 fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["threads"])?;
     let path = args
@@ -344,31 +354,68 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
              (run files one at a time, or express the matrix as [[sweep]] axes in one file)"
         ))));
     }
-    let set = tailwise_fleet::ScenarioSet::from_file(path)?;
+    let set = tailwise_fleet::SourceSet::from_file(path)?;
     let threads = threads_from(args)?;
     if set.is_sweep() {
         println!(
             "running {} from {path}: {} scenario(s) across {} sweep axis(es), {} threads…",
-            set.base.name,
+            set.source.name(),
             set.expansion_count(),
             set.axes.len(),
             threads,
         );
-        let report = tailwise_fleet::run_sweep(&set, threads);
+        let report = tailwise_fleet::run_source_sweep(&set, threads)?;
         print!("{}", report.render());
-    } else {
-        println!(
-            "running {} from {path}: {} users × {} day(s) of {} ({} threads, seed {})…",
-            set.base.name,
-            set.base.users,
-            set.base.days_per_user,
-            set.base.scheme.label(),
-            threads,
-            set.base.master_seed,
-        );
-        let report = tailwise_fleet::run(&set.base, threads);
-        print!("{}", report.render());
+        return Ok(());
     }
+    match &set.source {
+        tailwise_fleet::UserSource::Synthetic(base) => println!(
+            "running {} from {path}: {} users × {} day(s) of {} ({} threads, seed {})…",
+            base.name,
+            base.users,
+            base.days_per_user,
+            base.scheme.label(),
+            threads,
+            base.master_seed,
+        ),
+        tailwise_fleet::UserSource::Corpus(base) => println!(
+            "replaying {} from {path}: corpus {} under {} ({} threads)…",
+            base.name,
+            base.spec.dir.display(),
+            base.scheme.label(),
+            threads,
+        ),
+    }
+    let report = tailwise_fleet::run_source(&set.source, threads)?;
+    print!("{}", report.render());
+    Ok(())
+}
+
+/// `tailwise fleet synth <scenario.toml> --out <dir>`: materialize a
+/// synthetic scenario into an on-disk trace corpus — one file per user,
+/// zero-padded so the deterministic corpus walk replays users in
+/// synthesis order. The instant self-test fixture for `[corpus]` runs.
+fn cmd_fleet_synth(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["out", "format", "threads"])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet synth needs a scenario file path".into()))?;
+    let out = args
+        .opt("out")
+        .ok_or_else(|| ArgError("fleet synth needs --out <dir> for the corpus".into()))?;
+    let format: tailwise_trace::TraceFormat =
+        args.opt_or("format", "twt").parse().map_err(ArgError)?;
+    let threads = threads_from(args)?;
+    let scenario = tailwise_fleet::Scenario::from_file(path)?;
+    println!(
+        "synthesizing {} users × {} day(s) into {out} ({} format, {threads} threads)…",
+        scenario.users, scenario.days_per_user, format,
+    );
+    let written = tailwise_fleet::synth_corpus(&scenario, Path::new(out), format, threads)?;
+    println!(
+        "wrote {written} trace files to {out} — replay them with a [corpus] scenario \
+         (see docs/SCENARIO_FORMAT.md §5)"
+    );
     Ok(())
 }
 
@@ -384,7 +431,7 @@ fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ))));
     }
     let scenario = fleet_scenario_from_flags(args)?;
-    scenario.to_file(out).map_err(ArgError)?;
+    scenario.to_file(out)?;
     println!(
         "wrote {out}: {} users × {} day(s) of {} (run with `tailwise fleet run {out}`)",
         scenario.users,

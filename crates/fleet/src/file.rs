@@ -1,5 +1,5 @@
 //! The on-disk scenario schema: mapping between [`Scenario`] /
-//! [`ScenarioSet`] and the TOML-subset documents of
+//! [`ScenarioSet`] / [`SourceSet`] and the TOML-subset documents of
 //! `tailwise-scenfile`.
 //!
 //! The format itself is specified key-by-key in
@@ -9,26 +9,38 @@
 //! with the exact position of the bad token, and unknown keys are
 //! rejected rather than ignored (`deny_unknown`).
 //!
+//! A file populates its users in exactly one of two ways: `[[app]]`
+//! tables plus `users` (a synthetic population), or a `[corpus]` table
+//! naming a directory of trace files to replay. The two are mutually
+//! exclusive, and mixing them is a positioned error, never a guess.
+//!
 //! Round-trip contract: for any scenario whose carrier profiles are
 //! built-in presets (the only carriers the format can name) and whose
 //! engine config only customizes the exposed `[sim]` keys,
 //! `scenario_from_doc(parse(scenario_to_toml(s))) == s` — pinned by a
-//! property test in this module.
+//! property test in this module. Emission failures are
+//! [`ScenErrorKind::Emit`](tailwise_scenfile::ScenErrorKind::Emit)
+//! errors, the same type the read path uses.
+
+use std::path::PathBuf;
 
 use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_scenfile::{parse, str_elements, u64_elements, DocWriter, ScenError, Table};
 use tailwise_sim::engine::SimConfig;
+use tailwise_trace::corpus::TraceFormat;
 use tailwise_trace::time::Duration;
 use tailwise_workload::apps::AppKind;
 
 use crate::scenario::Scenario;
+use crate::source::{CorpusScenario, CorpusSpec, SourceSet, UserSource};
 use crate::sweep::{ScenarioSet, SweepAxis};
 
-/// Parses a full scenario document (base scenario + any sweep axes).
-pub(crate) fn set_from_str(src: &str) -> Result<ScenarioSet, ScenError> {
+/// Parses a full scenario document into the general source form:
+/// synthetic or corpus base, plus any sweep axes.
+pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
     let doc = parse(src)?;
-    doc.deny_unknown(&[], &["scenario", "sim"], &["carrier", "app", "sweep"])?;
+    doc.deny_unknown(&[], &["scenario", "sim", "corpus"], &["carrier", "app", "sweep"])?;
 
     let scenario_table = doc
         .table("scenario")
@@ -39,12 +51,6 @@ pub(crate) fn set_from_str(src: &str) -> Result<ScenarioSet, ScenError> {
         &[],
     )?;
 
-    let users = scenario_table.req_u64("users")?;
-    let days_per_user = match scenario_table.get_u32("days_per_user")? {
-        Some(0) => return Err(at_least_one(scenario_table, "days_per_user")),
-        Some(days) => days,
-        None => 1,
-    };
     let scheme = match scenario_table.get_str("scheme")? {
         None => Scheme::MakeIdle,
         Some(token) => parse_token::<Scheme>(scenario_table, "scheme", token)?,
@@ -55,52 +61,126 @@ pub(crate) fn set_from_str(src: &str) -> Result<ScenarioSet, ScenError> {
         Some(shard) => shard,
         None => 64,
     };
-
     let carrier_mix = weighted_entries(&doc, "carrier", "profile", |table, token| {
         parse_token::<CarrierProfile>(table, "profile", token)
     })?;
-    let app_mix = weighted_entries(&doc, "app", "kind", |table, token| {
-        parse_token::<AppKind>(table, "kind", token)
-    })?;
-
     let sim = sim_from_doc(&doc)?;
 
-    let name = match scenario_table.get_str("name")? {
-        Some(name) => name.to_string(),
-        None => default_name(users, &scheme, &carrier_mix),
+    let Some(corpus_table) = doc.table("corpus") else {
+        // ------------------------------------------------ synthetic ----
+        let users = scenario_table.req_u64("users")?;
+        let days_per_user = match scenario_table.get_u32("days_per_user")? {
+            Some(0) => return Err(at_least_one(scenario_table, "days_per_user")),
+            Some(days) => days,
+            None => 1,
+        };
+        let app_mix = weighted_entries(&doc, "app", "kind", |table, token| {
+            parse_token::<AppKind>(table, "kind", token)
+        })?;
+        let name = match scenario_table.get_str("name")? {
+            Some(name) => name.to_string(),
+            None => default_name(users, &scheme, &carrier_mix),
+        };
+        let base = Scenario {
+            name,
+            users,
+            days_per_user,
+            scheme,
+            carrier_mix,
+            app_mix,
+            master_seed,
+            shard_size,
+            sim,
+        };
+        let axes = sweep_axes(&doc, false)?;
+        return Ok(SourceSet { source: UserSource::Synthetic(base), axes });
     };
 
-    let base = Scenario {
+    // --------------------------------------------------------- corpus ----
+    // The corpus sizes and describes the population; the synthetic-only
+    // knobs are conflicts, not unknowns, so the error says *why*.
+    for key in ["users", "days_per_user"] {
+        if let Some(item) = scenario_table.get(key) {
+            return Err(ScenError::at(
+                item.pos,
+                format!(
+                    "`{key}` cannot be combined with `[corpus]`: \
+                     the population is sized by the corpus's trace files"
+                ),
+            ));
+        }
+    }
+    if let Some(first) = doc.array_of_tables("app").first() {
+        return Err(ScenError::at(
+            first.pos(),
+            "`[[app]]` cannot be combined with `[corpus]`: \
+             replayed traces already define each user's workload",
+        ));
+    }
+
+    corpus_table.deny_unknown(&["dir", "recursive", "formats"], &[], &[])?;
+    let dir = corpus_table.req_str("dir")?;
+    let dir_pos = corpus_table.get("dir").map(|i| i.pos).unwrap_or(corpus_table.pos());
+    if dir.is_empty() {
+        return Err(ScenError::at(dir_pos, "`dir` must not be empty"));
+    }
+    let recursive = corpus_table.get_bool("recursive")?.unwrap_or(true);
+    let formats = match corpus_table.get_array("formats")? {
+        None => TraceFormat::ALL.to_vec(),
+        Some(items) => {
+            let pos = corpus_table.get("formats").map(|i| i.pos).unwrap_or(corpus_table.pos());
+            if items.is_empty() {
+                return Err(ScenError::at(pos, "`formats` must not be empty"));
+            }
+            let mut formats = str_elements("formats", items)?
+                .into_iter()
+                .map(|token| token.parse::<TraceFormat>().map_err(|e| ScenError::at(pos, e)))
+                .collect::<Result<Vec<TraceFormat>, ScenError>>()?;
+            formats.sort();
+            formats.dedup();
+            formats
+        }
+    };
+    let name = match scenario_table.get_str("name")? {
+        Some(name) => name.to_string(),
+        None => format!("corpus {dir} × {}", scheme.label()),
+    };
+    let base = CorpusScenario {
         name,
-        users,
-        days_per_user,
         scheme,
         carrier_mix,
-        app_mix,
         master_seed,
         shard_size,
         sim,
+        spec: CorpusSpec { dir: PathBuf::from(dir), recursive, formats, dir_pos, origin: None },
     };
-    let axes = sweep_axes(&doc)?;
-    Ok(ScenarioSet { base, axes })
+    let axes = sweep_axes(&doc, true)?;
+    Ok(SourceSet { source: UserSource::Corpus(base), axes })
 }
 
-/// Serializes a scenario (and optional sweep axes) to document text
-/// that parses back to the same values.
-pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String, String> {
+/// Parses a document as a synthetic-only [`ScenarioSet`], rejecting
+/// `[corpus]` files with a pointer to the corpus-aware loader.
+pub(crate) fn set_from_str(src: &str) -> Result<ScenarioSet, ScenError> {
+    match source_set_from_str(src)? {
+        SourceSet { source: UserSource::Synthetic(base), axes } => Ok(ScenarioSet { base, axes }),
+        SourceSet { source: UserSource::Corpus(corpus), .. } => Err(ScenError::at(
+            corpus.spec.dir_pos,
+            "file declares a [corpus] source; load it with SourceSet::from_file \
+             (or run it with `tailwise fleet run`)",
+        )),
+    }
+}
+
+/// Serializes a synthetic scenario (and optional sweep axes) to
+/// document text that parses back to the same values.
+pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String, ScenError> {
     check_sim_representable(&base.sim)?;
-    for (field, value) in [
+    check_nonzero(&[
         ("days_per_user", u64::from(base.days_per_user)),
         ("shard_size", base.shard_size),
         ("window_capacity", base.sim.window_capacity as u64),
-    ] {
-        if value == 0 {
-            return Err(format!("{field} of 0 is not representable (scenario files require ≥ 1)"));
-        }
-    }
-    let mut w = DocWriter::new();
-    w.comment("tailwise fleet scenario — run with: tailwise fleet run <this file>")
-        .comment("format spec: docs/SCENARIO_FORMAT.md");
+    ])?;
+    let mut w = header();
     w.blank().table("scenario");
     w.str("name", &base.name);
     w.uint("users", base.users);
@@ -108,33 +188,110 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
     w.str("scheme", &scheme_token(&base.scheme)?);
     w.uint("master_seed", base.master_seed);
     w.uint("shard_size", base.shard_size);
-
-    w.blank().table("sim");
-    w.float("intra_burst_gap_s", base.sim.intra_burst_gap.as_secs_f64());
-    w.uint("window_capacity", base.sim.window_capacity as u64);
-
-    for (profile, weight) in &base.carrier_mix {
-        let slug = profile.slug().ok_or_else(|| {
-            format!(
-                "carrier profile {:?} does not match any built-in preset; \
-                 scenario files can only name presets ({})",
-                profile.name,
-                CarrierProfile::PRESET_SLUGS.join(", ")
-            )
-        })?;
-        check_weight(*weight, slug)?;
-        w.blank().array_table("carrier").str("profile", slug).float("weight", *weight);
-    }
+    write_sim(&mut w, &base.sim);
+    write_carriers(&mut w, &base.carrier_mix)?;
     for (kind, weight) in &base.app_mix {
         check_weight(*weight, kind.token())?;
         w.blank().array_table("app").str("kind", kind.token()).float("weight", *weight);
     }
+    write_axes(&mut w, axes)?;
+    Ok(w.finish())
+}
+
+/// Serializes either kind of source, plus sweep axes.
+pub(crate) fn source_set_to_toml(
+    source: &UserSource,
+    axes: &[SweepAxis],
+) -> Result<String, ScenError> {
+    match source {
+        UserSource::Synthetic(base) => set_to_toml(base, axes),
+        UserSource::Corpus(base) => corpus_to_toml(base, axes),
+    }
+}
+
+/// Serializes a corpus scenario: the shared envelope plus the
+/// `[corpus]` table instead of `users`/`[[app]]`.
+fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, ScenError> {
+    check_sim_representable(&base.sim)?;
+    check_nonzero(&[
+        ("shard_size", base.shard_size),
+        ("window_capacity", base.sim.window_capacity as u64),
+    ])?;
+    let dir = base.spec.dir.to_str().ok_or_else(|| {
+        ScenError::emit(format!(
+            "corpus directory {:?} is not valid UTF-8 and cannot be written to a scenario file",
+            base.spec.dir
+        ))
+    })?;
+    if base.spec.formats.is_empty() {
+        return Err(ScenError::emit("corpus format filter must admit at least one format"));
+    }
+    let mut w = header();
+    w.blank().table("scenario");
+    w.str("name", &base.name);
+    w.str("scheme", &scheme_token(&base.scheme)?);
+    w.uint("master_seed", base.master_seed);
+    w.uint("shard_size", base.shard_size);
+    write_sim(&mut w, &base.sim);
+    // Canonical order is the enum order (the same order the parser
+    // normalizes to), so emit→parse round-trips to an equal spec.
+    let tokens: Vec<&str> =
+        base.spec.canonical_formats().into_iter().map(TraceFormat::token).collect();
+    w.blank().table("corpus");
+    w.str("dir", dir);
+    w.bool("recursive", base.spec.recursive);
+    w.str_array("formats", &tokens);
+    write_carriers(&mut w, &base.carrier_mix)?;
+    write_axes(&mut w, axes)?;
+    Ok(w.finish())
+}
+
+fn header() -> DocWriter {
+    let mut w = DocWriter::new();
+    w.comment("tailwise fleet scenario — run with: tailwise fleet run <this file>")
+        .comment("format spec: docs/SCENARIO_FORMAT.md");
+    w
+}
+
+fn write_sim(w: &mut DocWriter, sim: &SimConfig) {
+    w.blank().table("sim");
+    w.float("intra_burst_gap_s", sim.intra_burst_gap.as_secs_f64());
+    w.uint("window_capacity", sim.window_capacity as u64);
+}
+
+fn write_carriers(
+    w: &mut DocWriter,
+    carrier_mix: &[(CarrierProfile, f64)],
+) -> Result<(), ScenError> {
+    // The schema requires ≥ 1 [[carrier]]; emitting none would produce
+    // a document from_toml_str rejects.
+    if carrier_mix.is_empty() {
+        return Err(ScenError::emit(
+            "scenario has an empty carrier mix; files need at least one [[carrier]] entry",
+        ));
+    }
+    for (profile, weight) in carrier_mix {
+        let slug = profile.slug().ok_or_else(|| {
+            ScenError::emit(format!(
+                "carrier profile {:?} does not match any built-in preset; \
+                 scenario files can only name presets ({})",
+                profile.name,
+                CarrierProfile::PRESET_SLUGS.join(", ")
+            ))
+        })?;
+        check_weight(*weight, slug)?;
+        w.blank().array_table("carrier").str("profile", slug).float("weight", *weight);
+    }
+    Ok(())
+}
+
+fn write_axes(w: &mut DocWriter, axes: &[SweepAxis]) -> Result<(), ScenError> {
     for axis in axes {
         w.blank().array_table("sweep");
         match axis {
             SweepAxis::Schemes(schemes) => {
                 let tokens =
-                    schemes.iter().map(scheme_token).collect::<Result<Vec<String>, String>>()?;
+                    schemes.iter().map(scheme_token).collect::<Result<Vec<String>, ScenError>>()?;
                 w.str("axis", "scheme").str_array("values", &tokens);
             }
             SweepAxis::Carriers(carriers) => {
@@ -142,10 +299,13 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
                     .iter()
                     .map(|c| {
                         c.slug().map(str::to_string).ok_or_else(|| {
-                            format!("sweep carrier {:?} is not a built-in preset", c.name)
+                            ScenError::emit(format!(
+                                "sweep carrier {:?} is not a built-in preset",
+                                c.name
+                            ))
                         })
                     })
-                    .collect::<Result<Vec<String>, String>>()?;
+                    .collect::<Result<Vec<String>, ScenError>>()?;
                 w.str("axis", "carrier").str_array("values", &slugs);
             }
             SweepAxis::Users(sizes) => {
@@ -153,28 +313,28 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
             }
         }
     }
-    Ok(w.finish())
+    Ok(())
 }
 
 /// The scheme's on-disk token, verified loadable: the token must parse
 /// back to the identical scheme, so `to_file` can never produce a file
 /// `from_file` rejects (e.g. `PercentileIat(1.0)` would print `iat100`,
 /// which the parser refuses) or reads back differently.
-fn scheme_token(scheme: &Scheme) -> Result<String, String> {
+fn scheme_token(scheme: &Scheme) -> Result<String, ScenError> {
     let token = scheme.to_string();
     match token.parse::<Scheme>() {
         Ok(parsed) if parsed == *scheme => Ok(token),
-        _ => Err(format!(
+        _ => Err(ScenError::emit(format!(
             "scheme {scheme:?} has no loadable on-disk token ({token:?} does not parse back \
              to it); IAT percentiles must lie strictly inside (0, 1)"
-        )),
+        ))),
     }
 }
 
 /// Errors when the engine config customizes a field the on-disk format
 /// cannot express — the alternative is a `to_file` that succeeds and a
 /// `from_file` that silently returns a different scenario.
-fn check_sim_representable(sim: &SimConfig) -> Result<(), String> {
+fn check_sim_representable(sim: &SimConfig) -> Result<(), ScenError> {
     let default = SimConfig::default();
     let hidden = [
         ("record_decisions", sim.record_decisions == default.record_decisions),
@@ -186,11 +346,21 @@ fn check_sim_representable(sim: &SimConfig) -> Result<(), String> {
     ];
     match hidden.iter().find(|(_, unchanged)| !unchanged) {
         None => Ok(()),
-        Some((field, _)) => Err(format!(
+        Some((field, _)) => Err(ScenError::emit(format!(
             "sim config field `{field}` differs from its default and is not representable \
              in scenario files (only intra_burst_gap_s and window_capacity are; see \
              docs/SCENARIO_FORMAT.md §2.2)"
-        )),
+        ))),
+    }
+}
+
+/// Emission-side guard for fields the format requires to be ≥ 1.
+fn check_nonzero(fields: &[(&str, u64)]) -> Result<(), ScenError> {
+    match fields.iter().find(|(_, value)| *value == 0) {
+        None => Ok(()),
+        Some((field, _)) => Err(ScenError::emit(format!(
+            "{field} of 0 is not representable (scenario files require ≥ 1)"
+        ))),
     }
 }
 
@@ -202,11 +372,13 @@ fn at_least_one(table: &Table, key: &str) -> ScenError {
     ScenError::at(pos, format!("`{key}` must be at least 1"))
 }
 
-fn check_weight(weight: f64, what: &str) -> Result<(), String> {
+fn check_weight(weight: f64, what: &str) -> Result<(), ScenError> {
     if weight.is_finite() && weight > 0.0 {
         Ok(())
     } else {
-        Err(format!("weight of {what:?} must be a positive finite number, got {weight}"))
+        Err(ScenError::emit(format!(
+            "weight of {what:?} must be a positive finite number, got {weight}"
+        )))
     }
 }
 
@@ -261,7 +433,9 @@ fn sim_from_doc(doc: &Table) -> Result<SimConfig, ScenError> {
     Ok(sim)
 }
 
-fn sweep_axes(doc: &Table) -> Result<Vec<SweepAxis>, ScenError> {
+/// Parses `[[sweep]]` axes. With `corpus`, the `users` axis is rejected
+/// (a corpus population is sized by its directory, not a knob).
+fn sweep_axes(doc: &Table, corpus: bool) -> Result<Vec<SweepAxis>, ScenError> {
     let mut axes = Vec::new();
     for table in doc.array_of_tables("sweep") {
         table.deny_unknown(&["axis", "values"], &[], &[])?;
@@ -287,6 +461,13 @@ fn sweep_axes(doc: &Table) -> Result<Vec<SweepAxis>, ScenError> {
                     })
                     .collect::<Result<Vec<CarrierProfile>, ScenError>>()?,
             ),
+            "users" if corpus => {
+                return Err(ScenError::at(
+                    axis_pos,
+                    "sweep axis `users` requires a synthetic scenario; \
+                     a [corpus] population is sized by its directory",
+                ))
+            }
             "users" => SweepAxis::Users(u64_elements("values", values)?),
             other => {
                 return Err(ScenError::at(
@@ -323,7 +504,7 @@ fn default_name(users: u64, scheme: &Scheme, carrier_mix: &[(CarrierProfile, f64
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use tailwise_scenfile::Pos;
+    use tailwise_scenfile::{Pos, ScenErrorKind};
 
     const MINIMAL: &str = concat!(
         "[scenario]\n",
@@ -431,10 +612,90 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // [corpus] files.
+
+    const CORPUS_MINIMAL: &str = concat!(
+        "[scenario]\n",             // 1
+        "name = \"replay\"\n",      // 2
+        "\n",                       // 3
+        "[corpus]\n",               // 4
+        "dir = \"traces\"\n",       // 5  (value at col 7)
+        "\n",                       // 6
+        "[[carrier]]\n",            // 7
+        "profile = \"att-hspa\"\n", // 8
+    );
+
+    #[test]
+    fn corpus_file_parses_with_defaults() {
+        let set = source_set_from_str(CORPUS_MINIMAL).unwrap();
+        assert!(!set.is_sweep());
+        let UserSource::Corpus(c) = &set.source else { panic!("expected a corpus source") };
+        assert_eq!(c.name, "replay");
+        assert_eq!(c.scheme, Scheme::MakeIdle);
+        assert_eq!(c.spec.dir, PathBuf::from("traces"));
+        assert!(c.spec.recursive);
+        assert_eq!(c.spec.formats, TraceFormat::ALL.to_vec());
+        assert_eq!(c.spec.dir_pos, Pos::new(5, 7));
+        assert_eq!((c.master_seed, c.shard_size), (1, 64));
+        assert_eq!(c.carrier_mix, vec![(CarrierProfile::att_hspa(), 1.0)]);
+    }
+
+    #[test]
+    fn corpus_file_round_trips_through_the_writer() {
+        let src = concat!(
+            "[scenario]\n",
+            "scheme = \"oracle\"\n",
+            "master_seed = 99\n",
+            "shard_size = 16\n",
+            "[corpus]\n",
+            "dir = \"data/field-study\"\n",
+            "recursive = false\n",
+            "formats = [\"twt\"]\n",
+            "[[carrier]]\n",
+            "profile = \"verizon-lte\"\n",
+            "weight = 2.0\n",
+            "[[sweep]]\n",
+            "axis = \"scheme\"\n",
+            "values = [\"tail45\", \"oracle\"]\n",
+        );
+        let set = source_set_from_str(src).unwrap();
+        let UserSource::Corpus(c) = &set.source else { panic!("expected a corpus source") };
+        // Default name mentions the directory and scheme.
+        assert_eq!(c.name, "corpus data/field-study × Oracle");
+        assert!(!c.spec.recursive);
+        assert_eq!(c.spec.formats, vec![TraceFormat::Binary]);
+
+        let text = set.to_toml_string().unwrap();
+        let again = SourceSet::from_toml_str(&text).unwrap();
+        assert_eq!(again, set, "corpus round trip drifted:\n{text}");
+    }
+
+    #[test]
+    fn unordered_format_filters_round_trip_to_an_equal_spec() {
+        // Emission and parsing both canonicalize to enum order, so a
+        // programmatically built spec with reversed/duplicated formats
+        // still satisfies the to_toml_string→from_toml_str == contract.
+        let mut c = CorpusScenario::new("corpus", Scheme::MakeIdle, CarrierProfile::att_hspa());
+        c.spec.formats = vec![TraceFormat::Csv, TraceFormat::Binary, TraceFormat::Csv];
+        let source = UserSource::Corpus(c);
+        let text = source_set_to_toml(&source, &[]).unwrap();
+        assert!(text.contains("formats = [\"twt\", \"csv\"]"), "{text}");
+        let reparsed = source_set_from_str(&text).unwrap();
+        assert_eq!(reparsed.source, source);
+    }
+
+    #[test]
+    fn scenario_set_rejects_corpus_files_with_a_pointer() {
+        let e = set_from_str(CORPUS_MINIMAL).unwrap_err();
+        assert_eq!(e.pos, Pos::new(5, 7));
+        assert!(e.message.contains("SourceSet::from_file"), "{e}");
+    }
+
+    // ------------------------------------------------------------------
     // Golden schema errors: position and message.
 
     fn err_of(src: &str) -> ScenError {
-        set_from_str(src).expect_err("expected a schema error")
+        source_set_from_str(src).expect_err("expected a schema error")
     }
 
     #[test]
@@ -547,6 +808,98 @@ mod tests {
         assert!(e.message.contains("`window_capacity` must be at least 1"), "{e}");
     }
 
+    // ------------------------------------------------------------------
+    // Golden [corpus] schema errors.
+
+    #[test]
+    fn golden_corpus_missing_dir() {
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n", // 1-2
+            "[corpus]\n",                 // 3
+            "recursive = true\n",         // 4
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(3, 1));
+        assert_eq!(e.message, "missing required key `dir`");
+    }
+
+    #[test]
+    fn golden_corpus_unknown_key() {
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n", // 1-2
+            "[corpus]\n",                 // 3
+            "dir = \"traces\"\n",         // 4
+            "recursiv = true\n",          // 5
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 1));
+        assert_eq!(e.message, "unknown key `recursiv`; expected one of: dir, recursive, formats");
+    }
+
+    #[test]
+    fn golden_corpus_conflicts_with_app_tables() {
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n",   // 1-2
+            "[corpus]\ndir = \"traces\"\n", // 3-4
+            "[[app]]\n",                    // 5
+            "kind = \"im\"\n",              // 6
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 1));
+        assert_eq!(
+            e.message,
+            "`[[app]]` cannot be combined with `[corpus]`: \
+             replayed traces already define each user's workload"
+        );
+    }
+
+    #[test]
+    fn golden_corpus_conflicts_with_users() {
+        let e = err_of(concat!(
+            "[scenario]\n",                 // 1
+            "users = 100\n",                // 2 (value at col 9)
+            "[corpus]\ndir = \"traces\"\n", // 3-4
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(2, 9));
+        assert_eq!(
+            e.message,
+            "`users` cannot be combined with `[corpus]`: \
+             the population is sized by the corpus's trace files"
+        );
+    }
+
+    #[test]
+    fn golden_corpus_rejects_users_sweep_and_bad_formats() {
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n",
+            "[corpus]\ndir = \"traces\"\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[sweep]]\n",        // 7
+            "axis = \"users\"\n", // 8 (value at col 8)
+            "values = [5]\n",     // 9
+        ));
+        assert_eq!(e.pos, Pos::new(8, 8));
+        assert!(e.message.contains("sweep axis `users` requires a synthetic scenario"), "{e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n",
+            "[corpus]\ndir = \"traces\"\n",
+            "formats = [\"pcap\"]\n", // 5 (value at col 11)
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 11));
+        assert!(e.message.contains("unknown trace format \"pcap\""), "{e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n",
+            "[corpus]\ndir = \"traces\"\n",
+            "formats = []\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert!(e.message.contains("`formats` must not be empty"), "{e}");
+    }
+
     #[test]
     fn unloadable_schemes_cannot_serialize() {
         // PercentileIat(1.0) would print `iat100`, which from_file
@@ -554,12 +907,13 @@ mod tests {
         // unloadable file.
         let mut s = Scenario::new(4, Scheme::PercentileIat(1.0), CarrierProfile::att_hspa());
         let err = set_to_toml(&s, &[]).unwrap_err();
-        assert!(err.contains("no loadable on-disk token"), "{err}");
+        assert_eq!(err.kind, ScenErrorKind::Emit);
+        assert!(err.message.contains("no loadable on-disk token"), "{err}");
         // …and the same guard covers sweep axis values.
         s.scheme = Scheme::MakeIdle;
         let axes = vec![SweepAxis::Schemes(vec![Scheme::MakeIdle, Scheme::PercentileIat(0.0)])];
         let err = set_to_toml(&s, &axes).unwrap_err();
-        assert!(err.contains("no loadable on-disk token"), "{err}");
+        assert!(err.message.contains("no loadable on-disk token"), "{err}");
     }
 
     #[test]
@@ -567,19 +921,20 @@ mod tests {
         let mut s = Scenario::new(4, Scheme::MakeIdle, CarrierProfile::att_hspa());
         s.sim.record_decisions = true;
         let err = set_to_toml(&s, &[]).unwrap_err();
-        assert!(err.contains("`record_decisions`"), "{err}");
-        assert!(err.contains("not representable"), "{err}");
+        assert!(err.message.contains("`record_decisions`"), "{err}");
+        assert!(err.message.contains("not representable"), "{err}");
 
         s.sim.record_decisions = false;
         s.sim.transition_log_limit = 7;
         let err = set_to_toml(&s, &[]).unwrap_err();
-        assert!(err.contains("`transition_log_limit`"), "{err}");
+        assert!(err.message.contains("`transition_log_limit`"), "{err}");
 
         // Zero-valued identity fields are equally unrepresentable.
         s.sim = SimConfig::default();
         s.shard_size = 0;
         let err = set_to_toml(&s, &[]).unwrap_err();
-        assert!(err.contains("shard_size of 0"), "{err}");
+        assert!(err.message.contains("shard_size of 0"), "{err}");
+        assert_eq!(err.kind, ScenErrorKind::Emit);
     }
 
     #[test]
@@ -587,7 +942,22 @@ mod tests {
         let mut s = Scenario::new(4, Scheme::MakeIdle, CarrierProfile::att_hspa());
         s.carrier_mix[0].0.fd_energy_fraction = 0.2;
         let err = set_to_toml(&s, &[]).unwrap_err();
-        assert!(err.contains("does not match any built-in preset"), "{err}");
+        assert!(err.message.contains("does not match any built-in preset"), "{err}");
+    }
+
+    #[test]
+    fn empty_carrier_mixes_cannot_serialize() {
+        // Emitting zero [[carrier]] tables would write a document the
+        // parser rejects; both source kinds refuse up front instead.
+        let mut s = Scenario::new(4, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        s.carrier_mix.clear();
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.message.contains("empty carrier mix"), "{err}");
+        let mut c = CorpusScenario::new("corpus", Scheme::MakeIdle, CarrierProfile::att_hspa());
+        c.carrier_mix.clear();
+        let err = source_set_to_toml(&UserSource::Corpus(c), &[]).unwrap_err();
+        assert!(err.message.contains("empty carrier mix"), "{err}");
+        assert_eq!(err.kind, ScenErrorKind::Emit);
     }
 
     // ------------------------------------------------------------------
@@ -649,6 +1019,59 @@ mod tests {
                 .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
             prop_assert!(reparsed.axes.is_empty());
             prop_assert_eq!(reparsed.base, scenario);
+        }
+
+        #[test]
+        fn corpus_to_toml_round_trips(
+            (scheme_i, seed, shard) in (0usize..7, 0u64..u64::MAX, 1u64..512),
+            (recursive, format_bits) in (prop::bool::ANY, 1u8..4),
+            carrier_bits in 1u32..64,
+            weights in proptest::prop::collection::vec(0.001f64..50.0, 7),
+            dir_i in 0usize..4,
+        ) {
+            let schemes = [
+                Scheme::StatusQuo,
+                Scheme::FixedTail45,
+                Scheme::PercentileIat(0.95),
+                Scheme::MakeIdle,
+                Scheme::Oracle,
+                Scheme::MakeIdleActiveFix,
+                Scheme::MakeIdleActiveLearn,
+            ];
+            let dirs = ["corpus", "data/field study", "a/b/c", "./rel"];
+            let carrier_mix: Vec<(CarrierProfile, f64)> = CarrierProfile::all_presets()
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| carrier_bits & (1 << i) != 0)
+                .map(|(i, c)| (c, weights[i]))
+                .collect();
+            prop_assert!(!carrier_mix.is_empty());
+            let formats: Vec<TraceFormat> = TraceFormat::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| format_bits & (1 << i) != 0)
+                .map(|(_, f)| f)
+                .collect();
+            let source = UserSource::Corpus(CorpusScenario {
+                name: format!("prop corpus {seed}"),
+                scheme: schemes[scheme_i],
+                carrier_mix,
+                master_seed: seed,
+                shard_size: shard,
+                sim: SimConfig::default(),
+                spec: CorpusSpec {
+                    dir: PathBuf::from(dirs[dir_i]),
+                    recursive,
+                    formats,
+                    dir_pos: Pos::START,
+                    origin: None,
+                },
+            });
+            let text = source_set_to_toml(&source, &[]).unwrap();
+            let reparsed = source_set_from_str(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+            prop_assert!(reparsed.axes.is_empty());
+            prop_assert_eq!(reparsed.source, source);
         }
     }
 }

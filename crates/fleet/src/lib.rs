@@ -17,13 +17,19 @@
 //!   under test, days per user, master seed;
 //! * [`scenario`] — hierarchical seeding: user `i` is a pure function of
 //!   `(master_seed, i)`, so any worker can materialize any user;
+//! * [`source`] — the [`UserSource`] abstraction: synthetic populations
+//!   or on-disk `.twt`/`.twt.csv` corpora ([`CorpusScenario`]) replayed
+//!   through the same sharded runner, plus [`synth_corpus`] to
+//!   materialize any synthetic scenario into a corpus;
 //! * [`mod@file`]/[`sweep`] — the on-disk scenario format
 //!   (`docs/SCENARIO_FORMAT.md`): [`Scenario::from_file`] /
-//!   [`Scenario::to_file`] round-tripping, plus [`ScenarioSet`] files
-//!   whose `[[sweep]]` axes expand into a matrix of runs folded into a
-//!   side-by-side [`SweepReport`];
+//!   [`Scenario::to_file`] round-tripping, [`SourceSet`] files whose
+//!   `[corpus]` table replays measured traffic, and `[[sweep]]` axes
+//!   that expand into a matrix of runs folded into a side-by-side
+//!   [`SweepReport`];
 //! * [`runner`] — sharded multi-threaded execution,
-//!   generate→simulate→discard (peak memory: one trace per worker);
+//!   generate→simulate→discard (peak memory: one trace per worker,
+//!   for corpora too);
 //! * [`Histogram`] — fixed-bin streaming distribution with percentile
 //!   readout;
 //! * [`FleetReport`] — the merged aggregate: total/mean energy, the
@@ -65,13 +71,15 @@ pub mod histogram;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod source;
 pub mod sweep;
 
 pub use histogram::Histogram;
 pub use report::FleetReport;
-pub use runner::run;
+pub use runner::{run, run_corpus, run_pinned_corpus, run_source};
 pub use scenario::{user_seed, Scenario};
-pub use sweep::{run_sweep, ScenarioSet, SweepAxis, SweepReport, SweepRow};
+pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};
+pub use sweep::{run_source_sweep, run_sweep, ScenarioSet, SweepAxis, SweepReport, SweepRow};
 
 #[cfg(test)]
 mod tests {

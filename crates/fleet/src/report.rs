@@ -19,6 +19,10 @@ pub struct FleetReport {
     pub scenario: String,
     /// Scheme label under test.
     pub scheme: String,
+    /// Provenance of the population: `"synthetic population"` for
+    /// scenario-synthesized users, or a corpus description naming the
+    /// directory and trace-file count. Deterministic (part of equality).
+    pub source: String,
     /// Users simulated.
     pub users: u64,
     /// Total user-days simulated.
@@ -54,6 +58,7 @@ impl FleetReport {
         FleetReport {
             scenario,
             scheme,
+            source: "synthetic population".into(),
             users: 0,
             user_days: 0,
             packets: 0,
@@ -148,6 +153,7 @@ impl FleetReport {
             self.savings.percentile(q).map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into())
         };
         out.push_str(&format!("fleet    : {}\n", self.scenario));
+        out.push_str(&format!("source   : {}\n", self.source));
         out.push_str(&format!(
             "population: {} users, {} user-days, {} packets\n",
             self.users, self.user_days, self.packets
@@ -198,6 +204,7 @@ impl PartialEq for FleetReport {
     fn eq(&self, other: &FleetReport) -> bool {
         self.scenario == other.scenario
             && self.scheme == other.scheme
+            && self.source == other.source
             && self.users == other.users
             && self.user_days == other.user_days
             && self.packets == other.packets
@@ -306,6 +313,10 @@ mod tests {
         b.threads = 8;
         assert_eq!(a, b);
         a.users = 1;
+        assert_ne!(a, b);
+        // Provenance, by contrast, is part of the deterministic identity.
+        a.users = 0;
+        a.source = "corpus ./elsewhere (3 traces)".into();
         assert_ne!(a, b);
     }
 

@@ -1,36 +1,48 @@
-//! Sharded, multi-threaded fleet execution.
+//! Sharded, multi-threaded fleet execution over any [`UserSource`].
 //!
-//! The population is partitioned into fixed shards of
-//! [`Scenario::shard_size`] users. Worker threads claim shards from an
-//! atomic cursor (work stealing keeps long shards from serializing the
-//! run), and each worker streams its shard generate→simulate→discard:
+//! The population — synthetic users or corpus trace files — is
+//! partitioned into fixed shards of `shard_size` users. Worker threads
+//! claim shards from an atomic cursor (work stealing keeps long shards
+//! from serializing the run), and each worker streams its shard
+//! generate→simulate→discard (or, for corpora, load→simulate→discard):
 //! one user's trace is materialized, pushed through the scheme under
 //! test and the status-quo baseline, folded into the shard's partial
 //! [`FleetReport`], and dropped before the next user is touched. Peak
 //! memory is one trace per worker thread plus O(threads) buffered shard
-//! partials at the merge frontier — independent of population size.
+//! partials at the merge frontier — independent of population (and
+//! corpus) size.
 //!
-//! Determinism: which thread simulates a shard never matters. User
-//! synthesis is a pure function of `(scenario, user index)`
-//! ([hierarchical seeding](crate::scenario::user_seed)), folds happen in
-//! user order within each shard, and shard partials merge in shard-index
-//! order at a streaming frontier — fixing the floating-point reduction
-//! tree, so the same scenario yields a bit-identical report at any
-//! thread count.
+//! Determinism: which thread simulates a shard never matters. Synthetic
+//! user synthesis is a pure function of `(scenario, user index)`
+//! ([hierarchical seeding](crate::scenario::user_seed)); a corpus's
+//! index→file assignment is fixed by its deterministic sorted walk.
+//! Folds happen in user order within each shard, and shard partials
+//! merge in shard-index order at a streaming frontier — fixing the
+//! floating-point reduction tree, so the same source yields a
+//! bit-identical report at any thread count. Corpus runs are
+//! additionally fallible (disk contents can rot); on the first
+//! unreadable trace the run aborts with a positioned error instead of a
+//! report.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use tailwise_core::schemes::Scheme;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_scenfile::ScenError;
+use tailwise_sim::engine::SimConfig;
+use tailwise_trace::corpus::Corpus;
+use tailwise_trace::Trace;
 
 use crate::report::FleetReport;
-use crate::scenario::Scenario;
+use crate::scenario::{draw_carrier, Scenario};
+use crate::source::{CorpusScenario, UserSource};
 
 /// Merge frontier: folds shard partials into the total strictly in
 /// shard-index order, buffering only partials that finish ahead of the
 /// frontier. Keeps the reduction tree fixed — and therefore the report
-/// bit-identical — while the `run` loop bounds the buffer, so memory
+/// bit-identical — while the worker loop bounds the buffer, so memory
 /// stays O(threads) rather than O(shard_count) even when one slow shard
 /// stalls the frontier.
 struct Frontier {
@@ -58,12 +70,96 @@ impl Frontier {
 /// `threads` is purely an execution knob: any value ≥ 1 produces the
 /// same [`FleetReport`] (see the module docs). Zero is treated as 1.
 pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
+    run_sharded(scenario.shard_count(), threads, &|| empty_report(scenario), &|shard| {
+        Ok(run_shard(scenario, shard))
+    })
+    .expect("synthetic shards are infallible")
+}
+
+/// Runs any [`UserSource`] across `threads` worker threads.
+///
+/// Synthetic sources never fail; corpus sources fail — with a
+/// positioned [`ScenError`] — when the directory is missing or empty,
+/// or when a trace file cannot be read mid-run. On success the
+/// determinism contract is identical for both: a bit-identical report
+/// at any thread count.
+pub fn run_source(source: &UserSource, threads: usize) -> Result<FleetReport, ScenError> {
+    match source {
+        UserSource::Synthetic(scenario) => Ok(run(scenario, threads)),
+        UserSource::Corpus(corpus) => run_corpus(corpus, threads),
+    }
+}
+
+/// Replays an on-disk corpus: resolves the directory walk, tiles the
+/// sorted file list into shards, and streams one trace per worker
+/// through scheme-vs-baseline simulation.
+pub fn run_corpus(scenario: &CorpusScenario, threads: usize) -> Result<FleetReport, ScenError> {
+    let corpus = scenario.resolve()?;
+    run_pinned_corpus(scenario, &corpus, threads)
+}
+
+/// [`run_corpus`] against an already-resolved file list. Callers that
+/// run the same corpus several times — sweep cells, scheme comparisons
+/// — resolve once and pass the pinned [`Corpus`] here, so every run
+/// replays the identical index→file assignment even if the directory
+/// changes between runs.
+pub fn run_pinned_corpus(
+    scenario: &CorpusScenario,
+    corpus: &Corpus,
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    // Checked up front so a misconfigured mix is a typed error, not a
+    // panic inside a worker thread (draw_carrier asserts non-empty).
+    if scenario.carrier_mix.is_empty() {
+        return Err(scenario
+            .runtime_err("corpus scenario has an empty carrier mix; replay needs one".into()));
+    }
+    let users = corpus.len() as u64;
+    let shard_size = scenario.shard_size.max(1);
+    let shard_count = users.div_ceil(shard_size);
+    let source_label = format!("corpus {} ({} traces)", scenario.spec.dir.display(), corpus.len());
+    let empty = || {
+        let mut report = FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+        report.source = source_label.clone();
+        report
+    };
+    run_sharded(shard_count, threads, &empty, &|shard| {
+        let mut partial = empty();
+        let lo = shard * shard_size;
+        let hi = ((shard + 1) * shard_size).min(users);
+        for index in lo..hi {
+            let trace = corpus.load(index as usize).map_err(|e| {
+                scenario.runtime_err(format!(
+                    "cannot replay trace file {}: {e}",
+                    corpus.path(index as usize).display()
+                ))
+            })?;
+            let carrier = draw_carrier(&scenario.carrier_mix, scenario.master_seed, index);
+            let days = days_spanned(&trace);
+            fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, days);
+            // `trace` drops here: load-simulate-discard.
+        }
+        Ok(partial)
+    })
+}
+
+/// The sharded execution core shared by synthetic and corpus runs:
+/// work-stealing shard claims, bounded out-of-order buffering, and the
+/// in-order merge frontier. `shard` is called once per shard index; its
+/// first error (if any) aborts the run — remaining workers stop
+/// claiming shards — and becomes the overall result.
+fn run_sharded(
+    shard_count: u64,
+    threads: usize,
+    empty: &(dyn Fn() -> FleetReport + Sync),
+    shard_fn: &(dyn Fn(u64) -> Result<FleetReport, ScenError> + Sync),
+) -> Result<FleetReport, ScenError> {
     let started = std::time::Instant::now();
     let threads = threads.max(1);
-    let shard_count = scenario.shard_count();
     let cursor = AtomicU64::new(0);
-    let frontier =
-        Mutex::new(Frontier { total: empty_report(scenario), next: 0, pending: BTreeMap::new() });
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<ScenError>> = Mutex::new(None);
+    let frontier = Mutex::new(Frontier { total: empty(), next: 0, pending: BTreeMap::new() });
     let merged = Condvar::new();
     // Out-of-order partials a worker may buffer before it must wait for
     // the frontier to catch up. The worker holding the frontier shard is
@@ -73,14 +169,37 @@ pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
     std::thread::scope(|scope| {
         for _ in 0..threads.min(shard_count.max(1) as usize) {
             scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
                 let shard = cursor.fetch_add(1, Ordering::Relaxed);
                 if shard >= shard_count {
                     break;
                 }
-                let partial = run_shard(scenario, shard);
+                let partial = match shard_fn(shard) {
+                    Ok(partial) => partial,
+                    Err(e) => {
+                        error.lock().expect("fleet error slot").get_or_insert(e);
+                        failed.store(true, Ordering::Relaxed);
+                        // Wake workers parked on the frontier so they
+                        // observe the failure and exit. Taking the
+                        // frontier lock first makes the store visible to
+                        // any worker about to park, so the wakeup cannot
+                        // be lost.
+                        let _frontier = frontier.lock().expect("fleet frontier lock");
+                        merged.notify_all();
+                        break;
+                    }
+                };
                 let mut f = frontier.lock().expect("fleet frontier lock");
-                while shard != f.next && f.pending.len() >= pending_cap {
+                while shard != f.next
+                    && f.pending.len() >= pending_cap
+                    && !failed.load(Ordering::Relaxed)
+                {
                     f = merged.wait(f).expect("fleet frontier lock");
+                }
+                if failed.load(Ordering::Relaxed) {
+                    break;
                 }
                 if f.push(shard, partial) {
                     merged.notify_all();
@@ -89,30 +208,53 @@ pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
         }
     });
 
+    if let Some(e) = error.into_inner().expect("fleet error slot") {
+        return Err(e);
+    }
     let frontier = frontier.into_inner().expect("fleet frontier lock");
     debug_assert!(frontier.pending.is_empty(), "all shards merged");
     let mut report = frontier.total;
     report.wall_seconds = started.elapsed().as_secs_f64();
     report.threads = threads;
-    report
+    Ok(report)
 }
 
-/// Simulates one shard serially, folding users in index order.
+/// Simulates one synthetic shard serially, folding users in index order.
 fn run_shard(scenario: &Scenario, shard: u64) -> FleetReport {
     let mut partial = empty_report(scenario);
     for index in scenario.shard_range(shard) {
         let (carrier, model) = scenario.user(index);
         let trace = model.generate();
-        let baseline = Scheme::StatusQuo.run(&carrier, &scenario.sim, &trace);
-        let scheme_run = if scenario.scheme == Scheme::StatusQuo {
-            baseline.clone()
-        } else {
-            scenario.scheme.run(&carrier, &scenario.sim, &trace)
-        };
-        partial.fold_user(model.days, &scheme_run, &baseline);
+        fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, model.days);
         // `trace` drops here: generate-simulate-discard.
     }
     partial
+}
+
+/// Runs one user's trace through the scheme under test and the
+/// status-quo baseline, folding both into `partial`.
+fn fold_one(
+    partial: &mut FleetReport,
+    scheme: Scheme,
+    carrier: &CarrierProfile,
+    sim: &SimConfig,
+    trace: &Trace,
+    days: u32,
+) {
+    let baseline = Scheme::StatusQuo.run(carrier, sim, trace);
+    let scheme_run = if scheme == Scheme::StatusQuo {
+        baseline.clone()
+    } else {
+        scheme.run(carrier, sim, trace)
+    };
+    partial.fold_user(days, &scheme_run, &baseline);
+}
+
+/// Calendar days a trace spans, for user-day accounting of replayed
+/// corpora (synthetic users carry their day count in the model).
+/// Always at least 1: an empty or sub-day trace is one user-day.
+fn days_spanned(trace: &Trace) -> u32 {
+    (trace.span().as_secs_f64() / 86_400.0).ceil().clamp(1.0, u32::MAX as f64) as u32
 }
 
 fn empty_report(scenario: &Scenario) -> FleetReport {
@@ -161,5 +303,85 @@ mod tests {
         assert_eq!(r.energy_j.to_bits(), r.baseline_energy_j.to_bits());
         assert_eq!(r.aggregate_savings_pct(), 0.0);
         assert_eq!(r.switches, r.baseline_switches);
+    }
+
+    #[test]
+    fn run_source_matches_run_for_synthetic_sources() {
+        let s = tiny(5);
+        let direct = run(&s, 2);
+        let via_source = run_source(&UserSource::Synthetic(s), 2).unwrap();
+        assert_eq!(direct, via_source);
+        assert_eq!(via_source.source, "synthetic population");
+    }
+
+    #[test]
+    fn corpus_runs_against_missing_directories_fail_not_hang() {
+        // Errors must propagate out of the thread scope even at high
+        // thread counts (the abort path wakes parked workers).
+        let c = CorpusScenario::new(
+            "/nonexistent/tailwise-runner",
+            Scheme::MakeIdle,
+            CarrierProfile::att_hspa(),
+        );
+        let err = run_corpus(&c, 8).unwrap_err();
+        assert!(err.message.contains("cannot read corpus directory"), "{err}");
+    }
+
+    #[test]
+    fn empty_carrier_mix_is_a_typed_error_not_a_worker_panic() {
+        let dir =
+            std::env::temp_dir().join(format!("tailwise-runner-nomix-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = tailwise_trace::Trace::from_sorted(vec![tailwise_trace::Packet::new(
+            tailwise_trace::Instant::ZERO,
+            tailwise_trace::Direction::Down,
+            64,
+        )])
+        .unwrap();
+        tailwise_trace::io::save(&t, &dir.join("user_0.twt")).unwrap();
+        let mut c = CorpusScenario::new(&dir, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        c.carrier_mix.clear();
+        let err = run_corpus(&c, 2).unwrap_err();
+        assert!(err.message.contains("empty carrier mix"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_run_corrupt_traces_abort_with_the_file_name() {
+        let dir =
+            std::env::temp_dir().join(format!("tailwise-runner-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three good single-packet traces and one rotten file.
+        for i in 0..3 {
+            let t = tailwise_trace::Trace::from_sorted(vec![tailwise_trace::Packet::new(
+                tailwise_trace::Instant::from_secs(i),
+                tailwise_trace::Direction::Down,
+                100,
+            )])
+            .unwrap();
+            tailwise_trace::io::save(&t, &dir.join(format!("user_{i}.twt"))).unwrap();
+        }
+        std::fs::write(dir.join("user_1.twt"), b"rotten").unwrap();
+        let mut c = CorpusScenario::new(&dir, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        c.shard_size = 1;
+        let err = run_corpus(&c, 4).unwrap_err();
+        assert!(err.message.contains("user_1.twt"), "{err}");
+        assert_eq!(err.kind, tailwise_scenfile::ScenErrorKind::Run);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn days_spanned_rounds_up_and_floors_at_one() {
+        use tailwise_trace::{Direction, Instant, Packet, Trace};
+        let empty = Trace::new();
+        assert_eq!(days_spanned(&empty), 1);
+        let two_days = Trace::from_sorted(vec![
+            Packet::new(Instant::ZERO, Direction::Up, 1),
+            Packet::new(Instant::from_secs(86_400 + 60), Direction::Up, 1),
+        ])
+        .unwrap();
+        assert_eq!(days_spanned(&two_days), 2);
     }
 }

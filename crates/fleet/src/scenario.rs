@@ -133,19 +133,26 @@ impl Scenario {
     /// [`from_toml_str`](Self::from_toml_str) parses back to an equal
     /// value (pinned by a property test).
     ///
-    /// Errors when the scenario is not representable on disk: carrier
-    /// profiles must be built-in presets, and every mix weight must be
-    /// positive and finite.
-    pub fn to_toml_string(&self) -> Result<String, String> {
+    /// Errors — with
+    /// [`ScenErrorKind::Emit`](tailwise_scenfile::ScenErrorKind::Emit),
+    /// the same [`ScenError`] type the read path uses — when the
+    /// scenario is not representable on disk: carrier profiles must be
+    /// built-in presets, and every mix weight must be positive and
+    /// finite.
+    pub fn to_toml_string(&self) -> Result<String, ScenError> {
         crate::file::set_to_toml(self, &[])
     }
 
     /// Writes [`to_toml_string`](Self::to_toml_string) to `path`.
-    pub fn to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+    /// I/O failures are emit-kind [`ScenError`]s carrying the path as
+    /// their origin.
+    pub fn to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ScenError> {
         let path = path.as_ref();
         let text = self.to_toml_string()?;
-        std::fs::write(path, text)
-            .map_err(|e| format!("cannot write scenario file {}: {e}", path.display()))
+        std::fs::write(path, text).map_err(|e| {
+            ScenError::emit(format!("cannot write scenario file: {e}"))
+                .with_origin(path.display().to_string())
+        })
     }
 
     /// Number of shards the population partitions into.
@@ -222,6 +229,22 @@ impl Scenario {
         };
         (carrier, model)
     }
+}
+
+/// The deterministic carrier draw shared by synthetic synthesis and
+/// corpus replay: seeds a fresh RNG from `(master_seed, index)` and
+/// takes one weighted draw — exactly the first draw [`Scenario::user`]
+/// makes, so a corpus written by
+/// [`synth_corpus`](crate::source::synth_corpus) replays each user on
+/// the carrier it was synthesized for (pinned by a test below).
+pub(crate) fn draw_carrier(
+    carrier_mix: &[(CarrierProfile, f64)],
+    master_seed: u64,
+    index: u64,
+) -> CarrierProfile {
+    assert!(!carrier_mix.is_empty(), "corpus replay needs at least one carrier");
+    let mut rng = StdRng::seed_from_u64(user_seed(master_seed, index));
+    carrier_mix[weighted_index(&mut rng, carrier_mix.iter().map(|(_, w)| *w))].0.clone()
 }
 
 /// Draws an index with probability proportional to its weight.
@@ -357,6 +380,23 @@ mod tests {
         );
         let err = Scenario::from_toml_str(sweep_doc).unwrap_err();
         assert!(err.message.contains("[[sweep]]"), "{err}");
+    }
+
+    #[test]
+    fn draw_carrier_matches_synthetic_user_synthesis() {
+        // The coupling corpus replay relies on: the standalone carrier
+        // draw reproduces the carrier `Scenario::user` assigns.
+        let mut s = scenario(64);
+        s.master_seed = 0xC0FFEE;
+        s.carrier_mix =
+            vec![(CarrierProfile::verizon_lte(), 2.0), (CarrierProfile::att_hspa(), 1.0)];
+        for i in 0..64 {
+            assert_eq!(
+                s.user(i).0,
+                draw_carrier(&s.carrier_mix, s.master_seed, i),
+                "user {i} carrier drifted"
+            );
+        }
     }
 
     #[test]

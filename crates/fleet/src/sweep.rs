@@ -18,11 +18,12 @@
 
 use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
-use tailwise_scenfile::ScenError;
+use tailwise_scenfile::{Pos, ScenError};
 
 use crate::report::FleetReport;
-use crate::runner::run;
+use crate::runner::{run, run_source};
 use crate::scenario::Scenario;
+use crate::source::{SourceSet, UserSource};
 
 /// One `[[sweep]]` axis: the values substituted into the base scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,35 @@ impl SweepAxis {
             }
         }
     }
+
+    /// Applies value `index` of this axis to either kind of
+    /// [`UserSource`]. Scheme and carrier axes apply to both; the
+    /// `users` axis needs a synthetic population (a corpus is sized by
+    /// its directory) and errors on a corpus source.
+    pub(crate) fn apply_source(
+        &self,
+        index: usize,
+        source: &mut UserSource,
+    ) -> Result<String, ScenError> {
+        match source {
+            UserSource::Synthetic(scenario) => Ok(self.apply(index, scenario)),
+            UserSource::Corpus(corpus) => match self {
+                SweepAxis::Schemes(v) => {
+                    corpus.scheme = v[index];
+                    Ok(format!("scheme={}", v[index]))
+                }
+                SweepAxis::Carriers(v) => {
+                    corpus.carrier_mix = vec![(v[index].clone(), 1.0)];
+                    Ok(format!("carrier={}", v[index]))
+                }
+                SweepAxis::Users(_) => Err(ScenError::at(
+                    Pos::START,
+                    "sweep axis `users` requires a synthetic scenario; \
+                     a [corpus] population is sized by its directory",
+                )),
+            },
+        }
+    }
 }
 
 /// A parsed scenario file: the base scenario plus any sweep axes.
@@ -108,7 +138,7 @@ impl ScenarioSet {
 
     /// Serializes the set back to document text (see
     /// [`Scenario::to_toml_string`] for the representability rules).
-    pub fn to_toml_string(&self) -> Result<String, String> {
+    pub fn to_toml_string(&self) -> Result<String, ScenError> {
         crate::file::set_to_toml(&self.base, &self.axes)
     }
 
@@ -161,18 +191,29 @@ impl ScenarioSet {
     }
 }
 
-/// One row of a sweep comparison: the expanded scenario's swept-axis
+/// One row of a sweep comparison: the expanded source's swept-axis
 /// label and its full fleet report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// The `axis=value …` fragment naming this cell (empty for a
     /// no-sweep file's single row).
     pub label: String,
-    /// The scenario that produced the row.
-    pub scenario: Scenario,
-    /// The aggregate outcome (identical to `run(&scenario, t)` for any
-    /// `t ≥ 1`).
+    /// The user source that produced the row (synthetic scenario or
+    /// corpus replay).
+    pub source: UserSource,
+    /// The aggregate outcome (identical to `run_source(&source, t)` for
+    /// any `t ≥ 1`).
     pub report: FleetReport,
+}
+
+impl SweepRow {
+    /// The synthetic scenario behind this row, when there is one.
+    pub fn scenario(&self) -> Option<&Scenario> {
+        match &self.source {
+            UserSource::Synthetic(scenario) => Some(scenario),
+            UserSource::Corpus(_) => None,
+        }
+    }
 }
 
 /// The outcome of running every expansion of a [`ScenarioSet`].
@@ -196,10 +237,37 @@ pub fn run_sweep(set: &ScenarioSet, threads: usize) -> SweepReport {
         .into_iter()
         .map(|(label, scenario)| {
             let report = run(&scenario, threads);
-            SweepRow { label, scenario, report }
+            SweepRow { label, source: UserSource::Synthetic(scenario), report }
         })
         .collect();
     SweepReport { name: set.base.name.clone(), rows }
+}
+
+/// Runs every expansion of a [`SourceSet`] — the corpus-aware
+/// counterpart of [`run_sweep`], with the same sequential-expansion
+/// memory bound. A corpus sweep holds the corpus fixed while varying
+/// scheme or carrier: the directory walk is resolved **once**, before
+/// the first cell, and every cell replays that pinned index→file
+/// assignment — a file appearing or vanishing mid-sweep cannot make
+/// cells compare different populations (an unreadable file still aborts
+/// the cell that touches it). Fails on the first expansion whose corpus
+/// cannot be resolved or replayed.
+pub fn run_source_sweep(set: &SourceSet, threads: usize) -> Result<SweepReport, ScenError> {
+    let pinned = match &set.source {
+        UserSource::Corpus(corpus) => Some(corpus.resolve()?),
+        UserSource::Synthetic(_) => None,
+    };
+    let mut rows = Vec::with_capacity(set.expansion_count());
+    for (label, source) in set.expand_labeled()? {
+        let report = match (&source, &pinned) {
+            (UserSource::Corpus(corpus), Some(pinned)) => {
+                crate::runner::run_pinned_corpus(corpus, pinned, threads)?
+            }
+            _ => run_source(&source, threads)?,
+        };
+        rows.push(SweepRow { label, source, report });
+    }
+    Ok(SweepReport { name: set.source.name().to_string(), rows })
 }
 
 impl SweepReport {
@@ -298,10 +366,33 @@ mod tests {
         let set = sweep_set();
         let sweep = run_sweep(&set, 4);
         for (row, scenario) in sweep.rows.iter().zip(set.expand()) {
-            assert_eq!(row.scenario, scenario);
+            assert_eq!(row.scenario(), Some(&scenario));
             assert_eq!(row.report, run(&scenario, 1), "{}", scenario.name);
             assert_eq!(row.report, run(&scenario, 8), "{}", scenario.name);
         }
+    }
+
+    #[test]
+    fn corpus_sources_sweep_schemes_but_not_users() {
+        use crate::source::CorpusScenario;
+        let base = UserSource::Corpus(CorpusScenario::new(
+            "corpus",
+            Scheme::MakeIdle,
+            CarrierProfile::att_hspa(),
+        ));
+        let set = SourceSet {
+            source: base.clone(),
+            axes: vec![SweepAxis::Schemes(vec![Scheme::FixedTail45, Scheme::Oracle])],
+        };
+        let expanded = set.expand_labeled().unwrap();
+        assert_eq!(expanded.len(), 2);
+        assert_eq!(expanded[0].0, "scheme=tail45");
+        assert_eq!(expanded[1].1.scheme(), Scheme::Oracle);
+        assert!(expanded[1].1.name().ends_with("[scheme=oracle]"), "{}", expanded[1].1.name());
+
+        let set = SourceSet { source: base, axes: vec![SweepAxis::Users(vec![5, 10])] };
+        let err = set.expand_labeled().unwrap_err();
+        assert!(err.message.contains("requires a synthetic scenario"), "{err}");
     }
 
     #[test]

@@ -27,7 +27,29 @@ impl fmt::Display for Pos {
     }
 }
 
-/// A parse or schema error, carrying the position it was detected at.
+/// Broad classification of a [`ScenError`]: which side of the
+/// read/write pipeline produced it. Every scenario-facing fallible
+/// operation — parsing, schema validation, serialization, file writes,
+/// and runtime source resolution — returns the one `ScenError` type, so
+/// callers match on a single error and branch on `kind` when the
+/// distinction matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScenErrorKind {
+    /// Reading a document: lexical, structural, or schema-level failure
+    /// (the default for [`ScenError::at`]).
+    Parse,
+    /// Emitting a document: the value is not representable on disk, or
+    /// the rendered text could not be written.
+    Emit,
+    /// Resolving a parsed scenario at run time (e.g. a `[corpus]`
+    /// directory that is missing, empty, or holds an unreadable trace).
+    /// Still positioned: anchored at the key that named the resource.
+    Run,
+}
+
+/// A parse, schema, emission, or runtime error, carrying the position it
+/// was detected at (or anchors to).
 ///
 /// Renders as `origin:line:col: message` (the conventional compiler
 /// format, so editors can jump to the offending key), with `origin`
@@ -40,12 +62,32 @@ pub struct ScenError {
     pub message: String,
     /// File path (or other source label), when known.
     pub origin: Option<String>,
+    /// Which pipeline stage failed.
+    pub kind: ScenErrorKind,
 }
 
 impl ScenError {
-    /// An error at an explicit position.
+    /// A read-side error at an explicit position.
     pub fn at(pos: Pos, message: impl Into<String>) -> ScenError {
-        ScenError { pos, message: message.into(), origin: None }
+        ScenError { pos, message: message.into(), origin: None, kind: ScenErrorKind::Parse }
+    }
+
+    /// An emission error (serialization refusals, file-write failures).
+    /// Emission errors describe a value, not a document, so they anchor
+    /// at [`Pos::START`].
+    pub fn emit(message: impl Into<String>) -> ScenError {
+        ScenError {
+            pos: Pos::START,
+            message: message.into(),
+            origin: None,
+            kind: ScenErrorKind::Emit,
+        }
+    }
+
+    /// A runtime resolution error anchored at the position of the key
+    /// that named the failing resource.
+    pub fn runtime(pos: Pos, message: impl Into<String>) -> ScenError {
+        ScenError { pos, message: message.into(), origin: None, kind: ScenErrorKind::Run }
     }
 
     /// Attaches a source label (typically the file path) if none is set.
@@ -81,6 +123,15 @@ mod tests {
         // A second origin does not overwrite the first.
         let e = e.with_origin("other.toml");
         assert_eq!(e.origin.as_deref(), Some("scenarios/x.toml"));
+    }
+
+    #[test]
+    fn kinds_classify_the_pipeline_stage() {
+        assert_eq!(ScenError::at(Pos::START, "x").kind, ScenErrorKind::Parse);
+        let e = ScenError::emit("not representable");
+        assert_eq!((e.kind, e.pos), (ScenErrorKind::Emit, Pos::START));
+        let e = ScenError::runtime(Pos::new(4, 7), "corpus gone");
+        assert_eq!((e.kind, e.pos), (ScenErrorKind::Run, Pos::new(4, 7)));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod parse;
 pub mod value;
 pub mod write;
 
-pub use error::{Pos, ScenError};
+pub use error::{Pos, ScenError, ScenErrorKind};
 pub use parse::parse;
 pub use value::{str_elements, u64_elements, Entry, Item, Table, Value};
 pub use write::{escape_str, format_float, is_bare_key, DocWriter};

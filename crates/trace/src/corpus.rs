@@ -1,0 +1,305 @@
+//! On-disk trace corpora: deterministic directory walks over `.twt` /
+//! `.twt.csv` files.
+//!
+//! The paper's population claims rest on replaying *measured* traffic,
+//! not synthesizing it. A [`Corpus`] is the substrate for that: a
+//! directory of trace files enumerated by a **deterministic, sorted
+//! walk**, so every file gets a stable index — index `i` always names
+//! the same trace, on any machine, at any thread count. Consumers (the
+//! fleet runner) stream one trace at a time through
+//! [`Corpus::load`], which reuses the fallible readers in [`crate::io`]:
+//! a corrupted file yields a clean [`TraceError`], never a panic and
+//! never a silently wrong [`Trace`].
+
+use std::path::{Path, PathBuf};
+
+use crate::error::TraceError;
+use crate::trace::Trace;
+
+/// The on-disk trace encodings a corpus walk can admit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceFormat {
+    /// The compact binary format (`.twt`).
+    Binary,
+    /// The human-readable CSV format (`.twt.csv` / `.csv`).
+    Csv,
+}
+
+impl TraceFormat {
+    /// Every format, in canonical (token) order.
+    pub const ALL: [TraceFormat; 2] = [TraceFormat::Binary, TraceFormat::Csv];
+
+    /// The stable token used in scenario files and on the CLI.
+    pub fn token(self) -> &'static str {
+        match self {
+            TraceFormat::Binary => "twt",
+            TraceFormat::Csv => "csv",
+        }
+    }
+
+    /// The file extension [`crate::io::save`] picks this format for.
+    /// CSV uses the compound `.twt.csv` so corpora stay self-describing.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Binary => "twt",
+            TraceFormat::Csv => "twt.csv",
+        }
+    }
+
+    /// Whether `path`'s file name marks it as a trace in this format.
+    /// `.twt.csv` counts as CSV, not binary, so the two filters are
+    /// disjoint and together cover every trace file.
+    pub fn matches(self, path: &Path) -> bool {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return false };
+        let name = name.to_ascii_lowercase();
+        match self {
+            TraceFormat::Binary => name.ends_with(".twt"),
+            TraceFormat::Csv => name.ends_with(".csv"),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TraceFormat, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "twt" | "binary" => Ok(TraceFormat::Binary),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!(
+                "unknown trace format {other:?}; one of {}",
+                TraceFormat::ALL.map(TraceFormat::token).join(", ")
+            )),
+        }
+    }
+}
+
+/// A deterministically enumerated directory of trace files.
+///
+/// The file list is fixed at [`open`](Corpus::open) time: all files
+/// matching the format filters (walked recursively when asked), sorted
+/// by full path. Index `i` into this list is the corpus's stable user
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    root: PathBuf,
+    files: Vec<PathBuf>,
+}
+
+impl Corpus {
+    /// Walks `dir` and collects every file matching one of `formats`.
+    ///
+    /// The walk is deterministic: the resulting list is sorted by full
+    /// path, so the same directory always enumerates to the same
+    /// index→file assignment. With `recursive`, subdirectories are
+    /// walked too. Symlinked *trace files* are followed (a corpus
+    /// assembled as symlinks to captures elsewhere works; a broken
+    /// symlink with a trace extension is an error, never a silently
+    /// smaller population); symlinked *directories* are not. I/O
+    /// failures (missing directory, permission errors) surface as
+    /// [`TraceError::Io`]; an existing-but-empty corpus is **not** an
+    /// error here — callers decide whether zero users is acceptable.
+    pub fn open(
+        dir: &Path,
+        recursive: bool,
+        formats: &[TraceFormat],
+    ) -> Result<Corpus, TraceError> {
+        let mut files = Vec::new();
+        collect(dir, recursive, formats, &mut files)?;
+        files.sort();
+        Ok(Corpus { root: dir.to_path_buf(), files })
+    }
+
+    /// The directory the corpus was opened from.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of trace files (the corpus's population size).
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the walk found no trace files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// The sorted file list.
+    pub fn files(&self) -> &[PathBuf] {
+        &self.files
+    }
+
+    /// The path of user `index`'s trace file.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    pub fn path(&self, index: usize) -> &Path {
+        &self.files[index]
+    }
+
+    /// Loads user `index`'s trace from disk (format chosen by
+    /// extension, exactly as [`crate::io::load`]). This is the
+    /// streaming entry point: load one, simulate, drop, move on.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    pub fn load(&self, index: usize) -> Result<Trace, TraceError> {
+        crate::io::load(&self.files[index])
+    }
+}
+
+/// Appends `dir`'s matching files to `out` (recursing when asked).
+fn collect(
+    dir: &Path,
+    recursive: bool,
+    formats: &[TraceFormat],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), TraceError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            if recursive {
+                collect(&path, recursive, formats, out)?;
+            }
+        } else if formats.iter().any(|f| f.matches(&path)) {
+            if kind.is_file() {
+                out.push(path);
+            } else if kind.is_symlink() {
+                // Follow symlinked trace files; a broken one is an
+                // error, not a silent omission that shifts every index.
+                if std::fs::metadata(&path)?.is_file() {
+                    out.push(path);
+                }
+                // A symlink resolving to a directory is not followed.
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io;
+    use crate::packet::{Direction, Packet};
+    use crate::time::Instant;
+
+    fn trace(n: i64) -> Trace {
+        Trace::from_sorted(
+            (0..n).map(|i| Packet::new(Instant::from_secs(i), Direction::Down, 100)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn temp_corpus(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tailwise-corpus-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn format_tokens_round_trip_and_filter() {
+        for f in TraceFormat::ALL {
+            assert_eq!(f.token().parse::<TraceFormat>().unwrap(), f);
+        }
+        assert!("TWT".parse::<TraceFormat>().is_ok());
+        assert!("pcap".parse::<TraceFormat>().is_err());
+        // .twt.csv is CSV, never binary: the filters are disjoint.
+        let compound = Path::new("a/user_0.twt.csv");
+        assert!(TraceFormat::Csv.matches(compound));
+        assert!(!TraceFormat::Binary.matches(compound));
+        assert!(TraceFormat::Binary.matches(Path::new("b/user_1.twt")));
+        assert!(!TraceFormat::Csv.matches(Path::new("b/user_1.twt")));
+        assert!(!TraceFormat::Binary.matches(Path::new("README.md")));
+    }
+
+    #[test]
+    fn walk_is_sorted_and_filtered() {
+        let dir = temp_corpus("walk");
+        for name in ["b.twt", "a.twt", "c.twt.csv", "notes.txt"] {
+            let t = trace(3);
+            io::save(&t, &dir.join(name)).unwrap();
+        }
+        let c = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap();
+        let names: Vec<_> =
+            c.files().iter().map(|p| p.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(names, ["a.twt", "b.twt", "c.twt.csv"]);
+        // Filtering to binary only drops the CSV file.
+        let bin = Corpus::open(&dir, false, &[TraceFormat::Binary]).unwrap();
+        assert_eq!(bin.len(), 2);
+        assert_eq!(c.load(0).unwrap(), trace(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recursive_walk_spans_subdirectories_deterministically() {
+        let dir = temp_corpus("recursive");
+        std::fs::create_dir_all(dir.join("z")).unwrap();
+        std::fs::create_dir_all(dir.join("a")).unwrap();
+        io::save(&trace(2), &dir.join("z/one.twt")).unwrap();
+        io::save(&trace(4), &dir.join("a/two.twt")).unwrap();
+        io::save(&trace(6), &dir.join("top.twt")).unwrap();
+        let c = Corpus::open(&dir, true, &TraceFormat::ALL).unwrap();
+        let rel: Vec<_> =
+            c.files().iter().map(|p| p.strip_prefix(&dir).unwrap().to_path_buf()).collect();
+        // Full-path sort: a/two.twt < top.twt < z/one.twt.
+        assert_eq!(rel, [PathBuf::from("a/two.twt"), "top.twt".into(), "z/one.twt".into()]);
+        assert_eq!(c.load(0).unwrap().len(), 4);
+        // Non-recursive sees only the top level.
+        let flat = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap();
+        assert_eq!(flat.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error_and_empty_is_not() {
+        let err =
+            Corpus::open(Path::new("/nonexistent/tailwise"), true, &TraceFormat::ALL).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err}");
+        let dir = temp_corpus("empty");
+        let c = Corpus::open(&dir, true, &TraceFormat::ALL).unwrap();
+        assert!(c.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinked_trace_files_are_followed_and_broken_ones_error() {
+        let dir = temp_corpus("symlink");
+        io::save(&trace(3), &dir.join("real.twt")).unwrap();
+        std::os::unix::fs::symlink(dir.join("real.twt"), dir.join("alias.twt")).unwrap();
+        let c = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap();
+        assert_eq!(c.len(), 2, "symlinked trace files count as corpus members");
+        assert_eq!(c.load(0).unwrap(), c.load(1).unwrap());
+        // A broken symlink with a trace extension fails the walk loudly
+        // instead of silently shrinking the population.
+        std::os::unix::fs::symlink(dir.join("gone.twt"), dir.join("dangling.twt")).unwrap();
+        let err = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_members_fail_cleanly_on_load() {
+        let dir = temp_corpus("corrupt");
+        io::save(&trace(5), &dir.join("good.twt")).unwrap();
+        std::fs::write(dir.join("bad.twt"), b"not a trace at all").unwrap();
+        let c = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap();
+        assert_eq!(c.len(), 2);
+        // Sorted: bad.twt is index 0.
+        assert!(c.load(0).is_err());
+        assert_eq!(c.load(1).unwrap(), trace(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

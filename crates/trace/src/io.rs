@@ -154,6 +154,16 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, TraceError> {
         let app = u16::from_le_bytes(rec[17..19].try_into().expect("fixed slice"));
         packets.push(Packet { ts: Instant::from_micros(ts), dir, len, flow, app: AppId(app) });
     }
+    // A well-formed file ends exactly after `count` records: trailing
+    // bytes mean the header's count was corrupted (or the file grew),
+    // and silently ignoring them would return a wrong-but-valid Trace.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(TraceError::Parse {
+            location: count,
+            message: "trailing data after the declared packet count".into(),
+        });
+    }
     Trace::from_sorted(packets)
 }
 
@@ -281,6 +291,16 @@ mod tests {
         write_binary(&sample_trace(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(read_binary(buf.as_slice()), Err(TraceError::Parse { .. })));
+    }
+
+    #[test]
+    fn binary_rejects_trailing_data() {
+        let mut buf = Vec::new();
+        write_binary(&sample_trace(), &mut buf).unwrap();
+        buf.push(0);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("trailing data"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   that MakeIdle's online predictor is built on (§4.2);
 //! * [`bursts`] — burst/session segmentation used by MakeActive (§5);
 //! * [`io`] — CSV and binary persistence with full validation;
+//! * [`corpus`] — deterministic sorted directory walks over on-disk
+//!   trace corpora, the substrate for population-scale trace replay;
 //! * [`pcap`] — libpcap ingestion with device-relative direction
 //!   inference, so real tcpdump captures (the paper's §6.1 input format)
 //!   run through the same pipeline as synthetic workloads.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bursts;
+pub mod corpus;
 pub mod error;
 pub mod io;
 pub mod mix;
@@ -37,6 +40,7 @@ pub mod time;
 #[allow(clippy::module_inception)]
 mod trace;
 
+pub use corpus::{Corpus, TraceFormat};
 pub use error::TraceError;
 pub use packet::{AppId, Direction, Packet};
 pub use time::{Duration, Instant};
@@ -185,6 +189,72 @@ mod proptests {
             prop_assert!(dist.sorted_samples().contains(&v));
             // ...and at least a q-fraction of samples are <= it.
             prop_assert!(dist.cdf(v) + 1e-12 >= q);
+        }
+
+        #[test]
+        fn mutated_binary_files_fail_cleanly(
+            t in arb_trace(60),
+            flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..8),
+            cut in 0usize..4096,
+            truncate in prop::bool::ANY,
+        ) {
+            // Arbitrary byte corruption of a valid .twt file must yield a
+            // clean TraceError or a still-valid Trace — never a panic.
+            let mut buf = Vec::new();
+            crate::io::write_binary(&t, &mut buf).unwrap();
+            if truncate {
+                buf.truncate(cut % (buf.len() + 1));
+            }
+            for (at, byte) in flips {
+                if !buf.is_empty() {
+                    let at = at % buf.len();
+                    buf[at] = byte;
+                }
+            }
+            match crate::io::read_binary(buf.as_slice()) {
+                Err(_) => {}
+                Ok(back) => {
+                    // Whatever survives decoding is a structurally valid
+                    // trace no larger than the original: monotonic
+                    // timestamps, and never more packets than were
+                    // written (the reader rejects trailing data, so a
+                    // corrupted count cannot smuggle extras in).
+                    prop_assert!(back.len() <= t.len());
+                    for w in back.packets().windows(2) {
+                        prop_assert!(w[0].ts <= w[1].ts);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn mutated_csv_files_fail_cleanly(
+            t in arb_trace(40),
+            flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..8),
+            cut in 0usize..4096,
+            truncate in prop::bool::ANY,
+        ) {
+            // Same contract for the text format, including mutations that
+            // produce invalid UTF-8 (surfacing as TraceError::Io).
+            let mut buf = Vec::new();
+            crate::io::write_csv(&t, &mut buf).unwrap();
+            if truncate {
+                buf.truncate(cut % (buf.len() + 1));
+            }
+            for (at, byte) in flips {
+                if !buf.is_empty() {
+                    let at = at % buf.len();
+                    buf[at] = byte;
+                }
+            }
+            match crate::io::read_csv(buf.as_slice()) {
+                Err(_) => {}
+                Ok(back) => {
+                    for w in back.packets().windows(2) {
+                        prop_assert!(w[0].ts <= w[1].ts);
+                    }
+                }
+            }
         }
 
         #[test]

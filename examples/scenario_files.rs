@@ -60,6 +60,7 @@ weight = 1.0
     // Every cell is bit-identical to running its expansion alone — the
     // comparison table is evidence, not approximation.
     let third = &sweep.rows[3];
-    assert_eq!(third.report, run(&third.scenario, 1));
+    let scenario = third.scenario().expect("scheme sweeps expand to synthetic scenarios");
+    assert_eq!(third.report, run(scenario, 1));
     println!("\nspot check: row {:?} reproduces bit-for-bit standalone", third.label);
 }
