@@ -61,12 +61,19 @@ COMMANDS
                      --threads <t>        (default: all hardware threads)
                      --seed <n>           (master seed, default 1)
                      --shard <n>          (users per shard, default 64)
+                     --cells <n>          (base-station cells; users share
+                                          each cell's release policy and the
+                                          report adds per-cell signaling load)
+                     --capacity <m>       (RRC msgs/sec a cell absorbs before
+                                          a second counts as overloaded;
+                                          needs --cells)
   fleet run <file.toml>
                    run an on-disk scenario file (docs/SCENARIO_FORMAT.md):
                    a synthetic population, or a [corpus] table replaying a
-                   directory of .twt/.twt.csv traces; files with [[sweep]]
-                   axes expand into a matrix of runs and fold into one
-                   side-by-side comparison table
+                   directory of .twt/.twt.csv/.pcap traces; a [cells] table
+                   routes fast dormancy through a cell topology; files with
+                   [[sweep]] axes expand into a matrix of runs and fold into
+                   one side-by-side comparison table
                      --threads <t>        (default: all hardware threads)
   fleet export <out.toml>
                    write the flag-built fleet scenario to a scenario file
@@ -307,6 +314,25 @@ fn fleet_scenario_from_flags(
     if let Some(shard) = args.opt_parse::<u64>("shard")? {
         scenario.shard_size = shard.max(1);
     }
+    let capacity = args.opt_parse::<u64>("capacity")?;
+    match args.opt_parse::<u64>("cells")? {
+        Some(0) => return Err(Box::new(ArgError("--cells must be at least 1".into()))),
+        Some(cells) => {
+            if !scheme.scriptable() {
+                return Err(Box::new(ArgError(format!(
+                    "--cells cannot run scheme {scheme}: MakeActive batching depends on \
+                     grant outcomes, so the exact two-pass replay does not apply"
+                ))));
+            }
+            let mut topology = tailwise_fleet::CellTopology::new(cells);
+            topology.capacity_per_s = capacity;
+            scenario.cells = Some(topology);
+        }
+        None if capacity.is_some() => {
+            return Err(Box::new(ArgError("--capacity needs --cells".into())))
+        }
+        None => {}
+    }
     Ok(scenario)
 }
 
@@ -323,15 +349,22 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         None => {}
     }
-    args.check_known(&["users", "scheme", "carrier", "days", "threads", "seed", "shard"])?;
+    args.check_known(&[
+        "users", "scheme", "carrier", "days", "threads", "seed", "shard", "cells", "capacity",
+    ])?;
     let threads = threads_from(args)?;
     let scenario = fleet_scenario_from_flags(args)?;
+    let topology = match &scenario.cells {
+        Some(topology) => format!(" across {} cell(s)", topology.cells),
+        None => String::new(),
+    };
     println!(
-        "simulating {} users × {} day(s) of {} on {} ({} threads, seed {})…",
+        "simulating {} users × {} day(s) of {} on {}{} ({} threads, seed {})…",
         scenario.users,
         scenario.days_per_user,
         scenario.scheme.label(),
         scenario.carrier_mix[0].0.name,
+        topology,
         threads,
         scenario.master_seed,
     );
@@ -368,21 +401,27 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", report.render());
         return Ok(());
     }
+    let topology = |cells: &Option<tailwise_fleet::CellTopology>| match cells {
+        Some(topology) => format!(" across {} cell(s)", topology.cells),
+        None => String::new(),
+    };
     match &set.source {
         tailwise_fleet::UserSource::Synthetic(base) => println!(
-            "running {} from {path}: {} users × {} day(s) of {} ({} threads, seed {})…",
+            "running {} from {path}: {} users × {} day(s) of {}{} ({} threads, seed {})…",
             base.name,
             base.users,
             base.days_per_user,
             base.scheme.label(),
+            topology(&base.cells),
             threads,
             base.master_seed,
         ),
         tailwise_fleet::UserSource::Corpus(base) => println!(
-            "replaying {} from {path}: corpus {} under {} ({} threads)…",
+            "replaying {} from {path}: corpus {} under {}{} ({} threads)…",
             base.name,
             base.spec.dir.display(),
             base.scheme.label(),
+            topology(&base.cells),
             threads,
         ),
     }
@@ -422,7 +461,9 @@ fn cmd_fleet_synth(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// `tailwise fleet export <out.toml>`: write the flag-built scenario to
 /// a scenario file (the starting point for hand-edited experiments).
 fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.check_known(&["users", "scheme", "carrier", "days", "seed", "shard"])?;
+    args.check_known(&[
+        "users", "scheme", "carrier", "days", "seed", "shard", "cells", "capacity",
+    ])?;
     let out =
         args.positional(1).ok_or_else(|| ArgError("fleet export needs an output path".into()))?;
     if let Some(extra) = args.positional(2) {

@@ -22,8 +22,9 @@ use tailwise_radio::profile::CarrierProfile;
 use tailwise_sim::batching::run_batched;
 use tailwise_sim::engine::{run, SimConfig};
 use tailwise_sim::oracle::OracleIdle;
-use tailwise_sim::policy::{FixedWait, StatusQuo};
+use tailwise_sim::policy::{FixedWait, IdlePolicy, StatusQuo};
 use tailwise_sim::report::SimReport;
+use tailwise_sim::twophase::{record_requests, replay_requests, RequestTrace};
 use tailwise_trace::stats::EmpiricalDist;
 use tailwise_trace::time::Duration;
 use tailwise_trace::Trace;
@@ -126,6 +127,72 @@ impl Scheme {
         };
         report.scheme = self.label();
         report
+    }
+
+    /// Whether the scheme can run through the two-phase
+    /// request/replay API ([`tailwise_sim::twophase`]).
+    ///
+    /// True for every scheme whose demotion requests are a pure function
+    /// of the trace — all of them except the MakeActive variants, whose
+    /// session batching rewrites the trace based on the radio being
+    /// Idle, and therefore on earlier grant outcomes. Cell-topology
+    /// fleets require a scriptable scheme.
+    pub fn scriptable(&self) -> bool {
+        !matches!(self, Scheme::MakeIdleActiveFix | Scheme::MakeIdleActiveLearn)
+    }
+
+    /// Builds the scheme's demotion policy for `trace`, or `None` for
+    /// the MakeActive variants (see [`scriptable`](Self::scriptable)).
+    ///
+    /// `trace` is needed because the 95%-IAT baseline computes its wait
+    /// from the whole trace (§6.2 grants that baseline its training
+    /// data); the other schemes ignore it.
+    pub fn idle_policy(&self, trace: &Trace) -> Option<Box<dyn IdlePolicy>> {
+        Some(match self {
+            Scheme::StatusQuo => Box::new(StatusQuo),
+            Scheme::FixedTail45 => Box::new(FixedWait::four_and_a_half_seconds()),
+            Scheme::PercentileIat(q) => {
+                Box::new(FixedWait::new(percentile_iat(trace, *q), self.label()))
+            }
+            Scheme::MakeIdle => Box::new(MakeIdle::new()),
+            Scheme::Oracle => Box::new(OracleIdle),
+            Scheme::MakeIdleActiveFix | Scheme::MakeIdleActiveLearn => return None,
+        })
+    }
+
+    /// Phase 1 of the two-phase API at scheme granularity: the
+    /// time-stamped fast-dormancy requests this scheme would send over
+    /// `trace` — without a full simulation. `None` for the MakeActive
+    /// variants.
+    pub fn request_trace(
+        &self,
+        profile: &CarrierProfile,
+        config: &SimConfig,
+        trace: &Trace,
+    ) -> Option<RequestTrace> {
+        let mut policy = self.idle_policy(trace)?;
+        Some(record_requests(profile, config, trace, policy.as_mut()))
+    }
+
+    /// Phase 2 at scheme granularity: replays the scheme exactly against
+    /// a scripted grant/deny sequence (one verdict per
+    /// [`request_trace`](Self::request_trace) entry, in order). `None`
+    /// for the MakeActive variants.
+    ///
+    /// With all-true verdicts this is bit-identical to
+    /// [`run`](Self::run)'s always-accept world — the property cell
+    /// topologies lean on for their unlimited-capacity baseline.
+    pub fn run_scripted(
+        &self,
+        profile: &CarrierProfile,
+        config: &SimConfig,
+        trace: &Trace,
+        verdicts: &[bool],
+    ) -> Option<SimReport> {
+        let mut policy = self.idle_policy(trace)?;
+        let mut report = replay_requests(profile, config, trace, policy.as_mut(), verdicts);
+        report.scheme = self.label();
+        Some(report)
     }
 }
 
@@ -295,6 +362,40 @@ mod tests {
         assert!("iat0".parse::<Scheme>().is_err());
         assert!("iat100".parse::<Scheme>().is_err());
         assert!("iatx".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn scripted_all_grants_matches_run_for_every_scriptable_scheme() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = workload();
+        let mut all = vec![Scheme::StatusQuo];
+        all.extend(Scheme::paper_set());
+        for s in all {
+            let (Some(requests), true) = (s.request_trace(&p, &cfg, &t), s.scriptable()) else {
+                // MakeActive variants are excluded from the two-phase API.
+                assert!(!s.scriptable());
+                assert!(s.request_trace(&p, &cfg, &t).is_none());
+                assert!(s.run_scripted(&p, &cfg, &t, &[]).is_none());
+                continue;
+            };
+            let verdicts = vec![true; requests.len()];
+            let scripted = s.run_scripted(&p, &cfg, &t, &verdicts).unwrap();
+            let direct = s.run(&p, &cfg, &t);
+            assert_eq!(scripted.scheme, direct.scheme);
+            assert_eq!(
+                scripted.total_energy().to_bits(),
+                direct.total_energy().to_bits(),
+                "{} drifted through the two-phase path",
+                s.label()
+            );
+            assert_eq!(scripted.counters, direct.counters);
+            assert_eq!(scripted.confusion, direct.confusion);
+        }
+        // Request counts mirror the engine's accepted demotions.
+        let requests = Scheme::MakeIdle.request_trace(&p, &cfg, &t).unwrap();
+        let direct = Scheme::MakeIdle.run(&p, &cfg, &t);
+        assert_eq!(requests.len() as u64, direct.counters.fd_demotions);
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Cell topologies: population-scale signaling load on the base-station
+//! side (the paper's §7/§8 open question, at fleet scale).
+//!
+//! A [`CellTopology`] partitions a fleet's users across base-station
+//! cells. Every user's fast-dormancy requests flow through its cell's
+//! shared [`ReleasePolicy`] in global timestamp order, and the run
+//! reports what each cell absorbed: grants, denials, total RRC
+//! messages, per-second peak load, and overload seconds against a
+//! configurable signaling capacity ([`FleetSignaling`]).
+//!
+//! ## The two-pass fleet runner
+//!
+//! The execution is the fleet-scale instance of the two-phase engine
+//! API ([`tailwise_sim::twophase`]):
+//!
+//! 1. **Pass 1** — the sharded runner streams every user through the
+//!    cheap phase-1 request scan ([`Scheme::request_trace`]): one trace
+//!    materialized per worker, dropped immediately, only the
+//!    time-stamped request stream kept.
+//! 2. **Adjudication** — per cell, the merged request stream is sorted
+//!    by `(time, user, seq)` and fed through a fresh instance of the
+//!    cell's release policy, producing one verdict per request.
+//! 3. **Pass 2** — the sharded runner *re-materializes* each user's
+//!    trace (synthesis and corpus walks are deterministic, so the same
+//!    index yields the same trace) and replays it exactly against its
+//!    scripted verdicts ([`Scheme::run_scripted`]), folding energy into
+//!    the [`FleetReport`] and RRC-message events into per-cell
+//!    per-second load maps.
+//!
+//! Peak memory stays **one trace per worker** in both passes — the
+//! re-synthesis/re-load is exactly what buys that bound. Between the
+//! passes the run holds O(total requests) timestamps and, afterwards,
+//! one verdict byte per request plus O(active seconds) load counters
+//! per cell.
+//!
+//! ## Determinism
+//!
+//! User→cell assignment is a pure function of `(master_seed, user
+//! index, cell count)` ([`cell_of`]); adjudication order is a total
+//! order; per-second load counters are integer adds. With the frontier
+//! merging shard partials in shard order, a cell run is bit-identical
+//! at any thread count — the same contract the radio-isolated runner
+//! makes, pinned by `tests/cell_fleet.rs`.
+//!
+//! ## Scheme restrictions
+//!
+//! Cell topologies require a *scriptable* scheme
+//! ([`Scheme::scriptable`]): the MakeActive variants batch sessions
+//! based on the radio being Idle — i.e. on earlier grant outcomes — so
+//! their two-pass replay would not be exact. Scenario files reject the
+//! combination at parse time with a positioned error; programmatic
+//! misuse panics here.
+
+use std::collections::BTreeMap;
+
+use tailwise_core::schemes::Scheme;
+use tailwise_radio::fastdormancy::{AlwaysAccept, RateLimited, ReleasePolicy};
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_radio::signaling::SignalingModel;
+use tailwise_scenfile::ScenError;
+use tailwise_sim::engine::SimConfig;
+use tailwise_trace::corpus::Corpus;
+use tailwise_trace::mix::splitmix64 as splitmix;
+use tailwise_trace::time::{Duration, Instant};
+use tailwise_trace::Trace;
+
+use crate::report::{CellLoad, FleetReport, FleetSignaling};
+use crate::runner::{days_spanned, load_corpus_trace, run_sharded, Partial};
+use crate::scenario::{draw_carrier, user_seed, Scenario};
+use crate::source::CorpusScenario;
+
+/// The base-station admission behavior every cell runs.
+///
+/// A declarative (file-representable) subset of
+/// [`ReleasePolicy`]; each cell builds a fresh instance, so cells never
+/// share admission state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReleaseSpec {
+    /// The paper's modeling assumption: every request is honored (§2.2).
+    AlwaysAccept,
+    /// At most one grant per `min_interval` per cell — a base station
+    /// protecting itself from fast-dormancy storms (§8).
+    RateLimited {
+        /// Minimum spacing between grants.
+        min_interval: Duration,
+    },
+}
+
+impl ReleaseSpec {
+    /// The stable on-disk token (`release = "..."` in `[cells]`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            ReleaseSpec::AlwaysAccept => "always",
+            ReleaseSpec::RateLimited { .. } => "rate-limited",
+        }
+    }
+
+    /// Builds one cell's release policy instance.
+    pub fn build(&self) -> Box<dyn ReleasePolicy> {
+        match self {
+            ReleaseSpec::AlwaysAccept => Box::new(AlwaysAccept),
+            ReleaseSpec::RateLimited { min_interval } => Box::new(RateLimited::new(*min_interval)),
+        }
+    }
+}
+
+/// A fleet's cell topology: how many cells, what each can absorb, and
+/// how each admits fast-dormancy requests.
+///
+/// Part of the scenario's deterministic identity (and of the on-disk
+/// format, as the `[cells]` table — see `docs/SCENARIO_FORMAT.md` §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTopology {
+    /// Number of cells (≥ 1). Users are assigned by [`cell_of`].
+    pub cells: u64,
+    /// RRC messages per second a cell can absorb before a second counts
+    /// as overloaded (`None` = unbounded; accounting only — admission
+    /// is the `release` policy's job).
+    pub capacity_per_s: Option<u64>,
+    /// Per-cell admission policy for fast-dormancy requests.
+    pub release: ReleaseSpec,
+    /// RRC message weights per transition kind. Not expressible in
+    /// scenario files (they always use the default); `to_file` refuses
+    /// a customized model rather than silently dropping it.
+    pub signaling: SignalingModel,
+}
+
+impl CellTopology {
+    /// A topology of `cells` always-accepting, unbounded-capacity cells.
+    ///
+    /// # Panics
+    /// If `cells` is zero.
+    pub fn new(cells: u64) -> CellTopology {
+        assert!(cells >= 1, "a cell topology needs at least one cell");
+        CellTopology {
+            cells,
+            capacity_per_s: None,
+            release: ReleaseSpec::AlwaysAccept,
+            signaling: SignalingModel::default(),
+        }
+    }
+}
+
+/// The deterministic user→cell assignment: a pure function of the
+/// scenario master seed, the user index, and the cell count.
+///
+/// Derived from [`user_seed`] with an extra mixing round so cell
+/// assignment does not correlate with any draw the user's own RNG makes
+/// (carrier, app mix, trace). The modulo over a well-mixed 64-bit hash
+/// gives each cell a near-uniform share; the bias for any realistic
+/// cell count is < 2⁻⁵⁰ and, crucially, identical on every machine.
+pub fn cell_of(master_seed: u64, index: u64, cells: u64) -> u64 {
+    assert!(cells >= 1, "a cell topology needs at least one cell");
+    splitmix(user_seed(master_seed, index) ^ 0xCE11_BA5E_0000_0000) % cells
+}
+
+/// Uniform access to a fleet population for the two-pass runner:
+/// materialize user `i` (carrier, trace, user-days) on demand, in any
+/// order, from any worker.
+trait CellUsers: Sync {
+    /// Population size.
+    fn users(&self) -> u64;
+    /// Users per shard (the deterministic reduction order).
+    fn shard_size(&self) -> u64;
+    /// Materializes user `index`. Must be deterministic: both passes
+    /// call it for every user, and pass 2 must see pass 1's trace.
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError>;
+}
+
+struct SyntheticUsers<'a>(&'a Scenario);
+
+impl CellUsers for SyntheticUsers<'_> {
+    fn users(&self) -> u64 {
+        self.0.users
+    }
+    fn shard_size(&self) -> u64 {
+        self.0.shard_size.max(1)
+    }
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError> {
+        let (carrier, model) = self.0.user(index);
+        let days = model.days;
+        Ok((carrier, model.generate(), days))
+    }
+}
+
+struct CorpusUsers<'a> {
+    scenario: &'a CorpusScenario,
+    corpus: &'a Corpus,
+}
+
+impl CellUsers for CorpusUsers<'_> {
+    fn users(&self) -> u64 {
+        self.corpus.len() as u64
+    }
+    fn shard_size(&self) -> u64 {
+        self.scenario.shard_size.max(1)
+    }
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError> {
+        let trace = load_corpus_trace(self.scenario, self.corpus, index)?;
+        let carrier = draw_carrier(&self.scenario.carrier_mix, self.scenario.master_seed, index);
+        let days = days_spanned(&trace);
+        Ok((carrier, trace, days))
+    }
+}
+
+/// Runs a synthetic scenario through its cell topology. Called by
+/// [`crate::runner::run`] when `scenario.cells` is set; infallible in
+/// practice (synthesis cannot fail), fallible in type for the shared
+/// core.
+pub(crate) fn run_cells_synthetic(
+    scenario: &Scenario,
+    topology: &CellTopology,
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    let empty = || FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+    run_cells(
+        &SyntheticUsers(scenario),
+        scenario.scheme,
+        &scenario.sim,
+        topology,
+        scenario.master_seed,
+        &empty,
+        threads,
+    )
+}
+
+/// Runs a corpus replay through its cell topology against an
+/// already-resolved file list. Called by
+/// [`crate::runner::run_pinned_corpus`] when `scenario.cells` is set.
+pub(crate) fn run_cells_corpus(
+    scenario: &CorpusScenario,
+    corpus: &Corpus,
+    topology: &CellTopology,
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    let source_label = format!("corpus {} ({} traces)", scenario.spec.dir.display(), corpus.len());
+    let empty = || {
+        let mut report = FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+        report.source = source_label.clone();
+        report
+    };
+    run_cells(
+        &CorpusUsers { scenario, corpus },
+        scenario.scheme,
+        &scenario.sim,
+        topology,
+        scenario.master_seed,
+        &empty,
+        threads,
+    )
+}
+
+/// Pass-2 shard partial: the energy fold plus each cell's per-second
+/// RRC-message counters. Counter addition commutes, but the frontier
+/// still folds in shard order, keeping the whole partial deterministic.
+struct CellPartial {
+    report: FleetReport,
+    /// Per cell: second index → RRC messages in that second.
+    seconds: Vec<BTreeMap<i64, u64>>,
+}
+
+impl Partial for CellPartial {
+    fn absorb(&mut self, other: CellPartial) {
+        self.report.merge(&other.report);
+        for (mine, theirs) in self.seconds.iter_mut().zip(other.seconds) {
+            for (second, messages) in theirs {
+                *mine.entry(second).or_insert(0) += messages;
+            }
+        }
+    }
+}
+
+/// The two-pass core shared by synthetic and corpus cell runs. See the
+/// module docs for the pass structure and memory bounds.
+fn run_cells<U: CellUsers>(
+    access: &U,
+    scheme: Scheme,
+    sim: &SimConfig,
+    topology: &CellTopology,
+    master_seed: u64,
+    empty: &(dyn Fn() -> FleetReport + Sync),
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    assert!(
+        scheme.scriptable(),
+        "scheme {:?} cannot run on a cell topology: MakeActive batching depends on grant \
+         outcomes, so the two-pass replay is not exact (scenario files reject this at parse \
+         time)",
+        scheme
+    );
+    assert!(topology.cells >= 1, "a cell topology needs at least one cell");
+
+    let users = access.users();
+    let shard_size = access.shard_size();
+    let shard_count = users.div_ceil(shard_size);
+    let shard_range = |shard: u64| {
+        let lo = (shard * shard_size).min(users);
+        let hi = ((shard + 1) * shard_size).min(users);
+        lo..hi
+    };
+
+    // ---- Pass 1: cheap request extraction (one trace per worker). ----
+    let request_streams: Vec<(u64, Vec<Instant>)> =
+        run_sharded(shard_count, threads, &Vec::new, &|shard| {
+            let mut partial = Vec::new();
+            for index in shard_range(shard) {
+                let (carrier, trace, _) = access.user(index)?;
+                let requests = scheme
+                    .request_trace(&carrier, sim, &trace)
+                    .expect("scriptable scheme always yields a request trace");
+                partial.push((index, requests.times));
+                // `trace` drops here: pass 1 keeps only the requests.
+            }
+            Ok(partial)
+        })?;
+    debug_assert!(
+        request_streams.iter().enumerate().all(|(at, (index, _))| at as u64 == *index),
+        "shard-order merge must reassemble users in index order"
+    );
+
+    // ---- Adjudication: each cell replays its merged stream. ----------
+    let cell_count = topology.cells as usize;
+    let mut per_cell: Vec<Vec<(Instant, u64, u32)>> = vec![Vec::new(); cell_count];
+    let mut cell_users = vec![0u64; cell_count];
+    let mut verdicts: Vec<Vec<bool>> = Vec::with_capacity(request_streams.len());
+    for (index, times) in &request_streams {
+        let cell = cell_of(master_seed, *index, topology.cells) as usize;
+        cell_users[cell] += 1;
+        for (seq, &at) in times.iter().enumerate() {
+            per_cell[cell].push((at, *index, seq as u32));
+        }
+        verdicts.push(vec![false; times.len()]);
+    }
+    drop(request_streams);
+
+    let mut loads: Vec<CellLoad> =
+        cell_users.iter().map(|&users| CellLoad { users, ..CellLoad::default() }).collect();
+    for (cell, stream) in per_cell.iter_mut().enumerate() {
+        // Global time order within the cell; ties broken by user index
+        // then sequence, deterministically.
+        stream.sort_unstable();
+        let mut release = topology.release.build();
+        for &(at, user, seq) in stream.iter() {
+            let ok = release.accept(at);
+            verdicts[user as usize][seq as usize] = ok;
+            if ok {
+                loads[cell].granted += 1;
+            } else {
+                loads[cell].denied += 1;
+            }
+        }
+    }
+    drop(per_cell);
+    let verdicts = &verdicts;
+
+    // ---- Pass 2: exact replay, energy fold + per-second load. --------
+    // The default transition_log_limit is a safety cap for interactive
+    // use; here a truncated log would silently undercount cell load, so
+    // lift it — the log is per user and dropped before the next one.
+    let replay_sim =
+        SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..sim.clone() };
+    let empty_partial =
+        || CellPartial { report: empty(), seconds: vec![BTreeMap::new(); cell_count] };
+    let folded: CellPartial = run_sharded(shard_count, threads, &empty_partial, &|shard| {
+        let mut partial = empty_partial();
+        for index in shard_range(shard) {
+            let (carrier, trace, days) = access.user(index)?;
+            let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
+            let mut scheme_run = scheme
+                .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
+                .expect("scriptable scheme always replays");
+            let cell = cell_of(master_seed, index, topology.cells) as usize;
+            if let Some(transitions) = scheme_run.transitions.take() {
+                let seconds = &mut partial.seconds[cell];
+                for t in &transitions {
+                    let second = t.at.as_micros().div_euclid(1_000_000);
+                    *seconds.entry(second).or_insert(0) +=
+                        topology.signaling.messages_for(t) as u64;
+                }
+            }
+            partial.report.fold_user(days, &scheme_run, &baseline);
+            // `trace` drops here: pass 2 is load→replay→discard again.
+        }
+        Ok(partial)
+    })?;
+
+    // ---- Per-cell load accounting. -----------------------------------
+    let CellPartial { mut report, seconds } = folded;
+    for (cell, seconds) in seconds.into_iter().enumerate() {
+        let load = &mut loads[cell];
+        for (_, messages) in seconds {
+            load.total_messages += messages;
+            load.peak_messages_per_s = load.peak_messages_per_s.max(messages);
+            if let Some(cap) = topology.capacity_per_s {
+                if messages > cap {
+                    load.overload_seconds += 1;
+                }
+            }
+        }
+    }
+    report.signaling =
+        Some(FleetSignaling { capacity_per_s: topology.capacity_per_s, cells: loads });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_assignment_is_deterministic_and_roughly_uniform() {
+        let cells = 8u64;
+        let counts = (0..8000).fold(vec![0u64; cells as usize], |mut acc, i| {
+            acc[cell_of(7, i, cells) as usize] += 1;
+            acc
+        });
+        for (cell, &n) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&n), "cell {cell} holds {n} of 8000 users");
+        }
+        assert_eq!(cell_of(7, 42, cells), cell_of(7, 42, cells));
+        // The assignment is seed-sensitive: a different master seed
+        // shuffles users across cells.
+        let moved = (0..1000).filter(|&i| cell_of(7, i, cells) != cell_of(8, i, cells)).count();
+        assert!(moved > 500, "only {moved} of 1000 users moved on reseed");
+    }
+
+    #[test]
+    fn single_cell_topologies_pin_everyone_to_cell_zero() {
+        for i in 0..100 {
+            assert_eq!(cell_of(1, i, 1), 0);
+        }
+    }
+
+    #[test]
+    fn release_spec_tokens_and_builders() {
+        assert_eq!(ReleaseSpec::AlwaysAccept.token(), "always");
+        let limited = ReleaseSpec::RateLimited { min_interval: Duration::from_secs(5) };
+        assert_eq!(limited.token(), "rate-limited");
+        let mut policy = limited.build();
+        assert!(policy.accept(Instant::ZERO));
+        assert!(!policy.accept(Instant::from_secs(1)));
+        assert!(policy.accept(Instant::from_secs(5)));
+        let mut always = ReleaseSpec::AlwaysAccept.build();
+        assert!((0..10).all(|i| always.accept(Instant::from_secs(i))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cell_topologies_are_rejected() {
+        CellTopology::new(0);
+    }
+}

@@ -13,6 +13,10 @@
 //! tables plus `users` (a synthetic population), or a `[corpus]` table
 //! naming a directory of trace files to replay. The two are mutually
 //! exclusive, and mixing them is a positioned error, never a guess.
+//! Either kind may add a `[cells]` table routing the population's
+//! fast-dormancy requests through a base-station cell topology — which
+//! in turn requires a scriptable scheme (the MakeActive variants are
+//! positioned errors there, base value and sweep values alike).
 //!
 //! Round-trip contract: for any scenario whose carrier profiles are
 //! built-in presets (the only carriers the format can name) and whose
@@ -26,12 +30,14 @@ use std::path::PathBuf;
 
 use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
+use tailwise_radio::signaling::SignalingModel;
 use tailwise_scenfile::{parse, str_elements, u64_elements, DocWriter, ScenError, Table};
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::corpus::TraceFormat;
 use tailwise_trace::time::Duration;
 use tailwise_workload::apps::AppKind;
 
+use crate::cells::{CellTopology, ReleaseSpec};
 use crate::scenario::Scenario;
 use crate::source::{CorpusScenario, CorpusSpec, SourceSet, UserSource};
 use crate::sweep::{ScenarioSet, SweepAxis};
@@ -40,7 +46,7 @@ use crate::sweep::{ScenarioSet, SweepAxis};
 /// synthetic or corpus base, plus any sweep axes.
 pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
     let doc = parse(src)?;
-    doc.deny_unknown(&[], &["scenario", "sim", "corpus"], &["carrier", "app", "sweep"])?;
+    doc.deny_unknown(&[], &["scenario", "sim", "corpus", "cells"], &["carrier", "app", "sweep"])?;
 
     let scenario_table = doc
         .table("scenario")
@@ -65,6 +71,11 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
         parse_token::<CarrierProfile>(table, "profile", token)
     })?;
     let sim = sim_from_doc(&doc)?;
+    let cells = cells_from_doc(&doc)?;
+    if cells.is_some() && !scheme.scriptable() {
+        let pos = scenario_table.get("scheme").map(|i| i.pos).unwrap_or(scenario_table.pos());
+        return Err(ScenError::at(pos, unscriptable_scheme_message(&scheme)));
+    }
 
     let Some(corpus_table) = doc.table("corpus") else {
         // ------------------------------------------------ synthetic ----
@@ -91,8 +102,9 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
             master_seed,
             shard_size,
             sim,
+            cells,
         };
-        let axes = sweep_axes(&doc, false)?;
+        let axes = sweep_axes(&doc, false, base.cells.is_some())?;
         return Ok(SourceSet { source: UserSource::Synthetic(base), axes });
     };
 
@@ -118,13 +130,27 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
         ));
     }
 
-    corpus_table.deny_unknown(&["dir", "recursive", "formats"], &[], &[])?;
+    corpus_table.deny_unknown(&["dir", "recursive", "formats", "pcap_device"], &[], &[])?;
     let dir = corpus_table.req_str("dir")?;
     let dir_pos = corpus_table.get("dir").map(|i| i.pos).unwrap_or(corpus_table.pos());
     if dir.is_empty() {
         return Err(ScenError::at(dir_pos, "`dir` must not be empty"));
     }
     let recursive = corpus_table.get_bool("recursive")?.unwrap_or(true);
+    let pcap_device = match corpus_table.get_str("pcap_device")? {
+        None => None,
+        Some(token) => {
+            let pos = corpus_table.get("pcap_device").map(|i| i.pos).unwrap_or(corpus_table.pos());
+            Some(token.parse::<std::net::Ipv4Addr>().map_err(|_| {
+                ScenError::at(
+                    pos,
+                    format!(
+                        "`pcap_device` must be an IPv4 address (e.g. \"10.0.0.2\"), got {token:?}"
+                    ),
+                )
+            })?)
+        }
+    };
     let formats = match corpus_table.get_array("formats")? {
         None => TraceFormat::ALL.to_vec(),
         Some(items) => {
@@ -152,10 +178,79 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
         master_seed,
         shard_size,
         sim,
-        spec: CorpusSpec { dir: PathBuf::from(dir), recursive, formats, dir_pos, origin: None },
+        cells,
+        spec: CorpusSpec {
+            dir: PathBuf::from(dir),
+            recursive,
+            formats,
+            pcap_device,
+            dir_pos,
+            origin: None,
+        },
     };
-    let axes = sweep_axes(&doc, true)?;
+    let axes = sweep_axes(&doc, true, base.cells.is_some())?;
     Ok(SourceSet { source: UserSource::Corpus(base), axes })
+}
+
+/// The positioned/emit error body for a non-scriptable scheme meeting a
+/// `[cells]` topology (parse and write paths share the wording).
+fn unscriptable_scheme_message(scheme: &Scheme) -> String {
+    format!(
+        "scheme \"{scheme}\" cannot run on a [cells] topology: MakeActive batching depends \
+         on grant outcomes, so the exact two-pass replay does not apply; pick a \
+         non-batching scheme or drop [cells]"
+    )
+}
+
+/// Parses the optional `[cells]` table into a [`CellTopology`].
+fn cells_from_doc(doc: &Table) -> Result<Option<CellTopology>, ScenError> {
+    let Some(table) = doc.table("cells") else { return Ok(None) };
+    table.deny_unknown(&["count", "capacity_per_s", "release", "min_interval_s"], &[], &[])?;
+    let count = match table.req_u64("count")? {
+        0 => return Err(at_least_one(table, "count")),
+        count => count,
+    };
+    let capacity_per_s = table.get_u64("capacity_per_s")?;
+    let release = match table.get_str("release")?.unwrap_or("always") {
+        "always" => {
+            if let Some(item) = table.get("min_interval_s") {
+                return Err(ScenError::at(
+                    item.pos,
+                    "`min_interval_s` requires release = \"rate-limited\"",
+                ));
+            }
+            ReleaseSpec::AlwaysAccept
+        }
+        "rate-limited" => {
+            let pos = table.get("min_interval_s").map(|i| i.pos).unwrap_or(table.pos());
+            let Some(interval) = table.get_float("min_interval_s")? else {
+                return Err(ScenError::at(
+                    table.pos(),
+                    "release = \"rate-limited\" needs `min_interval_s`",
+                ));
+            };
+            if !(interval.is_finite() && interval > 0.0) {
+                return Err(ScenError::at(
+                    pos,
+                    format!("`min_interval_s` must be positive, got {interval}"),
+                ));
+            }
+            ReleaseSpec::RateLimited { min_interval: Duration::from_secs_f64(interval) }
+        }
+        other => {
+            let pos = table.get("release").map(|i| i.pos).unwrap_or(table.pos());
+            return Err(ScenError::at(
+                pos,
+                format!("unknown release policy {other:?}; one of always, rate-limited"),
+            ));
+        }
+    };
+    Ok(Some(CellTopology {
+        cells: count,
+        capacity_per_s,
+        release,
+        signaling: SignalingModel::default(),
+    }))
 }
 
 /// Parses a document as a synthetic-only [`ScenarioSet`], rejecting
@@ -180,6 +275,7 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
         ("shard_size", base.shard_size),
         ("window_capacity", base.sim.window_capacity as u64),
     ])?;
+    check_cells_representable(&base.cells, &base.scheme, axes)?;
     let mut w = header();
     w.blank().table("scenario");
     w.str("name", &base.name);
@@ -189,6 +285,7 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
     w.uint("master_seed", base.master_seed);
     w.uint("shard_size", base.shard_size);
     write_sim(&mut w, &base.sim);
+    write_cells(&mut w, &base.cells);
     write_carriers(&mut w, &base.carrier_mix)?;
     for (kind, weight) in &base.app_mix {
         check_weight(*weight, kind.token())?;
@@ -217,6 +314,7 @@ fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, S
         ("shard_size", base.shard_size),
         ("window_capacity", base.sim.window_capacity as u64),
     ])?;
+    check_cells_representable(&base.cells, &base.scheme, axes)?;
     let dir = base.spec.dir.to_str().ok_or_else(|| {
         ScenError::emit(format!(
             "corpus directory {:?} is not valid UTF-8 and cannot be written to a scenario file",
@@ -233,6 +331,7 @@ fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, S
     w.uint("master_seed", base.master_seed);
     w.uint("shard_size", base.shard_size);
     write_sim(&mut w, &base.sim);
+    write_cells(&mut w, &base.cells);
     // Canonical order is the enum order (the same order the parser
     // normalizes to), so emit→parse round-trips to an equal spec.
     let tokens: Vec<&str> =
@@ -241,6 +340,9 @@ fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, S
     w.str("dir", dir);
     w.bool("recursive", base.spec.recursive);
     w.str_array("formats", &tokens);
+    if let Some(device) = base.spec.pcap_device {
+        w.str("pcap_device", &device.to_string());
+    }
     write_carriers(&mut w, &base.carrier_mix)?;
     write_axes(&mut w, axes)?;
     Ok(w.finish())
@@ -257,6 +359,57 @@ fn write_sim(w: &mut DocWriter, sim: &SimConfig) {
     w.blank().table("sim");
     w.float("intra_burst_gap_s", sim.intra_burst_gap.as_secs_f64());
     w.uint("window_capacity", sim.window_capacity as u64);
+}
+
+/// Emission-side guard for `[cells]`: the written document must parse
+/// back, so everything the parser rejects is refused here too.
+fn check_cells_representable(
+    cells: &Option<CellTopology>,
+    scheme: &Scheme,
+    axes: &[SweepAxis],
+) -> Result<(), ScenError> {
+    let Some(topology) = cells else { return Ok(()) };
+    if topology.cells == 0 {
+        return Err(ScenError::emit(
+            "cell count of 0 is not representable (scenario files require ≥ 1)",
+        ));
+    }
+    if topology.signaling != SignalingModel::default() {
+        return Err(ScenError::emit(
+            "cell topology customizes the RRC signaling message model, which is not \
+             representable in scenario files (they always use the default)",
+        ));
+    }
+    if let ReleaseSpec::RateLimited { min_interval } = &topology.release {
+        if *min_interval <= Duration::ZERO {
+            return Err(ScenError::emit(format!(
+                "rate-limited release interval must be positive, got {min_interval}"
+            )));
+        }
+    }
+    let mut schemes: Vec<&Scheme> = vec![scheme];
+    for axis in axes {
+        if let SweepAxis::Schemes(values) = axis {
+            schemes.extend(values);
+        }
+    }
+    match schemes.into_iter().find(|s| !s.scriptable()) {
+        None => Ok(()),
+        Some(bad) => Err(ScenError::emit(unscriptable_scheme_message(bad))),
+    }
+}
+
+fn write_cells(w: &mut DocWriter, cells: &Option<CellTopology>) {
+    let Some(topology) = cells else { return };
+    w.blank().table("cells");
+    w.uint("count", topology.cells);
+    if let Some(capacity) = topology.capacity_per_s {
+        w.uint("capacity_per_s", capacity);
+    }
+    w.str("release", topology.release.token());
+    if let ReleaseSpec::RateLimited { min_interval } = &topology.release {
+        w.float("min_interval_s", min_interval.as_secs_f64());
+    }
 }
 
 fn write_carriers(
@@ -434,8 +587,10 @@ fn sim_from_doc(doc: &Table) -> Result<SimConfig, ScenError> {
 }
 
 /// Parses `[[sweep]]` axes. With `corpus`, the `users` axis is rejected
-/// (a corpus population is sized by its directory, not a knob).
-fn sweep_axes(doc: &Table, corpus: bool) -> Result<Vec<SweepAxis>, ScenError> {
+/// (a corpus population is sized by its directory, not a knob); with
+/// `cells`, scheme values must be scriptable (see
+/// [`Scheme::scriptable`]).
+fn sweep_axes(doc: &Table, corpus: bool, cells: bool) -> Result<Vec<SweepAxis>, ScenError> {
     let mut axes = Vec::new();
     for table in doc.array_of_tables("sweep") {
         table.deny_unknown(&["axis", "values"], &[], &[])?;
@@ -447,12 +602,18 @@ fn sweep_axes(doc: &Table, corpus: bool) -> Result<Vec<SweepAxis>, ScenError> {
         }
         let axis_pos = table.get("axis").map(|i| i.pos).unwrap_or(table.pos());
         axes.push(match axis {
-            "scheme" => SweepAxis::Schemes(
-                str_elements("values", values)?
+            "scheme" => {
+                let schemes = str_elements("values", values)?
                     .into_iter()
                     .map(|token| token.parse::<Scheme>().map_err(|e| ScenError::at(axis_pos, e)))
-                    .collect::<Result<Vec<Scheme>, ScenError>>()?,
-            ),
+                    .collect::<Result<Vec<Scheme>, ScenError>>()?;
+                if cells {
+                    if let Some(bad) = schemes.iter().find(|s| !s.scriptable()) {
+                        return Err(ScenError::at(axis_pos, unscriptable_scheme_message(bad)));
+                    }
+                }
+                SweepAxis::Schemes(schemes)
+            }
             "carrier" => SweepAxis::Carriers(
                 str_elements("values", values)?
                     .into_iter()
@@ -609,6 +770,145 @@ mod tests {
         let text = set_to_toml(&set.base, &set.axes).unwrap();
         let again = set_from_str(&text).unwrap();
         assert_eq!(again.axes, set.axes);
+    }
+
+    // ------------------------------------------------------------------
+    // [cells] files.
+
+    #[test]
+    fn cells_table_parses_with_defaults_and_round_trips() {
+        let src = concat!(
+            "[scenario]\nusers = 40\n",
+            "[cells]\ncount = 16\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let set = set_from_str(src).unwrap();
+        let topology = set.base.cells.as_ref().expect("cells parsed");
+        assert_eq!(topology.cells, 16);
+        assert_eq!(topology.capacity_per_s, None);
+        assert_eq!(topology.release, ReleaseSpec::AlwaysAccept);
+        assert_eq!(topology.signaling, SignalingModel::default());
+        let text = set_to_toml(&set.base, &[]).unwrap();
+        assert_eq!(set_from_str(&text).unwrap().base, set.base);
+    }
+
+    #[test]
+    fn rate_limited_cells_round_trip_with_capacity() {
+        let src = concat!(
+            "[scenario]\nusers = 10\nscheme = \"oracle\"\n",
+            "[cells]\n",
+            "count = 3\n",
+            "capacity_per_s = 120\n",
+            "release = \"rate-limited\"\n",
+            "min_interval_s = 2.5\n",
+            "[[carrier]]\nprofile = \"verizon-lte\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\naxis = \"scheme\"\nvalues = [\"makeidle\", \"oracle\"]\n",
+        );
+        let set = set_from_str(src).unwrap();
+        let topology = set.base.cells.as_ref().unwrap();
+        assert_eq!(topology.capacity_per_s, Some(120));
+        assert_eq!(
+            topology.release,
+            ReleaseSpec::RateLimited { min_interval: Duration::from_secs_f64(2.5) }
+        );
+        let text = set_to_toml(&set.base, &set.axes).unwrap();
+        let again = set_from_str(&text).unwrap();
+        assert_eq!(again.base, set.base);
+        assert_eq!(again.axes, set.axes);
+    }
+
+    #[test]
+    fn golden_cells_schema_errors() {
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n", // 1-2
+            "[cells]\n",               // 3
+            "count = 0\n",             // 4 (value at col 9)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(4, 9));
+        assert!(e.message.contains("`count` must be at least 1"), "{e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\ncells = 9\n", // 5: unknown key
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 1));
+        assert!(e.message.contains("unknown key `cells`"), "{e}");
+        assert!(e.message.contains("capacity_per_s"), "suggests valid keys: {e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\nmin_interval_s = 1.0\n", // 5 (value at col 18)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 18));
+        assert!(e.message.contains("requires release = \"rate-limited\""), "{e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\nrelease = \"rate-limited\"\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert!(e.message.contains("needs `min_interval_s`"), "{e}");
+
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\nrelease = \"sometimes\"\n", // 5 (value at col 11)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 11));
+        assert!(e.message.contains("unknown release policy \"sometimes\""), "{e}");
+    }
+
+    #[test]
+    fn golden_cells_reject_batched_schemes_in_base_and_sweeps() {
+        // Base scheme: positioned at the scheme value.
+        let e = err_of(concat!(
+            "[scenario]\n",                        // 1
+            "users = 5\n",                         // 2
+            "scheme = \"makeidle-activelearn\"\n", // 3 (value at col 10)
+            "[cells]\ncount = 2\n",                // 4-5
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(3, 10));
+        assert!(e.message.contains("cannot run on a [cells] topology"), "{e}");
+
+        // Sweep values are checked too, anchored at the axis key.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",         // 9
+            "axis = \"scheme\"\n", // 10 (value at col 8)
+            "values = [\"makeidle\", \"makeidle-activefix\"]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(10, 8));
+        assert!(e.message.contains("cannot run on a [cells] topology"), "{e}");
+    }
+
+    #[test]
+    fn unscriptable_or_customized_cells_cannot_serialize() {
+        let mut s = Scenario::new(4, Scheme::MakeIdleActiveLearn, CarrierProfile::att_hspa());
+        s.cells = Some(CellTopology::new(4));
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert_eq!(err.kind, ScenErrorKind::Emit);
+        assert!(err.message.contains("cannot run on a [cells] topology"), "{err}");
+
+        // A sweep smuggling a batched scheme past a scriptable base.
+        s.scheme = Scheme::MakeIdle;
+        let axes = vec![SweepAxis::Schemes(vec![Scheme::Oracle, Scheme::MakeIdleActiveFix])];
+        let err = set_to_toml(&s, &axes).unwrap_err();
+        assert!(err.message.contains("cannot run on a [cells] topology"), "{err}");
+
+        // A customized signaling model has no on-disk spelling.
+        let mut topology = CellTopology::new(4);
+        topology.signaling.per_promotion = 99;
+        s.cells = Some(topology);
+        let err = set_to_toml(&s, &[]).unwrap_err();
+        assert!(err.message.contains("signaling message model"), "{err}");
     }
 
     // ------------------------------------------------------------------
@@ -833,7 +1133,10 @@ mod tests {
             "[[carrier]]\nprofile = \"att-hspa\"\n",
         ));
         assert_eq!(e.pos, Pos::new(5, 1));
-        assert_eq!(e.message, "unknown key `recursiv`; expected one of: dir, recursive, formats");
+        assert_eq!(
+            e.message,
+            "unknown key `recursiv`; expected one of: dir, recursive, formats, pcap_device"
+        );
     }
 
     #[test]
@@ -885,11 +1188,11 @@ mod tests {
         let e = err_of(concat!(
             "[scenario]\nname = \"x\"\n",
             "[corpus]\ndir = \"traces\"\n",
-            "formats = [\"pcap\"]\n", // 5 (value at col 11)
+            "formats = [\"pcapng\"]\n", // 5 (value at col 11)
             "[[carrier]]\nprofile = \"att-hspa\"\n",
         ));
         assert_eq!(e.pos, Pos::new(5, 11));
-        assert!(e.message.contains("unknown trace format \"pcap\""), "{e}");
+        assert!(e.message.contains("unknown trace format \"pcapng\""), "{e}");
 
         let e = err_of(concat!(
             "[scenario]\nname = \"x\"\n",
@@ -898,6 +1201,38 @@ mod tests {
             "[[carrier]]\nprofile = \"att-hspa\"\n",
         ));
         assert!(e.message.contains("`formats` must not be empty"), "{e}");
+    }
+
+    #[test]
+    fn pcap_corpora_parse_and_round_trip_the_device() {
+        let src = concat!(
+            "[scenario]\nname = \"captures\"\n",
+            "[corpus]\n",
+            "dir = \"captures\"\n",
+            "formats = [\"pcap\"]\n",
+            "pcap_device = \"10.0.0.2\"\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        );
+        let set = source_set_from_str(src).unwrap();
+        let UserSource::Corpus(c) = &set.source else { panic!("expected a corpus source") };
+        assert_eq!(c.spec.formats, vec![TraceFormat::Pcap]);
+        assert_eq!(c.spec.pcap_device, Some(std::net::Ipv4Addr::new(10, 0, 0, 2)));
+        let text = set.to_toml_string().unwrap();
+        assert!(text.contains("pcap_device = \"10.0.0.2\""), "{text}");
+        assert_eq!(SourceSet::from_toml_str(&text).unwrap(), set);
+    }
+
+    #[test]
+    fn golden_bad_pcap_device() {
+        let e = err_of(concat!(
+            "[scenario]\nname = \"x\"\n",    // 1-2
+            "[corpus]\n",                    // 3
+            "dir = \"traces\"\n",            // 4
+            "pcap_device = \"not-an-ip\"\n", // 5 (value at col 15)
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 15));
+        assert!(e.message.contains("`pcap_device` must be an IPv4 address"), "{e}");
     }
 
     #[test]
@@ -963,7 +1298,29 @@ mod tests {
     // ------------------------------------------------------------------
     // Property: Scenario → to_file text → from_file → equal scenario,
     // over the full expressible space (preset carriers, canonical
-    // schemes, µs-grained sim gaps).
+    // schemes, µs-grained sim gaps, cell topologies).
+
+    /// Decodes an `Option<CellTopology>` from plain proptest integers
+    /// (the vendored stub has no `prop_oneof!`): `which` picks
+    /// none/always/rate-limited, `cap` of 0 means unbounded.
+    fn cells_from_ints(
+        which: usize,
+        count: u64,
+        cap: u64,
+        interval_us: i64,
+    ) -> Option<CellTopology> {
+        let release = match which {
+            0 => return None,
+            1 => ReleaseSpec::AlwaysAccept,
+            _ => ReleaseSpec::RateLimited { min_interval: Duration::from_micros(interval_us) },
+        };
+        Some(CellTopology {
+            cells: count,
+            capacity_per_s: (cap > 0).then_some(cap),
+            release,
+            signaling: SignalingModel::default(),
+        })
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -975,6 +1332,8 @@ mod tests {
             carrier_bits in 1u32..64,
             app_bits in 1u32..128,
             weights in proptest::prop::collection::vec(0.001f64..50.0, 14),
+            (cells_which, cell_count, cell_cap, interval_us) in
+                (0usize..3, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
         ) {
             let schemes = [
                 Scheme::StatusQuo,
@@ -1003,16 +1362,25 @@ mod tests {
                 window_capacity: window as usize,
                 ..SimConfig::default()
             };
+            let scheme = schemes[scheme_i];
+            // [cells] requires a scriptable scheme; the batched draws
+            // keep exercising the cell-free path.
+            let cells = if scheme.scriptable() {
+                cells_from_ints(cells_which, cell_count, cell_cap, interval_us)
+            } else {
+                None
+            };
             let scenario = Scenario {
                 name: format!("prop {users} × {seed}"),
                 users,
                 days_per_user: days,
-                scheme: schemes[scheme_i],
+                scheme,
                 carrier_mix,
                 app_mix,
                 master_seed: seed,
                 shard_size: shard,
                 sim,
+                cells,
             };
             let text = set_to_toml(&scenario, &[]).unwrap();
             let reparsed = set_from_str(&text)
@@ -1024,10 +1392,13 @@ mod tests {
         #[test]
         fn corpus_to_toml_round_trips(
             (scheme_i, seed, shard) in (0usize..7, 0u64..u64::MAX, 1u64..512),
-            (recursive, format_bits) in (prop::bool::ANY, 1u8..4),
+            (recursive, format_bits) in (prop::bool::ANY, 1u8..8),
             carrier_bits in 1u32..64,
             weights in proptest::prop::collection::vec(0.001f64..50.0, 7),
             dir_i in 0usize..4,
+            device_bits in 0u64..=u32::MAX as u64 * 2,
+            (cells_which, cell_count, cell_cap, interval_us) in
+                (0usize..3, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
         ) {
             let schemes = [
                 Scheme::StatusQuo,
@@ -1052,17 +1423,28 @@ mod tests {
                 .filter(|(i, _)| format_bits & (1 << i) != 0)
                 .map(|(_, f)| f)
                 .collect();
+            let scheme = schemes[scheme_i];
+            let cells = if scheme.scriptable() {
+                cells_from_ints(cells_which, cell_count, cell_cap, interval_us)
+            } else {
+                None
+            };
+            // The upper half of the device range means "no device".
+            let pcap_device = (device_bits <= u32::MAX as u64)
+                .then(|| std::net::Ipv4Addr::from(device_bits as u32));
             let source = UserSource::Corpus(CorpusScenario {
                 name: format!("prop corpus {seed}"),
-                scheme: schemes[scheme_i],
+                scheme,
                 carrier_mix,
                 master_seed: seed,
                 shard_size: shard,
                 sim: SimConfig::default(),
+                cells,
                 spec: CorpusSpec {
                     dir: PathBuf::from(dirs[dir_i]),
                     recursive,
                     formats,
+                    pcap_device,
                     dir_pos: Pos::START,
                     origin: None,
                 },

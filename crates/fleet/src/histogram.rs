@@ -49,6 +49,14 @@ impl Histogram {
         Histogram::new(-100.0, 100.0, 200)
     }
 
+    /// The standard MakeActive session-delay histogram: 0.1 s bins
+    /// across 0..60 s. The paper's measured delays (Fig. 15, Table 3)
+    /// sit well inside this range; longer delays clamp into the top bin
+    /// (and stay exact in `max`).
+    pub fn session_delay_seconds() -> Histogram {
+        Histogram::new(0.0, 60.0, 600)
+    }
+
     /// Width of one bin.
     pub fn bin_width(&self) -> f64 {
         (self.hi - self.lo) / self.bins.len() as f64

@@ -30,11 +30,17 @@
 //! * [`runner`] — sharded multi-threaded execution,
 //!   generate→simulate→discard (peak memory: one trace per worker,
 //!   for corpora too);
+//! * [`cells`] — base-station cell topologies: a [`CellTopology`]
+//!   partitions users across cells, each cell adjudicates its merged
+//!   fast-dormancy request stream through a shared release policy, and
+//!   the two-pass runner (built on [`tailwise_sim::twophase`]) reports
+//!   per-cell signaling load — the paper's §7/§8 population question;
 //! * [`Histogram`] — fixed-bin streaming distribution with percentile
 //!   readout;
 //! * [`FleetReport`] — the merged aggregate: total/mean energy, the
-//!   per-user savings distribution, false/missed switch totals, and
-//!   throughput in user-days per second.
+//!   per-user savings distribution, MakeActive session-delay
+//!   percentiles, false/missed switch totals, per-cell signaling load
+//!   ([`FleetSignaling`]), and throughput in user-days per second.
 //!
 //! ## Determinism contract
 //!
@@ -66,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cells;
 pub mod file;
 pub mod histogram;
 pub mod report;
@@ -74,8 +81,9 @@ pub mod scenario;
 pub mod source;
 pub mod sweep;
 
+pub use cells::{cell_of, CellTopology, ReleaseSpec};
 pub use histogram::Histogram;
-pub use report::FleetReport;
+pub use report::{CellLoad, FleetReport, FleetSignaling};
 pub use runner::{run, run_corpus, run_pinned_corpus, run_source};
 pub use scenario::{user_seed, Scenario};
 pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};

@@ -2,15 +2,81 @@
 //!
 //! A [`FleetReport`] is the streaming fold of per-user
 //! [`SimReport`]s: totals, a
-//! savings-distribution histogram, and decision-quality counts. Folds
-//! happen per shard in user order, and shard partials merge in shard
-//! order — so the report is a deterministic function of the scenario,
-//! independent of how many threads produced it. Wall-clock fields are
-//! measured, not derived, and are excluded from equality.
+//! savings-distribution histogram, session-delay percentiles, and
+//! decision-quality counts — plus, for cell-topology runs, the
+//! per-cell signaling load ([`FleetSignaling`]). Folds happen per shard
+//! in user order, and shard partials merge in shard order — so the
+//! report is a deterministic function of the scenario, independent of
+//! how many threads produced it. Wall-clock fields are measured, not
+//! derived, and are excluded from equality.
 
 use tailwise_sim::report::SimReport;
 
 use crate::histogram::Histogram;
+
+/// Signaling load one cell absorbed over a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellLoad {
+    /// Users assigned to the cell.
+    pub users: u64,
+    /// Fast-dormancy requests the cell granted.
+    pub granted: u64,
+    /// Fast-dormancy requests the cell denied.
+    pub denied: u64,
+    /// Total RRC messages absorbed (per the run's
+    /// [`SignalingModel`](tailwise_radio::signaling::SignalingModel)).
+    pub total_messages: u64,
+    /// Peak RRC messages in any one-second window.
+    pub peak_messages_per_s: u64,
+    /// Seconds in which the message load exceeded the configured
+    /// capacity (zero when no capacity was set).
+    pub overload_seconds: u64,
+}
+
+/// The network-side outcome of a cell-topology fleet run: one
+/// [`CellLoad`] per cell, in cell-index order. Attached to the final
+/// [`FleetReport`] by the two-pass cell runner (shard partials carry
+/// `None`), and part of the report's deterministic identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSignaling {
+    /// RRC-message capacity each cell can absorb per second (`None` =
+    /// unbounded; overload seconds are then always zero).
+    pub capacity_per_s: Option<u64>,
+    /// Per-cell loads, indexed by cell.
+    pub cells: Vec<CellLoad>,
+}
+
+impl FleetSignaling {
+    /// Requests granted across every cell.
+    pub fn granted(&self) -> u64 {
+        self.cells.iter().map(|c| c.granted).sum()
+    }
+
+    /// Requests denied across every cell.
+    pub fn denied(&self) -> u64 {
+        self.cells.iter().map(|c| c.denied).sum()
+    }
+
+    /// Total RRC messages across every cell.
+    pub fn total_messages(&self) -> u64 {
+        self.cells.iter().map(|c| c.total_messages).sum()
+    }
+
+    /// The worst single-cell one-second peak.
+    pub fn peak_messages_per_s(&self) -> u64 {
+        self.cells.iter().map(|c| c.peak_messages_per_s).max().unwrap_or(0)
+    }
+
+    /// Overloaded seconds summed over cells.
+    pub fn overload_seconds(&self) -> u64 {
+        self.cells.iter().map(|c| c.overload_seconds).sum()
+    }
+
+    /// Number of cells that spent at least one second over capacity.
+    pub fn overloaded_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.overload_seconds > 0).count()
+    }
+}
 
 /// Aggregate outcome of one fleet run (or one shard of it).
 #[derive(Debug, Clone)]
@@ -45,6 +111,13 @@ pub struct FleetReport {
     pub decisions: u64,
     /// Per-user savings-vs-status-quo distribution, percent.
     pub savings: Histogram,
+    /// Population distribution of MakeActive session delays, seconds
+    /// (one sample per delayed session; empty unless the scheme
+    /// batches).
+    pub session_delays: Histogram,
+    /// Per-cell signaling load, for cell-topology runs (`None` for
+    /// radio-isolated runs and unmerged shard partials).
+    pub signaling: Option<FleetSignaling>,
     /// Wall-clock seconds the run took (0 for unmerged partials;
     /// excluded from equality).
     pub wall_seconds: f64,
@@ -70,6 +143,8 @@ impl FleetReport {
             missed_switches: 0,
             decisions: 0,
             savings: Histogram::savings_percent(),
+            session_delays: Histogram::session_delay_seconds(),
+            signaling: None,
             wall_seconds: 0.0,
             threads: 1,
         }
@@ -89,10 +164,17 @@ impl FleetReport {
         self.missed_switches += scheme_run.confusion.fn_;
         self.decisions += scheme_run.confusion.total();
         self.savings.record(scheme_run.savings_vs(baseline));
+        for &delay in &scheme_run.session_delays {
+            self.session_delays.record(delay);
+        }
     }
 
     /// Appends another partial (typically the next shard, in shard
     /// order).
+    ///
+    /// # Panics
+    /// If both reports carry [`FleetSignaling`] (see the comment on the
+    /// signaling arm) or their histograms have mismatched shapes.
     pub fn merge(&mut self, other: &FleetReport) {
         self.users += other.users;
         self.user_days += other.user_days;
@@ -105,6 +187,21 @@ impl FleetReport {
         self.missed_switches += other.missed_switches;
         self.decisions += other.decisions;
         self.savings.merge(&other.savings);
+        self.session_delays.merge(&other.session_delays);
+        // Signaling is attached once, by the cell runner, after the
+        // final shard merge — partials never carry it. Adopting a lone
+        // Some keeps that flow working; two Somes have no well-defined
+        // sum (the per-second data behind peak/overload is gone), so —
+        // like a histogram shape mismatch — that is a loud error, never
+        // a silently inconsistent aggregate.
+        match (&self.signaling, &other.signaling) {
+            (Some(_), Some(_)) => panic!(
+                "cannot merge two fleet reports that both carry cell signaling; \
+                 per-cell loads are attached once, after the final shard merge"
+            ),
+            (None, Some(signaling)) => self.signaling = Some(signaling.clone()),
+            _ => {}
+        }
     }
 
     /// Population-level savings: joules saved over the whole fleet as a
@@ -146,6 +243,12 @@ impl FleetReport {
         self.user_days as f64 / self.wall_seconds
     }
 
+    /// Population `q`-quantile of the MakeActive session delays, seconds
+    /// (`None` when no session was ever delayed — non-batching schemes).
+    pub fn session_delay_percentile(&self, q: f64) -> Option<f64> {
+        self.session_delays.percentile(q)
+    }
+
     /// Multi-line human-readable summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -184,6 +287,60 @@ impl FleetReport {
             "decisions: {} scored — {} false switches, {} missed switches\n",
             self.decisions, self.false_switches, self.missed_switches
         ));
+        if self.session_delays.count() > 0 {
+            let dpct = |q: f64| {
+                self.session_delays
+                    .percentile(q)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            out.push_str(&format!(
+                "delays   : {} sessions held by MakeActive — added delay p50 {} s  p95 {} s  \
+                 p99 {} s (max {:.2} s)\n",
+                self.session_delays.count(),
+                dpct(0.50),
+                dpct(0.95),
+                dpct(0.99),
+                self.session_delays.max().unwrap_or(0.0),
+            ));
+        }
+        if let Some(signaling) = &self.signaling {
+            let capacity = match signaling.capacity_per_s {
+                Some(cap) => format!("{cap} msg/s capacity"),
+                None => "unbounded capacity".into(),
+            };
+            out.push_str(&format!(
+                "cells    : {} cell(s), {} — {} FD requests granted, {} denied\n",
+                signaling.cells.len(),
+                capacity,
+                signaling.granted(),
+                signaling.denied(),
+            ));
+            out.push_str(&format!(
+                "cell load: {} RRC messages total, worst per-cell peak {} msg/s, {} overload \
+                 second(s) across {} cell(s)\n",
+                signaling.total_messages(),
+                signaling.peak_messages_per_s(),
+                signaling.overload_seconds(),
+                signaling.overloaded_cells(),
+            ));
+            // Small topologies get the full per-cell table; large ones
+            // keep the two aggregate lines above.
+            if signaling.cells.len() <= 12 {
+                for (index, cell) in signaling.cells.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  cell {index:>2}: {} users, peak {} msg/s, {} msgs, {} granted, \
+                         {} denied, {} overload s\n",
+                        cell.users,
+                        cell.peak_messages_per_s,
+                        cell.total_messages,
+                        cell.granted,
+                        cell.denied,
+                        cell.overload_seconds,
+                    ));
+                }
+            }
+        }
         if self.wall_seconds > 0.0 {
             out.push_str(&format!(
                 "speed    : {:.2} s wall on {} thread(s) — {:.1} user-days/sec\n",
@@ -216,6 +373,8 @@ impl PartialEq for FleetReport {
             && self.missed_switches == other.missed_switches
             && self.decisions == other.decisions
             && self.savings == other.savings
+            && self.session_delays == other.session_delays
+            && self.signaling == other.signaling
     }
 }
 
@@ -318,6 +477,73 @@ mod tests {
         a.users = 0;
         a.source = "corpus ./elsewhere (3 traces)".into();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn session_delays_fold_into_population_percentiles() {
+        let mut f = FleetReport::empty("d".into(), "MakeIdle+MakeActive Learn".into());
+        let base = sim_report(100.0, 10, 100);
+        let mut a = sim_report(50.0, 10, 100);
+        a.session_delays = vec![1.0, 2.0, 3.0];
+        let mut b = sim_report(60.0, 10, 100);
+        b.session_delays = vec![4.0, 100.0]; // 100 s clamps into the top bin
+        f.fold_user(1, &a, &base);
+        f.fold_user(1, &b, &base);
+        assert_eq!(f.session_delays.count(), 5);
+        let p50 = f.session_delay_percentile(0.5).unwrap();
+        assert!((p50 - 3.0).abs() < 0.2, "p50 {p50}");
+        assert_eq!(f.session_delays.max(), Some(100.0));
+        assert!(f.render().contains("5 sessions held by MakeActive"), "{}", f.render());
+        // Delay-free reports render no delay line and report None.
+        let quiet = FleetReport::empty("q".into(), "MakeIdle".into());
+        assert_eq!(quiet.session_delay_percentile(0.95), None);
+        assert!(!quiet.render().contains("MakeActive"));
+    }
+
+    #[test]
+    fn signaling_aggregates_and_identity() {
+        let cell = |granted, denied, peak, overload| CellLoad {
+            users: 2,
+            granted,
+            denied,
+            total_messages: granted * 3 + 100,
+            peak_messages_per_s: peak,
+            overload_seconds: overload,
+        };
+        let signaling = FleetSignaling {
+            capacity_per_s: Some(50),
+            cells: vec![cell(10, 2, 40, 0), cell(20, 5, 80, 3)],
+        };
+        assert_eq!(signaling.granted(), 30);
+        assert_eq!(signaling.denied(), 7);
+        assert_eq!(signaling.peak_messages_per_s(), 80);
+        assert_eq!(signaling.overload_seconds(), 3);
+        assert_eq!(signaling.overloaded_cells(), 1);
+
+        let mut a = FleetReport::empty("x".into(), "s".into());
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.signaling = Some(signaling.clone());
+        assert_ne!(a, b, "signaling is part of the deterministic identity");
+        let rendered = a.render();
+        assert!(rendered.contains("2 cell(s), 50 msg/s capacity"), "{rendered}");
+        assert!(rendered.contains("cell  1: 2 users, peak 80 msg/s"), "{rendered}");
+
+        // Merge attaches a partial's signaling only when self has none.
+        let mut c = FleetReport::empty("x".into(), "s".into());
+        c.merge(&a);
+        assert_eq!(c.signaling.as_ref(), Some(&signaling));
+    }
+
+    #[test]
+    #[should_panic(expected = "both carry cell signaling")]
+    fn merging_two_signaling_reports_is_a_loud_error() {
+        let signaling = FleetSignaling { capacity_per_s: None, cells: vec![CellLoad::default()] };
+        let mut a = FleetReport::empty("x".into(), "s".into());
+        a.signaling = Some(signaling.clone());
+        let mut b = FleetReport::empty("x".into(), "s".into());
+        b.signaling = Some(signaling);
+        a.merge(&b);
     }
 
     #[test]

@@ -39,26 +39,51 @@ use crate::report::FleetReport;
 use crate::scenario::{draw_carrier, Scenario};
 use crate::source::{CorpusScenario, UserSource};
 
+/// A per-shard result the sharded core can fold in shard order.
+///
+/// The absorb order is fixed (strictly ascending shard index), so any
+/// implementation whose `absorb` is deterministic — float folds
+/// included — yields a bit-identical total at any thread count.
+pub(crate) trait Partial: Send {
+    /// Folds `other` (the next shard, in shard order) into `self`.
+    fn absorb(&mut self, other: Self);
+}
+
+impl Partial for FleetReport {
+    fn absorb(&mut self, other: FleetReport) {
+        self.merge(&other);
+    }
+}
+
+/// Ordered accumulation: concatenating per-shard vectors in shard order
+/// yields the population in user-index order (the cell runner's pass-1
+/// request collection).
+impl<T: Send> Partial for Vec<T> {
+    fn absorb(&mut self, mut other: Vec<T>) {
+        self.append(&mut other);
+    }
+}
+
 /// Merge frontier: folds shard partials into the total strictly in
 /// shard-index order, buffering only partials that finish ahead of the
 /// frontier. Keeps the reduction tree fixed — and therefore the report
 /// bit-identical — while the worker loop bounds the buffer, so memory
 /// stays O(threads) rather than O(shard_count) even when one slow shard
 /// stalls the frontier.
-struct Frontier {
-    total: FleetReport,
+struct Frontier<P: Partial> {
+    total: P,
     next: u64,
-    pending: BTreeMap<u64, FleetReport>,
+    pending: BTreeMap<u64, P>,
 }
 
-impl Frontier {
+impl<P: Partial> Frontier<P> {
     /// Inserts a partial and advances the frontier as far as it now
     /// reaches. Returns true if the frontier moved.
-    fn push(&mut self, shard: u64, partial: FleetReport) -> bool {
+    fn push(&mut self, shard: u64, partial: P) -> bool {
         self.pending.insert(shard, partial);
         let before = self.next;
         while let Some(partial) = self.pending.remove(&self.next) {
-            self.total.merge(&partial);
+            self.total.absorb(partial);
             self.next += 1;
         }
         self.next != before
@@ -69,11 +94,24 @@ impl Frontier {
 ///
 /// `threads` is purely an execution knob: any value ≥ 1 produces the
 /// same [`FleetReport`] (see the module docs). Zero is treated as 1.
+///
+/// Scenarios with a [`CellTopology`](crate::cells::CellTopology) run
+/// through the two-pass cell runner instead of the radio-isolated fold;
+/// the determinism contract is identical.
 pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
-    run_sharded(scenario.shard_count(), threads, &|| empty_report(scenario), &|shard| {
-        Ok(run_shard(scenario, shard))
-    })
-    .expect("synthetic shards are infallible")
+    let started = std::time::Instant::now();
+    let mut report = if let Some(topology) = &scenario.cells {
+        crate::cells::run_cells_synthetic(scenario, topology, threads)
+            .expect("synthetic cell shards are infallible")
+    } else {
+        run_sharded(scenario.shard_count(), threads, &|| empty_report(scenario), &|shard| {
+            Ok(run_shard(scenario, shard))
+        })
+        .expect("synthetic shards are infallible")
+    };
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    report.threads = threads.max(1);
+    report
 }
 
 /// Runs any [`UserSource`] across `threads` worker threads.
@@ -114,6 +152,7 @@ pub fn run_pinned_corpus(
         return Err(scenario
             .runtime_err("corpus scenario has an empty carrier mix; replay needs one".into()));
     }
+    let started = std::time::Instant::now();
     let users = corpus.len() as u64;
     let shard_size = scenario.shard_size.max(1);
     let shard_count = users.div_ceil(shard_size);
@@ -123,38 +162,55 @@ pub fn run_pinned_corpus(
         report.source = source_label.clone();
         report
     };
-    run_sharded(shard_count, threads, &empty, &|shard| {
-        let mut partial = empty();
-        let lo = shard * shard_size;
-        let hi = ((shard + 1) * shard_size).min(users);
-        for index in lo..hi {
-            let trace = corpus.load(index as usize).map_err(|e| {
-                scenario.runtime_err(format!(
-                    "cannot replay trace file {}: {e}",
-                    corpus.path(index as usize).display()
-                ))
-            })?;
-            let carrier = draw_carrier(&scenario.carrier_mix, scenario.master_seed, index);
-            let days = days_spanned(&trace);
-            fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, days);
-            // `trace` drops here: load-simulate-discard.
-        }
-        Ok(partial)
+    let mut report = if let Some(topology) = &scenario.cells {
+        crate::cells::run_cells_corpus(scenario, corpus, topology, threads)?
+    } else {
+        run_sharded(shard_count, threads, &empty, &|shard| {
+            let mut partial = empty();
+            let lo = shard * shard_size;
+            let hi = ((shard + 1) * shard_size).min(users);
+            for index in lo..hi {
+                let trace = load_corpus_trace(scenario, corpus, index)?;
+                let carrier = draw_carrier(&scenario.carrier_mix, scenario.master_seed, index);
+                let days = days_spanned(&trace);
+                fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, days);
+                // `trace` drops here: load-simulate-discard.
+            }
+            Ok(partial)
+        })?
+    };
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    report.threads = threads.max(1);
+    Ok(report)
+}
+
+/// Loads one corpus member, wrapping failures in the scenario's
+/// positioned runtime error (shared by the isolated and cell paths).
+pub(crate) fn load_corpus_trace(
+    scenario: &CorpusScenario,
+    corpus: &Corpus,
+    index: u64,
+) -> Result<Trace, ScenError> {
+    corpus.load(index as usize).map_err(|e| {
+        scenario.runtime_err(format!(
+            "cannot replay trace file {}: {e}",
+            corpus.path(index as usize).display()
+        ))
     })
 }
 
-/// The sharded execution core shared by synthetic and corpus runs:
-/// work-stealing shard claims, bounded out-of-order buffering, and the
-/// in-order merge frontier. `shard` is called once per shard index; its
-/// first error (if any) aborts the run — remaining workers stop
-/// claiming shards — and becomes the overall result.
-fn run_sharded(
+/// The sharded execution core shared by synthetic, corpus, and
+/// cell-topology runs: work-stealing shard claims, bounded out-of-order
+/// buffering, and the in-order merge frontier over any [`Partial`].
+/// `shard_fn` is called once per shard index; its first error (if any)
+/// aborts the run — remaining workers stop claiming shards — and
+/// becomes the overall result.
+pub(crate) fn run_sharded<P: Partial>(
     shard_count: u64,
     threads: usize,
-    empty: &(dyn Fn() -> FleetReport + Sync),
-    shard_fn: &(dyn Fn(u64) -> Result<FleetReport, ScenError> + Sync),
-) -> Result<FleetReport, ScenError> {
-    let started = std::time::Instant::now();
+    empty: &(dyn Fn() -> P + Sync),
+    shard_fn: &(dyn Fn(u64) -> Result<P, ScenError> + Sync),
+) -> Result<P, ScenError> {
     let threads = threads.max(1);
     let cursor = AtomicU64::new(0);
     let failed = AtomicBool::new(false);
@@ -213,10 +269,7 @@ fn run_sharded(
     }
     let frontier = frontier.into_inner().expect("fleet frontier lock");
     debug_assert!(frontier.pending.is_empty(), "all shards merged");
-    let mut report = frontier.total;
-    report.wall_seconds = started.elapsed().as_secs_f64();
-    report.threads = threads;
-    Ok(report)
+    Ok(frontier.total)
 }
 
 /// Simulates one synthetic shard serially, folding users in index order.
@@ -253,7 +306,7 @@ fn fold_one(
 /// Calendar days a trace spans, for user-day accounting of replayed
 /// corpora (synthetic users carry their day count in the model).
 /// Always at least 1: an empty or sub-day trace is one user-day.
-fn days_spanned(trace: &Trace) -> u32 {
+pub(crate) fn days_spanned(trace: &Trace) -> u32 {
     (trace.span().as_secs_f64() / 86_400.0).ceil().clamp(1.0, u32::MAX as f64) as u32
 }
 

@@ -65,6 +65,12 @@ pub struct Scenario {
     pub shard_size: u64,
     /// Engine configuration shared by every user simulation.
     pub sim: SimConfig,
+    /// Optional cell topology: partitions users across base-station
+    /// cells and routes fast-dormancy requests through each cell's
+    /// shared release policy (the `[cells]` file table). `None` keeps
+    /// users radio-isolated. Requires a
+    /// [scriptable](tailwise_core::schemes::Scheme::scriptable) scheme.
+    pub cells: Option<crate::cells::CellTopology>,
 }
 
 impl Scenario {
@@ -89,6 +95,7 @@ impl Scenario {
             master_seed: 1,
             shard_size: 64,
             sim: SimConfig::default(),
+            cells: None,
         }
     }
 

@@ -43,7 +43,8 @@ use crate::sweep::SweepAxis;
 pub enum UserSource {
     /// Today's path: hierarchically seeded synthetic users.
     Synthetic(Scenario),
-    /// Replay of a directory of `.twt` / `.twt.csv` trace files.
+    /// Replay of a directory of `.twt` / `.twt.csv` / `.pcap` trace
+    /// files.
     Corpus(CorpusScenario),
 }
 
@@ -99,6 +100,10 @@ pub struct CorpusSpec {
     pub recursive: bool,
     /// Trace encodings to admit (default: all of them).
     pub formats: Vec<TraceFormat>,
+    /// Device IPv4 address `.pcap` members attribute packet direction
+    /// against (the `pcap_device` key). Required when the walk admits
+    /// pcap captures and finds any; ignored otherwise.
+    pub pcap_device: Option<std::net::Ipv4Addr>,
     /// Position of the `dir` key in the declaring file ([`Pos::START`]
     /// for programmatic construction).
     pub dir_pos: Pos,
@@ -113,6 +118,7 @@ impl CorpusSpec {
             dir: dir.into(),
             recursive: true,
             formats: TraceFormat::ALL.to_vec(),
+            pcap_device: None,
             dir_pos: Pos::START,
             origin: None,
         }
@@ -136,6 +142,7 @@ impl PartialEq for CorpusSpec {
         self.dir == other.dir
             && self.recursive == other.recursive
             && self.canonical_formats() == other.canonical_formats()
+            && self.pcap_device == other.pcap_device
     }
 }
 
@@ -163,6 +170,10 @@ pub struct CorpusScenario {
     pub shard_size: u64,
     /// Engine configuration shared by every replay.
     pub sim: SimConfig,
+    /// Optional cell topology, exactly as in [`Scenario`]: replayed
+    /// users are assigned to cells by `(master_seed, index)` and their
+    /// fast-dormancy requests adjudicated per cell.
+    pub cells: Option<crate::cells::CellTopology>,
     /// The corpus directory and walk settings.
     pub spec: CorpusSpec,
 }
@@ -178,6 +189,7 @@ impl CorpusScenario {
             master_seed: 1,
             shard_size: 64,
             sim: SimConfig::default(),
+            cells: None,
             spec,
         }
     }
@@ -191,7 +203,7 @@ impl CorpusScenario {
     /// [`ScenErrorKind::Run`](tailwise_scenfile::ScenErrorKind::Run)
     /// errors anchored at the declaring file's `dir` key.
     pub fn resolve(&self) -> Result<Corpus, ScenError> {
-        let corpus = Corpus::open(&self.spec.dir, self.spec.recursive, &self.spec.formats)
+        let mut corpus = Corpus::open(&self.spec.dir, self.spec.recursive, &self.spec.formats)
             .map_err(|e| {
                 self.runtime_err(format!(
                     "cannot read corpus directory {}: {e}",
@@ -204,6 +216,23 @@ impl CorpusScenario {
                 self.spec.dir.display(),
                 self.spec.formats.iter().map(|f| f.token()).collect::<Vec<_>>().join(", ")
             )));
+        }
+        match self.spec.pcap_device {
+            Some(device) => corpus = corpus.with_pcap_device(device),
+            // Fail the whole walk up front rather than mid-run at the
+            // first capture: the device address is part of the replay's
+            // meaning (direction inference), not a per-file detail.
+            None => {
+                let captures = corpus.pcap_members();
+                if captures > 0 {
+                    return Err(self.runtime_err(format!(
+                        "corpus directory {} holds {captures} pcap capture(s) but no \
+                         `pcap_device` is set; add it to the [corpus] table (direction \
+                         inference needs the capturing device's IPv4 address)",
+                        self.spec.dir.display()
+                    )));
+                }
+            }
         }
         Ok(corpus)
     }
@@ -336,6 +365,12 @@ pub fn synth_corpus(
 ) -> Result<u64, ScenError> {
     if scenario.users == 0 {
         return Err(ScenError::emit("cannot synthesize an empty corpus (scenario has 0 users)"));
+    }
+    if format == TraceFormat::Pcap {
+        return Err(ScenError::emit(
+            "cannot synthesize pcap corpora (pcap is a read-only capture format); \
+             use twt or csv",
+        ));
     }
     std::fs::create_dir_all(dir).map_err(|e| {
         ScenError::emit(format!("cannot create corpus directory {}: {e}", dir.display()))
@@ -523,5 +558,32 @@ mod tests {
         assert_eq!(a, b);
         a.recursive = false;
         assert_ne!(a, b);
+        // The pcap device, by contrast, changes the replay's meaning.
+        a.recursive = true;
+        a.pcap_device = Some(std::net::Ipv4Addr::new(10, 0, 0, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcap_corpora_need_a_device_and_cannot_be_synthesized() {
+        let err =
+            synth_corpus(&tiny_scenario(2), &temp_dir("pcap"), TraceFormat::Pcap, 1).unwrap_err();
+        assert!(err.message.contains("read-only capture format"), "{err}");
+
+        // A corpus with a capture but no pcap_device fails at resolve
+        // time, anchored at the dir key.
+        let dir = temp_dir("pcap-resolve");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("capture.pcap"), b"irrelevant").unwrap();
+        let mut c = CorpusScenario::new(&dir, Scheme::MakeIdle, CarrierProfile::att_hspa());
+        let err = c.resolve().unwrap_err();
+        assert!(err.message.contains("no `pcap_device` is set"), "{err}");
+        assert_eq!(err.kind, tailwise_scenfile::ScenErrorKind::Run);
+        // With a device the walk resolves and pins the address.
+        c.spec.pcap_device = Some(std::net::Ipv4Addr::new(10, 0, 0, 2));
+        let corpus = c.resolve().unwrap();
+        assert_eq!(corpus.pcap_device(), c.spec.pcap_device);
+        assert_eq!(corpus.pcap_members(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -273,22 +273,32 @@ pub fn run_source_sweep(set: &SourceSet, threads: usize) -> Result<SweepReport, 
 impl SweepReport {
     /// The side-by-side comparison table (the Fig. 10/11 shape: one row
     /// per cell, savings and switch columns against the shared status
-    /// quo normalizer).
+    /// quo normalizer, a MakeActive delay column, and — when any row ran
+    /// a cell topology — the signaling-load columns).
     pub fn render(&self) -> String {
         let label_width =
             self.rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max("variant".len());
+        let signaling = self.rows.iter().any(|r| r.report.signaling.is_some());
         let mut out = String::new();
         out.push_str(&format!("sweep    : {} ({} runs)\n", self.name, self.rows.len()));
         out.push_str(&format!(
-            "{:<label_width$} {:>9} {:>13} {:>8} {:>8} {:>8} {:>9} {:>10}\n",
-            "variant", "users", "energy (J)", "saved", "p50", "p95", "switch×", "ud/sec"
+            "{:<label_width$} {:>9} {:>13} {:>8} {:>8} {:>8} {:>9} {:>9}",
+            "variant", "users", "energy (J)", "saved", "p50", "p95", "switch×", "dly p95"
         ));
+        if signaling {
+            out.push_str(&format!(" {:>9} {:>7} {:>8}", "peak m/s", "ovl s", "denied"));
+        }
+        out.push_str(&format!(" {:>10}\n", "ud/sec"));
         for row in &self.rows {
             let r = &row.report;
             let pct =
                 |q: f64| r.savings.percentile(q).map(|v| format!("{v:.1}")).unwrap_or("-".into());
+            let delay = r
+                .session_delay_percentile(0.95)
+                .map(|v| format!("{v:.2}s"))
+                .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
-                "{:<label_width$} {:>9} {:>13.1} {:>7.1}% {:>8} {:>8} {:>8.2}× {:>10.1}\n",
+                "{:<label_width$} {:>9} {:>13.1} {:>7.1}% {:>8} {:>8} {:>8.2}× {:>9}",
                 if row.label.is_empty() { "(base)" } else { &row.label },
                 r.users,
                 r.energy_j,
@@ -296,8 +306,20 @@ impl SweepReport {
                 pct(0.50),
                 pct(0.95),
                 r.normalized_switches(),
-                r.user_days_per_sec(),
+                delay,
             ));
+            if signaling {
+                match &r.signaling {
+                    Some(s) => out.push_str(&format!(
+                        " {:>9} {:>7} {:>8}",
+                        s.peak_messages_per_s(),
+                        s.overload_seconds(),
+                        s.denied(),
+                    )),
+                    None => out.push_str(&format!(" {:>9} {:>7} {:>8}", "-", "-", "-")),
+                }
+            }
+            out.push_str(&format!(" {:>10.1}\n", r.user_days_per_sec()));
         }
         out
     }

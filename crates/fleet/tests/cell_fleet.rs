@@ -1,0 +1,206 @@
+//! End-to-end cell-topology fleets: the two-pass runner's acceptance
+//! claims.
+//!
+//! * A multi-cell fleet run reports per-cell signaling load (peak
+//!   msgs/sec, overload seconds, grants/denials) **bit-identically** at
+//!   any thread count, including the rendered text.
+//! * The degenerate configuration — one cell, always-accept release,
+//!   unlimited capacity — reproduces the radio-isolated fleet report's
+//!   deterministic aggregates exactly, at 1, 2, and 8 threads.
+//! * Corpus replays run through the same cell path: a `fleet
+//!   synth`-materialized corpus under a cell topology matches its
+//!   synthetic twin bit for bit.
+//! * Rate-limited cells deny requests, and denials cost energy.
+
+use tailwise_core::schemes::Scheme;
+use tailwise_fleet::{
+    cell_of, run, run_source, run_source_sweep, synth_corpus, CellTopology, CorpusScenario,
+    FleetReport, ReleaseSpec, Scenario, SourceSet, SweepAxis, UserSource,
+};
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_trace::time::Duration;
+use tailwise_trace::TraceFormat;
+use tailwise_workload::apps::AppKind;
+
+fn base_scenario(users: u64) -> Scenario {
+    let mut s = Scenario::new(users, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+    s.master_seed = 0xCE11;
+    s.shard_size = 13; // ragged last shard
+    s.sim.window_capacity = 25; // smaller predictor window: CI speed
+    s.app_mix = vec![(AppKind::Im, 1.0)];
+    s.carrier_mix = vec![(CarrierProfile::verizon_lte(), 2.0), (CarrierProfile::att_hspa(), 1.0)];
+    s
+}
+
+/// The deterministic fields the radio-isolated and cell paths must
+/// agree on when the topology is a no-op (signaling/source aside).
+fn assert_same_aggregates(a: &FleetReport, b: &FleetReport) {
+    assert_eq!(a.users, b.users);
+    assert_eq!(a.user_days, b.user_days);
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.baseline_energy_j.to_bits(), b.baseline_energy_j.to_bits());
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.baseline_switches, b.baseline_switches);
+    assert_eq!(a.false_switches, b.false_switches);
+    assert_eq!(a.missed_switches, b.missed_switches);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.savings, b.savings);
+    assert_eq!(a.session_delays, b.session_delays);
+}
+
+#[test]
+fn unlimited_single_cell_matches_radio_isolated_exactly() {
+    let isolated = base_scenario(60);
+    let mut celled = isolated.clone();
+    celled.cells = Some(CellTopology::new(1));
+
+    let reference = run(&isolated, 4);
+    for threads in [1, 2, 8] {
+        let report = run(&celled, threads);
+        assert_same_aggregates(&report, &reference);
+        let signaling = report.signaling.as_ref().expect("cell runs carry signaling");
+        assert_eq!(signaling.cells.len(), 1);
+        assert_eq!(signaling.cells[0].users, 60);
+        // Always-accept: every request granted, none denied.
+        assert_eq!(signaling.denied(), 0);
+        assert!(signaling.granted() > 0);
+        assert!(signaling.peak_messages_per_s() > 0);
+        assert_eq!(signaling.overload_seconds(), 0, "no capacity configured");
+    }
+}
+
+#[test]
+fn multi_cell_reports_are_bit_identical_at_any_thread_count() {
+    let mut scenario = base_scenario(60);
+    scenario.cells = Some(CellTopology {
+        cells: 5,
+        capacity_per_s: Some(60),
+        release: ReleaseSpec::RateLimited { min_interval: Duration::from_secs(8) },
+        ..CellTopology::new(5)
+    });
+
+    let single = run(&scenario, 1);
+    let double = run(&scenario, 2);
+    let octo = run(&scenario, 8);
+    assert_eq!(single, double);
+    assert_eq!(single, octo);
+
+    // Rendered reports agree byte for byte once the measured wall-clock
+    // fields are normalized away.
+    let rendered = |r: &FleetReport| {
+        let mut r = r.clone();
+        r.wall_seconds = 0.0;
+        r.threads = 1;
+        r.render()
+    };
+    assert_eq!(rendered(&single), rendered(&double));
+    assert_eq!(rendered(&single), rendered(&octo));
+
+    let signaling = single.signaling.as_ref().unwrap();
+    assert_eq!(signaling.cells.len(), 5);
+    // Every user landed in the cell the pure assignment function names.
+    let users_per_cell: Vec<u64> = signaling.cells.iter().map(|c| c.users).collect();
+    let mut expect = vec![0u64; 5];
+    for index in 0..scenario.users {
+        expect[cell_of(scenario.master_seed, index, 5) as usize] += 1;
+    }
+    assert_eq!(users_per_cell, expect);
+    assert_eq!(users_per_cell.iter().sum::<u64>(), 60);
+
+    // An 8-second shared rate limit against chatty IM users must deny.
+    assert!(signaling.denied() > 0, "rate limit never engaged");
+    assert!(signaling.granted() > 0);
+
+    // Denials push devices back onto timers: energy exceeds the
+    // free-release run of the same population.
+    let mut free = scenario.clone();
+    free.cells = Some(CellTopology::new(5));
+    let free = run(&free, 4);
+    assert!(single.energy_j > free.energy_j, "denials must cost energy");
+    assert_eq!(
+        free.energy_j.to_bits(),
+        run(&base_scenario(60), 4).energy_j.to_bits(),
+        "always-accept cells are energy-transparent"
+    );
+}
+
+#[test]
+fn corpus_replay_through_cells_matches_the_synthetic_run() {
+    let mut scenario = base_scenario(40);
+    scenario.cells = Some(CellTopology {
+        capacity_per_s: Some(80),
+        release: ReleaseSpec::RateLimited { min_interval: Duration::from_secs(5) },
+        ..CellTopology::new(3)
+    });
+
+    let dir = std::env::temp_dir().join(format!("tailwise-cell-it-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // The corpus is synthesized from the cell-free twin (cells don't
+    // change traces), then replayed under the same topology.
+    let mut synth_twin = scenario.clone();
+    synth_twin.cells = None;
+    assert_eq!(synth_corpus(&synth_twin, &dir, TraceFormat::Binary, 4).unwrap(), 40);
+
+    let mut corpus = CorpusScenario::new(&dir, scenario.scheme, CarrierProfile::verizon_lte());
+    corpus.carrier_mix = scenario.carrier_mix.clone();
+    corpus.master_seed = scenario.master_seed;
+    corpus.shard_size = scenario.shard_size;
+    corpus.sim = scenario.sim.clone();
+    corpus.cells = scenario.cells.clone();
+
+    let replayed = run_source(&UserSource::Corpus(corpus.clone()), 2).unwrap();
+    let synthetic = run(&scenario, 4);
+    assert_same_aggregates(&replayed, &synthetic);
+    assert_eq!(replayed.signaling, synthetic.signaling, "per-cell loads must match");
+    // And the corpus cell run is itself thread-count invariant.
+    assert_eq!(replayed, run_source(&UserSource::Corpus(corpus), 8).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cell_scheme_sweeps_carry_signaling_columns() {
+    let mut scenario = base_scenario(24);
+    scenario.cells = Some(CellTopology { capacity_per_s: Some(40), ..CellTopology::new(2) });
+    let set = SourceSet {
+        source: UserSource::Synthetic(scenario.clone()),
+        axes: vec![SweepAxis::Schemes(vec![Scheme::StatusQuo, Scheme::MakeIdle, Scheme::Oracle])],
+    };
+    let sweep = run_source_sweep(&set, 2).unwrap();
+    assert_eq!(sweep.rows.len(), 3);
+    for row in &sweep.rows {
+        let signaling = row.report.signaling.as_ref().expect("every cell run has signaling");
+        assert_eq!(signaling.cells.len(), 2);
+        assert_eq!(signaling.capacity_per_s, Some(40));
+        // Each cell reproduces standalone at a different thread count.
+        assert_eq!(row.report, run_source(&row.source, 1).unwrap(), "{}", row.label);
+    }
+    // Status quo never requests fast dormancy; MakeIdle does.
+    assert_eq!(sweep.rows[0].report.signaling.as_ref().unwrap().granted(), 0);
+    assert!(sweep.rows[1].report.signaling.as_ref().unwrap().granted() > 0);
+    let table = sweep.render();
+    assert!(table.contains("peak m/s"), "{table}");
+    assert!(table.contains("denied"), "{table}");
+    assert!(table.contains("dly p95"), "{table}");
+}
+
+#[test]
+fn makeactive_delays_surface_as_population_percentiles() {
+    // The MakeActive accounting satellite: a batching fleet reports
+    // session-delay percentiles; a plain MakeIdle fleet reports none.
+    let mut scenario = base_scenario(16);
+    scenario.scheme = Scheme::MakeIdleActiveLearn;
+    let report = run(&scenario, 4);
+    assert!(report.session_delays.count() > 0, "learning batcher never delayed a session");
+    let p50 = report.session_delay_percentile(0.50).unwrap();
+    let p95 = report.session_delay_percentile(0.95).unwrap();
+    let p99 = report.session_delay_percentile(0.99).unwrap();
+    assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone: {p50} {p95} {p99}");
+    assert!(report.render().contains("sessions held by MakeActive"), "{}", report.render());
+    // Bit-identical across thread counts, like every other aggregate.
+    assert_eq!(report.session_delays, run(&scenario, 1).session_delays);
+
+    let plain = run(&base_scenario(16), 4);
+    assert_eq!(plain.session_delays.count(), 0);
+    assert_eq!(plain.session_delay_percentile(0.95), None);
+}

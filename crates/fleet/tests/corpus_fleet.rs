@@ -227,7 +227,10 @@ fn golden_runtime_errors_cite_the_dir_keys_position() {
     assert_eq!(err.kind, ScenErrorKind::Run);
     assert_eq!(
         err.message,
-        format!("corpus directory {} contains no trace files (formats: twt, csv)", dir.display())
+        format!(
+            "corpus directory {} contains no trace files (formats: twt, csv, pcap)",
+            dir.display()
+        )
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }

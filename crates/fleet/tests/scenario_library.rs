@@ -42,6 +42,7 @@ fn library_has_the_curated_minimum() {
         "scheme_sweep_fig10.toml",
         "stress_200k.toml",
         "corpus_replay.toml",
+        "cell_topology.toml",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}; have {names:?}");
     }

@@ -11,7 +11,7 @@
 //! connection + radio-bearer setup; timer demotions and fast-dormancy
 //! releases are short exchanges.
 
-use crate::rrc::TransitionCounters;
+use crate::rrc::{RrcState, Transition, TransitionCause, TransitionCounters};
 
 /// RRC messages exchanged per transition type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,22 @@ impl SignalingModel {
     pub fn switch_cycles(c: &TransitionCounters) -> u64 {
         c.promotions
     }
+
+    /// RRC messages one recorded [`Transition`] costs the base station —
+    /// the per-event counterpart of [`total_messages`]: summing
+    /// `messages_for` over a run's transition log equals
+    /// `total_messages` of its counters (pinned by a test below).
+    ///
+    /// [`total_messages`]: Self::total_messages
+    pub fn messages_for(&self, t: &Transition) -> u32 {
+        match (t.cause, t.from, t.to) {
+            (TransitionCause::Data, RrcState::Idle, RrcState::Dch) => self.per_promotion,
+            (TransitionCause::Data, _, _) => self.per_fach_promotion,
+            (TransitionCause::FastDormancy, _, _) => self.per_fd_demotion,
+            (TransitionCause::Timer, _, RrcState::Idle) => self.per_timer_demotion,
+            (TransitionCause::Timer, _, _) => self.per_t1_demotion,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +109,30 @@ mod tests {
     fn zero_counters_zero_messages() {
         let m = SignalingModel::default();
         assert_eq!(m.total_messages(&TransitionCounters::default()), 0);
+    }
+
+    #[test]
+    fn per_transition_messages_agree_with_counter_totals() {
+        use crate::rrc::{RrcState, Transition, TransitionCause};
+        use tailwise_trace::time::Instant;
+        let m = SignalingModel::default();
+        let t = |from, to, cause| Transition { at: Instant::ZERO, from, to, cause };
+        // One transition of every kind the machine can emit.
+        let log = [
+            t(RrcState::Idle, RrcState::Dch, TransitionCause::Data), // promotion
+            t(RrcState::Fach, RrcState::Dch, TransitionCause::Data), // FACH re-promotion
+            t(RrcState::Dch, RrcState::Fach, TransitionCause::Timer), // t1 demotion
+            t(RrcState::Fach, RrcState::Idle, TransitionCause::Timer), // timer demotion
+            t(RrcState::Dch, RrcState::Idle, TransitionCause::FastDormancy), // FD release
+        ];
+        let counters = TransitionCounters {
+            promotions: 1,
+            fach_promotions: 1,
+            t1_demotions: 1,
+            timer_demotions: 1,
+            fd_demotions: 1,
+        };
+        let per_event: u64 = log.iter().map(|t| m.messages_for(t) as u64).sum();
+        assert_eq!(per_event, m.total_messages(&counters));
     }
 }

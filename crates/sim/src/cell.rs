@@ -11,30 +11,29 @@
 //!   RRC-message load the base station actually absorbs (per-second peak
 //!   and overload accounting against a configurable signaling capacity).
 //!
-//! ## Exactness of the two-pass coordination
+//! ## Built on the two-phase API
 //!
-//! A device's demotion *requests* are a function of its trace alone: the
-//! policy decides from the inter-arrival window, which the engine feeds
-//! from packet gaps regardless of whether earlier requests were granted
-//! (a denial changes the radio's state, never the observed gaps). So the
-//! simulation can run in two exact passes: pass 1 collects every device's
-//! request times; the shared policy then adjudicates the merged,
-//! time-ordered request stream; pass 2 replays each device against its
-//! scripted grant/deny sequence. The result is identical to a lock-step
-//! co-simulation, at a fraction of the complexity.
-
-use std::collections::VecDeque;
+//! The coordination runs on [`crate::twophase`], whose exactness
+//! argument (demotion *requests* depend only on the trace, never on
+//! grants) this module originally proved in-line: phase 1
+//! ([`record_requests`]) collects every device's request stream without
+//! a full simulation; the shared policy adjudicates the merged,
+//! time-ordered stream; phase 2 ([`replay_requests`]) replays each
+//! device exactly against its scripted verdicts. The result is
+//! identical to a lock-step co-simulation, and pass 1 now costs a
+//! window scan per device instead of a full engine run. The fleet's
+//! cell topologies scale the same recipe to whole populations.
 
 use tailwise_radio::fastdormancy::ReleasePolicy;
 use tailwise_radio::profile::CarrierProfile;
-use tailwise_radio::rrc::TransitionCause;
 use tailwise_radio::signaling::SignalingModel;
 use tailwise_trace::time::Instant;
 use tailwise_trace::Trace;
 
-use crate::engine::{run_with_release, SimConfig};
+use crate::engine::SimConfig;
 use crate::policy::IdlePolicy;
 use crate::report::SimReport;
+use crate::twophase::{record_requests, replay_requests};
 
 /// One device entering the cell: its traffic and its control policy.
 pub struct CellDevice {
@@ -44,35 +43,6 @@ pub struct CellDevice {
     pub trace: Trace,
     /// The device's demotion policy.
     pub policy: Box<dyn IdlePolicy>,
-}
-
-/// Pass-1 release shim: grants everything, remembers when requests fired.
-struct RecordingRelease {
-    times: Vec<Instant>,
-}
-
-impl ReleasePolicy for RecordingRelease {
-    fn accept(&mut self, at: Instant) -> bool {
-        self.times.push(at);
-        true
-    }
-    fn name(&self) -> &'static str {
-        "recording"
-    }
-}
-
-/// Pass-2 release shim: replays the base station's scripted verdicts.
-struct ScriptedRelease {
-    verdicts: VecDeque<bool>,
-}
-
-impl ReleasePolicy for ScriptedRelease {
-    fn accept(&mut self, _at: Instant) -> bool {
-        self.verdicts.pop_front().expect("pass 2 sees the same requests as pass 1")
-    }
-    fn name(&self) -> &'static str {
-        "scripted"
-    }
 }
 
 /// Outcome of a cell simulation.
@@ -119,13 +89,12 @@ pub fn run_cell(
     signaling: &SignalingModel,
     capacity_per_s: Option<u64>,
 ) -> CellReport {
-    // Pass 1: collect each device's fast-dormancy request times.
-    let mut request_times: Vec<Vec<Instant>> = Vec::with_capacity(devices.len());
-    for dev in &mut devices {
-        let mut rec = RecordingRelease { times: Vec::new() };
-        let _ = run_with_release(profile, config, &dev.trace, dev.policy.as_mut(), &mut rec);
-        request_times.push(rec.times);
-    }
+    // Pass 1: collect each device's fast-dormancy request times — the
+    // cheap streaming pass, no energy simulation.
+    let request_times: Vec<Vec<Instant>> = devices
+        .iter_mut()
+        .map(|dev| record_requests(profile, config, &dev.trace, dev.policy.as_mut()).times)
+        .collect();
 
     // Base station adjudicates the merged request stream in time order
     // (ties broken by device index, deterministically).
@@ -149,38 +118,24 @@ pub fn run_cell(
     }
 
     // Pass 2: replay each device against its scripted verdicts, recording
-    // transitions for the load analysis.
-    let replay_config = SimConfig { record_transitions: true, ..config.clone() };
+    // transitions for the load analysis. The transition-log cap is
+    // lifted: a truncated log would silently undercount the cell's
+    // message load.
+    let replay_config =
+        SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..config.clone() };
     let mut reports = Vec::with_capacity(devices.len());
     let mut message_events: Vec<(Instant, u32)> = Vec::new();
     for (dev, verdict_list) in devices.iter_mut().zip(verdicts) {
-        let mut scripted = ScriptedRelease { verdicts: verdict_list.into() };
-        let mut r = run_with_release(
+        let mut r = replay_requests(
             profile,
             &replay_config,
             &dev.trace,
             dev.policy.as_mut(),
-            &mut scripted,
+            &verdict_list,
         );
-        debug_assert!(scripted.verdicts.is_empty(), "pass-2 request count must match pass 1");
         r.scheme = format!("{} ({})", r.scheme, dev.name);
         if let Some(ts) = r.transitions.take() {
-            for t in ts {
-                let msgs = match (t.cause, t.to) {
-                    (TransitionCause::Data, tailwise_radio::rrc::RrcState::Dch)
-                        if t.from == tailwise_radio::rrc::RrcState::Idle =>
-                    {
-                        signaling.per_promotion
-                    }
-                    (TransitionCause::Data, _) => signaling.per_fach_promotion,
-                    (TransitionCause::FastDormancy, _) => signaling.per_fd_demotion,
-                    (TransitionCause::Timer, tailwise_radio::rrc::RrcState::Idle) => {
-                        signaling.per_timer_demotion
-                    }
-                    (TransitionCause::Timer, _) => signaling.per_t1_demotion,
-                };
-                message_events.push((t.at, msgs));
-            }
+            message_events.extend(ts.iter().map(|t| (t.at, signaling.messages_for(t))));
         }
         reports.push(r);
     }

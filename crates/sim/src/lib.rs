@@ -11,6 +11,11 @@
 //! * [`engine`] — the deterministic single-pass simulator: gap-by-gap
 //!   energy accounting, fast-dormancy negotiation, Oracle-scored decision
 //!   quality, optional decision and power-timeline logs;
+//! * [`twophase`] — the two-phase API on top of the engine: phase 1
+//!   extracts a device's fast-dormancy request stream without a full
+//!   simulation, phase 2 replays the engine exactly against a scripted
+//!   grant/deny sequence — the substrate for every multi-device
+//!   coordinator (the in-memory [`cell`], the fleet's cell topologies);
 //! * [`batching`] — the MakeActive trace transform (§5) and the combined
 //!   MakeIdle+MakeActive pipeline;
 //! * [`oracle`] — the offline-optimal comparator (§6.2);
@@ -30,6 +35,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod policy;
 pub mod report;
+pub mod twophase;
 
 pub use attribution::{attribute, AppEnergy, AttributionReport};
 pub use batching::{batch_sessions, run_batched, BatchingOutcome};
@@ -41,6 +47,7 @@ pub use policy::{
     ActivePolicy, FixedWait, IdleContext, IdleDecision, IdlePolicy, NoBatching, StatusQuo,
 };
 pub use report::SimReport;
+pub use twophase::{record_requests, replay_requests, RequestTrace};
 
 #[cfg(test)]
 mod proptests {

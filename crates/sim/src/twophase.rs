@@ -1,0 +1,385 @@
+//! The two-phase simulation API: request extraction and scripted replay.
+//!
+//! A device's fast-dormancy *requests* are a function of its trace
+//! alone. The engine's request rule — after the packet that opens a gap,
+//! ask the [`IdlePolicy`] for a wait `w`, and request dormancy at
+//! `prev + w` iff `gap > w` and `w` is inside the tail window — reads
+//! only the packet timestamps and the policy's view of them (the
+//! inter-arrival window, which the engine feeds from gaps regardless of
+//! whether earlier requests were granted: a denial changes the *radio's*
+//! state, never the observed gaps). That independence is what made the
+//! in-memory cell simulation ([`crate::cell`]) exact; this module
+//! promotes it from an implementation detail to the engine's public
+//! surface:
+//!
+//! * **Phase 1** — [`record_requests`]: a cheap streaming pass that
+//!   extracts the time-stamped demotion-request stream
+//!   ([`RequestTrace`]) without building an [`RrcMachine`], an energy
+//!   meter, or a [`SimReport`](crate::report::SimReport). A coordinator
+//!   (one shared base station, a cell topology, an RNC model) can run
+//!   phase 1 over an entire population, adjudicate the merged request
+//!   streams however it likes, and only then pay for full simulation.
+//! * **Phase 2** — [`replay_requests`]: an exact replay of the full
+//!   engine against a scripted grant/deny sequence, one verdict per
+//!   phase-1 request, in request order.
+//!
+//! ## Exactness contract
+//!
+//! For any trace, profile, config and (deterministic) release policy
+//! `R`, feeding phase 1's request times through `R` and replaying the
+//! verdicts yields a report **bit-identical** to the lock-step
+//! `run_with_release(.., R)` — same energy bits, same counters, same
+//! confusion matrix. Pinned by the property test below over random
+//! traces × policies × release behaviors. The contract needs the idle
+//! policy's decisions to be a pure function of `(profile, window)` —
+//! true of every [`IdlePolicy`] in the tree (MakeIdle's mutable state is
+//! scratch buffers and a profile-keyed cache, not learned history) — and
+//! does **not** extend to MakeActive batching, whose trace rewriting
+//! depends on the radio being Idle and therefore on earlier grants.
+//!
+//! [`RrcMachine`]: tailwise_radio::rrc::RrcMachine
+
+use tailwise_radio::fastdormancy::ReleasePolicy;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_trace::stats::SlidingWindow;
+use tailwise_trace::time::{Duration, Instant};
+use tailwise_trace::Trace;
+
+use crate::engine::{run_with_release, SimConfig};
+use crate::policy::{IdleContext, IdleDecision, IdlePolicy};
+use crate::report::SimReport;
+
+/// Phase-1 output: when a device would request fast dormancy.
+///
+/// Times are in trace order (strictly non-decreasing) — exactly the
+/// order the engine presents requests to a
+/// [`ReleasePolicy`], so a coordinator can merge streams from many
+/// devices and hand each device back one verdict per entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestTrace {
+    /// Timestamp of each fast-dormancy request.
+    pub times: Vec<Instant>,
+}
+
+impl RequestTrace {
+    /// Number of requests the device would send.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the device never requests dormancy (e.g. status quo).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Phase 1: streams `trace` through `idle_policy`'s decision rule and
+/// records every fast-dormancy request the engine would send.
+///
+/// This is the cheap pass: no RRC machine, no energy metering, no
+/// oracle scoring — per gap it does exactly the work the policy's
+/// decision needs (one `decide` call plus, for window-using policies,
+/// one sliding-window insert), so populations can be scanned for their
+/// signaling footprint at a fraction of full-simulation cost.
+pub fn record_requests(
+    profile: &CarrierProfile,
+    config: &SimConfig,
+    trace: &Trace,
+    idle_policy: &mut dyn IdlePolicy,
+) -> RequestTrace {
+    profile.validate().expect("invalid carrier profile");
+    config.validate(profile).expect("invalid simulation config");
+
+    let pkts = trace.packets();
+    let mut times = Vec::new();
+    if pkts.is_empty() {
+        return RequestTrace { times };
+    }
+    let mut window = SlidingWindow::new(config.window_capacity);
+    let maintain_window = idle_policy.uses_window();
+    let tail_window = profile.tail_window();
+
+    // Mirrors the engine's main loop gap for gap: the same synthetic
+    // trailing gap, the same decide-before-the-window-learns ordering,
+    // the same request condition. Any drift here breaks the exactness
+    // property test below.
+    for i in 1..=pkts.len() {
+        let prev = pkts[i - 1];
+        let gap = if i < pkts.len() { pkts[i].ts - prev.ts } else { Duration::FOREVER };
+        let ctx = IdleContext { profile, window: &window, now: prev.ts };
+        if let IdleDecision::DemoteAfter(w) = idle_policy.decide(&ctx, gap) {
+            // A request is only sent while the timers still have the
+            // radio up (w < tail window) and only when the silence
+            // actually outlasts the chosen wait.
+            if gap > w && w < tail_window {
+                times.push(prev.ts + w);
+            }
+        }
+        if i < pkts.len() && maintain_window {
+            window.push(gap);
+        }
+    }
+    RequestTrace { times }
+}
+
+/// Phase-2 release shim: replays a scripted verdict sequence, one
+/// verdict per request, in request order.
+struct ScriptedRelease<'a> {
+    verdicts: &'a [bool],
+    cursor: usize,
+}
+
+impl ReleasePolicy for ScriptedRelease<'_> {
+    fn accept(&mut self, _at: Instant) -> bool {
+        let v = *self
+            .verdicts
+            .get(self.cursor)
+            .expect("phase-2 replay sent more requests than phase 1 recorded");
+        self.cursor += 1;
+        v
+    }
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+/// Phase 2: runs the full engine with the base station scripted to
+/// answer request `i` with `verdicts[i]`.
+///
+/// `verdicts` must hold exactly one entry per [`record_requests`]
+/// request for the same `(profile, config, trace, policy)` — that is
+/// the two-phase contract, and both directions of a mismatch panic
+/// (a drifted policy or trace is a bug, never a silently wrong report).
+pub fn replay_requests(
+    profile: &CarrierProfile,
+    config: &SimConfig,
+    trace: &Trace,
+    idle_policy: &mut dyn IdlePolicy,
+    verdicts: &[bool],
+) -> SimReport {
+    let mut scripted = ScriptedRelease { verdicts, cursor: 0 };
+    let report = run_with_release(profile, config, trace, idle_policy, &mut scripted);
+    assert_eq!(
+        scripted.cursor,
+        verdicts.len(),
+        "phase-2 replay sent fewer requests than phase 1 recorded"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::oracle::OracleIdle;
+    use crate::policy::{FixedWait, StatusQuo};
+    use proptest::prelude::*;
+    use tailwise_radio::fastdormancy::{AlwaysAccept, FractionalAccept, NeverAccept, RateLimited};
+    use tailwise_trace::packet::{Direction, Packet};
+
+    fn trace_from_gaps(gaps_ms: &[i64]) -> Trace {
+        let mut t = Instant::ZERO;
+        let mut pkts = vec![Packet::new(t, Direction::Down, 500)];
+        for (i, &g) in gaps_ms.iter().enumerate() {
+            t += Duration::from_millis(g);
+            let dir = if i % 3 == 0 { Direction::Up } else { Direction::Down };
+            pkts.push(Packet::new(t, dir, 500));
+        }
+        Trace::from_sorted(pkts).unwrap()
+    }
+
+    /// Adjudicates a request trace through a release policy, the way a
+    /// single-device coordinator would.
+    fn adjudicate(requests: &RequestTrace, release: &mut dyn ReleasePolicy) -> Vec<bool> {
+        requests.times.iter().map(|&at| release.accept(at)).collect()
+    }
+
+    #[test]
+    fn status_quo_requests_nothing() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[500, 30_000, 200]);
+        let r = record_requests(&p, &cfg, &t, &mut StatusQuo);
+        assert!(r.is_empty());
+        // And the empty trace is empty for everyone.
+        let r = record_requests(&p, &cfg, &Trace::new(), &mut FixedWait::new(Duration::ZERO, "x"));
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn request_times_are_packet_time_plus_wait() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        // Gaps: 30 s (request), 0.4 s (below wait: none), 20 s (request),
+        // plus the trailing flush (request).
+        let t = trace_from_gaps(&[30_000, 400, 20_000]);
+        let wait = Duration::from_millis(1500);
+        let r = record_requests(&p, &cfg, &t, &mut FixedWait::new(wait, "1.5s"));
+        let pkts = t.packets();
+        assert_eq!(r.times, vec![pkts[0].ts + wait, pkts[2].ts + wait, pkts[3].ts + wait],);
+    }
+
+    #[test]
+    fn waits_at_or_beyond_the_tail_window_never_request() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[60_000]);
+        let mut at_window = FixedWait::new(p.tail_window(), "tail");
+        assert!(record_requests(&p, &cfg, &t, &mut at_window).is_empty());
+        let mut inside = FixedWait::new(p.tail_window() - Duration::from_micros(1), "in");
+        assert_eq!(record_requests(&p, &cfg, &t, &mut inside).len(), 2);
+    }
+
+    #[test]
+    fn replay_with_all_grants_matches_always_accept() {
+        let p = CarrierProfile::verizon_lte();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[30_000, 800, 12_000, 45_000]);
+        let requests =
+            record_requests(&p, &cfg, &t, &mut FixedWait::new(Duration::from_secs(1), "1s"));
+        let verdicts = vec![true; requests.len()];
+        let replayed = replay_requests(
+            &p,
+            &cfg,
+            &t,
+            &mut FixedWait::new(Duration::from_secs(1), "1s"),
+            &verdicts,
+        );
+        let direct = run(&p, &cfg, &t, &mut FixedWait::new(Duration::from_secs(1), "1s"));
+        assert_eq!(replayed.energy, direct.energy);
+        assert_eq!(replayed.counters, direct.counters);
+        assert_eq!(replayed.confusion, direct.confusion);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer requests than phase 1")]
+    fn surplus_verdicts_panic() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[30_000]);
+        // StatusQuo sends no requests; one scripted verdict is a bug.
+        replay_requests(&p, &cfg, &t, &mut StatusQuo, &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more requests than phase 1")]
+    fn missing_verdicts_panic() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[30_000]);
+        replay_requests(&p, &cfg, &t, &mut FixedWait::new(Duration::ZERO, "now"), &[]);
+    }
+
+    /// The exactness contract, exhaustively: phase 1 + external
+    /// adjudication + phase 2 reproduces the lock-step engine bit for
+    /// bit, across policies × release behaviors × random traces.
+    #[derive(Debug, Clone, Copy)]
+    enum PolicyChoice {
+        StatusQuo,
+        Fixed(i64),
+        Oracle,
+        MakeIdleLike, // FixedWait built from a percentile-ish constant
+    }
+
+    fn build_policy(choice: PolicyChoice) -> Box<dyn IdlePolicy> {
+        match choice {
+            PolicyChoice::StatusQuo => Box::new(StatusQuo),
+            PolicyChoice::Fixed(ms) => Box::new(FixedWait::new(Duration::from_millis(ms), "fixed")),
+            PolicyChoice::Oracle => Box::new(OracleIdle),
+            PolicyChoice::MakeIdleLike => Box::new(WindowMedianWait),
+        }
+    }
+
+    /// A window-using policy with MakeIdle's shape (reads the window,
+    /// returns a data-dependent wait) without depending on
+    /// tailwise-core (which depends on this crate).
+    #[derive(Debug, Clone, Default)]
+    struct WindowMedianWait;
+
+    impl IdlePolicy for WindowMedianWait {
+        fn name(&self) -> String {
+            "window-median".into()
+        }
+        fn decide(&mut self, ctx: &IdleContext<'_>, _actual_gap: Duration) -> IdleDecision {
+            let samples = ctx.window.sorted_samples();
+            if samples.len() < 5 {
+                return IdleDecision::Timers;
+            }
+            IdleDecision::DemoteAfter(samples[samples.len() / 2])
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum ReleaseChoice {
+        Always,
+        Never,
+        Fractional(u8),
+        RateLimited(i64),
+    }
+
+    fn build_release(choice: ReleaseChoice) -> Box<dyn ReleasePolicy> {
+        match choice {
+            ReleaseChoice::Always => Box::new(AlwaysAccept),
+            ReleaseChoice::Never => Box::new(NeverAccept),
+            ReleaseChoice::Fractional(p) => Box::new(FractionalAccept::new(p as f64 / 255.0, 42)),
+            ReleaseChoice::RateLimited(ms) => Box::new(RateLimited::new(Duration::from_millis(ms))),
+        }
+    }
+
+    // The vendored proptest stub has no `prop_oneof!`; pick variants by
+    // mapping an index + payload tuple instead.
+    fn arb_policy() -> impl Strategy<Value = PolicyChoice> {
+        (0usize..4, 0i64..20_000).prop_map(|(which, ms)| match which {
+            0 => PolicyChoice::StatusQuo,
+            1 => PolicyChoice::Fixed(ms),
+            2 => PolicyChoice::Oracle,
+            _ => PolicyChoice::MakeIdleLike,
+        })
+    }
+
+    fn arb_release() -> impl Strategy<Value = ReleaseChoice> {
+        (0usize..4, 0u64..256, 1i64..60_000).prop_map(|(which, frac, ms)| match which {
+            0 => ReleaseChoice::Always,
+            1 => ReleaseChoice::Never,
+            2 => ReleaseChoice::Fractional(frac as u8),
+            _ => ReleaseChoice::RateLimited(ms),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn two_phase_replay_is_bit_identical_to_lockstep(
+            gaps_ms in prop::collection::vec(1i64..60_000, 1..120),
+            policy in arb_policy(),
+            release in arb_release(),
+            carrier in 0usize..4,
+        ) {
+            let p = &CarrierProfile::paper_carriers()[carrier];
+            let cfg = SimConfig::default();
+            let t = trace_from_gaps(&gaps_ms);
+
+            // Reference: the lock-step engine consulting the release
+            // policy inline.
+            let reference =
+                run_with_release(p, &cfg, &t, build_policy(policy).as_mut(), build_release(release).as_mut());
+
+            // Two-phase: extract requests, adjudicate externally with a
+            // fresh instance of the same release policy, replay.
+            let requests = record_requests(p, &cfg, &t, build_policy(policy).as_mut());
+            let verdicts = adjudicate(&requests, build_release(release).as_mut());
+            let replayed =
+                replay_requests(p, &cfg, &t, build_policy(policy).as_mut(), &verdicts);
+
+            prop_assert_eq!(replayed.energy, reference.energy);
+            prop_assert_eq!(replayed.counters, reference.counters);
+            prop_assert_eq!(replayed.confusion, reference.confusion);
+            prop_assert_eq!(replayed.denied_fd, reference.denied_fd);
+            prop_assert_eq!(replayed.premature_promotions, reference.premature_promotions);
+            // Denials observed by the engine = denials scripted.
+            let scripted_denials = verdicts.iter().filter(|v| !**v).count() as u64;
+            prop_assert_eq!(replayed.denied_fd, scripted_denials);
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! On-disk trace corpora: deterministic directory walks over `.twt` /
-//! `.twt.csv` files.
+//! `.twt.csv` / `.pcap` files.
 //!
 //! The paper's population claims rest on replaying *measured* traffic,
 //! not synthesizing it. A [`Corpus`] is the substrate for that: a
@@ -23,31 +23,40 @@ pub enum TraceFormat {
     Binary,
     /// The human-readable CSV format (`.twt.csv` / `.csv`).
     Csv,
+    /// Classic libpcap captures (`.pcap` / `.cap`), read through
+    /// [`crate::pcap`]. Loading needs a device address for direction
+    /// inference — see [`Corpus::with_pcap_device`].
+    Pcap,
 }
 
 impl TraceFormat {
     /// Every format, in canonical (token) order.
-    pub const ALL: [TraceFormat; 2] = [TraceFormat::Binary, TraceFormat::Csv];
+    pub const ALL: [TraceFormat; 3] = [TraceFormat::Binary, TraceFormat::Csv, TraceFormat::Pcap];
 
     /// The stable token used in scenario files and on the CLI.
     pub fn token(self) -> &'static str {
         match self {
             TraceFormat::Binary => "twt",
             TraceFormat::Csv => "csv",
+            TraceFormat::Pcap => "pcap",
         }
     }
 
     /// The file extension [`crate::io::save`] picks this format for.
     /// CSV uses the compound `.twt.csv` so corpora stay self-describing.
+    /// Pcap is read-only: `save` never writes it (and
+    /// corpus synthesis refuses it), so the extension only names the
+    /// files the walk admits.
     pub fn extension(self) -> &'static str {
         match self {
             TraceFormat::Binary => "twt",
             TraceFormat::Csv => "twt.csv",
+            TraceFormat::Pcap => "pcap",
         }
     }
 
     /// Whether `path`'s file name marks it as a trace in this format.
-    /// `.twt.csv` counts as CSV, not binary, so the two filters are
+    /// `.twt.csv` counts as CSV, not binary, so the filters are
     /// disjoint and together cover every trace file.
     pub fn matches(self, path: &Path) -> bool {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return false };
@@ -55,6 +64,7 @@ impl TraceFormat {
         match self {
             TraceFormat::Binary => name.ends_with(".twt"),
             TraceFormat::Csv => name.ends_with(".csv"),
+            TraceFormat::Pcap => name.ends_with(".pcap") || name.ends_with(".cap"),
         }
     }
 }
@@ -72,6 +82,7 @@ impl std::str::FromStr for TraceFormat {
         match s.to_ascii_lowercase().as_str() {
             "twt" | "binary" => Ok(TraceFormat::Binary),
             "csv" => Ok(TraceFormat::Csv),
+            "pcap" => Ok(TraceFormat::Pcap),
             other => Err(format!(
                 "unknown trace format {other:?}; one of {}",
                 TraceFormat::ALL.map(TraceFormat::token).join(", ")
@@ -90,6 +101,9 @@ impl std::str::FromStr for TraceFormat {
 pub struct Corpus {
     root: PathBuf,
     files: Vec<PathBuf>,
+    /// Device address for pcap direction inference (see
+    /// [`with_pcap_device`](Self::with_pcap_device)).
+    pcap_device: Option<std::net::Ipv4Addr>,
 }
 
 impl Corpus {
@@ -113,7 +127,27 @@ impl Corpus {
         let mut files = Vec::new();
         collect(dir, recursive, formats, &mut files)?;
         files.sort();
-        Ok(Corpus { root: dir.to_path_buf(), files })
+        Ok(Corpus { root: dir.to_path_buf(), files, pcap_device: None })
+    }
+
+    /// Sets the device address pcap members are read relative to (the
+    /// address [`crate::pcap::read_pcap`] uses to attribute packet
+    /// direction). Loading a `.pcap` member without one is a clean
+    /// error, never a guess — capture files do not name their device.
+    pub fn with_pcap_device(mut self, device: std::net::Ipv4Addr) -> Corpus {
+        self.pcap_device = Some(device);
+        self
+    }
+
+    /// The configured pcap device address, if any.
+    pub fn pcap_device(&self) -> Option<std::net::Ipv4Addr> {
+        self.pcap_device
+    }
+
+    /// Number of members that are pcap captures (and therefore need a
+    /// device address to load).
+    pub fn pcap_members(&self) -> usize {
+        self.files.iter().filter(|p| TraceFormat::Pcap.matches(p)).count()
     }
 
     /// The directory the corpus was opened from.
@@ -145,13 +179,25 @@ impl Corpus {
     }
 
     /// Loads user `index`'s trace from disk (format chosen by
-    /// extension, exactly as [`crate::io::load`]). This is the
-    /// streaming entry point: load one, simulate, drop, move on.
+    /// extension: pcap members go through [`crate::pcap`], everything
+    /// else through [`crate::io::load`]). This is the streaming entry
+    /// point: load one, simulate, drop, move on.
     ///
     /// # Panics
     /// If `index` is out of range.
     pub fn load(&self, index: usize) -> Result<Trace, TraceError> {
-        crate::io::load(&self.files[index])
+        let path = &self.files[index];
+        if TraceFormat::Pcap.matches(path) {
+            let device = self.pcap_device.ok_or_else(|| TraceError::Parse {
+                location: 0,
+                message: "pcap member needs a device address for direction inference; \
+                          set one with Corpus::with_pcap_device (scenario files: the \
+                          [corpus] table's `pcap_device` key)"
+                    .into(),
+            })?;
+            return crate::pcap::load_pcap(path, device);
+        }
+        crate::io::load(path)
     }
 }
 
@@ -214,7 +260,7 @@ mod tests {
             assert_eq!(f.token().parse::<TraceFormat>().unwrap(), f);
         }
         assert!("TWT".parse::<TraceFormat>().is_ok());
-        assert!("pcap".parse::<TraceFormat>().is_err());
+        assert!("pcapng".parse::<TraceFormat>().is_err());
         // .twt.csv is CSV, never binary: the filters are disjoint.
         let compound = Path::new("a/user_0.twt.csv");
         assert!(TraceFormat::Csv.matches(compound));
@@ -222,6 +268,13 @@ mod tests {
         assert!(TraceFormat::Binary.matches(Path::new("b/user_1.twt")));
         assert!(!TraceFormat::Csv.matches(Path::new("b/user_1.twt")));
         assert!(!TraceFormat::Binary.matches(Path::new("README.md")));
+        // Pcap admits both tcpdump spellings and nothing else claims them.
+        for name in ["c/cap.pcap", "c/cap.cap", "c/CAP.PCAP"] {
+            assert!(TraceFormat::Pcap.matches(Path::new(name)), "{name}");
+            assert!(!TraceFormat::Binary.matches(Path::new(name)), "{name}");
+            assert!(!TraceFormat::Csv.matches(Path::new(name)), "{name}");
+        }
+        assert!(!TraceFormat::Pcap.matches(Path::new("b/user_1.twt")));
     }
 
     #[test]
@@ -287,6 +340,56 @@ mod tests {
         std::os::unix::fs::symlink(dir.join("gone.twt"), dir.join("dangling.twt")).unwrap();
         let err = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap_err();
         assert!(matches!(err, TraceError::Io(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pcap_members_walk_and_load_with_a_device() {
+        use crate::packet::Direction;
+        use std::net::Ipv4Addr;
+        let dev = Ipv4Addr::new(10, 0, 0, 2);
+        let srv = Ipv4Addr::new(93, 184, 216, 34);
+        let dir = temp_corpus("pcap");
+        // One binary trace and one minimal single-packet capture
+        // (little-endian µs pcap, raw-IP link, one UDP packet to `dev`).
+        io::save(&trace(2), &dir.join("a.twt")).unwrap();
+        let mut ip = vec![0u8; 28];
+        ip[0] = 0x45;
+        ip[2..4].copy_from_slice(&28u16.to_be_bytes());
+        ip[9] = 17;
+        ip[12..16].copy_from_slice(&srv.octets());
+        ip[16..20].copy_from_slice(&dev.octets());
+        let mut pcap = Vec::new();
+        pcap.extend_from_slice(&0xA1B2_C3D4u32.to_le_bytes());
+        pcap.extend_from_slice(&2u16.to_le_bytes());
+        pcap.extend_from_slice(&4u16.to_le_bytes());
+        pcap.extend_from_slice(&[0u8; 8]); // thiszone + sigfigs
+        pcap.extend_from_slice(&65535u32.to_le_bytes());
+        pcap.extend_from_slice(&101u32.to_le_bytes()); // DLT_RAW
+        pcap.extend_from_slice(&[0u8; 8]); // ts
+        pcap.extend_from_slice(&(ip.len() as u32).to_le_bytes());
+        pcap.extend_from_slice(&(ip.len() as u32).to_le_bytes());
+        pcap.extend_from_slice(&ip);
+        std::fs::write(dir.join("b.pcap"), &pcap).unwrap();
+
+        // The default walk admits the capture; a twt/csv filter skips it.
+        let c = Corpus::open(&dir, false, &TraceFormat::ALL).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pcap_members(), 1);
+        let narrow = Corpus::open(&dir, false, &[TraceFormat::Binary, TraceFormat::Csv]).unwrap();
+        assert_eq!(narrow.len(), 1);
+
+        // Without a device the pcap member fails loudly…
+        let err = c.load(1).unwrap_err();
+        assert!(err.to_string().contains("pcap_device"), "{err}");
+        // …with one it loads through the pcap reader, directions intact.
+        let c = c.with_pcap_device(dev);
+        assert_eq!(c.pcap_device(), Some(dev));
+        let t = c.load(1).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.packets()[0].dir, Direction::Down);
+        // Non-pcap members are untouched by the device setting.
+        assert_eq!(c.load(0).unwrap(), trace(2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
