@@ -8,8 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tailwise_core::schemes::Scheme;
-use tailwise_fleet::{run, Scenario};
+use tailwise_fleet::{merge_requests, run, Scenario};
 use tailwise_radio::profile::CarrierProfile;
+use tailwise_trace::mix::splitmix64;
+use tailwise_trace::time::Instant;
 
 fn fleet_scenario(users: u64) -> Scenario {
     let mut s = Scenario::new(users, Scheme::MakeIdle, CarrierProfile::verizon_lte());
@@ -50,5 +52,47 @@ fn fleet_scheme_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput, fleet_scheme_cost);
+/// RNC adjudication order: the hierarchy's k-way merge of per-user
+/// (already time-sorted) request streams versus the PR 4 path that
+/// concatenated every stream and re-sorted it per cell. Streams are
+/// synthetic but shaped like phase-1 output: one stream per user,
+/// non-decreasing timestamps, Poisson-ish spacing.
+fn rnc_adjudication(c: &mut Criterion) {
+    let users = 512usize;
+    let per_user = 48usize;
+    let streams: Vec<(u64, Vec<Instant>)> = (0..users as u64)
+        .map(|user| {
+            let mut at = (splitmix64(user) % 5_000_000) as i64;
+            let times = (0..per_user)
+                .map(|k| {
+                    at += 1_000 + (splitmix64(user ^ (k as u64) << 32) % 60_000_000) as i64;
+                    Instant::from_micros(at)
+                })
+                .collect();
+            (user, times)
+        })
+        .collect();
+    let total = (users * per_user) as u64;
+
+    let mut group = c.benchmark_group("rnc_adjudication");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("kway_merge", |b| {
+        b.iter(|| black_box(merge_requests(black_box(&streams))))
+    });
+    group.bench_function("concat_sort", |b| {
+        b.iter(|| {
+            let mut merged: Vec<(Instant, u64, u32)> = streams
+                .iter()
+                .flat_map(|(user, times)| {
+                    times.iter().enumerate().map(|(seq, &at)| (at, *user, seq as u32))
+                })
+                .collect();
+            merged.sort_unstable();
+            black_box(merged)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput, fleet_scheme_cost, rnc_adjudication);
 criterion_main!(benches);

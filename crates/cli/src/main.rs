@@ -62,11 +62,23 @@ COMMANDS
                      --seed <n>           (master seed, default 1)
                      --shard <n>          (users per shard, default 64)
                      --cells <n>          (base-station cells; users share
-                                          each cell's release policy and the
+                                          each cell's admission policy and the
                                           report adds per-cell signaling load)
                      --capacity <m>       (RRC msgs/sec a cell absorbs before
                                           a second counts as overloaded;
                                           needs --cells)
+                     --admission <p>      (per-cell admission policy: always |
+                                          rate-limited:<secs> |
+                                          reactive:<watermark>[:<window_s>];
+                                          needs --cells)
+                     --rncs <n>           (group the cells under n RNCs in
+                                          contiguous blocks; the report adds
+                                          per-RNC signaling load; needs --cells)
+                     --rnc-capacity <m>   (RRC msgs/sec an RNC absorbs before
+                                          a second counts as overloaded;
+                                          needs --rncs)
+                     --rnc-admission <p>  (RNC-level admission policy, same
+                                          tokens as --admission; needs --rncs)
   fleet run <file.toml>
                    run an on-disk scenario file (docs/SCENARIO_FORMAT.md):
                    a synthetic population, or a [corpus] table replaying a
@@ -296,6 +308,10 @@ fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
     }
 }
 
+/// The network-topology flag set shared by `fleet` and `fleet export`.
+const TOPOLOGY_FLAGS: [&str; 6] =
+    ["cells", "capacity", "admission", "rncs", "rnc-capacity", "rnc-admission"];
+
 /// Builds the scenario described by the `fleet` / `fleet export` flags.
 fn fleet_scenario_from_flags(
     args: &Args,
@@ -314,26 +330,67 @@ fn fleet_scenario_from_flags(
     if let Some(shard) = args.opt_parse::<u64>("shard")? {
         scenario.shard_size = shard.max(1);
     }
-    let capacity = args.opt_parse::<u64>("capacity")?;
-    match args.opt_parse::<u64>("cells")? {
+    scenario.cells = topology_from_flags(args, &scheme)?;
+    Ok(scenario)
+}
+
+/// Builds the optional network topology from the `--cells`-family
+/// flags. Every topology flag given *without* `--cells` is an error,
+/// never silently ignored; the RNC-level flags additionally require
+/// `--rncs`.
+fn topology_from_flags(
+    args: &Args,
+    scheme: &Scheme,
+) -> Result<Option<tailwise_fleet::NetworkTopology>, Box<dyn std::error::Error>> {
+    let cells = match args.opt_parse::<u64>("cells")? {
         Some(0) => return Err(Box::new(ArgError("--cells must be at least 1".into()))),
-        Some(cells) => {
-            if !scheme.scriptable() {
+        Some(cells) => Some(cells),
+        None => None,
+    };
+    let Some(cells) = cells else {
+        if let Some(flag) = TOPOLOGY_FLAGS[1..].iter().find(|flag| args.opt(flag).is_some()) {
+            return Err(Box::new(ArgError(format!(
+                "--{flag} needs --cells: the flag configures a network topology, and without \
+                 one it would be silently ignored"
+            ))));
+        }
+        return Ok(None);
+    };
+    if !scheme.scriptable() {
+        return Err(Box::new(ArgError(format!(
+            "--cells cannot run scheme {scheme}: MakeActive batching depends on \
+             grant outcomes, so the exact two-pass replay does not apply"
+        ))));
+    }
+    let rncs = match args.opt_parse::<u64>("rncs")? {
+        Some(0) => return Err(Box::new(ArgError("--rncs must be at least 1".into()))),
+        Some(rncs) if rncs > cells => {
+            return Err(Box::new(ArgError(format!(
+                "cannot spread {cells} cell(s) over {rncs} RNCs; --rncs must be ≤ --cells"
+            ))))
+        }
+        Some(rncs) => Some(rncs),
+        None => None,
+    };
+    if rncs.is_none() {
+        for flag in ["rnc-capacity", "rnc-admission"] {
+            if args.opt(flag).is_some() {
                 return Err(Box::new(ArgError(format!(
-                    "--cells cannot run scheme {scheme}: MakeActive batching depends on \
-                     grant outcomes, so the exact two-pass replay does not apply"
+                    "--{flag} needs --rncs: it configures the RNC level of the hierarchy"
                 ))));
             }
-            let mut topology = tailwise_fleet::CellTopology::new(cells);
-            topology.capacity_per_s = capacity;
-            scenario.cells = Some(topology);
         }
-        None if capacity.is_some() => {
-            return Err(Box::new(ArgError("--capacity needs --cells".into())))
-        }
-        None => {}
     }
-    Ok(scenario)
+    let mut topology = tailwise_fleet::NetworkTopology::with_rncs(rncs.unwrap_or(1), cells);
+    topology.cell_budget.capacity_per_s = args.opt_parse::<u64>("capacity")?;
+    topology.rnc_budget.capacity_per_s = args.opt_parse::<u64>("rnc-capacity")?;
+    if let Some(spec) = args.opt_parse::<tailwise_fleet::AdmissionSpec>("admission")? {
+        topology.cell_admission = spec;
+    }
+    if let Some(spec) = args.opt_parse::<tailwise_fleet::AdmissionSpec>("rnc-admission")? {
+        topology.rnc_admission = spec;
+    }
+    Ok(Some(topology))
 }
 
 fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -350,12 +407,26 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         None => {}
     }
     args.check_known(&[
-        "users", "scheme", "carrier", "days", "threads", "seed", "shard", "cells", "capacity",
+        "users",
+        "scheme",
+        "carrier",
+        "days",
+        "threads",
+        "seed",
+        "shard",
+        "cells",
+        "capacity",
+        "admission",
+        "rncs",
+        "rnc-capacity",
+        "rnc-admission",
     ])?;
     let threads = threads_from(args)?;
     let scenario = fleet_scenario_from_flags(args)?;
     let topology = match &scenario.cells {
-        Some(topology) => format!(" across {} cell(s)", topology.cells),
+        Some(topology) => {
+            format!(" across {} RNC(s) / {} cell(s)", topology.rncs, topology.cells)
+        }
         None => String::new(),
     };
     println!(
@@ -401,8 +472,10 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", report.render());
         return Ok(());
     }
-    let topology = |cells: &Option<tailwise_fleet::CellTopology>| match cells {
-        Some(topology) => format!(" across {} cell(s)", topology.cells),
+    let topology = |cells: &Option<tailwise_fleet::NetworkTopology>| match cells {
+        Some(topology) => {
+            format!(" across {} RNC(s) / {} cell(s)", topology.rncs, topology.cells)
+        }
         None => String::new(),
     };
     match &set.source {
@@ -462,7 +535,18 @@ fn cmd_fleet_synth(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// a scenario file (the starting point for hand-edited experiments).
 fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&[
-        "users", "scheme", "carrier", "days", "seed", "shard", "cells", "capacity",
+        "users",
+        "scheme",
+        "carrier",
+        "days",
+        "seed",
+        "shard",
+        "cells",
+        "capacity",
+        "admission",
+        "rncs",
+        "rnc-capacity",
+        "rnc-admission",
     ])?;
     let out =
         args.positional(1).ok_or_else(|| ArgError("fleet export needs an output path".into()))?;
@@ -502,4 +586,100 @@ fn cmd_carriers(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    //! Flag-validation coverage for the fleet scenario builder: every
+    //! topology flag given without its prerequisite is a loud error,
+    //! never a silently ignored knob.
+
+    use super::*;
+    use tailwise_fleet::AdmissionSpec;
+
+    fn fleet_args(extra: &[&str]) -> Args {
+        let mut words = vec!["fleet".to_string()];
+        words.extend(extra.iter().map(|s| s.to_string()));
+        Args::parse(words).expect("test flags parse")
+    }
+
+    fn build_err(extra: &[&str]) -> String {
+        fleet_scenario_from_flags(&fleet_args(extra)).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn topology_flags_without_cells_are_errors_not_noops() {
+        for flag in ["--capacity", "--admission", "--rncs", "--rnc-capacity", "--rnc-admission"] {
+            let value = if flag.contains("admission") { "always" } else { "5" };
+            let err = build_err(&[flag, value]);
+            assert!(err.contains("needs --cells"), "{flag}: {err}");
+        }
+        // The guard names the offending flag.
+        assert!(build_err(&["--admission", "always"]).contains("--admission"));
+    }
+
+    #[test]
+    fn rnc_level_flags_without_rncs_are_errors() {
+        for (flag, value) in [("--rnc-capacity", "120"), ("--rnc-admission", "reactive:9")] {
+            let err = build_err(&["--cells", "4", flag, value]);
+            assert!(err.contains("needs --rncs"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn counts_are_validated() {
+        assert!(build_err(&["--cells", "0"]).contains("--cells must be at least 1"));
+        assert!(build_err(&["--cells", "4", "--rncs", "0"]).contains("--rncs must be at least 1"));
+        assert!(build_err(&["--cells", "4", "--rncs", "5"]).contains("cannot spread 4 cell(s)"));
+        let err = build_err(&["--cells", "4", "--scheme", "makeidle-activelearn"]);
+        assert!(err.contains("cannot run scheme"), "{err}");
+        let err = build_err(&["--cells", "4", "--admission", "reactive"]);
+        assert!(err.contains("watermark"), "{err}");
+    }
+
+    #[test]
+    fn full_hierarchy_flags_build_the_topology() {
+        let scenario = fleet_scenario_from_flags(&fleet_args(&[
+            "--users",
+            "50",
+            "--cells",
+            "12",
+            "--capacity",
+            "120",
+            "--admission",
+            "rate-limited:2.5",
+            "--rncs",
+            "3",
+            "--rnc-capacity",
+            "400",
+            "--rnc-admission",
+            "reactive:50:5",
+        ]))
+        .unwrap();
+        let topology = scenario.cells.expect("topology built");
+        assert_eq!((topology.rncs, topology.cells), (3, 12));
+        assert_eq!(topology.cell_budget.capacity_per_s, Some(120));
+        assert_eq!(topology.rnc_budget.capacity_per_s, Some(400));
+        assert_eq!(
+            topology.cell_admission,
+            AdmissionSpec::RateLimited {
+                min_interval: tailwise_trace::time::Duration::from_secs_f64(2.5)
+            }
+        );
+        assert_eq!(
+            topology.rnc_admission,
+            AdmissionSpec::LoadReactive { watermark_per_s: 50, window_s: 5 }
+        );
+
+        // The flat default: --cells alone is one always-admitting RNC.
+        let scenario = fleet_scenario_from_flags(&fleet_args(&["--cells", "4"])).unwrap();
+        let topology = scenario.cells.expect("topology built");
+        assert_eq!(topology.rncs, 1);
+        assert_eq!(topology.cell_admission, AdmissionSpec::Always);
+        assert_eq!(topology.rnc_admission, AdmissionSpec::Always);
+
+        // No topology flags at all: no topology.
+        let scenario = fleet_scenario_from_flags(&fleet_args(&["--users", "10"])).unwrap();
+        assert!(scenario.cells.is_none());
+    }
 }

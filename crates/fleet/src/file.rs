@@ -30,23 +30,28 @@ use std::path::PathBuf;
 
 use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
-use tailwise_radio::signaling::SignalingModel;
+use tailwise_radio::signaling::{SignalingBudget, SignalingModel};
 use tailwise_scenfile::{parse, str_elements, u64_elements, DocWriter, ScenError, Table};
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::corpus::TraceFormat;
 use tailwise_trace::time::Duration;
 use tailwise_workload::apps::AppKind;
 
-use crate::cells::{CellTopology, ReleaseSpec};
+use crate::admission::AdmissionSpec;
 use crate::scenario::Scenario;
 use crate::source::{CorpusScenario, CorpusSpec, SourceSet, UserSource};
 use crate::sweep::{ScenarioSet, SweepAxis};
+use crate::topology::NetworkTopology;
 
 /// Parses a full scenario document into the general source form:
 /// synthetic or corpus base, plus any sweep axes.
 pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
     let doc = parse(src)?;
-    doc.deny_unknown(&[], &["scenario", "sim", "corpus", "cells"], &["carrier", "app", "sweep"])?;
+    doc.deny_unknown(
+        &[],
+        &["scenario", "sim", "corpus", "cells", "rnc"],
+        &["carrier", "app", "sweep"],
+    )?;
 
     let scenario_table = doc
         .table("scenario")
@@ -71,7 +76,7 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
         parse_token::<CarrierProfile>(table, "profile", token)
     })?;
     let sim = sim_from_doc(&doc)?;
-    let cells = cells_from_doc(&doc)?;
+    let cells = topology_from_doc(&doc)?;
     if cells.is_some() && !scheme.scriptable() {
         let pos = scenario_table.get("scheme").map(|i| i.pos).unwrap_or(scenario_table.pos());
         return Err(ScenError::at(pos, unscriptable_scheme_message(&scheme)));
@@ -202,55 +207,133 @@ fn unscriptable_scheme_message(scheme: &Scheme) -> String {
     )
 }
 
-/// Parses the optional `[cells]` table into a [`CellTopology`].
-fn cells_from_doc(doc: &Table) -> Result<Option<CellTopology>, ScenError> {
-    let Some(table) = doc.table("cells") else { return Ok(None) };
-    table.deny_unknown(&["count", "capacity_per_s", "release", "min_interval_s"], &[], &[])?;
-    let count = match table.req_u64("count")? {
-        0 => return Err(at_least_one(table, "count")),
-        count => count,
-    };
-    let capacity_per_s = table.get_u64("capacity_per_s")?;
-    let release = match table.get_str("release")?.unwrap_or("always") {
-        "always" => {
-            if let Some(item) = table.get("min_interval_s") {
+/// Parses one table's admission-policy keys (`admission`, the `[cells]`
+/// legacy alias `release`, `min_interval_s`, `watermark_per_s`,
+/// `window_s`) into an [`AdmissionSpec`]. Parameter keys that do not
+/// belong to the chosen policy are positioned errors, never ignored.
+fn admission_from_table(
+    table: &Table,
+    allow_release_alias: bool,
+) -> Result<AdmissionSpec, ScenError> {
+    let mut key = "admission";
+    let mut token = table.get_str("admission")?;
+    if allow_release_alias {
+        if let Some(item) = table.get("release") {
+            if token.is_some() {
                 return Err(ScenError::at(
                     item.pos,
-                    "`min_interval_s` requires release = \"rate-limited\"",
+                    "`release` is the legacy alias of `admission`; give one, not both",
                 ));
             }
-            ReleaseSpec::AlwaysAccept
+            key = "release";
+            token = table.get_str("release")?;
+        }
+    }
+    let pos = table.get(key).map(|i| i.pos).unwrap_or(table.pos());
+    let reject_param = |param: &str, wanted: &str| -> Result<(), ScenError> {
+        match table.get(param) {
+            Some(item) => {
+                Err(ScenError::at(item.pos, format!("`{param}` requires {key} = \"{wanted}\"")))
+            }
+            None => Ok(()),
+        }
+    };
+    match token.unwrap_or("always") {
+        "always" => {
+            reject_param("min_interval_s", "rate-limited")?;
+            reject_param("watermark_per_s", "reactive")?;
+            reject_param("window_s", "reactive")?;
+            Ok(AdmissionSpec::Always)
         }
         "rate-limited" => {
-            let pos = table.get("min_interval_s").map(|i| i.pos).unwrap_or(table.pos());
+            reject_param("watermark_per_s", "reactive")?;
+            reject_param("window_s", "reactive")?;
+            let interval_pos = table.get("min_interval_s").map(|i| i.pos).unwrap_or(table.pos());
             let Some(interval) = table.get_float("min_interval_s")? else {
                 return Err(ScenError::at(
                     table.pos(),
-                    "release = \"rate-limited\" needs `min_interval_s`",
+                    format!("{key} = \"rate-limited\" needs `min_interval_s`"),
                 ));
             };
             if !(interval.is_finite() && interval > 0.0) {
                 return Err(ScenError::at(
-                    pos,
+                    interval_pos,
                     format!("`min_interval_s` must be positive, got {interval}"),
                 ));
             }
-            ReleaseSpec::RateLimited { min_interval: Duration::from_secs_f64(interval) }
+            Ok(AdmissionSpec::RateLimited { min_interval: Duration::from_secs_f64(interval) })
         }
-        other => {
-            let pos = table.get("release").map(|i| i.pos).unwrap_or(table.pos());
+        "reactive" => {
+            reject_param("min_interval_s", "rate-limited")?;
+            let Some(watermark_per_s) = table.get_u64("watermark_per_s")? else {
+                return Err(ScenError::at(
+                    table.pos(),
+                    format!("{key} = \"reactive\" needs `watermark_per_s`"),
+                ));
+            };
+            let window_s = match table.get_u64("window_s")? {
+                Some(0) => return Err(at_least_one(table, "window_s")),
+                Some(window) => window,
+                None => 1,
+            };
+            Ok(AdmissionSpec::LoadReactive { watermark_per_s, window_s })
+        }
+        other => Err(ScenError::at(
+            pos,
+            format!("unknown admission policy {other:?}; one of always, rate-limited, reactive"),
+        )),
+    }
+}
+
+/// Parses the optional `[cells]` + `[rnc]` tables into a
+/// [`NetworkTopology`]. `[rnc]` without `[cells]` is a positioned
+/// error: the hierarchy needs cells to group.
+fn topology_from_doc(doc: &Table) -> Result<Option<NetworkTopology>, ScenError> {
+    const ADMISSION_KEYS: [&str; 3] = ["min_interval_s", "watermark_per_s", "window_s"];
+    let Some(table) = doc.table("cells") else {
+        if let Some(rnc) = doc.table("rnc") {
             return Err(ScenError::at(
-                pos,
-                format!("unknown release policy {other:?}; one of always, rate-limited"),
+                rnc.pos(),
+                "`[rnc]` requires a `[cells]` table: RNCs group cells",
             ));
         }
+        return Ok(None);
     };
-    Ok(Some(CellTopology {
-        cells: count,
-        capacity_per_s,
-        release,
-        signaling: SignalingModel::default(),
-    }))
+    let mut keys = vec!["count", "capacity_per_s", "admission", "release"];
+    keys.extend(ADMISSION_KEYS);
+    table.deny_unknown(&keys, &[], &[])?;
+    let count = match table.req_u64("count")? {
+        0 => return Err(at_least_one(table, "count")),
+        count => count,
+    };
+    let cell_budget = SignalingBudget { capacity_per_s: table.get_u64("capacity_per_s")? };
+    let cell_admission = admission_from_table(table, true)?;
+
+    let mut topology = NetworkTopology::new(count);
+    topology.cell_budget = cell_budget;
+    topology.cell_admission = cell_admission;
+
+    if let Some(rnc) = doc.table("rnc") {
+        let mut keys = vec!["count", "capacity_per_s", "admission"];
+        keys.extend(ADMISSION_KEYS);
+        rnc.deny_unknown(&keys, &[], &[])?;
+        let rncs = match rnc.get_u64("count")? {
+            Some(0) => return Err(at_least_one(rnc, "count")),
+            Some(rncs) => rncs,
+            None => 1,
+        };
+        if rncs > count {
+            let pos = rnc.get("count").map(|i| i.pos).unwrap_or(rnc.pos());
+            return Err(ScenError::at(
+                pos,
+                format!("cannot spread {count} cell(s) over {rncs} RNCs; `count` must be ≤ the [cells] count"),
+            ));
+        }
+        topology.rncs = rncs;
+        topology.rnc_budget = SignalingBudget { capacity_per_s: rnc.get_u64("capacity_per_s")? };
+        topology.rnc_admission = admission_from_table(rnc, false)?;
+    }
+    Ok(Some(topology))
 }
 
 /// Parses a document as a synthetic-only [`ScenarioSet`], rejecting
@@ -275,7 +358,7 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
         ("shard_size", base.shard_size),
         ("window_capacity", base.sim.window_capacity as u64),
     ])?;
-    check_cells_representable(&base.cells, &base.scheme, axes)?;
+    check_topology_representable(&base.cells, &base.scheme, axes)?;
     let mut w = header();
     w.blank().table("scenario");
     w.str("name", &base.name);
@@ -285,7 +368,7 @@ pub(crate) fn set_to_toml(base: &Scenario, axes: &[SweepAxis]) -> Result<String,
     w.uint("master_seed", base.master_seed);
     w.uint("shard_size", base.shard_size);
     write_sim(&mut w, &base.sim);
-    write_cells(&mut w, &base.cells);
+    write_topology(&mut w, &base.cells);
     write_carriers(&mut w, &base.carrier_mix)?;
     for (kind, weight) in &base.app_mix {
         check_weight(*weight, kind.token())?;
@@ -314,7 +397,7 @@ fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, S
         ("shard_size", base.shard_size),
         ("window_capacity", base.sim.window_capacity as u64),
     ])?;
-    check_cells_representable(&base.cells, &base.scheme, axes)?;
+    check_topology_representable(&base.cells, &base.scheme, axes)?;
     let dir = base.spec.dir.to_str().ok_or_else(|| {
         ScenError::emit(format!(
             "corpus directory {:?} is not valid UTF-8 and cannot be written to a scenario file",
@@ -331,7 +414,7 @@ fn corpus_to_toml(base: &CorpusScenario, axes: &[SweepAxis]) -> Result<String, S
     w.uint("master_seed", base.master_seed);
     w.uint("shard_size", base.shard_size);
     write_sim(&mut w, &base.sim);
-    write_cells(&mut w, &base.cells);
+    write_topology(&mut w, &base.cells);
     // Canonical order is the enum order (the same order the parser
     // normalizes to), so emit→parse round-trips to an equal spec.
     let tokens: Vec<&str> =
@@ -361,32 +444,65 @@ fn write_sim(w: &mut DocWriter, sim: &SimConfig) {
     w.uint("window_capacity", sim.window_capacity as u64);
 }
 
-/// Emission-side guard for `[cells]`: the written document must parse
-/// back, so everything the parser rejects is refused here too.
-fn check_cells_representable(
-    cells: &Option<CellTopology>,
+/// Emission-side guard for one level's [`AdmissionSpec`]: the written
+/// document must parse back to the identical spec.
+fn check_admission_representable(level: &str, spec: &AdmissionSpec) -> Result<(), ScenError> {
+    match spec {
+        AdmissionSpec::Always => Ok(()),
+        AdmissionSpec::RateLimited { min_interval } => {
+            if *min_interval <= Duration::ZERO {
+                return Err(ScenError::emit(format!(
+                    "{level} rate-limited admission interval must be positive, got {min_interval}"
+                )));
+            }
+            Ok(())
+        }
+        AdmissionSpec::LoadReactive { window_s, .. } => {
+            if *window_s == 0 {
+                return Err(ScenError::emit(format!(
+                    "{level} reactive admission window of 0 is not representable \
+                     (scenario files require ≥ 1 second)"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Emission-side guard for `[cells]`/`[rnc]`: the written document must
+/// parse back, so everything the parser rejects is refused here too.
+fn check_topology_representable(
+    cells: &Option<NetworkTopology>,
     scheme: &Scheme,
     axes: &[SweepAxis],
 ) -> Result<(), ScenError> {
-    let Some(topology) = cells else { return Ok(()) };
+    let Some(topology) = cells else {
+        if axes.iter().any(|axis| matches!(axis, SweepAxis::Admission(_))) {
+            return Err(ScenError::emit(
+                "sweep axis `admission` requires a [cells] topology to apply to",
+            ));
+        }
+        return Ok(());
+    };
     if topology.cells == 0 {
         return Err(ScenError::emit(
             "cell count of 0 is not representable (scenario files require ≥ 1)",
         ));
     }
+    if topology.rncs == 0 || topology.rncs > topology.cells {
+        return Err(ScenError::emit(format!(
+            "cannot spread {} cell(s) over {} RNCs (scenario files require 1 ≤ RNCs ≤ cells)",
+            topology.cells, topology.rncs
+        )));
+    }
     if topology.signaling != SignalingModel::default() {
         return Err(ScenError::emit(
-            "cell topology customizes the RRC signaling message model, which is not \
+            "network topology customizes the RRC signaling message model, which is not \
              representable in scenario files (they always use the default)",
         ));
     }
-    if let ReleaseSpec::RateLimited { min_interval } = &topology.release {
-        if *min_interval <= Duration::ZERO {
-            return Err(ScenError::emit(format!(
-                "rate-limited release interval must be positive, got {min_interval}"
-            )));
-        }
-    }
+    check_admission_representable("cell", &topology.cell_admission)?;
+    check_admission_representable("RNC", &topology.rnc_admission)?;
     let mut schemes: Vec<&Scheme> = vec![scheme];
     for axis in axes {
         if let SweepAxis::Schemes(values) = axis {
@@ -399,16 +515,43 @@ fn check_cells_representable(
     }
 }
 
-fn write_cells(w: &mut DocWriter, cells: &Option<CellTopology>) {
+/// Writes one level's admission keys (the structured spelling the
+/// parser reads back).
+fn write_admission(w: &mut DocWriter, spec: &AdmissionSpec) {
+    w.str("admission", spec.token());
+    match spec {
+        AdmissionSpec::Always => {}
+        AdmissionSpec::RateLimited { min_interval } => {
+            w.float("min_interval_s", min_interval.as_secs_f64());
+        }
+        AdmissionSpec::LoadReactive { watermark_per_s, window_s } => {
+            w.uint("watermark_per_s", *watermark_per_s);
+            w.uint("window_s", *window_s);
+        }
+    }
+}
+
+fn write_topology(w: &mut DocWriter, cells: &Option<NetworkTopology>) {
     let Some(topology) = cells else { return };
     w.blank().table("cells");
     w.uint("count", topology.cells);
-    if let Some(capacity) = topology.capacity_per_s {
+    if let Some(capacity) = topology.cell_budget.capacity_per_s {
         w.uint("capacity_per_s", capacity);
     }
-    w.str("release", topology.release.token());
-    if let ReleaseSpec::RateLimited { min_interval } = &topology.release {
-        w.float("min_interval_s", min_interval.as_secs_f64());
+    write_admission(w, &topology.cell_admission);
+    // The [rnc] table is emitted only when the hierarchy is non-flat or
+    // the RNC level is configured; a flat default parses back
+    // identically without one.
+    if topology.rncs > 1
+        || topology.rnc_budget != SignalingBudget::UNBOUNDED
+        || topology.rnc_admission != AdmissionSpec::Always
+    {
+        w.blank().table("rnc");
+        w.uint("count", topology.rncs);
+        if let Some(capacity) = topology.rnc_budget.capacity_per_s {
+            w.uint("capacity_per_s", capacity);
+        }
+        write_admission(w, &topology.rnc_admission);
     }
 }
 
@@ -463,6 +606,10 @@ fn write_axes(w: &mut DocWriter, axes: &[SweepAxis]) -> Result<(), ScenError> {
             }
             SweepAxis::Users(sizes) => {
                 w.str("axis", "users").uint_array("values", sizes);
+            }
+            SweepAxis::Admission(specs) => {
+                let tokens: Vec<String> = specs.iter().map(AdmissionSpec::to_string).collect();
+                w.str("axis", "admission").str_array("values", &tokens);
             }
         }
     }
@@ -630,10 +777,26 @@ fn sweep_axes(doc: &Table, corpus: bool, cells: bool) -> Result<Vec<SweepAxis>, 
                 ))
             }
             "users" => SweepAxis::Users(u64_elements("values", values)?),
+            "admission" if !cells => {
+                return Err(ScenError::at(
+                    axis_pos,
+                    "sweep axis `admission` requires a [cells] topology to apply to",
+                ))
+            }
+            "admission" => SweepAxis::Admission(
+                str_elements("values", values)?
+                    .into_iter()
+                    .map(|token| {
+                        token.parse::<AdmissionSpec>().map_err(|e| ScenError::at(axis_pos, e))
+                    })
+                    .collect::<Result<Vec<AdmissionSpec>, ScenError>>()?,
+            ),
             other => {
                 return Err(ScenError::at(
                     axis_pos,
-                    format!("unknown sweep axis {other:?}; one of scheme, carrier, users"),
+                    format!(
+                        "unknown sweep axis {other:?}; one of scheme, carrier, users, admission"
+                    ),
                 ))
             }
         });
@@ -786,15 +949,21 @@ mod tests {
         let set = set_from_str(src).unwrap();
         let topology = set.base.cells.as_ref().expect("cells parsed");
         assert_eq!(topology.cells, 16);
-        assert_eq!(topology.capacity_per_s, None);
-        assert_eq!(topology.release, ReleaseSpec::AlwaysAccept);
+        assert_eq!(topology.rncs, 1, "no [rnc] table means a flat single-RNC hierarchy");
+        assert_eq!(topology.cell_budget, SignalingBudget::UNBOUNDED);
+        assert_eq!(topology.rnc_budget, SignalingBudget::UNBOUNDED);
+        assert_eq!(topology.cell_admission, AdmissionSpec::Always);
+        assert_eq!(topology.rnc_admission, AdmissionSpec::Always);
         assert_eq!(topology.signaling, SignalingModel::default());
         let text = set_to_toml(&set.base, &[]).unwrap();
+        assert!(!text.contains("[rnc]"), "flat defaults emit no [rnc] table:\n{text}");
         assert_eq!(set_from_str(&text).unwrap().base, set.base);
     }
 
     #[test]
     fn rate_limited_cells_round_trip_with_capacity() {
+        // `release` is the legacy PR 4 alias of `admission` — old files
+        // keep parsing, and the writer re-emits the canonical key.
         let src = concat!(
             "[scenario]\nusers = 10\nscheme = \"oracle\"\n",
             "[cells]\n",
@@ -808,11 +977,84 @@ mod tests {
         );
         let set = set_from_str(src).unwrap();
         let topology = set.base.cells.as_ref().unwrap();
-        assert_eq!(topology.capacity_per_s, Some(120));
+        assert_eq!(topology.cell_budget.capacity_per_s, Some(120));
         assert_eq!(
-            topology.release,
-            ReleaseSpec::RateLimited { min_interval: Duration::from_secs_f64(2.5) }
+            topology.cell_admission,
+            AdmissionSpec::RateLimited { min_interval: Duration::from_secs_f64(2.5) }
         );
+        let text = set_to_toml(&set.base, &set.axes).unwrap();
+        assert!(text.contains("admission = \"rate-limited\""), "{text}");
+        assert!(!text.contains("release ="), "writer emits the canonical key:\n{text}");
+        let again = set_from_str(&text).unwrap();
+        assert_eq!(again.base, set.base);
+        assert_eq!(again.axes, set.axes);
+    }
+
+    #[test]
+    fn rnc_hierarchy_parses_and_round_trips() {
+        let src = concat!(
+            "[scenario]\nusers = 40\n",
+            "[cells]\n",
+            "count = 12\n",
+            "capacity_per_s = 120\n",
+            "admission = \"rate-limited\"\n",
+            "min_interval_s = 2.0\n",
+            "[rnc]\n",
+            "count = 3\n",
+            "capacity_per_s = 400\n",
+            "admission = \"reactive\"\n",
+            "watermark_per_s = 50\n",
+            "window_s = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let set = set_from_str(src).unwrap();
+        let topology = set.base.cells.as_ref().unwrap();
+        assert_eq!((topology.rncs, topology.cells), (3, 12));
+        assert_eq!(topology.rnc_budget.capacity_per_s, Some(400));
+        assert_eq!(
+            topology.rnc_admission,
+            AdmissionSpec::LoadReactive { watermark_per_s: 50, window_s: 5 }
+        );
+        assert_eq!(
+            topology.cell_admission,
+            AdmissionSpec::RateLimited { min_interval: Duration::from_secs(2) }
+        );
+        let text = set_to_toml(&set.base, &[]).unwrap();
+        assert!(text.contains("[rnc]"), "{text}");
+        assert_eq!(set_from_str(&text).unwrap().base, set.base);
+    }
+
+    #[test]
+    fn admission_sweep_axis_parses_and_round_trips() {
+        let src = concat!(
+            "[scenario]\nusers = 12\n",
+            "[cells]\ncount = 4\n",
+            "[rnc]\ncount = 2\ncapacity_per_s = 90\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",
+            "axis = \"admission\"\n",
+            "values = [\"always\", \"rate-limited:2.5\", \"reactive:120:5\"]\n",
+        );
+        let set = set_from_str(src).unwrap();
+        assert_eq!(
+            set.axes,
+            vec![SweepAxis::Admission(vec![
+                AdmissionSpec::Always,
+                AdmissionSpec::RateLimited { min_interval: Duration::from_secs_f64(2.5) },
+                AdmissionSpec::LoadReactive { watermark_per_s: 120, window_s: 5 },
+            ])]
+        );
+        // Expansion rewrites the RNC admission only.
+        let expanded = set.expand();
+        assert_eq!(expanded.len(), 3);
+        assert_eq!(
+            expanded[2].cells.as_ref().unwrap().rnc_admission,
+            AdmissionSpec::LoadReactive { watermark_per_s: 120, window_s: 5 }
+        );
+        assert_eq!(expanded[2].cells.as_ref().unwrap().cell_admission, AdmissionSpec::Always);
+        assert!(expanded[1].name.ends_with("[admission=rate-limited:2.5]"), "{}", expanded[1].name);
         let text = set_to_toml(&set.base, &set.axes).unwrap();
         let again = set_from_str(&text).unwrap();
         assert_eq!(again.base, set.base);
@@ -845,7 +1087,7 @@ mod tests {
             "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
         ));
         assert_eq!(e.pos, Pos::new(5, 18));
-        assert!(e.message.contains("requires release = \"rate-limited\""), "{e}");
+        assert!(e.message.contains("requires admission = \"rate-limited\""), "{e}");
 
         let e = err_of(concat!(
             "[scenario]\nusers = 5\n",
@@ -860,7 +1102,101 @@ mod tests {
             "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
         ));
         assert_eq!(e.pos, Pos::new(5, 11));
-        assert!(e.message.contains("unknown release policy \"sometimes\""), "{e}");
+        assert!(e.message.contains("unknown admission policy \"sometimes\""), "{e}");
+
+        // Giving both the canonical key and the legacy alias is a
+        // conflict, not a guess.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",                      // 1-2
+            "[cells]\ncount = 2\nadmission = \"always\"\n", // 3-5
+            "release = \"always\"\n",                       // 6 (value at col 11)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(6, 11));
+        assert!(e.message.contains("legacy alias"), "{e}");
+    }
+
+    #[test]
+    fn golden_reactive_and_rnc_schema_errors() {
+        // Reactive parameters on the wrong policy kind.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",                   // 1-2
+            "[cells]\ncount = 2\nwatermark_per_s = 9\n", // 3-5 (value at col 19)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(5, 19));
+        assert!(e.message.contains("requires admission = \"reactive\""), "{e}");
+
+        // Reactive without its watermark.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\nadmission = \"reactive\"\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert!(e.message.contains("needs `watermark_per_s`"), "{e}");
+
+        // Zero windows are rejected, never clamped.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\nadmission = \"reactive\"\nwatermark_per_s = 9\n",
+            "window_s = 0\n", // 7 (value at col 12)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(7, 12));
+        assert!(e.message.contains("`window_s` must be at least 1"), "{e}");
+
+        // [rnc] needs cells to group.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n", // 1-2
+            "[rnc]\ncount = 2\n",      // 3-4
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(3, 1));
+        assert!(e.message.contains("`[rnc]` requires a `[cells]` table"), "{e}");
+
+        // More RNCs than cells cannot form contiguous blocks.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n", // 1-2
+            "[cells]\ncount = 2\n",    // 3-4
+            "[rnc]\ncount = 3\n",      // 5-6 (value at col 9)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(6, 9));
+        assert!(e.message.contains("cannot spread 2 cell(s) over 3 RNCs"), "{e}");
+
+        // The [rnc] table rejects the cells-only legacy alias.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 4\n",
+            "[rnc]\nrelease = \"always\"\n", // 6
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(6, 1));
+        assert!(e.message.contains("unknown key `release`"), "{e}");
+
+        // An admission sweep without a topology has nothing to apply to.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",            // 7
+            "axis = \"admission\"\n", // 8 (value at col 8)
+            "values = [\"always\"]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(8, 8));
+        assert!(e.message.contains("requires a [cells] topology"), "{e}");
+
+        // Malformed admission tokens in sweep values carry the parse
+        // failure's reason.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",
+            "axis = \"admission\"\n", // 10 (value at col 8)
+            "values = [\"reactive\"]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(10, 8));
+        assert!(e.message.contains("needs a watermark"), "{e}");
     }
 
     #[test]
@@ -892,7 +1228,7 @@ mod tests {
     #[test]
     fn unscriptable_or_customized_cells_cannot_serialize() {
         let mut s = Scenario::new(4, Scheme::MakeIdleActiveLearn, CarrierProfile::att_hspa());
-        s.cells = Some(CellTopology::new(4));
+        s.cells = Some(NetworkTopology::new(4));
         let err = set_to_toml(&s, &[]).unwrap_err();
         assert_eq!(err.kind, ScenErrorKind::Emit);
         assert!(err.message.contains("cannot run on a [cells] topology"), "{err}");
@@ -904,7 +1240,7 @@ mod tests {
         assert!(err.message.contains("cannot run on a [cells] topology"), "{err}");
 
         // A customized signaling model has no on-disk spelling.
-        let mut topology = CellTopology::new(4);
+        let mut topology = NetworkTopology::new(4);
         topology.signaling.per_promotion = 99;
         s.cells = Some(topology);
         let err = set_to_toml(&s, &[]).unwrap_err();
@@ -1300,26 +1636,40 @@ mod tests {
     // over the full expressible space (preset carriers, canonical
     // schemes, µs-grained sim gaps, cell topologies).
 
-    /// Decodes an `Option<CellTopology>` from plain proptest integers
-    /// (the vendored stub has no `prop_oneof!`): `which` picks
-    /// none/always/rate-limited, `cap` of 0 means unbounded.
-    fn cells_from_ints(
+    /// Decodes one level's [`AdmissionSpec`] from plain proptest
+    /// integers (the vendored stub has no `prop_oneof!`).
+    fn admission_from_ints(which: usize, interval_us: i64, watermark: u64) -> AdmissionSpec {
+        match which % 3 {
+            0 => AdmissionSpec::Always,
+            1 => AdmissionSpec::RateLimited { min_interval: Duration::from_micros(interval_us) },
+            _ => AdmissionSpec::LoadReactive {
+                watermark_per_s: watermark,
+                window_s: 1 + watermark % 9,
+            },
+        }
+    }
+
+    /// Decodes an `Option<NetworkTopology>` from plain proptest
+    /// integers: `which` of 0 is none, otherwise it picks both levels'
+    /// admission kinds; a `cap` of 0 means unbounded at that level.
+    fn topology_from_ints(
         which: usize,
         count: u64,
+        rncs: u64,
         cap: u64,
+        rnc_cap: u64,
         interval_us: i64,
-    ) -> Option<CellTopology> {
-        let release = match which {
-            0 => return None,
-            1 => ReleaseSpec::AlwaysAccept,
-            _ => ReleaseSpec::RateLimited { min_interval: Duration::from_micros(interval_us) },
-        };
-        Some(CellTopology {
-            cells: count,
-            capacity_per_s: (cap > 0).then_some(cap),
-            release,
-            signaling: SignalingModel::default(),
-        })
+        watermark: u64,
+    ) -> Option<NetworkTopology> {
+        if which == 0 {
+            return None;
+        }
+        let mut topology = NetworkTopology::with_rncs(1 + rncs % count, count);
+        topology.cell_budget = SignalingBudget { capacity_per_s: (cap > 0).then_some(cap) };
+        topology.rnc_budget = SignalingBudget { capacity_per_s: (rnc_cap > 0).then_some(rnc_cap) };
+        topology.cell_admission = admission_from_ints(which, interval_us, watermark);
+        topology.rnc_admission = admission_from_ints(which / 3, interval_us * 2 + 1, watermark + 7);
+        Some(topology)
     }
 
     proptest! {
@@ -1333,7 +1683,8 @@ mod tests {
             app_bits in 1u32..128,
             weights in proptest::prop::collection::vec(0.001f64..50.0, 14),
             (cells_which, cell_count, cell_cap, interval_us) in
-                (0usize..3, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
+                (0usize..10, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
+            (rnc_count, rnc_cap, watermark) in (0u64..50, 0u64..1_000, 0u64..300),
         ) {
             let schemes = [
                 Scheme::StatusQuo,
@@ -1366,7 +1717,9 @@ mod tests {
             // [cells] requires a scriptable scheme; the batched draws
             // keep exercising the cell-free path.
             let cells = if scheme.scriptable() {
-                cells_from_ints(cells_which, cell_count, cell_cap, interval_us)
+                topology_from_ints(
+                    cells_which, cell_count, rnc_count, cell_cap, rnc_cap, interval_us, watermark,
+                )
             } else {
                 None
             };
@@ -1398,7 +1751,8 @@ mod tests {
             dir_i in 0usize..4,
             device_bits in 0u64..=u32::MAX as u64 * 2,
             (cells_which, cell_count, cell_cap, interval_us) in
-                (0usize..3, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
+                (0usize..10, 1u64..2_000, 0u64..500, 1_000i64..60_000_000),
+            (rnc_count, rnc_cap, watermark) in (0u64..50, 0u64..1_000, 0u64..300),
         ) {
             let schemes = [
                 Scheme::StatusQuo,
@@ -1425,7 +1779,9 @@ mod tests {
                 .collect();
             let scheme = schemes[scheme_i];
             let cells = if scheme.scriptable() {
-                cells_from_ints(cells_which, cell_count, cell_cap, interval_us)
+                topology_from_ints(
+                    cells_which, cell_count, rnc_count, cell_cap, rnc_cap, interval_us, watermark,
+                )
             } else {
                 None
             };

@@ -30,11 +30,13 @@
 //! * [`runner`] — sharded multi-threaded execution,
 //!   generate→simulate→discard (peak memory: one trace per worker,
 //!   for corpora too);
-//! * [`cells`] — base-station cell topologies: a [`CellTopology`]
-//!   partitions users across cells, each cell adjudicates its merged
-//!   fast-dormancy request stream through a shared release policy, and
-//!   the two-pass runner (built on [`tailwise_sim::twophase`]) reports
-//!   per-cell signaling load — the paper's §7/§8 population question;
+//! * [`topology`]/[`admission`] — the hierarchical radio network: a
+//!   [`NetworkTopology`] partitions users across cells and groups the
+//!   cells under RNCs; every fast-dormancy request passes two pluggable
+//!   [`AdmissionSpec`] gates (cell, then RNC — static, rate-limited, or
+//!   load-reactive), and the two-pass runner (built on
+//!   [`tailwise_sim::twophase`]) reports per-cell and per-RNC signaling
+//!   load — the paper's §7/§8 population question;
 //! * [`Histogram`] — fixed-bin streaming distribution with percentile
 //!   readout;
 //! * [`FleetReport`] — the merged aggregate: total/mean energy, the
@@ -72,7 +74,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-pub mod cells;
+pub mod admission;
 pub mod file;
 pub mod histogram;
 pub mod report;
@@ -80,14 +82,16 @@ pub mod runner;
 pub mod scenario;
 pub mod source;
 pub mod sweep;
+pub mod topology;
 
-pub use cells::{cell_of, CellTopology, ReleaseSpec};
+pub use admission::AdmissionSpec;
 pub use histogram::Histogram;
-pub use report::{CellLoad, FleetReport, FleetSignaling};
+pub use report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
 pub use runner::{run, run_corpus, run_pinned_corpus, run_source};
 pub use scenario::{user_seed, Scenario};
 pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};
 pub use sweep::{run_source_sweep, run_sweep, ScenarioSet, SweepAxis, SweepReport, SweepRow};
+pub use topology::{cell_of, merge_requests, rnc_of_cell, NetworkTopology};
 
 #[cfg(test)]
 mod tests {

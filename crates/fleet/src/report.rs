@@ -33,17 +33,52 @@ pub struct CellLoad {
     pub overload_seconds: u64,
 }
 
-/// The network-side outcome of a cell-topology fleet run: one
-/// [`CellLoad`] per cell, in cell-index order. Attached to the final
-/// [`FleetReport`] by the two-pass cell runner (shard partials carry
-/// `None`), and part of the report's deterministic identity.
+/// Signaling load one RNC absorbed over a fleet run: the summed load of
+/// its contiguous block of member cells, plus the denials the RNC
+/// itself issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RncLoad {
+    /// Member cells under this RNC.
+    pub cells: u64,
+    /// Users across the member cells.
+    pub users: u64,
+    /// Fast-dormancy requests granted (sum over member cells).
+    pub granted: u64,
+    /// Fast-dormancy requests denied at either level (sum over member
+    /// cells).
+    pub denied: u64,
+    /// Denials attributable to the RNC itself: the cell forwarded the
+    /// request, the RNC refused it.
+    pub denied_by_rnc: u64,
+    /// Total RRC messages across the member cells.
+    pub total_messages: u64,
+    /// Peak RRC messages the RNC absorbed in any one-second window
+    /// (member-cell loads summed per second — **not** the max of the
+    /// cells' peaks).
+    pub peak_messages_per_s: u64,
+    /// Seconds in which the RNC's summed message load exceeded the
+    /// configured RNC capacity (zero when no capacity was set).
+    pub overload_seconds: u64,
+}
+
+/// The network-side outcome of a topology fleet run: one [`CellLoad`]
+/// per cell and one [`RncLoad`] per RNC, each in index order. Attached
+/// to the final [`FleetReport`] by the two-pass topology runner (shard
+/// partials carry `None`), and part of the report's deterministic
+/// identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetSignaling {
     /// RRC-message capacity each cell can absorb per second (`None` =
-    /// unbounded; overload seconds are then always zero).
-    pub capacity_per_s: Option<u64>,
+    /// unbounded; cell overload seconds are then always zero).
+    pub cell_capacity_per_s: Option<u64>,
+    /// RRC-message capacity each RNC can absorb per second, against the
+    /// summed load of its member cells (`None` = unbounded).
+    pub rnc_capacity_per_s: Option<u64>,
     /// Per-cell loads, indexed by cell.
     pub cells: Vec<CellLoad>,
+    /// Per-RNC loads, indexed by RNC (cells map to RNCs in contiguous
+    /// blocks — see [`rnc_of_cell`](crate::topology::rnc_of_cell)).
+    pub rncs: Vec<RncLoad>,
 }
 
 impl FleetSignaling {
@@ -75,6 +110,28 @@ impl FleetSignaling {
     /// Number of cells that spent at least one second over capacity.
     pub fn overloaded_cells(&self) -> usize {
         self.cells.iter().filter(|c| c.overload_seconds > 0).count()
+    }
+
+    /// Denials the RNC level itself issued (cell forwarded, RNC
+    /// refused), summed over RNCs.
+    pub fn denied_by_rnc(&self) -> u64 {
+        self.rncs.iter().map(|r| r.denied_by_rnc).sum()
+    }
+
+    /// The worst single-RNC one-second peak (member cells summed per
+    /// second).
+    pub fn rnc_peak_messages_per_s(&self) -> u64 {
+        self.rncs.iter().map(|r| r.peak_messages_per_s).max().unwrap_or(0)
+    }
+
+    /// RNC overloaded seconds summed over RNCs.
+    pub fn rnc_overload_seconds(&self) -> u64 {
+        self.rncs.iter().map(|r| r.overload_seconds).sum()
+    }
+
+    /// Number of RNCs that spent at least one second over capacity.
+    pub fn overloaded_rncs(&self) -> usize {
+        self.rncs.iter().filter(|r| r.overload_seconds > 0).count()
     }
 }
 
@@ -305,27 +362,54 @@ impl FleetReport {
             ));
         }
         if let Some(signaling) = &self.signaling {
-            let capacity = match signaling.capacity_per_s {
+            let capacity = |cap: Option<u64>| match cap {
                 Some(cap) => format!("{cap} msg/s capacity"),
                 None => "unbounded capacity".into(),
             };
             out.push_str(&format!(
-                "cells    : {} cell(s), {} — {} FD requests granted, {} denied\n",
+                "network  : {} RNC(s) over {} cell(s) — {} FD requests granted, {} denied \
+                 ({} at the RNC level)\n",
+                signaling.rncs.len(),
                 signaling.cells.len(),
-                capacity,
                 signaling.granted(),
                 signaling.denied(),
+                signaling.denied_by_rnc(),
             ));
             out.push_str(&format!(
-                "cell load: {} RRC messages total, worst per-cell peak {} msg/s, {} overload \
-                 second(s) across {} cell(s)\n",
+                "cell load: {}, {} RRC messages total, worst per-cell peak {} msg/s, \
+                 {} overload second(s) across {} cell(s)\n",
+                capacity(signaling.cell_capacity_per_s),
                 signaling.total_messages(),
                 signaling.peak_messages_per_s(),
                 signaling.overload_seconds(),
                 signaling.overloaded_cells(),
             ));
-            // Small topologies get the full per-cell table; large ones
-            // keep the two aggregate lines above.
+            out.push_str(&format!(
+                "rnc load : {}, worst per-RNC peak {} msg/s, {} overload second(s) across \
+                 {} RNC(s)\n",
+                capacity(signaling.rnc_capacity_per_s),
+                signaling.rnc_peak_messages_per_s(),
+                signaling.rnc_overload_seconds(),
+                signaling.overloaded_rncs(),
+            ));
+            // Small hierarchies get full per-element tables; large ones
+            // keep the aggregate lines above.
+            if signaling.rncs.len() > 1 && signaling.rncs.len() <= 8 {
+                for (index, rnc) in signaling.rncs.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  rnc  {index:>2}: {} cells, {} users, peak {} msg/s, {} msgs, \
+                         {} granted, {} denied ({} at RNC), {} overload s\n",
+                        rnc.cells,
+                        rnc.users,
+                        rnc.peak_messages_per_s,
+                        rnc.total_messages,
+                        rnc.granted,
+                        rnc.denied,
+                        rnc.denied_by_rnc,
+                        rnc.overload_seconds,
+                    ));
+                }
+            }
             if signaling.cells.len() <= 12 {
                 for (index, cell) in signaling.cells.iter().enumerate() {
                     out.push_str(&format!(
@@ -511,14 +595,29 @@ mod tests {
             overload_seconds: overload,
         };
         let signaling = FleetSignaling {
-            capacity_per_s: Some(50),
+            cell_capacity_per_s: Some(50),
+            rnc_capacity_per_s: Some(90),
             cells: vec![cell(10, 2, 40, 0), cell(20, 5, 80, 3)],
+            rncs: vec![RncLoad {
+                cells: 2,
+                users: 4,
+                granted: 30,
+                denied: 7,
+                denied_by_rnc: 4,
+                total_messages: 190,
+                peak_messages_per_s: 100,
+                overload_seconds: 2,
+            }],
         };
         assert_eq!(signaling.granted(), 30);
         assert_eq!(signaling.denied(), 7);
         assert_eq!(signaling.peak_messages_per_s(), 80);
         assert_eq!(signaling.overload_seconds(), 3);
         assert_eq!(signaling.overloaded_cells(), 1);
+        assert_eq!(signaling.denied_by_rnc(), 4);
+        assert_eq!(signaling.rnc_peak_messages_per_s(), 100);
+        assert_eq!(signaling.rnc_overload_seconds(), 2);
+        assert_eq!(signaling.overloaded_rncs(), 1);
 
         let mut a = FleetReport::empty("x".into(), "s".into());
         let b = a.clone();
@@ -526,7 +625,10 @@ mod tests {
         a.signaling = Some(signaling.clone());
         assert_ne!(a, b, "signaling is part of the deterministic identity");
         let rendered = a.render();
-        assert!(rendered.contains("2 cell(s), 50 msg/s capacity"), "{rendered}");
+        assert!(rendered.contains("1 RNC(s) over 2 cell(s)"), "{rendered}");
+        assert!(rendered.contains("50 msg/s capacity"), "{rendered}");
+        assert!(rendered.contains("rnc load : 90 msg/s capacity"), "{rendered}");
+        assert!(rendered.contains("(4 at the RNC level)"), "{rendered}");
         assert!(rendered.contains("cell  1: 2 users, peak 80 msg/s"), "{rendered}");
 
         // Merge attaches a partial's signaling only when self has none.
@@ -536,9 +638,40 @@ mod tests {
     }
 
     #[test]
+    fn multi_rnc_hierarchies_render_the_rnc_table() {
+        let rnc = |users, overload| RncLoad {
+            cells: 2,
+            users,
+            granted: 5,
+            denied: 1,
+            denied_by_rnc: 1,
+            total_messages: 50,
+            peak_messages_per_s: 25,
+            overload_seconds: overload,
+        };
+        let mut a = FleetReport::empty("x".into(), "s".into());
+        a.signaling = Some(FleetSignaling {
+            cell_capacity_per_s: None,
+            rnc_capacity_per_s: Some(20),
+            cells: vec![CellLoad::default(); 4],
+            rncs: vec![rnc(3, 2), rnc(1, 0)],
+        });
+        let rendered = a.render();
+        assert!(rendered.contains("2 RNC(s) over 4 cell(s)"), "{rendered}");
+        assert!(rendered.contains("rnc   0: 2 cells, 3 users"), "{rendered}");
+        assert!(rendered.contains("(1 at RNC), 2 overload s"), "{rendered}");
+        assert!(rendered.contains("cell load: unbounded capacity"), "{rendered}");
+    }
+
+    #[test]
     #[should_panic(expected = "both carry cell signaling")]
     fn merging_two_signaling_reports_is_a_loud_error() {
-        let signaling = FleetSignaling { capacity_per_s: None, cells: vec![CellLoad::default()] };
+        let signaling = FleetSignaling {
+            cell_capacity_per_s: None,
+            rnc_capacity_per_s: None,
+            cells: vec![CellLoad::default()],
+            rncs: vec![RncLoad::default()],
+        };
         let mut a = FleetReport::empty("x".into(), "s".into());
         a.signaling = Some(signaling.clone());
         let mut b = FleetReport::empty("x".into(), "s".into());

@@ -56,8 +56,8 @@ impl Partial for FleetReport {
 }
 
 /// Ordered accumulation: concatenating per-shard vectors in shard order
-/// yields the population in user-index order (the cell runner's pass-1
-/// request collection).
+/// yields the population in user-index order (the topology runner's
+/// pass-1 request collection).
 impl<T: Send> Partial for Vec<T> {
     fn absorb(&mut self, mut other: Vec<T>) {
         self.append(&mut other);
@@ -95,13 +95,14 @@ impl<P: Partial> Frontier<P> {
 /// `threads` is purely an execution knob: any value ≥ 1 produces the
 /// same [`FleetReport`] (see the module docs). Zero is treated as 1.
 ///
-/// Scenarios with a [`CellTopology`](crate::cells::CellTopology) run
-/// through the two-pass cell runner instead of the radio-isolated fold;
+/// Scenarios with a [`NetworkTopology`](crate::topology::NetworkTopology)
+/// run through the two-pass topology runner instead of the radio-isolated
+/// fold;
 /// the determinism contract is identical.
 pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
     let started = std::time::Instant::now();
     let mut report = if let Some(topology) = &scenario.cells {
-        crate::cells::run_cells_synthetic(scenario, topology, threads)
+        crate::topology::run_topology_synthetic(scenario, topology, threads)
             .expect("synthetic cell shards are infallible")
     } else {
         run_sharded(scenario.shard_count(), threads, &|| empty_report(scenario), &|shard| {
@@ -163,7 +164,7 @@ pub fn run_pinned_corpus(
         report
     };
     let mut report = if let Some(topology) = &scenario.cells {
-        crate::cells::run_cells_corpus(scenario, corpus, topology, threads)?
+        crate::topology::run_topology_corpus(scenario, corpus, topology, threads)?
     } else {
         run_sharded(shard_count, threads, &empty, &|shard| {
             let mut partial = empty();

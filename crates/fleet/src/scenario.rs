@@ -70,7 +70,7 @@ pub struct Scenario {
     /// shared release policy (the `[cells]` file table). `None` keeps
     /// users radio-isolated. Requires a
     /// [scriptable](tailwise_core::schemes::Scheme::scriptable) scheme.
-    pub cells: Option<crate::cells::CellTopology>,
+    pub cells: Option<crate::topology::NetworkTopology>,
 }
 
 impl Scenario {

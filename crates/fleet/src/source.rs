@@ -173,7 +173,7 @@ pub struct CorpusScenario {
     /// Optional cell topology, exactly as in [`Scenario`]: replayed
     /// users are assigned to cells by `(master_seed, index)` and their
     /// fast-dormancy requests adjudicated per cell.
-    pub cells: Option<crate::cells::CellTopology>,
+    pub cells: Option<crate::topology::NetworkTopology>,
     /// The corpus directory and walk settings.
     pub spec: CorpusSpec,
 }

@@ -20,6 +20,7 @@ use tailwise_core::schemes::Scheme;
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_scenfile::{Pos, ScenError};
 
+use crate::admission::AdmissionSpec;
 use crate::report::FleetReport;
 use crate::runner::{run, run_source};
 use crate::scenario::Scenario;
@@ -35,6 +36,13 @@ pub enum SweepAxis {
     Carriers(Vec<CarrierProfile>),
     /// Sweep the population size.
     Users(Vec<u64>),
+    /// Sweep the **RNC-level** admission policy of the scenario's
+    /// network topology (values are the compact
+    /// [`AdmissionSpec`] tokens — `always`, `rate-limited:<secs>`,
+    /// `reactive:<watermark>[:<window>]`). Requires a `[cells]`
+    /// topology; the classic storm comparison holds the population
+    /// fixed while the controller's policy varies.
+    Admission(Vec<AdmissionSpec>),
 }
 
 impl SweepAxis {
@@ -44,6 +52,7 @@ impl SweepAxis {
             SweepAxis::Schemes(_) => "scheme",
             SweepAxis::Carriers(_) => "carrier",
             SweepAxis::Users(_) => "users",
+            SweepAxis::Admission(_) => "admission",
         }
     }
 
@@ -53,6 +62,7 @@ impl SweepAxis {
             SweepAxis::Schemes(v) => v.len(),
             SweepAxis::Carriers(v) => v.len(),
             SweepAxis::Users(v) => v.len(),
+            SweepAxis::Admission(v) => v.len(),
         }
     }
 
@@ -64,6 +74,10 @@ impl SweepAxis {
 
     /// Applies value `index` of this axis to `scenario`, returning the
     /// `axis=value` label fragment.
+    ///
+    /// # Panics
+    /// If an `admission` axis meets a scenario without a network
+    /// topology (scenario files reject that combination at parse time).
     fn apply(&self, index: usize, scenario: &mut Scenario) -> String {
         match self {
             SweepAxis::Schemes(v) => {
@@ -77,6 +91,14 @@ impl SweepAxis {
             SweepAxis::Users(v) => {
                 scenario.users = v[index];
                 format!("users={}", v[index])
+            }
+            SweepAxis::Admission(v) => {
+                scenario
+                    .cells
+                    .as_mut()
+                    .expect("admission sweep needs a [cells] topology (checked at parse time)")
+                    .rnc_admission = v[index].clone();
+                format!("admission={}", v[index])
             }
         }
     }
@@ -106,6 +128,16 @@ impl SweepAxis {
                     "sweep axis `users` requires a synthetic scenario; \
                      a [corpus] population is sized by its directory",
                 )),
+                SweepAxis::Admission(v) => match &mut corpus.cells {
+                    Some(topology) => {
+                        topology.rnc_admission = v[index].clone();
+                        Ok(format!("admission={}", v[index]))
+                    }
+                    None => Err(ScenError::at(
+                        Pos::START,
+                        "sweep axis `admission` requires a [cells] topology to apply to",
+                    )),
+                },
             },
         }
     }
@@ -286,7 +318,10 @@ impl SweepReport {
             "variant", "users", "energy (J)", "saved", "p50", "p95", "switch×", "dly p95"
         ));
         if signaling {
-            out.push_str(&format!(" {:>9} {:>7} {:>8}", "peak m/s", "ovl s", "denied"));
+            out.push_str(&format!(
+                " {:>9} {:>7} {:>7} {:>8}",
+                "peak m/s", "ovl s", "rnc ovl", "denied"
+            ));
         }
         out.push_str(&format!(" {:>10}\n", "ud/sec"));
         for row in &self.rows {
@@ -311,12 +346,13 @@ impl SweepReport {
             if signaling {
                 match &r.signaling {
                     Some(s) => out.push_str(&format!(
-                        " {:>9} {:>7} {:>8}",
+                        " {:>9} {:>7} {:>7} {:>8}",
                         s.peak_messages_per_s(),
                         s.overload_seconds(),
+                        s.rnc_overload_seconds(),
                         s.denied(),
                     )),
-                    None => out.push_str(&format!(" {:>9} {:>7} {:>8}", "-", "-", "-")),
+                    None => out.push_str(&format!(" {:>9} {:>7} {:>7} {:>8}", "-", "-", "-", "-")),
                 }
             }
             out.push_str(&format!(" {:>10.1}\n", r.user_days_per_sec()));

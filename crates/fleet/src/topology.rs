@@ -1,0 +1,620 @@
+//! The hierarchical radio network: RNCs over cells, population-scale
+//! signaling load on the network side (the paper's §7/§8 open question,
+//! at fleet scale).
+//!
+//! A [`NetworkTopology`] partitions a fleet's users across base-station
+//! cells and groups the cells under radio network controllers (RNCs) —
+//! the two-level hierarchy where the paper's energy/signaling trade-off
+//! is actually adjudicated. Every fast-dormancy request passes **two**
+//! pluggable [`AdmissionSpec`] gates: its cell's, then — if the cell
+//! forwards it — its RNC's. Both levels carry a
+//! [`SignalingBudget`] for overload accounting, and the run reports
+//! what each element absorbed: per-cell [`CellLoad`] and per-RNC
+//! [`RncLoad`] (grants, denials, denials attributable to the RNC,
+//! total RRC messages, per-second peak, overload seconds).
+//!
+//! ## The two-pass fleet runner
+//!
+//! The execution is the fleet-scale instance of the two-phase engine
+//! API ([`tailwise_sim::twophase`]):
+//!
+//! 1. **Pass 1** — the sharded runner streams every user through the
+//!    cheap phase-1 request scan ([`Scheme::request_trace`]): one trace
+//!    materialized per worker, dropped immediately, only the
+//!    time-stamped request stream kept.
+//! 2. **Adjudication** — per RNC, the member users' (already
+//!    time-sorted) request streams are **k-way merged** into one
+//!    `(time, user, seq)`-ordered stream and fed through fresh
+//!    admission-policy instances: the request's cell decides first,
+//!    then the RNC; a denial at either level denies. Every verdict's
+//!    adjudication-time message cost (`per_fd_demotion` per grant,
+//!    [`REQUEST_MESSAGES`] per denial) is observed by both levels, so
+//!    load-reactive policies see the rate they are protecting.
+//! 3. **Pass 2** — the sharded runner *re-materializes* each user's
+//!    trace (synthesis and corpus walks are deterministic, so the same
+//!    index yields the same trace) and replays it exactly against its
+//!    scripted verdicts ([`Scheme::run_scripted`]), folding energy into
+//!    the [`FleetReport`] and RRC-message events into per-cell
+//!    per-second load maps; RNC loads fold from their member cells.
+//!
+//! Peak memory stays **one trace per worker** in both passes — the
+//! re-synthesis/re-load is exactly what buys that bound. Between the
+//! passes the run holds O(total requests) timestamps and, afterwards,
+//! one verdict byte per request plus O(active seconds) load counters
+//! per cell.
+//!
+//! ## Determinism
+//!
+//! User→cell assignment is a pure function of `(master_seed, user
+//! index, cell count)` ([`cell_of`]); cells map to RNCs in contiguous
+//! blocks ([`rnc_of_cell`]); the k-way merge realizes the total
+//! `(time, user, seq)` order; admission policies are deterministic by
+//! contract; per-second load counters are integer adds. With the
+//! frontier merging shard partials in shard order, a topology run is
+//! bit-identical at any thread count — the same contract the
+//! radio-isolated runner makes, pinned by `tests/cell_fleet.rs`.
+//!
+//! ## Scheme restrictions
+//!
+//! Network topologies require a *scriptable* scheme
+//! ([`Scheme::scriptable`]): the MakeActive variants batch sessions
+//! based on the radio being Idle — i.e. on earlier grant outcomes — so
+//! their two-pass replay would not be exact. Scenario files reject the
+//! combination at parse time with a positioned error; programmatic
+//! misuse panics here.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use tailwise_core::schemes::Scheme;
+use tailwise_radio::admission::REQUEST_MESSAGES;
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_radio::signaling::{SignalingBudget, SignalingModel};
+use tailwise_scenfile::ScenError;
+use tailwise_sim::engine::SimConfig;
+use tailwise_trace::corpus::Corpus;
+use tailwise_trace::mix::splitmix64 as splitmix;
+use tailwise_trace::time::Instant;
+use tailwise_trace::Trace;
+
+use crate::admission::AdmissionSpec;
+use crate::report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
+use crate::runner::{days_spanned, load_corpus_trace, run_sharded, Partial};
+use crate::scenario::{draw_carrier, user_seed, Scenario};
+use crate::source::CorpusScenario;
+
+/// A fleet's radio network: how many RNCs and cells, what each level
+/// can absorb, and how each level admits fast-dormancy requests.
+///
+/// Part of the scenario's deterministic identity (and of the on-disk
+/// format, as the `[cells]` and `[rnc]` tables — see
+/// `docs/SCENARIO_FORMAT.md` §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkTopology {
+    /// Number of RNCs (≥ 1, ≤ `cells`). Cells map to RNCs in
+    /// contiguous, near-equal blocks ([`rnc_of_cell`]).
+    pub rncs: u64,
+    /// Number of cells (≥ 1). Users are assigned by [`cell_of`].
+    pub cells: u64,
+    /// Per-cell RRC message budget (overload accounting only —
+    /// admission is the policies' job).
+    pub cell_budget: SignalingBudget,
+    /// Per-RNC RRC message budget, against the summed load of the
+    /// RNC's member cells.
+    pub rnc_budget: SignalingBudget,
+    /// Per-cell admission policy for fast-dormancy requests.
+    pub cell_admission: AdmissionSpec,
+    /// RNC-level admission policy, consulted for every request its
+    /// cells forward.
+    pub rnc_admission: AdmissionSpec,
+    /// RRC message weights per transition kind. Not expressible in
+    /// scenario files (they always use the default); `to_file` refuses
+    /// a customized model rather than silently dropping it.
+    pub signaling: SignalingModel,
+}
+
+impl NetworkTopology {
+    /// A flat topology: one RNC over `cells` always-admitting,
+    /// unbounded-budget cells.
+    ///
+    /// # Panics
+    /// If `cells` is zero.
+    pub fn new(cells: u64) -> NetworkTopology {
+        assert!(cells >= 1, "a network topology needs at least one cell");
+        NetworkTopology {
+            rncs: 1,
+            cells,
+            cell_budget: SignalingBudget::UNBOUNDED,
+            rnc_budget: SignalingBudget::UNBOUNDED,
+            cell_admission: AdmissionSpec::Always,
+            rnc_admission: AdmissionSpec::Always,
+            signaling: SignalingModel::default(),
+        }
+    }
+
+    /// A hierarchy of `cells` cells in contiguous blocks under `rncs`
+    /// RNCs, everything always-admitting and unbounded.
+    ///
+    /// # Panics
+    /// If `rncs` is zero or exceeds `cells`.
+    pub fn with_rncs(rncs: u64, cells: u64) -> NetworkTopology {
+        let mut topology = NetworkTopology::new(cells);
+        assert!(rncs >= 1, "a network topology needs at least one RNC");
+        assert!(rncs <= cells, "cannot spread {cells} cell(s) over {rncs} RNCs");
+        topology.rncs = rncs;
+        topology
+    }
+
+    /// Asserts the count invariants programmatic construction can
+    /// violate (scenario files reject them at parse time).
+    fn validate_counts(&self) {
+        assert!(self.cells >= 1, "a network topology needs at least one cell");
+        assert!(self.rncs >= 1, "a network topology needs at least one RNC");
+        assert!(
+            self.rncs <= self.cells,
+            "cannot spread {} cell(s) over {} RNCs",
+            self.cells,
+            self.rncs
+        );
+    }
+}
+
+/// The deterministic user→cell assignment: a pure function of the
+/// scenario master seed, the user index, and the cell count.
+///
+/// Derived from [`user_seed`] with an extra mixing round so cell
+/// assignment does not correlate with any draw the user's own RNG makes
+/// (carrier, app mix, trace). The modulo over a well-mixed 64-bit hash
+/// gives each cell a near-uniform share; the bias for any realistic
+/// cell count is < 2⁻⁵⁰ and, crucially, identical on every machine.
+pub fn cell_of(master_seed: u64, index: u64, cells: u64) -> u64 {
+    assert!(cells >= 1, "a network topology needs at least one cell");
+    splitmix(user_seed(master_seed, index) ^ 0xCE11_BA5E_0000_0000) % cells
+}
+
+/// The deterministic cell→RNC assignment: contiguous near-equal blocks
+/// (`cell * rncs / cells`), so RNC `r` owns cells
+/// `[⌈r·cells/rncs⌉, ⌈(r+1)·cells/rncs⌉)` and reports read naturally.
+pub fn rnc_of_cell(cell: u64, cells: u64, rncs: u64) -> u64 {
+    assert!(rncs >= 1 && rncs <= cells, "cannot spread {cells} cell(s) over {rncs} RNCs");
+    assert!(cell < cells, "cell {cell} out of range for {cells} cell(s)");
+    // cells ≤ realistic topology sizes, so the product cannot overflow
+    // u128; go wide to keep the assignment exact for any u64 input.
+    ((cell as u128 * rncs as u128) / cells as u128) as u64
+}
+
+/// K-way merges per-user request streams into one
+/// `(time, user, seq)`-ordered stream — the RNC adjudication order.
+///
+/// Each input is `(user index, times)` with `times` non-decreasing
+/// (the phase-1 contract); the output is the exact global sort of all
+/// `(time, user, seq)` triples, produced in O(N log U) by merging the
+/// already-sorted streams instead of re-sorting the concatenation —
+/// the fleet bench (`rnc_adjudication`) pins the comparison against
+/// the PR 4 concat-and-sort path.
+pub fn merge_requests(streams: &[(u64, Vec<Instant>)]) -> Vec<(Instant, u64, u32)> {
+    // Classic heap-based k-way merge: the heap holds one cursor per
+    // stream, popping in ascending (time, user, seq) order. O(N log U)
+    // with U live cursors — the adjudication-order construction never
+    // re-examines a stream's interior, unlike a full re-sort.
+    let total: usize = streams.iter().map(|(_, times)| times.len()).sum();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Instant, u64, u32, usize)>> =
+        BinaryHeap::with_capacity(streams.len());
+    for (slot, (user, times)) in streams.iter().enumerate() {
+        if let Some(&first) = times.first() {
+            heap.push(std::cmp::Reverse((first, *user, 0, slot)));
+        }
+    }
+    let mut merged = Vec::with_capacity(total);
+    while let Some(std::cmp::Reverse((at, user, seq, slot))) = heap.pop() {
+        merged.push((at, user, seq));
+        let times = &streams[slot].1;
+        let next = seq as usize + 1;
+        if next < times.len() {
+            heap.push(std::cmp::Reverse((times[next], user, next as u32, slot)));
+        }
+    }
+    merged
+}
+
+/// Uniform access to a fleet population for the two-pass runner:
+/// materialize user `i` (carrier, trace, user-days) on demand, in any
+/// order, from any worker.
+trait TopologyUsers: Sync {
+    /// Population size.
+    fn users(&self) -> u64;
+    /// Users per shard (the deterministic reduction order).
+    fn shard_size(&self) -> u64;
+    /// Materializes user `index`. Must be deterministic: both passes
+    /// call it for every user, and pass 2 must see pass 1's trace.
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError>;
+}
+
+struct SyntheticUsers<'a>(&'a Scenario);
+
+impl TopologyUsers for SyntheticUsers<'_> {
+    fn users(&self) -> u64 {
+        self.0.users
+    }
+    fn shard_size(&self) -> u64 {
+        self.0.shard_size.max(1)
+    }
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError> {
+        let (carrier, model) = self.0.user(index);
+        let days = model.days;
+        Ok((carrier, model.generate(), days))
+    }
+}
+
+struct CorpusUsers<'a> {
+    scenario: &'a CorpusScenario,
+    corpus: &'a Corpus,
+}
+
+impl TopologyUsers for CorpusUsers<'_> {
+    fn users(&self) -> u64 {
+        self.corpus.len() as u64
+    }
+    fn shard_size(&self) -> u64 {
+        self.scenario.shard_size.max(1)
+    }
+    fn user(&self, index: u64) -> Result<(CarrierProfile, Trace, u32), ScenError> {
+        let trace = load_corpus_trace(self.scenario, self.corpus, index)?;
+        let carrier = draw_carrier(&self.scenario.carrier_mix, self.scenario.master_seed, index);
+        let days = days_spanned(&trace);
+        Ok((carrier, trace, days))
+    }
+}
+
+/// Runs a synthetic scenario through its network topology. Called by
+/// [`crate::runner::run`] when `scenario.cells` is set; infallible in
+/// practice (synthesis cannot fail), fallible in type for the shared
+/// core.
+pub(crate) fn run_topology_synthetic(
+    scenario: &Scenario,
+    topology: &NetworkTopology,
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    let empty = || FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+    run_topology(
+        &SyntheticUsers(scenario),
+        scenario.scheme,
+        &scenario.sim,
+        topology,
+        scenario.master_seed,
+        &empty,
+        threads,
+    )
+}
+
+/// Runs a corpus replay through its network topology against an
+/// already-resolved file list. Called by
+/// [`crate::runner::run_pinned_corpus`] when `scenario.cells` is set.
+pub(crate) fn run_topology_corpus(
+    scenario: &CorpusScenario,
+    corpus: &Corpus,
+    topology: &NetworkTopology,
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    let source_label = format!("corpus {} ({} traces)", scenario.spec.dir.display(), corpus.len());
+    let empty = || {
+        let mut report = FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+        report.source = source_label.clone();
+        report
+    };
+    run_topology(
+        &CorpusUsers { scenario, corpus },
+        scenario.scheme,
+        &scenario.sim,
+        topology,
+        scenario.master_seed,
+        &empty,
+        threads,
+    )
+}
+
+/// Pass-2 shard partial: the energy fold plus each cell's per-second
+/// RRC-message counters. Counter addition commutes, but the frontier
+/// still folds in shard order, keeping the whole partial deterministic.
+struct TopologyPartial {
+    report: FleetReport,
+    /// Per cell: second index → RRC messages in that second.
+    seconds: Vec<BTreeMap<i64, u64>>,
+}
+
+impl Partial for TopologyPartial {
+    fn absorb(&mut self, other: TopologyPartial) {
+        self.report.merge(&other.report);
+        for (mine, theirs) in self.seconds.iter_mut().zip(other.seconds) {
+            for (second, messages) in theirs {
+                *mine.entry(second).or_insert(0) += messages;
+            }
+        }
+    }
+}
+
+/// The two-pass core shared by synthetic and corpus topology runs. See
+/// the module docs for the pass structure and memory bounds.
+fn run_topology<U: TopologyUsers>(
+    access: &U,
+    scheme: Scheme,
+    sim: &SimConfig,
+    topology: &NetworkTopology,
+    master_seed: u64,
+    empty: &(dyn Fn() -> FleetReport + Sync),
+    threads: usize,
+) -> Result<FleetReport, ScenError> {
+    assert!(
+        scheme.scriptable(),
+        "scheme {:?} cannot run on a network topology: MakeActive batching depends on grant \
+         outcomes, so the two-pass replay is not exact (scenario files reject this at parse \
+         time)",
+        scheme
+    );
+    topology.validate_counts();
+
+    let users = access.users();
+    let shard_size = access.shard_size();
+    let shard_count = users.div_ceil(shard_size);
+    let shard_range = |shard: u64| {
+        let lo = (shard * shard_size).min(users);
+        let hi = ((shard + 1) * shard_size).min(users);
+        lo..hi
+    };
+
+    // ---- Pass 1: cheap request extraction (one trace per worker). ----
+    let request_streams: Vec<(u64, Vec<Instant>)> =
+        run_sharded(shard_count, threads, &Vec::new, &|shard| {
+            let mut partial = Vec::new();
+            for index in shard_range(shard) {
+                let (carrier, trace, _) = access.user(index)?;
+                let requests = scheme
+                    .request_trace(&carrier, sim, &trace)
+                    .expect("scriptable scheme always yields a request trace");
+                partial.push((index, requests.times));
+                // `trace` drops here: pass 1 keeps only the requests.
+            }
+            Ok(partial)
+        })?;
+    debug_assert!(
+        request_streams.iter().enumerate().all(|(at, (index, _))| at as u64 == *index),
+        "shard-order merge must reassemble users in index order"
+    );
+
+    // ---- Adjudication: each RNC k-way merges its members' streams. ---
+    let cell_count = topology.cells as usize;
+    let rnc_count = topology.rncs as usize;
+    let mut cell_users = vec![0u64; cell_count];
+    // Every user's cell, indexed by user — computed once here so the
+    // per-request loop below is a lookup, not a hash.
+    let mut user_cells: Vec<u64> = Vec::with_capacity(request_streams.len());
+    // Member users' streams grouped per RNC (streams stay time-sorted,
+    // the k-way merge precondition).
+    let mut per_rnc: Vec<Vec<(u64, Vec<Instant>)>> = vec![Vec::new(); rnc_count];
+    let mut verdicts: Vec<Vec<bool>> = Vec::with_capacity(request_streams.len());
+    for (index, times) in request_streams {
+        let cell = cell_of(master_seed, index, topology.cells);
+        cell_users[cell as usize] += 1;
+        user_cells.push(cell);
+        let rnc = rnc_of_cell(cell, topology.cells, topology.rncs) as usize;
+        verdicts.push(vec![false; times.len()]);
+        per_rnc[rnc].push((index, times));
+    }
+
+    let mut cell_loads: Vec<CellLoad> =
+        cell_users.iter().map(|&users| CellLoad { users, ..CellLoad::default() }).collect();
+    let mut denied_by_rnc = vec![0u64; rnc_count];
+    let mut cell_policies: Vec<_> =
+        (0..cell_count).map(|_| topology.cell_admission.build()).collect();
+    for (rnc, streams) in per_rnc.iter().enumerate() {
+        let mut rnc_policy = topology.rnc_admission.build();
+        for (at, user, seq) in merge_requests(streams) {
+            let cell = user_cells[user as usize] as usize;
+            // Two gates: the cell decides whether to forward, the RNC
+            // whether to admit. A cell-level denial never reaches the
+            // RNC's decision logic, but its request message still
+            // transits the RNC, so both levels observe every request's
+            // adjudication-time cost. Forwarding commits the cell's own
+            // policy state: a rate-limited cell that forwards a request
+            // the RNC then refuses has still spent its grant slot (the
+            // release it cleared never happened, but the cell cannot
+            // know that at forwarding time).
+            let cell_ok = cell_policies[cell].admit(at);
+            let ok = cell_ok && rnc_policy.admit(at);
+            let messages = if ok { topology.signaling.per_fd_demotion } else { REQUEST_MESSAGES };
+            cell_policies[cell].observe(at, messages);
+            rnc_policy.observe(at, messages);
+            verdicts[user as usize][seq as usize] = ok;
+            if ok {
+                cell_loads[cell].granted += 1;
+            } else {
+                cell_loads[cell].denied += 1;
+                if cell_ok {
+                    denied_by_rnc[rnc] += 1;
+                }
+            }
+        }
+    }
+    drop(cell_policies);
+    drop(per_rnc);
+    let verdicts = &verdicts;
+
+    // ---- Pass 2: exact replay, energy fold + per-second load. --------
+    // The default transition_log_limit is a safety cap for interactive
+    // use; here a truncated log would silently undercount cell load, so
+    // lift it — the log is per user and dropped before the next one.
+    let replay_sim =
+        SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..sim.clone() };
+    let empty_partial =
+        || TopologyPartial { report: empty(), seconds: vec![BTreeMap::new(); cell_count] };
+    let folded: TopologyPartial = run_sharded(shard_count, threads, &empty_partial, &|shard| {
+        let mut partial = empty_partial();
+        for index in shard_range(shard) {
+            let (carrier, trace, days) = access.user(index)?;
+            let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
+            let mut scheme_run = scheme
+                .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
+                .expect("scriptable scheme always replays");
+            let cell = cell_of(master_seed, index, topology.cells) as usize;
+            if let Some(transitions) = scheme_run.transitions.take() {
+                let seconds = &mut partial.seconds[cell];
+                for t in &transitions {
+                    let second = t.at.as_micros().div_euclid(1_000_000);
+                    *seconds.entry(second).or_insert(0) +=
+                        topology.signaling.messages_for(t) as u64;
+                }
+            }
+            partial.report.fold_user(days, &scheme_run, &baseline);
+            // `trace` drops here: pass 2 is load→replay→discard again.
+        }
+        Ok(partial)
+    })?;
+
+    // ---- Per-cell and per-RNC load accounting. -----------------------
+    let TopologyPartial { mut report, seconds } = folded;
+    let mut rnc_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); rnc_count];
+    for (cell, seconds) in seconds.into_iter().enumerate() {
+        let rnc = rnc_of_cell(cell as u64, topology.cells, topology.rncs) as usize;
+        let load = &mut cell_loads[cell];
+        for (second, messages) in seconds {
+            load.total_messages += messages;
+            load.peak_messages_per_s = load.peak_messages_per_s.max(messages);
+            if topology.cell_budget.overloaded(messages) {
+                load.overload_seconds += 1;
+            }
+            *rnc_seconds[rnc].entry(second).or_insert(0) += messages;
+        }
+    }
+    let mut rnc_loads: Vec<RncLoad> = (0..rnc_count)
+        .map(|rnc| RncLoad { denied_by_rnc: denied_by_rnc[rnc], ..RncLoad::default() })
+        .collect();
+    for (cell, load) in cell_loads.iter().enumerate() {
+        let rnc = &mut rnc_loads[rnc_of_cell(cell as u64, topology.cells, topology.rncs) as usize];
+        rnc.cells += 1;
+        rnc.users += load.users;
+        rnc.granted += load.granted;
+        rnc.denied += load.denied;
+    }
+    for (rnc, seconds) in rnc_seconds.into_iter().enumerate() {
+        let load = &mut rnc_loads[rnc];
+        for (_, messages) in seconds {
+            load.total_messages += messages;
+            load.peak_messages_per_s = load.peak_messages_per_s.max(messages);
+            if topology.rnc_budget.overloaded(messages) {
+                load.overload_seconds += 1;
+            }
+        }
+    }
+    report.signaling = Some(FleetSignaling {
+        cell_capacity_per_s: topology.cell_budget.capacity_per_s,
+        rnc_capacity_per_s: topology.rnc_budget.capacity_per_s,
+        cells: cell_loads,
+        rncs: rnc_loads,
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_trace::time::Duration;
+
+    #[test]
+    fn cell_assignment_is_deterministic_and_roughly_uniform() {
+        let cells = 8u64;
+        let counts = (0..8000).fold(vec![0u64; cells as usize], |mut acc, i| {
+            acc[cell_of(7, i, cells) as usize] += 1;
+            acc
+        });
+        for (cell, &n) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&n), "cell {cell} holds {n} of 8000 users");
+        }
+        assert_eq!(cell_of(7, 42, cells), cell_of(7, 42, cells));
+        // The assignment is seed-sensitive: a different master seed
+        // shuffles users across cells.
+        let moved = (0..1000).filter(|&i| cell_of(7, i, cells) != cell_of(8, i, cells)).count();
+        assert!(moved > 500, "only {moved} of 1000 users moved on reseed");
+    }
+
+    #[test]
+    fn single_cell_topologies_pin_everyone_to_cell_zero() {
+        for i in 0..100 {
+            assert_eq!(cell_of(1, i, 1), 0);
+        }
+    }
+
+    #[test]
+    fn rnc_blocks_are_contiguous_and_near_equal() {
+        // 12 cells over 3 RNCs: blocks of 4.
+        let owners: Vec<u64> = (0..12).map(|c| rnc_of_cell(c, 12, 3)).collect();
+        assert_eq!(owners, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        // Ragged split: 7 cells over 3 RNCs — block sizes within ±1.
+        let owners: Vec<u64> = (0..7).map(|c| rnc_of_cell(c, 7, 3)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]), "blocks must be contiguous: {owners:?}");
+        let mut sizes = vec![0u64; 3];
+        for rnc in owners {
+            sizes[rnc as usize] += 1;
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 7);
+        assert!(sizes.iter().all(|&s| (2..=3).contains(&s)), "{sizes:?}");
+        // Degenerate hierarchies: one RNC owns everything; one cell per
+        // RNC is the identity.
+        assert!((0..50).all(|c| rnc_of_cell(c, 50, 1) == 0));
+        assert!((0..50).all(|c| rnc_of_cell(c, 50, 50) == c));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn more_rncs_than_cells_is_rejected() {
+        NetworkTopology::with_rncs(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cell_topologies_are_rejected() {
+        NetworkTopology::new(0);
+    }
+
+    #[test]
+    fn kway_merge_equals_concat_sort() {
+        // Deterministic pseudo-random streams per user, non-decreasing
+        // within each user (the phase-1 contract).
+        let streams: Vec<(u64, Vec<Instant>)> = (0..17u64)
+            .map(|user| {
+                let mut at = 0i64;
+                let times = (0..(user % 7))
+                    .map(|k| {
+                        at += (splitmix(user * 1000 + k) % 5_000_000) as i64;
+                        Instant::from_micros(at)
+                    })
+                    .collect();
+                (user, times)
+            })
+            .collect();
+        let merged = merge_requests(&streams);
+        let mut expect: Vec<(Instant, u64, u32)> = streams
+            .iter()
+            .flat_map(|(user, times)| {
+                times.iter().enumerate().map(|(seq, &at)| (at, *user, seq as u32))
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(merged, expect);
+        assert!(merge_requests(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_topologies_are_flat_and_permissive() {
+        let t = NetworkTopology::new(4);
+        assert_eq!(t.rncs, 1);
+        assert_eq!(t.cell_admission, AdmissionSpec::Always);
+        assert_eq!(t.rnc_admission, AdmissionSpec::Always);
+        assert_eq!(t.cell_budget, SignalingBudget::UNBOUNDED);
+        let h = NetworkTopology::with_rncs(3, 12);
+        assert_eq!((h.rncs, h.cells), (3, 12));
+        // Spec-built policies stay usable through the topology surface.
+        let mut limited =
+            AdmissionSpec::RateLimited { min_interval: Duration::from_secs(5) }.build();
+        assert!(limited.admit(Instant::ZERO));
+        assert!(!limited.admit(Instant::from_secs(1)));
+    }
+}

@@ -1,23 +1,29 @@
-//! End-to-end cell-topology fleets: the two-pass runner's acceptance
-//! claims.
+//! End-to-end hierarchical-network fleets: the two-pass runner's
+//! acceptance claims.
 //!
-//! * A multi-cell fleet run reports per-cell signaling load (peak
-//!   msgs/sec, overload seconds, grants/denials) **bit-identically** at
-//!   any thread count, including the rendered text.
-//! * The degenerate configuration — one cell, always-accept release,
-//!   unlimited capacity — reproduces the radio-isolated fleet report's
-//!   deterministic aggregates exactly, at 1, 2, and 8 threads.
-//! * Corpus replays run through the same cell path: a `fleet
-//!   synth`-materialized corpus under a cell topology matches its
+//! * A multi-RNC, multi-cell fleet run reports per-cell and per-RNC
+//!   signaling load (peak msgs/sec, overload seconds, grants/denials,
+//!   RNC-attributed denials) **bit-identically** at any thread count,
+//!   including the rendered text.
+//! * The degenerate configuration — one RNC, one cell, always-admit at
+//!   both levels, unlimited budgets — reproduces the radio-isolated
+//!   fleet report's deterministic aggregates exactly, at 1, 2, and 8
+//!   threads.
+//! * Corpus replays run through the same topology path: a `fleet
+//!   synth`-materialized corpus under a network topology matches its
 //!   synthetic twin bit for bit.
 //! * Rate-limited cells deny requests, and denials cost energy.
+//! * Load-reactive RNC admission measurably cuts RNC overload seconds
+//!   versus `always` on a storm population — the energy/signaling
+//!   trade adjudicated at the controller.
 
 use tailwise_core::schemes::Scheme;
 use tailwise_fleet::{
-    cell_of, run, run_source, run_source_sweep, synth_corpus, CellTopology, CorpusScenario,
-    FleetReport, ReleaseSpec, Scenario, SourceSet, SweepAxis, UserSource,
+    cell_of, rnc_of_cell, run, run_source, run_source_sweep, synth_corpus, AdmissionSpec,
+    CorpusScenario, FleetReport, NetworkTopology, Scenario, SourceSet, SweepAxis, UserSource,
 };
 use tailwise_radio::profile::CarrierProfile;
+use tailwise_radio::signaling::SignalingBudget;
 use tailwise_trace::time::Duration;
 use tailwise_trace::TraceFormat;
 use tailwise_workload::apps::AppKind;
@@ -32,7 +38,7 @@ fn base_scenario(users: u64) -> Scenario {
     s
 }
 
-/// The deterministic fields the radio-isolated and cell paths must
+/// The deterministic fields the radio-isolated and topology paths must
 /// agree on when the topology is a no-op (signaling/source aside).
 fn assert_same_aggregates(a: &FleetReport, b: &FleetReport) {
     assert_eq!(a.users, b.users);
@@ -50,35 +56,41 @@ fn assert_same_aggregates(a: &FleetReport, b: &FleetReport) {
 }
 
 #[test]
-fn unlimited_single_cell_matches_radio_isolated_exactly() {
+fn unlimited_single_rnc_single_cell_matches_radio_isolated_exactly() {
     let isolated = base_scenario(60);
     let mut celled = isolated.clone();
-    celled.cells = Some(CellTopology::new(1));
+    celled.cells = Some(NetworkTopology::new(1));
 
     let reference = run(&isolated, 4);
     for threads in [1, 2, 8] {
         let report = run(&celled, threads);
         assert_same_aggregates(&report, &reference);
-        let signaling = report.signaling.as_ref().expect("cell runs carry signaling");
+        let signaling = report.signaling.as_ref().expect("topology runs carry signaling");
         assert_eq!(signaling.cells.len(), 1);
+        assert_eq!(signaling.rncs.len(), 1);
         assert_eq!(signaling.cells[0].users, 60);
-        // Always-accept: every request granted, none denied.
+        assert_eq!(signaling.rncs[0].users, 60);
+        assert_eq!(signaling.rncs[0].cells, 1);
+        // Always-admit at both levels: every request granted.
         assert_eq!(signaling.denied(), 0);
+        assert_eq!(signaling.denied_by_rnc(), 0);
         assert!(signaling.granted() > 0);
         assert!(signaling.peak_messages_per_s() > 0);
         assert_eq!(signaling.overload_seconds(), 0, "no capacity configured");
+        assert_eq!(signaling.rnc_overload_seconds(), 0);
+        // One RNC over one cell: the RNC load *is* the cell load.
+        assert_eq!(signaling.rncs[0].total_messages, signaling.cells[0].total_messages);
+        assert_eq!(signaling.rncs[0].peak_messages_per_s, signaling.cells[0].peak_messages_per_s);
     }
 }
 
 #[test]
 fn multi_cell_reports_are_bit_identical_at_any_thread_count() {
     let mut scenario = base_scenario(60);
-    scenario.cells = Some(CellTopology {
-        cells: 5,
-        capacity_per_s: Some(60),
-        release: ReleaseSpec::RateLimited { min_interval: Duration::from_secs(8) },
-        ..CellTopology::new(5)
-    });
+    let mut topology = NetworkTopology::new(5);
+    topology.cell_budget = SignalingBudget::per_second(60);
+    topology.cell_admission = AdmissionSpec::RateLimited { min_interval: Duration::from_secs(8) };
+    scenario.cells = Some(topology);
 
     let single = run(&scenario, 1);
     let double = run(&scenario, 2);
@@ -99,6 +111,7 @@ fn multi_cell_reports_are_bit_identical_at_any_thread_count() {
 
     let signaling = single.signaling.as_ref().unwrap();
     assert_eq!(signaling.cells.len(), 5);
+    assert_eq!(signaling.rncs.len(), 1);
     // Every user landed in the cell the pure assignment function names.
     let users_per_cell: Vec<u64> = signaling.cells.iter().map(|c| c.users).collect();
     let mut expect = vec![0u64; 5];
@@ -108,36 +121,139 @@ fn multi_cell_reports_are_bit_identical_at_any_thread_count() {
     assert_eq!(users_per_cell, expect);
     assert_eq!(users_per_cell.iter().sum::<u64>(), 60);
 
-    // An 8-second shared rate limit against chatty IM users must deny.
+    // An 8-second shared rate limit against chatty IM users must deny —
+    // and with an always-admitting RNC, no denial is RNC-attributed.
     assert!(signaling.denied() > 0, "rate limit never engaged");
     assert!(signaling.granted() > 0);
+    assert_eq!(signaling.denied_by_rnc(), 0);
 
     // Denials push devices back onto timers: energy exceeds the
     // free-release run of the same population.
     let mut free = scenario.clone();
-    free.cells = Some(CellTopology::new(5));
+    free.cells = Some(NetworkTopology::new(5));
     let free = run(&free, 4);
     assert!(single.energy_j > free.energy_j, "denials must cost energy");
     assert_eq!(
         free.energy_j.to_bits(),
         run(&base_scenario(60), 4).energy_j.to_bits(),
-        "always-accept cells are energy-transparent"
+        "always-admit topologies are energy-transparent"
     );
 }
 
 #[test]
-fn corpus_replay_through_cells_matches_the_synthetic_run() {
+fn three_rnc_twelve_cell_hierarchy_is_bit_identical_at_any_thread_count() {
+    // The full hierarchy: 12 cells in contiguous blocks of 4 under 3
+    // RNCs, budgets and a load-reactive admission policy at the RNC
+    // level, rate-limited cells below.
+    let mut scenario = base_scenario(72);
+    let mut topology = NetworkTopology::with_rncs(3, 12);
+    topology.cell_budget = SignalingBudget::per_second(90);
+    topology.rnc_budget = SignalingBudget::per_second(200);
+    topology.cell_admission =
+        AdmissionSpec::RateLimited { min_interval: Duration::from_secs_f64(0.5) };
+    topology.rnc_admission = AdmissionSpec::LoadReactive { watermark_per_s: 2, window_s: 5 };
+    scenario.cells = Some(topology);
+
+    let single = run(&scenario, 1);
+    let double = run(&scenario, 2);
+    let octo = run(&scenario, 8);
+    assert_eq!(single, double);
+    assert_eq!(single, octo);
+    let rendered = |r: &FleetReport| {
+        let mut r = r.clone();
+        r.wall_seconds = 0.0;
+        r.threads = 1;
+        r.render()
+    };
+    assert_eq!(rendered(&single), rendered(&double));
+    assert_eq!(rendered(&single), rendered(&octo));
+
+    let signaling = single.signaling.as_ref().unwrap();
+    assert_eq!(signaling.cells.len(), 12);
+    assert_eq!(signaling.rncs.len(), 3);
+    // RNC aggregates are exactly the fold of their contiguous member
+    // cells.
+    for (r, rnc) in signaling.rncs.iter().enumerate() {
+        assert_eq!(rnc.cells, 4);
+        let members = signaling
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| rnc_of_cell(*c as u64, 12, 3) == r as u64);
+        let (mut users, mut granted, mut denied, mut messages) = (0, 0, 0, 0);
+        for (_, cell) in members {
+            users += cell.users;
+            granted += cell.granted;
+            denied += cell.denied;
+            messages += cell.total_messages;
+        }
+        assert_eq!(rnc.users, users);
+        assert_eq!(rnc.granted, granted);
+        assert_eq!(rnc.denied, denied);
+        assert_eq!(rnc.total_messages, messages);
+        // Summed-per-second peak is at least any single cell's peak and
+        // at most the cells' message total.
+        assert!(rnc.peak_messages_per_s <= rnc.total_messages);
+    }
+    // The tight reactive watermark must attribute denials to the RNC.
+    assert!(signaling.denied_by_rnc() > 0, "reactive RNC admission never engaged");
+    assert!(signaling.granted() > 0);
+    // The rendered report names the hierarchy.
+    assert!(rendered(&single).contains("3 RNC(s) over 12 cell(s)"), "{}", rendered(&single));
+}
+
+#[test]
+fn reactive_rnc_admission_cuts_overload_versus_always() {
+    // The ISSUE acceptance claim at test scale: on a storm population
+    // (chatty IM phones whose gaps sit inside the LTE tail window),
+    // load-reactive RNC admission sheds enough release→re-promotion
+    // cycles to measurably reduce RNC overload seconds versus the
+    // paper's always-accept assumption — at the cost of energy.
+    let mut scenario = base_scenario(60);
+    scenario.carrier_mix = vec![(CarrierProfile::verizon_lte(), 1.0)];
+    let mut always = NetworkTopology::with_rncs(1, 4);
+    always.rnc_budget = SignalingBudget::per_second(60);
+    scenario.cells = Some(always);
+    let free = run(&scenario, 4);
+
+    let mut reactive = scenario.clone();
+    let topology = reactive.cells.as_mut().unwrap();
+    topology.rnc_admission = AdmissionSpec::LoadReactive { watermark_per_s: 1, window_s: 5 };
+    let governed = run(&reactive, 4);
+
+    let free_signaling = free.signaling.as_ref().unwrap();
+    let governed_signaling = governed.signaling.as_ref().unwrap();
+    assert!(
+        free_signaling.rnc_overload_seconds() > 0,
+        "storm scenario must overload the always-accept RNC"
+    );
+    assert!(governed_signaling.denied_by_rnc() > 0, "watermark never engaged");
+    assert!(
+        governed_signaling.rnc_overload_seconds() < free_signaling.rnc_overload_seconds(),
+        "reactive admission must cut RNC overload seconds: {} vs {}",
+        governed_signaling.rnc_overload_seconds(),
+        free_signaling.rnc_overload_seconds()
+    );
+    assert!(
+        governed_signaling.total_messages() < free_signaling.total_messages(),
+        "shed releases must shed messages"
+    );
+    assert!(governed.energy_j > free.energy_j, "shedding load costs device energy");
+}
+
+#[test]
+fn corpus_replay_through_topology_matches_the_synthetic_run() {
     let mut scenario = base_scenario(40);
-    scenario.cells = Some(CellTopology {
-        capacity_per_s: Some(80),
-        release: ReleaseSpec::RateLimited { min_interval: Duration::from_secs(5) },
-        ..CellTopology::new(3)
-    });
+    let mut topology = NetworkTopology::with_rncs(2, 3);
+    topology.cell_budget = SignalingBudget::per_second(80);
+    topology.cell_admission = AdmissionSpec::RateLimited { min_interval: Duration::from_secs(5) };
+    topology.rnc_admission = AdmissionSpec::LoadReactive { watermark_per_s: 3, window_s: 2 };
+    scenario.cells = Some(topology);
 
     let dir = std::env::temp_dir().join(format!("tailwise-cell-it-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
-    // The corpus is synthesized from the cell-free twin (cells don't
-    // change traces), then replayed under the same topology.
+    // The corpus is synthesized from the topology-free twin (topologies
+    // don't change traces), then replayed under the same hierarchy.
     let mut synth_twin = scenario.clone();
     synth_twin.cells = None;
     assert_eq!(synth_corpus(&synth_twin, &dir, TraceFormat::Binary, 4).unwrap(), 40);
@@ -152,8 +268,8 @@ fn corpus_replay_through_cells_matches_the_synthetic_run() {
     let replayed = run_source(&UserSource::Corpus(corpus.clone()), 2).unwrap();
     let synthetic = run(&scenario, 4);
     assert_same_aggregates(&replayed, &synthetic);
-    assert_eq!(replayed.signaling, synthetic.signaling, "per-cell loads must match");
-    // And the corpus cell run is itself thread-count invariant.
+    assert_eq!(replayed.signaling, synthetic.signaling, "per-element loads must match");
+    // And the corpus topology run is itself thread-count invariant.
     assert_eq!(replayed, run_source(&UserSource::Corpus(corpus), 8).unwrap());
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -161,7 +277,9 @@ fn corpus_replay_through_cells_matches_the_synthetic_run() {
 #[test]
 fn cell_scheme_sweeps_carry_signaling_columns() {
     let mut scenario = base_scenario(24);
-    scenario.cells = Some(CellTopology { capacity_per_s: Some(40), ..CellTopology::new(2) });
+    let mut topology = NetworkTopology::new(2);
+    topology.cell_budget = SignalingBudget::per_second(40);
+    scenario.cells = Some(topology);
     let set = SourceSet {
         source: UserSource::Synthetic(scenario.clone()),
         axes: vec![SweepAxis::Schemes(vec![Scheme::StatusQuo, Scheme::MakeIdle, Scheme::Oracle])],
@@ -169,9 +287,9 @@ fn cell_scheme_sweeps_carry_signaling_columns() {
     let sweep = run_source_sweep(&set, 2).unwrap();
     assert_eq!(sweep.rows.len(), 3);
     for row in &sweep.rows {
-        let signaling = row.report.signaling.as_ref().expect("every cell run has signaling");
+        let signaling = row.report.signaling.as_ref().expect("every topology run has signaling");
         assert_eq!(signaling.cells.len(), 2);
-        assert_eq!(signaling.capacity_per_s, Some(40));
+        assert_eq!(signaling.cell_capacity_per_s, Some(40));
         // Each cell reproduces standalone at a different thread count.
         assert_eq!(row.report, run_source(&row.source, 1).unwrap(), "{}", row.label);
     }
@@ -180,8 +298,38 @@ fn cell_scheme_sweeps_carry_signaling_columns() {
     assert!(sweep.rows[1].report.signaling.as_ref().unwrap().granted() > 0);
     let table = sweep.render();
     assert!(table.contains("peak m/s"), "{table}");
+    assert!(table.contains("rnc ovl"), "{table}");
     assert!(table.contains("denied"), "{table}");
     assert!(table.contains("dly p95"), "{table}");
+}
+
+#[test]
+fn admission_sweeps_vary_the_rnc_policy_only() {
+    let mut scenario = base_scenario(24);
+    scenario.carrier_mix = vec![(CarrierProfile::verizon_lte(), 1.0)];
+    let mut topology = NetworkTopology::with_rncs(1, 2);
+    topology.rnc_budget = SignalingBudget::per_second(60);
+    scenario.cells = Some(topology);
+    let set = SourceSet {
+        source: UserSource::Synthetic(scenario),
+        axes: vec![SweepAxis::Admission(vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::LoadReactive { watermark_per_s: 1, window_s: 5 },
+        ])],
+    };
+    let sweep = run_source_sweep(&set, 2).unwrap();
+    assert_eq!(sweep.rows.len(), 2);
+    assert_eq!(sweep.rows[0].label, "admission=always");
+    assert_eq!(sweep.rows[1].label, "admission=reactive:1:5");
+    // Both rows reproduce standalone, and the reactive row denies at
+    // the RNC while the always row cannot.
+    for row in &sweep.rows {
+        assert_eq!(row.report, run_source(&row.source, 1).unwrap(), "{}", row.label);
+    }
+    assert_eq!(sweep.rows[0].report.signaling.as_ref().unwrap().denied_by_rnc(), 0);
+    assert!(sweep.rows[1].report.signaling.as_ref().unwrap().denied_by_rnc() > 0);
+    let table = sweep.render();
+    assert!(table.contains("admission=reactive:1:5"), "{table}");
 }
 
 #[test]

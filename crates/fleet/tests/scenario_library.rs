@@ -43,6 +43,7 @@ fn library_has_the_curated_minimum() {
         "stress_200k.toml",
         "corpus_replay.toml",
         "cell_topology.toml",
+        "rnc_storm.toml",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}; have {names:?}");
     }

@@ -20,19 +20,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod energy;
 pub mod fastdormancy;
 pub mod profile;
 pub mod rrc;
 pub mod signaling;
 
+pub use admission::{AdmissionPolicy, LoadReactive};
 pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use fastdormancy::{AlwaysAccept, FractionalAccept, NeverAccept, RateLimited, ReleasePolicy};
 pub use profile::{CarrierProfile, RadioTech};
 pub use rrc::{
     Advance, Residence, RrcMachine, RrcState, Transition, TransitionCause, TransitionCounters,
 };
-pub use signaling::SignalingModel;
+pub use signaling::{SignalingBudget, SignalingModel};
 
 #[cfg(test)]
 mod proptests {

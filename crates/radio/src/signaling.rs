@@ -13,6 +13,36 @@
 
 use crate::rrc::{RrcState, Transition, TransitionCause, TransitionCounters};
 
+/// A per-second RRC message budget for one network element — a cell or
+/// an RNC in the hierarchy. Purely accounting: a second whose message
+/// load exceeds the capacity counts as overloaded; keeping load *under*
+/// budget is an admission policy's job
+/// ([`crate::admission::AdmissionPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignalingBudget {
+    /// RRC messages per second the element can absorb (`None` =
+    /// unbounded, overload seconds always zero).
+    pub capacity_per_s: Option<u64>,
+}
+
+impl SignalingBudget {
+    /// An unbounded budget (no overload accounting).
+    pub const UNBOUNDED: SignalingBudget = SignalingBudget { capacity_per_s: None };
+
+    /// A budget of `capacity_per_s` messages per second.
+    pub const fn per_second(capacity_per_s: u64) -> SignalingBudget {
+        SignalingBudget { capacity_per_s: Some(capacity_per_s) }
+    }
+
+    /// True when a second carrying `messages` exceeds the budget.
+    pub fn overloaded(&self, messages: u64) -> bool {
+        match self.capacity_per_s {
+            Some(capacity) => messages > capacity,
+            None => false,
+        }
+    }
+}
+
 /// RRC messages exchanged per transition type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignalingModel {

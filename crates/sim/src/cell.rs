@@ -6,7 +6,10 @@
 //!
 //! * every device runs its own trace and [`IdlePolicy`];
 //! * all fast-dormancy requests flow through **one shared**
-//!   [`ReleasePolicy`] (the base station), in global timestamp order;
+//!   [`AdmissionPolicy`] (the base station), in global timestamp order —
+//!   any release policy lifts into that surface unchanged, and
+//!   load-reactive policies additionally observe the adjudication-time
+//!   message load ([`tailwise_radio::admission`]);
 //! * the cell report aggregates energy, grants/denials, and the
 //!   RRC-message load the base station actually absorbs (per-second peak
 //!   and overload accounting against a configurable signaling capacity).
@@ -24,7 +27,7 @@
 //! window scan per device instead of a full engine run. The fleet's
 //! cell topologies scale the same recipe to whole populations.
 
-use tailwise_radio::fastdormancy::ReleasePolicy;
+use tailwise_radio::admission::{AdmissionPolicy, REQUEST_MESSAGES};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_radio::signaling::SignalingModel;
 use tailwise_trace::time::Instant;
@@ -75,17 +78,22 @@ impl CellReport {
     }
 }
 
-/// Runs `devices` against one shared base-station `release` policy.
+/// Runs `devices` against one shared base-station `admission` policy.
 ///
 /// `capacity_per_s` (RRC messages the cell can absorb per second, `None`
 /// = unbounded) only affects the overload accounting, not behaviour —
-/// modeling capacity-reactive admission is what the pluggable `release`
-/// policy is for (e.g. [`tailwise_radio::fastdormancy::RateLimited`]).
+/// modeling capacity-reactive admission is what the pluggable
+/// `admission` policy is for: a load-reactive policy
+/// ([`tailwise_radio::admission::LoadReactive`]) observes the
+/// adjudication-time message load (grants cost
+/// [`SignalingModel::per_fd_demotion`] messages, denials
+/// [`REQUEST_MESSAGES`]), while lifted release policies
+/// (e.g. [`tailwise_radio::fastdormancy::RateLimited`]) ignore it.
 pub fn run_cell(
     profile: &CarrierProfile,
     config: &SimConfig,
     mut devices: Vec<CellDevice>,
-    release: &mut dyn ReleasePolicy,
+    admission: &mut dyn AdmissionPolicy,
     signaling: &SignalingModel,
     capacity_per_s: Option<u64>,
 ) -> CellReport {
@@ -108,7 +116,8 @@ pub fn run_cell(
     let mut verdicts: Vec<Vec<bool>> = request_times.iter().map(|t| vec![false; t.len()]).collect();
     let (mut granted, mut denied) = (0u64, 0u64);
     for &(at, dev, seq) in &merged {
-        let ok = release.accept(at);
+        let ok = admission.admit(at);
+        admission.observe(at, if ok { signaling.per_fd_demotion } else { REQUEST_MESSAGES });
         verdicts[dev][seq] = ok;
         if ok {
             granted += 1;
@@ -267,6 +276,50 @@ mod tests {
         let spread =
             run_cell(&p, &cfg, cell(6), &mut AlwaysAccept, &SignalingModel::default(), Some(35));
         assert_eq!(spread.overload_seconds, 0, "de-phased devices fit under the cap");
+    }
+
+    #[test]
+    fn load_reactive_cell_governs_the_storm() {
+        use tailwise_radio::admission::LoadReactive;
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let model = SignalingModel::default();
+        // Chatty 10 s heartbeats sit *inside* AT&T's 16.6 s tail window:
+        // a granted release buys a full 28-message re-promotion the
+        // timers would never have caused — the §8 storm. Phase-locked
+        // devices collide in the same seconds, so a 1 msg/s watermark
+        // must deny part of it…
+        let storm = || -> Vec<CellDevice> {
+            (0..8)
+                .map(|i| {
+                    let pkts: Vec<Packet> = (0..30)
+                        .map(|k| {
+                            Packet::new(Instant::from_millis(k * 10_000), Direction::Down, 120)
+                        })
+                        .collect();
+                    CellDevice {
+                        name: format!("p{i}"),
+                        trace: Trace::from_sorted(pkts).unwrap(),
+                        policy: Box::new(FixedWait::new(Duration::from_millis(500), "0.5s")),
+                    }
+                })
+                .collect()
+        };
+        let mut reactive = LoadReactive::new(1, 5);
+        let governed = run_cell(&p, &cfg, storm(), &mut reactive, &model, Some(35));
+        assert!(governed.denied > 0, "watermark never engaged");
+        assert!(governed.granted > 0, "governor latched shut");
+        // …and each denied release keeps the radio in the FACH tail
+        // instead of buying an Idle→DCH re-promotion: fewer total RRC
+        // messages than the always-accept cell absorbing the same storm.
+        let free = run_cell(&p, &cfg, storm(), &mut AlwaysAccept, &model, Some(35));
+        assert!(
+            governed.total_messages < free.total_messages,
+            "reactive admission must shed signaling load: {} vs {}",
+            governed.total_messages,
+            free.total_messages
+        );
+        assert!(governed.total_energy() > free.total_energy(), "shedding load costs energy");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * **Phase 1** — [`record_requests`]: a cheap streaming pass that
 //!   extracts the time-stamped demotion-request stream
 //!   ([`RequestTrace`]) without building an [`RrcMachine`], an energy
-//!   meter, or a [`SimReport`](crate::report::SimReport). A coordinator
+//!   meter, or a [`SimReport`]. A coordinator
 //!   (one shared base station, a cell topology, an RNC model) can run
 //!   phase 1 over an entire population, adjudicate the merged request
 //!   streams however it likes, and only then pay for full simulation.
@@ -174,6 +174,7 @@ mod tests {
     use crate::oracle::OracleIdle;
     use crate::policy::{FixedWait, StatusQuo};
     use proptest::prelude::*;
+    use tailwise_radio::admission::{AdmissionPolicy, LoadReactive, REQUEST_MESSAGES};
     use tailwise_radio::fastdormancy::{AlwaysAccept, FractionalAccept, NeverAccept, RateLimited};
     use tailwise_trace::packet::{Direction, Packet};
 
@@ -315,6 +316,27 @@ mod tests {
         Never,
         Fractional(u8),
         RateLimited(i64),
+        /// The load-coupled [`AdmissionPolicy`]: watermark msg/s over a
+        /// window, fed the adjudication-time message model.
+        Reactive(u64, u64),
+    }
+
+    /// Lifts a load-observing [`AdmissionPolicy`] into a
+    /// [`ReleasePolicy`] by charging each verdict's adjudication-time
+    /// messages back into the policy — exactly what a cell coordinator
+    /// does, so the lock-step reference and the external adjudication
+    /// see the same stateful policy.
+    struct ObservingRelease<A: AdmissionPolicy>(A);
+
+    impl<A: AdmissionPolicy> ReleasePolicy for ObservingRelease<A> {
+        fn accept(&mut self, at: Instant) -> bool {
+            let ok = self.0.admit(at);
+            self.0.observe(at, if ok { 3 } else { REQUEST_MESSAGES });
+            ok
+        }
+        fn name(&self) -> &'static str {
+            "observing-admission"
+        }
     }
 
     fn build_release(choice: ReleaseChoice) -> Box<dyn ReleasePolicy> {
@@ -323,6 +345,9 @@ mod tests {
             ReleaseChoice::Never => Box::new(NeverAccept),
             ReleaseChoice::Fractional(p) => Box::new(FractionalAccept::new(p as f64 / 255.0, 42)),
             ReleaseChoice::RateLimited(ms) => Box::new(RateLimited::new(Duration::from_millis(ms))),
+            ReleaseChoice::Reactive(watermark, window) => {
+                Box::new(ObservingRelease(LoadReactive::new(watermark, window)))
+            }
         }
     }
 
@@ -338,11 +363,14 @@ mod tests {
     }
 
     fn arb_release() -> impl Strategy<Value = ReleaseChoice> {
-        (0usize..4, 0u64..256, 1i64..60_000).prop_map(|(which, frac, ms)| match which {
+        (0usize..5, 0u64..256, 1i64..60_000).prop_map(|(which, frac, ms)| match which {
             0 => ReleaseChoice::Always,
             1 => ReleaseChoice::Never,
             2 => ReleaseChoice::Fractional(frac as u8),
-            _ => ReleaseChoice::RateLimited(ms),
+            3 => ReleaseChoice::RateLimited(ms),
+            // Low watermarks over small windows keep the reactive
+            // governor engaging on CI-sized traces.
+            _ => ReleaseChoice::Reactive(frac % 8, 1 + ms as u64 % 4),
         })
     }
 
@@ -380,6 +408,63 @@ mod tests {
             // Denials observed by the engine = denials scripted.
             let scripted_denials = verdicts.iter().filter(|v| !**v).count() as u64;
             prop_assert_eq!(replayed.denied_fd, scripted_denials);
+        }
+
+        /// Deny-heavy and alternating grant/deny scripts: a verdict
+        /// script granting every `n`-th request (starting at `offset`)
+        /// must replay bit-identically to the lock-step engine running
+        /// the equivalent stateful policy. `n = 2` is the alternating
+        /// script (both phases), large `n` the deny-heavy storm; the
+        /// all-deny limit is `offset ≥` the request count.
+        #[test]
+        fn scripted_grant_patterns_replay_exactly(
+            gaps_ms in prop::collection::vec(1i64..60_000, 1..120),
+            policy in arb_policy(),
+            (n, offset) in (1u64..6, 0u64..6),
+            carrier in 0usize..4,
+        ) {
+            /// Grants request `i` iff `i % n == offset % n` — the
+            /// stateful twin of the pattern script.
+            struct EveryNth {
+                n: u64,
+                offset: u64,
+                counter: u64,
+            }
+            impl ReleasePolicy for EveryNth {
+                fn accept(&mut self, _at: Instant) -> bool {
+                    let ok = self.counter % self.n == self.offset % self.n;
+                    self.counter += 1;
+                    ok
+                }
+                fn name(&self) -> &'static str {
+                    "every-nth"
+                }
+            }
+
+            let p = &CarrierProfile::paper_carriers()[carrier];
+            let cfg = SimConfig::default();
+            let t = trace_from_gaps(&gaps_ms);
+
+            let requests = record_requests(p, &cfg, &t, build_policy(policy).as_mut());
+            let verdicts: Vec<bool> =
+                (0..requests.len() as u64).map(|i| i % n == offset % n).collect();
+            let replayed =
+                replay_requests(p, &cfg, &t, build_policy(policy).as_mut(), &verdicts);
+            let reference = run_with_release(
+                p,
+                &cfg,
+                &t,
+                build_policy(policy).as_mut(),
+                &mut EveryNth { n, offset, counter: 0 },
+            );
+
+            prop_assert_eq!(replayed.energy, reference.energy);
+            prop_assert_eq!(replayed.counters, reference.counters);
+            prop_assert_eq!(replayed.confusion, reference.confusion);
+            prop_assert_eq!(
+                replayed.denied_fd,
+                verdicts.iter().filter(|v| !**v).count() as u64
+            );
         }
     }
 }
