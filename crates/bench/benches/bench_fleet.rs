@@ -8,7 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tailwise_core::schemes::Scheme;
-use tailwise_fleet::{merge_requests, run, Scenario};
+use tailwise_fleet::{merge_requests, run, run_observed, NetworkTopology, Scenario};
+use tailwise_obs::{Obs, StatsRecorder};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_trace::mix::splitmix64;
 use tailwise_trace::time::Instant;
@@ -94,5 +95,36 @@ fn rnc_adjudication(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput, fleet_scheme_cost, rnc_adjudication);
+/// Where fleet time goes, and what watching it costs. One observed
+/// topology run prints the per-span phase breakdown (the same numbers
+/// `--metrics` manifests carry), then the group times the identical
+/// scenario under a `NullRecorder` versus a full `StatsRecorder` —
+/// the measurable cost of the recording itself, which the determinism
+/// contract requires to perturb nothing but wall time.
+fn fleet_phases(c: &mut Criterion) {
+    let mut scenario = fleet_scenario(16);
+    scenario.cells = Some(NetworkTopology::with_rncs(3, 12));
+    let recorder = StatsRecorder::new();
+    let report = run_observed(&scenario, 2, Obs { recorder: &recorder, progress: None });
+    eprintln!("fleet phase breakdown ({} user-days, 3 RNCs x 12 cells):", report.user_days);
+    if let Some(timings) = &report.timings {
+        for (name, seconds) in timings.phases() {
+            eprintln!("  {name:<11} {seconds:>8.3} s");
+        }
+    }
+
+    let mut group = c.benchmark_group("fleet_phases");
+    group.throughput(Throughput::Elements(scenario.user_days()));
+    group.bench_function("null_recorder", |b| b.iter(|| black_box(run(black_box(&scenario), 2))));
+    group.bench_function("stats_recorder", |b| {
+        b.iter(|| {
+            let recorder = StatsRecorder::new();
+            let obs = Obs { recorder: &recorder, progress: None };
+            black_box(run_observed(black_box(&scenario), 2, obs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput, fleet_scheme_cost, rnc_adjudication, fleet_phases);
 criterion_main!(benches);

@@ -1,17 +1,19 @@
 //! Minimal argument parsing for the `tailwise` CLI.
 //!
 //! Hand-rolled (no external parser dependency): subcommand + `--key value`
-//! options + positional operands, with typed accessors and an unknown-flag
-//! check. Small enough to audit, strict enough to catch typos.
+//! options + boolean `--switch` flags + positional operands, with typed
+//! accessors and an unknown-flag check. Small enough to audit, strict
+//! enough to catch typos.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Parsed command line: subcommand, options, positionals.
+/// Parsed command line: subcommand, options, switches, positionals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: String,
     options: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
     positionals: Vec<String>,
 }
 
@@ -28,8 +30,14 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses raw arguments (without the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+    /// Parses raw arguments (without the program name) against a set
+    /// of known boolean `--switch` flags: every name in `switches`
+    /// takes no value (writing `--name=x` is an error), everything
+    /// else parses as `--key value`.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        switches: &[&str],
+    ) -> Result<Args, ArgError> {
         let mut it = raw.into_iter().peekable();
         let command =
             it.next().ok_or_else(|| ArgError("missing subcommand; try `tailwise help`".into()))?;
@@ -37,11 +45,22 @@ impl Args {
             return Err(ArgError(format!("expected a subcommand, got flag {command:?}")));
         }
         let mut options = BTreeMap::new();
+        let mut set = BTreeSet::new();
         let mut positionals = Vec::new();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 if key.is_empty() {
                     return Err(ArgError("bare `--` is not supported".into()));
+                }
+                let bare = key.split_once('=').map_or(key, |(k, _)| k);
+                if switches.contains(&bare) {
+                    if key.contains('=') {
+                        return Err(ArgError(format!("--{bare} is a flag and takes no value")));
+                    }
+                    if !set.insert(bare.to_string()) {
+                        return Err(ArgError(format!("--{bare} given twice")));
+                    }
+                    continue;
                 }
                 let (key, value) = match key.split_once('=') {
                     Some((k, v)) => (k.to_string(), v.to_string()),
@@ -58,7 +77,7 @@ impl Args {
                 positionals.push(arg);
             }
         }
-        Ok(Args { command, options, positionals })
+        Ok(Args { command, options, switches: set, positionals })
     }
 
     /// String option.
@@ -84,14 +103,20 @@ impl Args {
         }
     }
 
+    /// Whether boolean switch `key` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+
     /// Positional operand by index.
     pub fn positional(&self, i: usize) -> Option<&str> {
         self.positionals.get(i).map(String::as_str)
     }
 
-    /// Errors if any option key is not in `allowed` (typo protection).
+    /// Errors if any option or switch key is not in `allowed` (typo
+    /// protection).
     pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
-        for key in self.options.keys() {
+        for key in self.options.keys().chain(self.switches.iter()) {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError(format!(
                     "unknown option --{key}; valid options: {}",
@@ -108,7 +133,7 @@ mod tests {
     use super::*;
 
     fn parse(words: &[&str]) -> Result<Args, ArgError> {
-        Args::parse(words.iter().map(|s| s.to_string()))
+        Args::parse_with_switches(words.iter().map(|s| s.to_string()), &[])
     }
 
     #[test]
@@ -137,6 +162,43 @@ mod tests {
         assert!(parse(&["--flag-first"]).is_err());
         assert!(parse(&["cmd", "--key"]).is_err());
         assert!(parse(&["cmd", "--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn switches_parse_without_values() {
+        let a = Args::parse_with_switches(
+            ["fleet", "run", "s.toml", "--progress", "--threads", "2"].map(String::from),
+            &["progress", "quiet"],
+        )
+        .unwrap();
+        assert!(a.flag("progress"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.opt("threads"), Some("2"));
+        assert_eq!(a.positional(0), Some("run"));
+        assert_eq!(a.positional(1), Some("s.toml"));
+    }
+
+    #[test]
+    fn switch_misuse_is_rejected() {
+        let dup = Args::parse_with_switches(
+            ["fleet", "--progress", "--progress"].map(String::from),
+            &["progress"],
+        )
+        .unwrap_err();
+        assert!(dup.0.contains("given twice"), "{dup}");
+        let valued =
+            Args::parse_with_switches(["fleet", "--progress=yes"].map(String::from), &["progress"])
+                .unwrap_err();
+        assert!(valued.0.contains("takes no value"), "{valued}");
+    }
+
+    #[test]
+    fn check_known_covers_switches_too() {
+        let a =
+            Args::parse_with_switches(["fleet", "--quiet"].map(String::from), &["quiet"]).unwrap();
+        assert!(a.check_known(&["quiet", "threads"]).is_ok());
+        let err = a.check_known(&["threads"]).unwrap_err();
+        assert!(err.0.contains("--quiet"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub use tailwise_core as core;
 pub use tailwise_experts as experts;
 pub use tailwise_fleet as fleet;
+pub use tailwise_obs as obs;
 pub use tailwise_radio as radio;
 pub use tailwise_sim as sim;
 pub use tailwise_trace as trace;

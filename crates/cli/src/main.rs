@@ -17,9 +17,12 @@ mod args;
 use std::net::Ipv4Addr;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{ArgError, Args};
 use tailwise_core::schemes::Scheme;
+use tailwise_fleet::RunManifest;
+use tailwise_obs::{Obs, ProgressSampler, ProgressTable, Recorder, StatsRecorder};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::time::Duration;
@@ -79,6 +82,11 @@ COMMANDS
                                           needs --rncs)
                      --rnc-admission <p>  (RNC-level admission policy, same
                                           tokens as --admission; needs --rncs)
+                     --progress           (live per-shard status line on stderr)
+                     --quiet              (suppress preamble chatter; the report
+                                          still prints)
+                     --metrics <path>     (write a machine-readable run manifest,
+                                          re-readable with `fleet manifest`)
   fleet run <file.toml>
                    run an on-disk scenario file (docs/SCENARIO_FORMAT.md):
                    a synthetic population, or a [corpus] table replaying a
@@ -87,6 +95,13 @@ COMMANDS
                    [[sweep]] axes expand into a matrix of runs and fold into
                    one side-by-side comparison table
                      --threads <t>        (default: all hardware threads)
+                     --progress / --quiet / --metrics <path>
+                                          (as for `fleet` above)
+  fleet manifest <run.toml>
+                   re-parse a --metrics run manifest (strict) and
+                   print its provenance, phase timings and counters
+                     --require-phases     (error unless every phase
+                                          timing is positive)
   fleet export <out.toml>
                    write the flag-built fleet scenario to a scenario file
                      (accepts the same flags as `fleet`, minus --threads)
@@ -117,7 +132,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         print!("{HELP}");
         return Ok(());
     }
-    let args = Args::parse(raw)?;
+    let args = Args::parse_with_switches(raw, SWITCHES)?;
     match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "info" => cmd_info(&args),
@@ -308,6 +323,94 @@ fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
     }
 }
 
+/// Boolean `--switch` flags (no value) known anywhere on the command
+/// line; subcommands that do not take one still reject it by name via
+/// `check_known`.
+const SWITCHES: &[&str] = &["progress", "quiet", "require-phases"];
+
+/// Observability flags shared by the run subcommands (`fleet`,
+/// `fleet run`): `--progress` (live status line), `--quiet` (suppress
+/// preamble chatter), `--metrics <path>` (machine-readable manifest).
+///
+/// Owns the recorder and progress table so borrows into [`Obs`] stay
+/// alive for the whole run. When neither flag asks for observation the
+/// run gets [`Obs::none`] — the hot path stays recording-free.
+struct RunObservability {
+    recorder: StatsRecorder,
+    table: Arc<ProgressTable>,
+    progress: bool,
+    quiet: bool,
+    metrics: Option<String>,
+}
+
+impl RunObservability {
+    fn from_args(args: &Args, threads: usize) -> Result<RunObservability, ArgError> {
+        let progress = args.flag("progress");
+        let quiet = args.flag("quiet");
+        if progress && quiet {
+            return Err(ArgError(
+                "--progress conflicts with --quiet: one asks for a live status line, the \
+                 other asks for silence; drop one"
+                    .into(),
+            ));
+        }
+        Ok(RunObservability {
+            recorder: StatsRecorder::new(),
+            table: Arc::new(ProgressTable::new(threads)),
+            progress,
+            quiet,
+            metrics: args.opt("metrics").map(str::to_string),
+        })
+    }
+
+    /// Whether anything asked for observation this run.
+    fn enabled(&self) -> bool {
+        self.progress || self.metrics.is_some()
+    }
+
+    /// The handle threaded through the fleet runner.
+    fn obs(&self) -> Obs<'_> {
+        if !self.enabled() {
+            return Obs::none();
+        }
+        Obs { recorder: &self.recorder, progress: self.progress.then_some(&*self.table) }
+    }
+
+    /// Starts the stderr sampler thread when `--progress` was given.
+    fn start_sampler(&self) -> Option<ProgressSampler> {
+        self.progress.then(|| {
+            ProgressSampler::start(Arc::clone(&self.table), std::time::Duration::from_millis(200))
+        })
+    }
+
+    /// Writes the `--metrics` manifest, if one was requested.
+    fn write_manifest(&self, manifest: &RunManifest) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(path) = &self.metrics {
+            manifest.to_file(path)?;
+            if !self.quiet {
+                println!("wrote run manifest to {path}");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The observability flags observe a *live* simulation, so the fleet
+/// subcommands that never run one reject them by name instead of
+/// silently ignoring them (checked before `check_known` so the message
+/// explains the why, not just the typo).
+fn reject_run_only_flags(args: &Args, subcommand: &str) -> Result<(), ArgError> {
+    for flag in ["progress", "quiet", "metrics"] {
+        if args.flag(flag) || args.opt(flag).is_some() {
+            return Err(ArgError(format!(
+                "--{flag} needs a run subcommand (`fleet` or `fleet run`): it observes a \
+                 live simulation, and `fleet {subcommand}` never runs one"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// The network-topology flag set shared by `fleet` and `fleet export`.
 const TOPOLOGY_FLAGS: [&str; 6] =
     ["cells", "capacity", "admission", "rncs", "rnc-capacity", "rnc-admission"];
@@ -398,10 +501,12 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Some("run") => return cmd_fleet_run(args),
         Some("export") => return cmd_fleet_export(args),
         Some("synth") => return cmd_fleet_synth(args),
+        Some("manifest") => return cmd_fleet_manifest(args),
         Some(other) => {
             return Err(Box::new(ArgError(format!(
                 "unknown fleet subcommand {other:?}; expected `run <file.toml>`, \
-                 `export <out.toml>`, `synth <scenario.toml>`, or flags only"
+                 `export <out.toml>`, `synth <scenario.toml>`, `manifest <run.toml>`, \
+                 or flags only"
             ))))
         }
         None => {}
@@ -420,27 +525,93 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "rncs",
         "rnc-capacity",
         "rnc-admission",
+        "progress",
+        "quiet",
+        "metrics",
     ])?;
     let threads = threads_from(args)?;
     let scenario = fleet_scenario_from_flags(args)?;
+    let obs = RunObservability::from_args(args, threads)?;
     let topology = match &scenario.cells {
         Some(topology) => {
             format!(" across {} RNC(s) / {} cell(s)", topology.rncs, topology.cells)
         }
         None => String::new(),
     };
-    println!(
-        "simulating {} users × {} day(s) of {} on {}{} ({} threads, seed {})…",
-        scenario.users,
-        scenario.days_per_user,
-        scenario.scheme.label(),
-        scenario.carrier_mix[0].0.name,
-        topology,
-        threads,
-        scenario.master_seed,
-    );
-    let report = tailwise_fleet::run(&scenario, threads);
+    if !obs.quiet {
+        println!(
+            "simulating {} users × {} day(s) of {} on {}{} ({} threads, seed {})…",
+            scenario.users,
+            scenario.days_per_user,
+            scenario.scheme.label(),
+            scenario.carrier_mix[0].0.name,
+            topology,
+            threads,
+            scenario.master_seed,
+        );
+    }
+    let sampler = obs.start_sampler();
+    let report = tailwise_fleet::run_observed(&scenario, threads, obs.obs());
+    if let Some(sampler) = sampler {
+        sampler.finish();
+    }
     print!("{}", report.render());
+    if obs.metrics.is_some() {
+        let manifest = RunManifest::for_report(
+            &report,
+            threads,
+            scenario.master_seed,
+            &obs.recorder.snapshot(),
+        );
+        obs.write_manifest(&manifest)?;
+    }
+    Ok(())
+}
+
+/// `tailwise fleet manifest <run.toml>`: strictly re-parse a
+/// `--metrics` manifest and summarize it — the self-test for the
+/// machine-readable contract. `--require-phases` additionally errors
+/// when any phase timing is zero (the CI assertion that observation
+/// actually saw work in every phase).
+fn cmd_fleet_manifest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    reject_run_only_flags(args, "manifest")?;
+    args.check_known(&["require-phases"])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet manifest needs a manifest file path".into()))?;
+    if let Some(extra) = args.positional(2) {
+        return Err(Box::new(ArgError(format!(
+            "fleet manifest takes exactly one manifest file, got extra operand {extra:?}"
+        ))));
+    }
+    let manifest = RunManifest::from_file(path)?;
+    println!(
+        "{path}: {} — {} run(s) of {} ({}), seed {}, {} thread(s), {:.2} s wall",
+        manifest.name,
+        manifest.reports.len(),
+        manifest.scheme,
+        manifest.source,
+        manifest.seed,
+        manifest.threads,
+        manifest.wall_seconds,
+    );
+    for (name, seconds) in manifest.timings.phases() {
+        println!("  {name:<11} {seconds:>8.2} s");
+    }
+    for (name, value) in &manifest.counters {
+        println!("  {name:<24} {value}");
+    }
+    if args.flag("require-phases") {
+        let zero = manifest.zero_phases();
+        if !zero.is_empty() {
+            return Err(Box::new(ArgError(format!(
+                "manifest {path} has zero phase timing(s): {} — the run recorded no time \
+                 in those phases",
+                zero.join(", ")
+            ))));
+        }
+        println!("all phase timings present and positive");
+    }
     Ok(())
 }
 
@@ -448,7 +619,7 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// a single fleet run (synthetic or corpus replay), or a sweep matrix
 /// folded into one comparison table.
 fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.check_known(&["threads"])?;
+    args.check_known(&["threads", "progress", "quiet", "metrics"])?;
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("fleet run needs a scenario file path".into()))?;
@@ -460,16 +631,31 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     let set = tailwise_fleet::SourceSet::from_file(path)?;
     let threads = threads_from(args)?;
+    let obs = RunObservability::from_args(args, threads)?;
+    let seed = match &set.source {
+        tailwise_fleet::UserSource::Synthetic(base) => base.master_seed,
+        tailwise_fleet::UserSource::Corpus(base) => base.master_seed,
+    };
     if set.is_sweep() {
-        println!(
-            "running {} from {path}: {} scenario(s) across {} sweep axis(es), {} threads…",
-            set.source.name(),
-            set.expansion_count(),
-            set.axes.len(),
-            threads,
-        );
-        let report = tailwise_fleet::run_source_sweep(&set, threads)?;
+        if !obs.quiet {
+            println!(
+                "running {} from {path}: {} scenario(s) across {} sweep axis(es), {} threads…",
+                set.source.name(),
+                set.expansion_count(),
+                set.axes.len(),
+                threads,
+            );
+        }
+        let sampler = obs.start_sampler();
+        let report = tailwise_fleet::run_source_sweep_observed(&set, threads, obs.obs())?;
+        if let Some(sampler) = sampler {
+            sampler.finish();
+        }
         print!("{}", report.render());
+        if obs.metrics.is_some() {
+            let manifest = RunManifest::for_sweep(&report, threads, seed, &obs.recorder.snapshot());
+            obs.write_manifest(&manifest)?;
+        }
         return Ok(());
     }
     let topology = |cells: &Option<tailwise_fleet::NetworkTopology>| match cells {
@@ -478,28 +664,38 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         None => String::new(),
     };
-    match &set.source {
-        tailwise_fleet::UserSource::Synthetic(base) => println!(
-            "running {} from {path}: {} users × {} day(s) of {}{} ({} threads, seed {})…",
-            base.name,
-            base.users,
-            base.days_per_user,
-            base.scheme.label(),
-            topology(&base.cells),
-            threads,
-            base.master_seed,
-        ),
-        tailwise_fleet::UserSource::Corpus(base) => println!(
-            "replaying {} from {path}: corpus {} under {}{} ({} threads)…",
-            base.name,
-            base.spec.dir.display(),
-            base.scheme.label(),
-            topology(&base.cells),
-            threads,
-        ),
+    if !obs.quiet {
+        match &set.source {
+            tailwise_fleet::UserSource::Synthetic(base) => println!(
+                "running {} from {path}: {} users × {} day(s) of {}{} ({} threads, seed {})…",
+                base.name,
+                base.users,
+                base.days_per_user,
+                base.scheme.label(),
+                topology(&base.cells),
+                threads,
+                base.master_seed,
+            ),
+            tailwise_fleet::UserSource::Corpus(base) => println!(
+                "replaying {} from {path}: corpus {} under {}{} ({} threads)…",
+                base.name,
+                base.spec.dir.display(),
+                base.scheme.label(),
+                topology(&base.cells),
+                threads,
+            ),
+        }
     }
-    let report = tailwise_fleet::run_source(&set.source, threads)?;
+    let sampler = obs.start_sampler();
+    let report = tailwise_fleet::run_source_observed(&set.source, threads, obs.obs())?;
+    if let Some(sampler) = sampler {
+        sampler.finish();
+    }
     print!("{}", report.render());
+    if obs.metrics.is_some() {
+        let manifest = RunManifest::for_report(&report, threads, seed, &obs.recorder.snapshot());
+        obs.write_manifest(&manifest)?;
+    }
     Ok(())
 }
 
@@ -508,6 +704,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// zero-padded so the deterministic corpus walk replays users in
 /// synthesis order. The instant self-test fixture for `[corpus]` runs.
 fn cmd_fleet_synth(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    reject_run_only_flags(args, "synth")?;
     args.check_known(&["out", "format", "threads"])?;
     let path = args
         .positional(1)
@@ -534,6 +731,7 @@ fn cmd_fleet_synth(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// `tailwise fleet export <out.toml>`: write the flag-built scenario to
 /// a scenario file (the starting point for hand-edited experiments).
 fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    reject_run_only_flags(args, "export")?;
     args.check_known(&[
         "users",
         "scheme",
@@ -600,7 +798,7 @@ mod tests {
     fn fleet_args(extra: &[&str]) -> Args {
         let mut words = vec!["fleet".to_string()];
         words.extend(extra.iter().map(|s| s.to_string()));
-        Args::parse(words).expect("test flags parse")
+        Args::parse_with_switches(words, &[]).expect("test flags parse")
     }
 
     fn build_err(extra: &[&str]) -> String {
@@ -681,5 +879,58 @@ mod tests {
         // No topology flags at all: no topology.
         let scenario = fleet_scenario_from_flags(&fleet_args(&["--users", "10"])).unwrap();
         assert!(scenario.cells.is_none());
+    }
+
+    fn obs_args(extra: &[&str]) -> Args {
+        let mut words = vec!["fleet".to_string()];
+        words.extend(extra.iter().map(|s| s.to_string()));
+        Args::parse_with_switches(words, SWITCHES).expect("test flags parse")
+    }
+
+    #[test]
+    fn progress_with_quiet_is_a_named_error() {
+        let err = RunObservability::from_args(&obs_args(&["--progress", "--quiet"]), 2)
+            .map(|_| ())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--progress conflicts with --quiet"), "{err}");
+        // Either alone is fine.
+        assert!(RunObservability::from_args(&obs_args(&["--progress"]), 2).is_ok());
+        assert!(RunObservability::from_args(&obs_args(&["--quiet"]), 2).is_ok());
+    }
+
+    #[test]
+    fn observability_flags_need_a_run_subcommand() {
+        for (extra, sub) in [
+            (&["export", "out.toml", "--metrics", "m.toml"][..], "export"),
+            (&["synth", "s.toml", "--progress"][..], "synth"),
+            (&["manifest", "m.toml", "--quiet"][..], "manifest"),
+        ] {
+            let err = reject_run_only_flags(&obs_args(extra), sub).unwrap_err().to_string();
+            assert!(err.contains("needs a run subcommand"), "{sub}: {err}");
+            assert!(err.contains(&format!("fleet {sub}")), "{sub}: {err}");
+        }
+        // Without any observability flag the guard passes through.
+        assert!(reject_run_only_flags(&obs_args(&["export", "out.toml"]), "export").is_ok());
+    }
+
+    #[test]
+    fn observability_is_off_unless_asked_for() {
+        let off = RunObservability::from_args(&obs_args(&[]), 4).unwrap();
+        assert!(!off.enabled());
+        assert!(!off.obs().recorder.enabled());
+        assert!(off.obs().progress.is_none());
+        assert!(off.start_sampler().is_none());
+
+        // --metrics alone records but renders no progress line.
+        let metrics = RunObservability::from_args(&obs_args(&["--metrics", "m.toml"]), 4).unwrap();
+        assert!(metrics.enabled());
+        assert!(metrics.obs().recorder.enabled());
+        assert!(metrics.obs().progress.is_none());
+        assert!(metrics.start_sampler().is_none());
+
+        // --progress attaches the live table.
+        let progress = RunObservability::from_args(&obs_args(&["--progress"]), 4).unwrap();
+        assert!(progress.obs().progress.is_some());
     }
 }

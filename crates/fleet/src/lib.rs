@@ -77,6 +77,7 @@
 pub mod admission;
 pub mod file;
 pub mod histogram;
+pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -86,11 +87,18 @@ pub mod topology;
 
 pub use admission::AdmissionSpec;
 pub use histogram::Histogram;
-pub use report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
-pub use runner::{run, run_corpus, run_pinned_corpus, run_source};
+pub use manifest::{ManifestReport, ManifestSignaling, RunManifest};
+pub use report::{CellLoad, FleetReport, FleetSignaling, RncLoad, RunTimings};
+pub use runner::{
+    run, run_corpus, run_corpus_observed, run_observed, run_pinned_corpus,
+    run_pinned_corpus_observed, run_source, run_source_observed,
+};
 pub use scenario::{user_seed, Scenario};
 pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};
-pub use sweep::{run_source_sweep, run_sweep, ScenarioSet, SweepAxis, SweepReport, SweepRow};
+pub use sweep::{
+    run_source_sweep, run_source_sweep_observed, run_sweep, run_sweep_observed, ScenarioSet,
+    SweepAxis, SweepReport, SweepRow,
+};
 pub use topology::{cell_of, merge_requests, rnc_of_cell, NetworkTopology};
 
 #[cfg(test)]

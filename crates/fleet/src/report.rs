@@ -135,6 +135,72 @@ impl FleetSignaling {
     }
 }
 
+/// Where a run's wall-clock went, phase by phase.
+///
+/// Phase seconds are summed across worker threads, so on parallel runs
+/// they can exceed `wall_seconds` — they answer "where did the work
+/// go", not "how long did you wait". Built from a recorder
+/// [`Snapshot`](tailwise_obs::Snapshot) and, like `wall_seconds`,
+/// measured rather than simulated: excluded from report equality and
+/// rendered only when positive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTimings {
+    /// Seconds materializing users: synthetic trace generation or
+    /// corpus trace loading (summed across both topology passes).
+    pub synthesize_s: f64,
+    /// Seconds simulating: per-user engine folds plus the pass-1
+    /// request-extraction scan of topology runs.
+    pub simulate_s: f64,
+    /// Seconds adjudicating admission at cells and RNCs (topology runs
+    /// only; 0.0 for radio-isolated runs).
+    pub adjudicate_s: f64,
+    /// Seconds in the exact scripted pass-2 replay (topology runs
+    /// only; 0.0 for radio-isolated runs).
+    pub replay_s: f64,
+    /// Busy fraction per worker thread: the share of the run's
+    /// wall-clock each worker spent executing shards.
+    pub worker_busy: Vec<f64>,
+}
+
+impl RunTimings {
+    /// Extracts the phase breakdown from a recorder snapshot (usually a
+    /// [`since`](tailwise_obs::Snapshot::since) delta covering exactly
+    /// one run) against the run's wall-clock seconds.
+    pub fn from_snapshot(snapshot: &tailwise_obs::Snapshot, wall_seconds: f64) -> RunTimings {
+        let worker_busy = if wall_seconds > 0.0 {
+            snapshot.workers.iter().map(|nanos| (*nanos as f64 / 1e9) / wall_seconds).collect()
+        } else {
+            Vec::new()
+        };
+        RunTimings {
+            synthesize_s: snapshot.span_seconds("synthesize"),
+            simulate_s: snapshot.span_seconds("simulate"),
+            adjudicate_s: snapshot.span_seconds("adjudicate"),
+            replay_s: snapshot.span_seconds("replay"),
+            worker_busy,
+        }
+    }
+
+    /// True when at least one phase recorded time — the render gate.
+    pub fn any_positive(&self) -> bool {
+        self.synthesize_s > 0.0
+            || self.simulate_s > 0.0
+            || self.adjudicate_s > 0.0
+            || self.replay_s > 0.0
+    }
+
+    /// `(name, seconds)` for each of the four phases, in pipeline
+    /// order. The manifest writer and the render share this list.
+    pub fn phases(&self) -> [(&'static str, f64); 4] {
+        [
+            ("synthesize", self.synthesize_s),
+            ("simulate", self.simulate_s),
+            ("adjudicate", self.adjudicate_s),
+            ("replay", self.replay_s),
+        ]
+    }
+}
+
 /// Aggregate outcome of one fleet run (or one shard of it).
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -180,6 +246,10 @@ pub struct FleetReport {
     pub wall_seconds: f64,
     /// Threads the run used (execution detail; excluded from equality).
     pub threads: usize,
+    /// Phase breakdown when the run was observed by an enabled
+    /// recorder (`None` otherwise; measurement detail, excluded from
+    /// equality like `wall_seconds`).
+    pub timings: Option<RunTimings>,
 }
 
 impl FleetReport {
@@ -204,6 +274,7 @@ impl FleetReport {
             signaling: None,
             wall_seconds: 0.0,
             threads: 1,
+            timings: None,
         }
     }
 
@@ -433,6 +504,21 @@ impl FleetReport {
                 self.user_days_per_sec()
             ));
         }
+        if let Some(timings) = self.timings.as_ref().filter(|t| t.any_positive()) {
+            let phases: Vec<String> = timings
+                .phases()
+                .iter()
+                .filter(|(_, seconds)| *seconds > 0.0)
+                .map(|(name, seconds)| format!("{name} {seconds:.2} s"))
+                .collect();
+            out.push_str(&format!("phases   : {}", phases.join("  ")));
+            if !timings.worker_busy.is_empty() {
+                let busy: Vec<String> =
+                    timings.worker_busy.iter().map(|b| format!("{:.0}%", b * 100.0)).collect();
+                out.push_str(&format!(" (worker busy {})", busy.join(" ")));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -554,6 +640,7 @@ mod tests {
         let mut b = a.clone();
         b.wall_seconds = 9.0;
         b.threads = 8;
+        b.timings = Some(RunTimings { simulate_s: 4.5, ..RunTimings::default() });
         assert_eq!(a, b);
         a.users = 1;
         assert_ne!(a, b);
@@ -561,6 +648,48 @@ mod tests {
         a.users = 0;
         a.source = "corpus ./elsewhere (3 traces)".into();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn timings_render_only_when_positive() {
+        let mut r = FleetReport::empty("x".into(), "s".into());
+        assert!(!r.render().contains("phases"));
+        r.timings = Some(RunTimings::default());
+        assert!(!r.render().contains("phases"), "all-zero timings must stay silent");
+        r.timings = Some(RunTimings {
+            synthesize_s: 0.5,
+            simulate_s: 1.25,
+            adjudicate_s: 0.0,
+            replay_s: 0.75,
+            worker_busy: vec![0.97, 0.5],
+        });
+        let text = r.render();
+        assert!(
+            text.contains("phases   : synthesize 0.50 s  simulate 1.25 s  replay 0.75 s"),
+            "{text}"
+        );
+        assert!(!text.contains("adjudicate"), "zero phases must be omitted: {text}");
+        assert!(text.contains("(worker busy 97% 50%)"), "{text}");
+    }
+
+    #[test]
+    fn timings_from_snapshot_reads_spans_and_workers() {
+        let mut s = tailwise_obs::Snapshot::empty();
+        s.spans
+            .insert("synthesize".into(), tailwise_obs::SpanStat { count: 2, nanos: 500_000_000 });
+        s.spans
+            .insert("simulate".into(), tailwise_obs::SpanStat { count: 2, nanos: 1_000_000_000 });
+        s.workers = vec![2_000_000_000, 1_000_000_000];
+        let t = RunTimings::from_snapshot(&s, 2.0);
+        assert_eq!(t.synthesize_s, 0.5);
+        assert_eq!(t.simulate_s, 1.0);
+        assert_eq!(t.adjudicate_s, 0.0);
+        assert_eq!(t.replay_s, 0.0);
+        assert_eq!(t.worker_busy, vec![1.0, 0.5]);
+        assert!(t.any_positive());
+        // Without a wall clock there is no meaningful busy fraction.
+        assert!(RunTimings::from_snapshot(&s, 0.0).worker_busy.is_empty());
+        assert!(!RunTimings::default().any_positive());
     }
 
     #[test]

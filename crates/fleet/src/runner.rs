@@ -29,13 +29,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use tailwise_core::schemes::Scheme;
+use tailwise_obs::{span, Obs, ProgressSlot, Recorder};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_scenfile::ScenError;
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::corpus::Corpus;
 use tailwise_trace::Trace;
 
-use crate::report::FleetReport;
+use crate::report::{FleetReport, RunTimings};
 use crate::scenario::{draw_carrier, Scenario};
 use crate::source::{CorpusScenario, UserSource};
 
@@ -100,19 +101,33 @@ impl<P: Partial> Frontier<P> {
 /// fold;
 /// the determinism contract is identical.
 pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
-    let started = std::time::Instant::now();
-    let mut report = if let Some(topology) = &scenario.cells {
-        crate::topology::run_topology_synthetic(scenario, topology, threads)
-            .expect("synthetic cell shards are infallible")
-    } else {
-        run_sharded(scenario.shard_count(), threads, &|| empty_report(scenario), &|shard| {
-            Ok(run_shard(scenario, shard))
-        })
-        .expect("synthetic shards are infallible")
-    };
-    report.wall_seconds = started.elapsed().as_secs_f64();
-    report.threads = threads.max(1);
-    report
+    run_observed(scenario, threads, Obs::none())
+}
+
+/// [`run`] under an [`Obs`] handle: spans, counters, worker busy time,
+/// and live progress flow into `obs`; the report additionally carries a
+/// [`RunTimings`] phase breakdown when the recorder is enabled.
+///
+/// Observation never perturbs the result: the report equals the
+/// [`run`] report bit for bit at any thread count.
+pub fn run_observed(scenario: &Scenario, threads: usize, obs: Obs<'_>) -> FleetReport {
+    timed(threads, obs, || {
+        if let Some(topology) = &scenario.cells {
+            crate::topology::run_topology_synthetic(scenario, topology, threads, obs)
+        } else {
+            if let Some(table) = obs.progress {
+                table.add_users_total(scenario.users);
+            }
+            run_sharded(
+                scenario.shard_count(),
+                threads,
+                obs,
+                &|| empty_report(scenario),
+                &|shard, ctx| Ok(run_shard(scenario, shard, ctx, obs.recorder)),
+            )
+        }
+    })
+    .expect("synthetic shards are infallible")
 }
 
 /// Runs any [`UserSource`] across `threads` worker threads.
@@ -123,9 +138,18 @@ pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
 /// determinism contract is identical for both: a bit-identical report
 /// at any thread count.
 pub fn run_source(source: &UserSource, threads: usize) -> Result<FleetReport, ScenError> {
+    run_source_observed(source, threads, Obs::none())
+}
+
+/// [`run_source`] under an [`Obs`] handle (see [`run_observed`]).
+pub fn run_source_observed(
+    source: &UserSource,
+    threads: usize,
+    obs: Obs<'_>,
+) -> Result<FleetReport, ScenError> {
     match source {
-        UserSource::Synthetic(scenario) => Ok(run(scenario, threads)),
-        UserSource::Corpus(corpus) => run_corpus(corpus, threads),
+        UserSource::Synthetic(scenario) => Ok(run_observed(scenario, threads, obs)),
+        UserSource::Corpus(corpus) => run_corpus_observed(corpus, threads, obs),
     }
 }
 
@@ -133,8 +157,17 @@ pub fn run_source(source: &UserSource, threads: usize) -> Result<FleetReport, Sc
 /// sorted file list into shards, and streams one trace per worker
 /// through scheme-vs-baseline simulation.
 pub fn run_corpus(scenario: &CorpusScenario, threads: usize) -> Result<FleetReport, ScenError> {
+    run_corpus_observed(scenario, threads, Obs::none())
+}
+
+/// [`run_corpus`] under an [`Obs`] handle (see [`run_observed`]).
+pub fn run_corpus_observed(
+    scenario: &CorpusScenario,
+    threads: usize,
+    obs: Obs<'_>,
+) -> Result<FleetReport, ScenError> {
     let corpus = scenario.resolve()?;
-    run_pinned_corpus(scenario, &corpus, threads)
+    run_pinned_corpus_observed(scenario, &corpus, threads, obs)
 }
 
 /// [`run_corpus`] against an already-resolved file list. Callers that
@@ -147,13 +180,22 @@ pub fn run_pinned_corpus(
     corpus: &Corpus,
     threads: usize,
 ) -> Result<FleetReport, ScenError> {
+    run_pinned_corpus_observed(scenario, corpus, threads, Obs::none())
+}
+
+/// [`run_pinned_corpus`] under an [`Obs`] handle (see [`run_observed`]).
+pub fn run_pinned_corpus_observed(
+    scenario: &CorpusScenario,
+    corpus: &Corpus,
+    threads: usize,
+    obs: Obs<'_>,
+) -> Result<FleetReport, ScenError> {
     // Checked up front so a misconfigured mix is a typed error, not a
     // panic inside a worker thread (draw_carrier asserts non-empty).
     if scenario.carrier_mix.is_empty() {
         return Err(scenario
             .runtime_err("corpus scenario has an empty carrier mix; replay needs one".into()));
     }
-    let started = std::time::Instant::now();
     let users = corpus.len() as u64;
     let shard_size = scenario.shard_size.max(1);
     let shard_count = users.div_ceil(shard_size);
@@ -163,25 +205,77 @@ pub fn run_pinned_corpus(
         report.source = source_label.clone();
         report
     };
-    let mut report = if let Some(topology) = &scenario.cells {
-        crate::topology::run_topology_corpus(scenario, corpus, topology, threads)?
-    } else {
-        run_sharded(shard_count, threads, &empty, &|shard| {
-            let mut partial = empty();
-            let lo = shard * shard_size;
-            let hi = ((shard + 1) * shard_size).min(users);
-            for index in lo..hi {
-                let trace = load_corpus_trace(scenario, corpus, index)?;
-                let carrier = draw_carrier(&scenario.carrier_mix, scenario.master_seed, index);
-                let days = days_spanned(&trace);
-                fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, days);
-                // `trace` drops here: load-simulate-discard.
+    timed(threads, obs, || {
+        if let Some(topology) = &scenario.cells {
+            crate::topology::run_topology_corpus(scenario, corpus, topology, threads, obs)
+        } else {
+            if let Some(table) = obs.progress {
+                table.add_users_total(users);
             }
-            Ok(partial)
-        })?
-    };
-    report.wall_seconds = started.elapsed().as_secs_f64();
+            run_sharded(shard_count, threads, obs, &empty, &|shard, ctx| {
+                let traces_loaded = obs.recorder.counter("traces_loaded");
+                let users_simulated = obs.recorder.counter("users_simulated");
+                let days_counter = obs.recorder.counter("user_days");
+                let mut partial = empty();
+                let lo = shard * shard_size;
+                let hi = ((shard + 1) * shard_size).min(users);
+                for index in lo..hi {
+                    let trace = {
+                        let _synthesize = span(obs.recorder, "synthesize");
+                        match load_corpus_trace(scenario, corpus, index) {
+                            Ok(trace) => trace,
+                            Err(e) => {
+                                ctx.trace_failed();
+                                return Err(e);
+                            }
+                        }
+                    };
+                    traces_loaded.incr();
+                    let carrier = draw_carrier(&scenario.carrier_mix, scenario.master_seed, index);
+                    let days = days_spanned(&trace);
+                    {
+                        let _simulate = span(obs.recorder, "simulate");
+                        fold_one(
+                            &mut partial,
+                            scenario.scheme,
+                            &carrier,
+                            &scenario.sim,
+                            &trace,
+                            days,
+                        );
+                    }
+                    users_simulated.incr();
+                    days_counter.add(days as u64);
+                    ctx.user_done(days as u64);
+                    // `trace` drops here: load-simulate-discard.
+                }
+                Ok(partial)
+            })
+        }
+    })
+}
+
+/// Shared wall-clock shell for every run entry point: snapshots the
+/// recorder, times `body`, stamps `wall_seconds`/`threads` on the
+/// report, records the whole run under the `"run"` span, and — when the
+/// recorder is enabled — attaches the [`RunTimings`] extracted from
+/// exactly this run's recorder delta.
+fn timed(
+    threads: usize,
+    obs: Obs<'_>,
+    body: impl FnOnce() -> Result<FleetReport, ScenError>,
+) -> Result<FleetReport, ScenError> {
+    let before = obs.recorder.enabled().then(|| obs.recorder.snapshot());
+    let started = std::time::Instant::now();
+    let mut report = body()?;
+    let wall = started.elapsed();
+    report.wall_seconds = wall.as_secs_f64();
     report.threads = threads.max(1);
+    if let Some(before) = before {
+        obs.recorder.record_span("run", wall.as_nanos() as u64);
+        let delta = obs.recorder.snapshot().since(&before);
+        report.timings = Some(RunTimings::from_snapshot(&delta, report.wall_seconds));
+    }
     Ok(report)
 }
 
@@ -200,17 +294,46 @@ pub(crate) fn load_corpus_trace(
     })
 }
 
+/// Per-worker context handed to every `shard_fn` call: where to
+/// publish live progress (when a [`ProgressTable`](tailwise_obs::ProgressTable)
+/// is attached). Both methods are no-ops when progress is off.
+pub(crate) struct ShardCtx<'a> {
+    slot: Option<&'a ProgressSlot>,
+}
+
+impl ShardCtx<'_> {
+    /// Publishes one finished user contributing `days` user-days.
+    pub(crate) fn user_done(&self, days: u64) {
+        if let Some(slot) = self.slot {
+            slot.add_user(days);
+        }
+    }
+
+    /// Publishes one failed trace load.
+    pub(crate) fn trace_failed(&self) {
+        if let Some(slot) = self.slot {
+            slot.add_failure();
+        }
+    }
+}
+
 /// The sharded execution core shared by synthetic, corpus, and
 /// cell-topology runs: work-stealing shard claims, bounded out-of-order
 /// buffering, and the in-order merge frontier over any [`Partial`].
 /// `shard_fn` is called once per shard index; its first error (if any)
 /// aborts the run — remaining workers stop claiming shards — and
 /// becomes the overall result.
+///
+/// Observation rides along without touching the schedule: workers
+/// publish the claimed shard and per-user progress through the
+/// [`ShardCtx`], and per-worker busy time (clock read only when the
+/// recorder is enabled) lands in `obs.recorder`.
 pub(crate) fn run_sharded<P: Partial>(
     shard_count: u64,
     threads: usize,
+    obs: Obs<'_>,
     empty: &(dyn Fn() -> P + Sync),
-    shard_fn: &(dyn Fn(u64) -> Result<P, ScenError> + Sync),
+    shard_fn: &(dyn Fn(u64, &ShardCtx) -> Result<P, ScenError> + Sync),
 ) -> Result<P, ScenError> {
     let threads = threads.max(1);
     let cursor = AtomicU64::new(0);
@@ -224,8 +347,13 @@ pub(crate) fn run_sharded<P: Partial>(
     let pending_cap = threads * 2 + 4;
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(shard_count.max(1) as usize) {
-            scope.spawn(|| loop {
+        for worker in 0..threads.min(shard_count.max(1) as usize) {
+            let cursor = &cursor;
+            let failed = &failed;
+            let error = &error;
+            let frontier = &frontier;
+            let merged = &merged;
+            scope.spawn(move || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
                 }
@@ -233,7 +361,16 @@ pub(crate) fn run_sharded<P: Partial>(
                 if shard >= shard_count {
                     break;
                 }
-                let partial = match shard_fn(shard) {
+                let slot = obs.progress.map(|table| table.slot(worker));
+                if let Some(slot) = slot {
+                    slot.begin_shard(shard);
+                }
+                let busy_clock = obs.recorder.enabled().then(std::time::Instant::now);
+                let outcome = shard_fn(shard, &ShardCtx { slot });
+                if let Some(started) = busy_clock {
+                    obs.recorder.record_worker(worker, started.elapsed().as_nanos() as u64);
+                }
+                let partial = match outcome {
                     Ok(partial) => partial,
                     Err(e) => {
                         error.lock().expect("fleet error slot").get_or_insert(e);
@@ -274,12 +411,28 @@ pub(crate) fn run_sharded<P: Partial>(
 }
 
 /// Simulates one synthetic shard serially, folding users in index order.
-fn run_shard(scenario: &Scenario, shard: u64) -> FleetReport {
+fn run_shard(
+    scenario: &Scenario,
+    shard: u64,
+    ctx: &ShardCtx<'_>,
+    recorder: &dyn Recorder,
+) -> FleetReport {
+    let users_simulated = recorder.counter("users_simulated");
+    let days_counter = recorder.counter("user_days");
     let mut partial = empty_report(scenario);
     for index in scenario.shard_range(shard) {
         let (carrier, model) = scenario.user(index);
-        let trace = model.generate();
-        fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, model.days);
+        let trace = {
+            let _synthesize = span(recorder, "synthesize");
+            model.generate()
+        };
+        {
+            let _simulate = span(recorder, "simulate");
+            fold_one(&mut partial, scenario.scheme, &carrier, &scenario.sim, &trace, model.days);
+        }
+        users_simulated.incr();
+        days_counter.add(model.days as u64);
+        ctx.user_done(model.days as u64);
         // `trace` drops here: generate-simulate-discard.
     }
     partial

@@ -22,7 +22,9 @@ use tailwise_scenfile::{Pos, ScenError};
 
 use crate::admission::AdmissionSpec;
 use crate::report::FleetReport;
-use crate::runner::{run, run_source};
+use tailwise_obs::Obs;
+
+use crate::runner::{run_observed, run_source_observed};
 use crate::scenario::Scenario;
 use crate::source::{SourceSet, UserSource};
 
@@ -264,11 +266,19 @@ pub struct SweepReport {
 /// pool via the sharded runner — so peak memory stays one trace per
 /// worker regardless of how many cells the sweep has.
 pub fn run_sweep(set: &ScenarioSet, threads: usize) -> SweepReport {
+    run_sweep_observed(set, threads, Obs::none())
+}
+
+/// [`run_sweep`] under an [`Obs`] handle. Every cell shares the same
+/// recorder and progress table; each row's report still carries its
+/// own per-run phase breakdown (the runner diffs recorder snapshots
+/// around each cell).
+pub fn run_sweep_observed(set: &ScenarioSet, threads: usize, obs: Obs<'_>) -> SweepReport {
     let rows = set
         .expand_labeled()
         .into_iter()
         .map(|(label, scenario)| {
-            let report = run(&scenario, threads);
+            let report = run_observed(&scenario, threads, obs);
             SweepRow { label, source: UserSource::Synthetic(scenario), report }
         })
         .collect();
@@ -285,6 +295,16 @@ pub fn run_sweep(set: &ScenarioSet, threads: usize) -> SweepReport {
 /// the cell that touches it). Fails on the first expansion whose corpus
 /// cannot be resolved or replayed.
 pub fn run_source_sweep(set: &SourceSet, threads: usize) -> Result<SweepReport, ScenError> {
+    run_source_sweep_observed(set, threads, Obs::none())
+}
+
+/// [`run_source_sweep`] under an [`Obs`] handle (see
+/// [`run_sweep_observed`] for how sweep cells share the recorder).
+pub fn run_source_sweep_observed(
+    set: &SourceSet,
+    threads: usize,
+    obs: Obs<'_>,
+) -> Result<SweepReport, ScenError> {
     let pinned = match &set.source {
         UserSource::Corpus(corpus) => Some(corpus.resolve()?),
         UserSource::Synthetic(_) => None,
@@ -293,9 +313,9 @@ pub fn run_source_sweep(set: &SourceSet, threads: usize) -> Result<SweepReport, 
     for (label, source) in set.expand_labeled()? {
         let report = match (&source, &pinned) {
             (UserSource::Corpus(corpus), Some(pinned)) => {
-                crate::runner::run_pinned_corpus(corpus, pinned, threads)?
+                crate::runner::run_pinned_corpus_observed(corpus, pinned, threads, obs)?
             }
-            _ => run_source(&source, threads)?,
+            _ => run_source_observed(&source, threads, obs)?,
         };
         rows.push(SweepRow { label, source, report });
     }
@@ -364,6 +384,7 @@ impl SweepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run;
     use tailwise_workload::apps::AppKind;
 
     fn base() -> Scenario {

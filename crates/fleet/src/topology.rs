@@ -66,6 +66,7 @@
 use std::collections::{BTreeMap, BinaryHeap};
 
 use tailwise_core::schemes::Scheme;
+use tailwise_obs::{span, Obs};
 use tailwise_radio::admission::REQUEST_MESSAGES;
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_radio::signaling::{SignalingBudget, SignalingModel};
@@ -273,6 +274,7 @@ pub(crate) fn run_topology_synthetic(
     scenario: &Scenario,
     topology: &NetworkTopology,
     threads: usize,
+    obs: Obs<'_>,
 ) -> Result<FleetReport, ScenError> {
     let empty = || FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
     run_topology(
@@ -283,6 +285,7 @@ pub(crate) fn run_topology_synthetic(
         scenario.master_seed,
         &empty,
         threads,
+        obs,
     )
 }
 
@@ -294,6 +297,7 @@ pub(crate) fn run_topology_corpus(
     corpus: &Corpus,
     topology: &NetworkTopology,
     threads: usize,
+    obs: Obs<'_>,
 ) -> Result<FleetReport, ScenError> {
     let source_label = format!("corpus {} ({} traces)", scenario.spec.dir.display(), corpus.len());
     let empty = || {
@@ -309,6 +313,7 @@ pub(crate) fn run_topology_corpus(
         scenario.master_seed,
         &empty,
         threads,
+        obs,
     )
 }
 
@@ -334,6 +339,13 @@ impl Partial for TopologyPartial {
 
 /// The two-pass core shared by synthetic and corpus topology runs. See
 /// the module docs for the pass structure and memory bounds.
+///
+/// Observation: trace materialization in either pass records under the
+/// `synthesize` span, pass-1 request extraction under `simulate`,
+/// per-RNC adjudication under `adjudicate`, and pass-2 scripted replay
+/// under `replay`. Live progress counts each user once per pass, so
+/// the expected total published to the table is `2 × users`.
+#[allow(clippy::too_many_arguments)] // one shared private core, two thin entry shims
 fn run_topology<U: TopologyUsers>(
     access: &U,
     scheme: Scheme,
@@ -342,6 +354,7 @@ fn run_topology<U: TopologyUsers>(
     master_seed: u64,
     empty: &(dyn Fn() -> FleetReport + Sync),
     threads: usize,
+    obs: Obs<'_>,
 ) -> Result<FleetReport, ScenError> {
     assert!(
         scheme.scriptable(),
@@ -360,17 +373,35 @@ fn run_topology<U: TopologyUsers>(
         let hi = ((shard + 1) * shard_size).min(users);
         lo..hi
     };
+    if let Some(table) = obs.progress {
+        // Both passes touch every user, so a finished run counts each
+        // user twice.
+        table.add_users_total(users * 2);
+    }
 
     // ---- Pass 1: cheap request extraction (one trace per worker). ----
     let request_streams: Vec<(u64, Vec<Instant>)> =
-        run_sharded(shard_count, threads, &Vec::new, &|shard| {
+        run_sharded(shard_count, threads, obs, &Vec::new, &|shard, ctx| {
             let mut partial = Vec::new();
             for index in shard_range(shard) {
-                let (carrier, trace, _) = access.user(index)?;
-                let requests = scheme
-                    .request_trace(&carrier, sim, &trace)
-                    .expect("scriptable scheme always yields a request trace");
+                let (carrier, trace, days) = {
+                    let _synthesize = span(obs.recorder, "synthesize");
+                    match access.user(index) {
+                        Ok(user) => user,
+                        Err(e) => {
+                            ctx.trace_failed();
+                            return Err(e);
+                        }
+                    }
+                };
+                let requests = {
+                    let _simulate = span(obs.recorder, "simulate");
+                    scheme
+                        .request_trace(&carrier, sim, &trace)
+                        .expect("scriptable scheme always yields a request trace")
+                };
                 partial.push((index, requests.times));
+                ctx.user_done(days as u64);
                 // `trace` drops here: pass 1 keeps only the requests.
             }
             Ok(partial)
@@ -406,6 +437,8 @@ fn run_topology<U: TopologyUsers>(
     let mut cell_policies: Vec<_> =
         (0..cell_count).map(|_| topology.cell_admission.build()).collect();
     for (rnc, streams) in per_rnc.iter().enumerate() {
+        // One adjudication span per RNC, on the caller thread.
+        let _adjudicate = span(obs.recorder, "adjudicate");
         let mut rnc_policy = topology.rnc_admission.build();
         for (at, user, seq) in merge_requests(streams) {
             let cell = user_cells[user as usize] as usize;
@@ -437,6 +470,13 @@ fn run_topology<U: TopologyUsers>(
     drop(cell_policies);
     drop(per_rnc);
     let verdicts = &verdicts;
+    if obs.recorder.enabled() {
+        let granted: u64 = cell_loads.iter().map(|c| c.granted).sum();
+        let denied: u64 = cell_loads.iter().map(|c| c.denied).sum();
+        obs.recorder.counter("requests_granted").add(granted);
+        obs.recorder.counter("requests_denied").add(denied);
+        obs.recorder.counter("requests_denied_by_rnc").add(denied_by_rnc.iter().sum());
+    }
 
     // ---- Pass 2: exact replay, energy fold + per-second load. --------
     // The default transition_log_limit is a safety cap for interactive
@@ -446,28 +486,45 @@ fn run_topology<U: TopologyUsers>(
         SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..sim.clone() };
     let empty_partial =
         || TopologyPartial { report: empty(), seconds: vec![BTreeMap::new(); cell_count] };
-    let folded: TopologyPartial = run_sharded(shard_count, threads, &empty_partial, &|shard| {
-        let mut partial = empty_partial();
-        for index in shard_range(shard) {
-            let (carrier, trace, days) = access.user(index)?;
-            let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
-            let mut scheme_run = scheme
-                .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
-                .expect("scriptable scheme always replays");
-            let cell = cell_of(master_seed, index, topology.cells) as usize;
-            if let Some(transitions) = scheme_run.transitions.take() {
-                let seconds = &mut partial.seconds[cell];
-                for t in &transitions {
-                    let second = t.at.as_micros().div_euclid(1_000_000);
-                    *seconds.entry(second).or_insert(0) +=
-                        topology.signaling.messages_for(t) as u64;
+    let folded: TopologyPartial =
+        run_sharded(shard_count, threads, obs, &empty_partial, &|shard, ctx| {
+            let users_simulated = obs.recorder.counter("users_simulated");
+            let days_counter = obs.recorder.counter("user_days");
+            let mut partial = empty_partial();
+            for index in shard_range(shard) {
+                let (carrier, trace, days) = {
+                    let _synthesize = span(obs.recorder, "synthesize");
+                    match access.user(index) {
+                        Ok(user) => user,
+                        Err(e) => {
+                            ctx.trace_failed();
+                            return Err(e);
+                        }
+                    }
+                };
+                let _replay = span(obs.recorder, "replay");
+                let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
+                let mut scheme_run = scheme
+                    .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
+                    .expect("scriptable scheme always replays");
+                let cell = cell_of(master_seed, index, topology.cells) as usize;
+                if let Some(transitions) = scheme_run.transitions.take() {
+                    let seconds = &mut partial.seconds[cell];
+                    for t in &transitions {
+                        let second = t.at.as_micros().div_euclid(1_000_000);
+                        *seconds.entry(second).or_insert(0) +=
+                            topology.signaling.messages_for(t) as u64;
+                    }
                 }
+                partial.report.fold_user(days, &scheme_run, &baseline);
+                drop(_replay);
+                users_simulated.incr();
+                days_counter.add(days as u64);
+                ctx.user_done(days as u64);
+                // `trace` drops here: pass 2 is load→replay→discard again.
             }
-            partial.report.fold_user(days, &scheme_run, &baseline);
-            // `trace` drops here: pass 2 is load→replay→discard again.
-        }
-        Ok(partial)
-    })?;
+            Ok(partial)
+        })?;
 
     // ---- Per-cell and per-RNC load accounting. -----------------------
     let TopologyPartial { mut report, seconds } = folded;

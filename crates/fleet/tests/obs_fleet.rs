@@ -1,0 +1,237 @@
+//! Observability end-to-end: recording never perturbs results.
+//!
+//! Pins the acceptance claims of `tailwise-obs` wired through the
+//! fleet stack:
+//!
+//! * a 3-RNC × 12-cell topology fleet and a corpus replay produce
+//!   **bit-identical** `FleetReport`s (including rendered text) under a
+//!   `NullRecorder` and under a full `StatsRecorder` + progress table,
+//!   at 1, 2, and 8 threads;
+//! * an observed topology run attaches all four positive phase timings
+//!   and publishes truthful progress totals (both passes count, so a
+//!   finished run reports `2 × users` done of `2 × users` expected);
+//! * the `--metrics` manifest of an admission sweep re-parses through
+//!   `tailwise-scenfile` with every expected key, equal to the
+//!   original, from a string and from a file.
+
+use std::path::PathBuf;
+
+use tailwise_core::schemes::Scheme;
+use tailwise_fleet::{
+    run, run_observed, run_source, run_source_observed, run_sweep_observed, synth_corpus,
+    AdmissionSpec, CorpusScenario, FleetReport, NetworkTopology, RunManifest, Scenario,
+    ScenarioSet, SweepAxis, UserSource,
+};
+use tailwise_obs::{Obs, ProgressTable, Recorder, StatsRecorder};
+use tailwise_radio::profile::CarrierProfile;
+use tailwise_trace::TraceFormat;
+use tailwise_workload::apps::AppKind;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tailwise-obs-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A small 3-RNC × 12-cell storm: tight budgets and a load-reactive
+/// RNC gate so every phase (and both denial counters) sees real work,
+/// kept to background IM so debug-mode CI stays fast.
+fn storm_scenario(users: u64) -> Scenario {
+    let mut s = Scenario::new(users, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+    s.master_seed = 0x0B5;
+    s.shard_size = 7; // ragged last shard
+    s.sim.window_capacity = 25;
+    s.app_mix = vec![(AppKind::Im, 1.0)];
+    let mut topology = NetworkTopology::with_rncs(3, 12);
+    topology.cell_budget.capacity_per_s = Some(8);
+    topology.rnc_budget.capacity_per_s = Some(40);
+    topology.rnc_admission = AdmissionSpec::LoadReactive { watermark_per_s: 5, window_s: 5 };
+    s.cells = Some(topology);
+    s
+}
+
+/// Rendered text with the measured fields (excluded from the
+/// determinism contract) normalized away.
+fn rendered(report: &FleetReport) -> String {
+    let mut report = report.clone();
+    report.wall_seconds = 0.0;
+    report.threads = 1;
+    report.timings = None;
+    report.render()
+}
+
+#[test]
+fn observed_topology_run_is_bit_identical_at_1_2_8_threads() {
+    let scenario = storm_scenario(48);
+    let baseline = run(&scenario, 1); // NullRecorder via Obs::none()
+    for threads in [1usize, 2, 8] {
+        let recorder = StatsRecorder::new();
+        let table = ProgressTable::new(threads);
+        let obs = Obs { recorder: &recorder, progress: Some(&table) };
+        let observed = run_observed(&scenario, threads, obs);
+        assert_eq!(baseline, observed, "threads={threads}");
+        assert_eq!(rendered(&baseline), rendered(&observed), "threads={threads}");
+
+        // The observed run attaches a full phase breakdown: all four
+        // phases did real work in a topology run.
+        let timings = observed.timings.as_ref().expect("observed run attaches timings");
+        for (name, seconds) in timings.phases() {
+            assert!(seconds > 0.0, "phase {name} recorded no time (threads={threads})");
+        }
+        assert!(!timings.worker_busy.is_empty());
+
+        // Progress: both passes count every user, and the published
+        // expected total agrees with what actually happened.
+        let totals = table.totals();
+        assert_eq!(totals.users_done, scenario.users * 2, "threads={threads}");
+        assert_eq!(table.users_total(), scenario.users * 2, "threads={threads}");
+        assert_eq!(totals.traces_failed, 0);
+
+        // Counters line up with the report.
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counters.get("users_simulated"), Some(&scenario.users));
+        assert_eq!(snapshot.counters.get("user_days"), Some(&baseline.user_days));
+        let granted = snapshot.counters.get("requests_granted").copied().unwrap_or(0);
+        let denied = snapshot.counters.get("requests_denied").copied().unwrap_or(0);
+        let signaling = baseline.signaling.as_ref().expect("topology run reports signaling");
+        assert_eq!(granted, signaling.granted());
+        assert_eq!(denied, signaling.denied());
+    }
+    // The unobserved baseline carries no timings at all.
+    assert!(baseline.timings.is_none());
+}
+
+#[test]
+fn observed_corpus_replay_is_bit_identical_at_1_2_8_threads() {
+    let mut scenario = Scenario::new(24, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+    scenario.master_seed = 0xC0FFEE;
+    scenario.shard_size = 5;
+    scenario.sim.window_capacity = 25;
+    scenario.app_mix = vec![(AppKind::Im, 1.0)];
+    let dir = temp_dir("corpus");
+    assert_eq!(synth_corpus(&scenario, &dir, TraceFormat::Binary, 4).unwrap(), 24);
+
+    let mut corpus = CorpusScenario::new(&dir, scenario.scheme, CarrierProfile::verizon_lte());
+    corpus.master_seed = scenario.master_seed;
+    corpus.shard_size = scenario.shard_size;
+    corpus.sim = scenario.sim.clone();
+    let source = UserSource::Corpus(corpus);
+
+    let baseline = run_source(&source, 2).unwrap();
+    for threads in [1usize, 2, 8] {
+        let recorder = StatsRecorder::new();
+        let table = ProgressTable::new(threads);
+        let obs = Obs { recorder: &recorder, progress: Some(&table) };
+        let observed = run_source_observed(&source, threads, obs).unwrap();
+        assert_eq!(baseline, observed, "threads={threads}");
+        assert_eq!(rendered(&baseline), rendered(&observed), "threads={threads}");
+
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counters.get("traces_loaded"), Some(&24));
+        assert_eq!(snapshot.counters.get("users_simulated"), Some(&24));
+        assert!(snapshot.span_seconds("synthesize") > 0.0, "corpus load is the synthesize phase");
+        assert!(snapshot.span_seconds("simulate") > 0.0);
+
+        let totals = table.totals();
+        assert_eq!(totals.users_done, 24);
+        assert_eq!(table.users_total(), 24);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recording_is_free_when_off() {
+    // Obs::none() reports disabled, hands out detached counters, and
+    // snapshots empty — the contract that lets the hot path skip all
+    // clock reads with one branch.
+    let obs = Obs::none();
+    assert!(!obs.recorder.enabled());
+    obs.recorder.counter("users_simulated").add(5);
+    let snapshot = obs.recorder.snapshot();
+    assert!(snapshot.counters.is_empty());
+    assert_eq!(snapshot.span_seconds("run"), 0.0);
+}
+
+#[test]
+fn sweep_manifest_round_trips_with_every_key() {
+    let set = ScenarioSet {
+        base: storm_scenario(24),
+        axes: vec![SweepAxis::Admission(vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::LoadReactive { watermark_per_s: 5, window_s: 5 },
+        ])],
+    };
+    let recorder = StatsRecorder::new();
+    let sweep = run_sweep_observed(&set, 2, Obs { recorder: &recorder, progress: None });
+    assert_eq!(sweep.rows.len(), 2);
+
+    let manifest = RunManifest::for_sweep(&sweep, 2, set.base.master_seed, &recorder.snapshot());
+    assert_eq!(manifest.seed, 0x0B5);
+    assert_eq!(manifest.reports.len(), 2);
+    assert_eq!(manifest.reports[0].label, "admission=always");
+    assert!(manifest.zero_phases().is_empty(), "zero phases: {:?}", manifest.zero_phases());
+    assert!(manifest.wall_seconds > 0.0);
+    for counter in [
+        "users_simulated",
+        "user_days",
+        "requests_granted",
+        "requests_denied",
+        "requests_denied_by_rnc",
+    ] {
+        assert!(manifest.counters.contains_key(counter), "missing counter {counter}");
+    }
+
+    // The emitted document carries every schema key and re-parses,
+    // strictly, to an equal manifest.
+    let toml = manifest.to_toml_string();
+    for key in [
+        "name",
+        "scheme",
+        "source",
+        "seed",
+        "threads",
+        "runs",
+        "wall_seconds",
+        "synthesize_s",
+        "simulate_s",
+        "adjudicate_s",
+        "replay_s",
+        "worker_busy",
+        "label",
+        "scenario",
+        "users",
+        "user_days",
+        "packets",
+        "energy_j",
+        "baseline_energy_j",
+        "saved_pct",
+        "switches",
+        "baseline_switches",
+        "false_switches",
+        "missed_switches",
+        "decisions",
+        "granted",
+        "denied",
+        "denied_by_rnc",
+        "peak_messages_per_s",
+        "cell_overload_s",
+        "rnc_overload_s",
+    ] {
+        assert!(toml.contains(&format!("{key} = ")), "missing key {key} in:\n{toml}");
+    }
+    assert_eq!(RunManifest::from_toml_str(&toml).unwrap(), manifest);
+
+    // Same through a file, with the path as error origin on the way in.
+    let path =
+        std::env::temp_dir().join(format!("tailwise-obs-it-manifest-{}.toml", std::process::id()));
+    manifest.to_file(&path).unwrap();
+    assert_eq!(RunManifest::from_file(&path).unwrap(), manifest);
+    std::fs::remove_file(&path).unwrap();
+
+    // Each sweep row is its own run: per-row timings attached and the
+    // whole-sweep "run" span covers both.
+    for row in &sweep.rows {
+        let timings = row.report.timings.as_ref().expect("observed rows attach timings");
+        assert!(timings.phases().iter().any(|(_, s)| *s > 0.0), "{}", row.label);
+    }
+}

@@ -1,0 +1,106 @@
+//! Hand-rolled observability for the fleet stack: span timing, named
+//! monotonic counters and gauges on relaxed atomics, and a lock-free
+//! per-shard progress table with a stderr sampler thread.
+//!
+//! Like `tailwise-scenfile`, this crate pulls in nothing from crates.io
+//! — everything is built on `std` atomics, `Instant`, and one sampler
+//! thread. Two properties are load-bearing for the rest of the
+//! workspace:
+//!
+//! * **Free when off.** [`NullRecorder`] reports `enabled() == false`,
+//!   so [`span`] never reads the clock, [`Counter`] handles it hands
+//!   out are detached no-ops, and the hot path reduces to one
+//!   predictable branch per probe site.
+//! * **Inert when on.** Recording only *observes*: nothing a
+//!   [`Recorder`] or [`ProgressTable`] does feeds back into simulation
+//!   state, so reports stay bit-identical with observability on or off
+//!   at any thread count. The fleet crate's tests pin this invariant.
+//!
+//! The typical wiring is an [`Obs`] handle — a recorder reference plus
+//! an optional progress table — threaded by value through the runner:
+//!
+//! ```
+//! use tailwise_obs::{span, Obs, Recorder, StatsRecorder};
+//!
+//! let recorder = StatsRecorder::new();
+//! let obs = Obs { recorder: &recorder, progress: None };
+//! {
+//!     let _guard = span(obs.recorder, "simulate");
+//!     // … work …
+//! } // guard drop records the elapsed nanoseconds
+//! obs.recorder.counter("users_simulated").incr();
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter("users_simulated"), 1);
+//! assert_eq!(snapshot.spans["simulate"].count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod progress;
+mod recorder;
+
+pub use progress::{ProgressSampler, ProgressSlot, ProgressTable, ProgressTotals};
+pub use recorder::{
+    span, Counter, NullRecorder, Recorder, Snapshot, SpanGuard, SpanStat, StatsRecorder,
+};
+
+/// Everything a run needs to observe itself: a recorder for spans,
+/// counters, and worker-busy accounting, plus an optional live progress
+/// table workers publish into.
+///
+/// `Obs` is `Copy` so worker closures capture it by value without
+/// lifetime gymnastics. [`Obs::none`] is the zero-cost default used by
+/// every un-instrumented entry point.
+#[derive(Clone, Copy)]
+pub struct Obs<'a> {
+    /// Span / counter / gauge sink. [`NullRecorder`] when observation
+    /// is off.
+    pub recorder: &'a dyn Recorder,
+    /// Live progress table, when a `--progress` style consumer wants
+    /// per-shard `(shard, users_done, user_days, traces_failed)`.
+    pub progress: Option<&'a ProgressTable>,
+}
+
+impl Obs<'static> {
+    /// The disabled handle: a [`NullRecorder`] and no progress table.
+    pub fn none() -> Obs<'static> {
+        static NULL: NullRecorder = NullRecorder;
+        Obs { recorder: &NULL, progress: None }
+    }
+}
+
+impl std::fmt::Debug for Obs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.recorder.enabled())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled_and_detached() {
+        let obs = Obs::none();
+        assert!(!obs.recorder.enabled());
+        assert!(obs.progress.is_none());
+        // Counters from the null recorder swallow updates.
+        let c = obs.recorder.counter("anything");
+        c.incr();
+        c.add(41);
+        assert_eq!(obs.recorder.snapshot().counter("anything"), 0);
+    }
+
+    #[test]
+    fn debug_shows_enablement_not_contents() {
+        let recorder = StatsRecorder::new();
+        let obs = Obs { recorder: &recorder, progress: None };
+        let text = format!("{obs:?}");
+        assert!(text.contains("enabled: true"), "{text}");
+        assert!(text.contains("progress: false"), "{text}");
+    }
+}

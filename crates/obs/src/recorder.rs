@@ -1,0 +1,404 @@
+//! The [`Recorder`] trait and its two implementations: the free-when-
+//! off [`NullRecorder`] and the aggregating [`StatsRecorder`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A named monotonic counter handle.
+///
+/// Handles are resolved once per shard (one map lookup) and then
+/// bumped with relaxed atomic adds — cheap enough for per-user hot
+/// loops. Handles from a [`NullRecorder`] carry no cell at all, so
+/// updates are a single predictable branch.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A detached counter that swallows every update.
+    pub fn detached() -> Counter {
+        Counter { cell: None }
+    }
+
+    fn live(cell: Arc<AtomicU64>) -> Counter {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed; totals are only read after the run joins its
+    /// workers, so no ordering is needed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregate of one named span: how many times it ran and the total
+/// nanoseconds spent inside it (summed across threads, so totals can
+/// exceed wall-clock on parallel runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of recorded span executions.
+    pub count: u64,
+    /// Total nanoseconds across all executions.
+    pub nanos: u64,
+}
+
+impl SpanStat {
+    /// Total time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// A point-in-time copy of everything a [`Recorder`] has accumulated.
+///
+/// Snapshots are plain owned data: diff two with [`Snapshot::since`]
+/// to attribute spans/counters to one slice of a longer run (the sweep
+/// runner does exactly this to give each sweep row its own timings).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Per-span aggregates, keyed by span name.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals, keyed by counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values, keyed by gauge name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Busy nanoseconds per worker slot (index = worker).
+    pub workers: Vec<u64>,
+}
+
+impl Snapshot {
+    /// The empty snapshot (what [`NullRecorder`] always returns).
+    pub fn empty() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.workers.is_empty()
+    }
+
+    /// Total seconds recorded under span `name` (0.0 when absent).
+    pub fn span_seconds(&self, name: &str) -> f64 {
+        self.spans.get(name).map_or(0.0, SpanStat::seconds)
+    }
+
+    /// Counter total for `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// What happened between `earlier` and `self`: per-key saturating
+    /// deltas for spans and counters, element-wise deltas for worker
+    /// busy time. Gauges are last-write values, not sums, so the later
+    /// snapshot's gauges are kept as-is.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, stat)| {
+                let base = earlier.spans.get(name).copied().unwrap_or_default();
+                let delta = SpanStat {
+                    count: stat.count.saturating_sub(base.count),
+                    nanos: stat.nanos.saturating_sub(base.nanos),
+                };
+                (name.clone(), delta)
+            })
+            .filter(|(_, stat)| stat.count > 0 || stat.nanos > 0)
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, total)| (name.clone(), total.saturating_sub(earlier.counter(name))))
+            .filter(|(_, total)| *total > 0)
+            .collect();
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, nanos)| nanos.saturating_sub(earlier.workers.get(w).copied().unwrap_or(0)))
+            .collect();
+        Snapshot { spans, counters, gauges: self.gauges.clone(), workers }
+    }
+}
+
+/// Sink for spans, counters, gauges, and per-worker busy time.
+///
+/// Implementations must be `Sync`: one recorder is shared by reference
+/// across every worker thread of a run. The contract that matters is
+/// that recording only observes — implementations must never feed
+/// anything back into the code being measured.
+pub trait Recorder: Sync {
+    /// Whether this recorder keeps anything. Probe sites use this to
+    /// skip clock reads entirely (see [`span`]).
+    fn enabled(&self) -> bool;
+
+    /// Adds one execution of `name` lasting `nanos` nanoseconds.
+    fn record_span(&self, name: &'static str, nanos: u64);
+
+    /// Resolves a counter handle for `name`. Call once per shard, then
+    /// bump the handle in the loop.
+    fn counter(&self, name: &'static str) -> Counter;
+
+    /// Sets gauge `name` to `value` (last write wins).
+    fn gauge(&self, name: &'static str, value: u64);
+
+    /// Adds `busy_nanos` of busy time to worker slot `worker`.
+    fn record_worker(&self, worker: usize, busy_nanos: u64);
+
+    /// An owned copy of everything accumulated so far.
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// Times a region: records `name` on the recorder when dropped.
+///
+/// Construct via [`span`]; when the recorder is disabled the guard is
+/// inert and no clock is ever read.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard<'a> {
+    active: Option<(&'a dyn Recorder, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, name, started)) = self.active.take() {
+            recorder.record_span(name, started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Starts timing `name`; the returned guard records the elapsed time
+/// on drop. When `recorder.enabled()` is false this never touches the
+/// clock — the whole probe costs one branch.
+pub fn span<'a>(recorder: &'a dyn Recorder, name: &'static str) -> SpanGuard<'a> {
+    if recorder.enabled() {
+        SpanGuard { active: Some((recorder, name, Instant::now())) }
+    } else {
+        SpanGuard { active: None }
+    }
+}
+
+/// The recorder that records nothing.
+///
+/// Every method is a no-op and `enabled()` is false, so probe sites
+/// collapse to a branch and counter handles are detached.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_span(&self, _name: &'static str, _nanos: u64) {}
+
+    fn counter(&self, _name: &'static str) -> Counter {
+        Counter::detached()
+    }
+
+    fn gauge(&self, _name: &'static str, _value: u64) {}
+
+    fn record_worker(&self, _worker: usize, _busy_nanos: u64) {}
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::empty()
+    }
+}
+
+/// The recorder that keeps everything, aggregated in memory.
+///
+/// Counters live on shared atomics so the hot path never takes a lock;
+/// spans, gauges, and worker busy time go through short mutexed map
+/// updates (spans are recorded once per region, not per user, so the
+/// lock is off the hot path).
+#[derive(Debug, Default)]
+pub struct StatsRecorder {
+    spans: Mutex<BTreeMap<&'static str, SpanStat>>,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
+    workers: Mutex<Vec<u64>>,
+}
+
+impl StatsRecorder {
+    /// A new empty recorder.
+    pub fn new() -> StatsRecorder {
+        StatsRecorder::default()
+    }
+}
+
+impl Recorder for StatsRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        let mut spans = self.spans.lock().expect("span map poisoned");
+        let stat = spans.entry(name).or_default();
+        stat.count += 1;
+        stat.nanos += nanos;
+    }
+
+    fn counter(&self, name: &'static str) -> Counter {
+        let mut counters = self.counters.lock().expect("counter map poisoned");
+        Counter::live(Arc::clone(counters.entry(name).or_default()))
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.gauges.lock().expect("gauge map poisoned").insert(name, value);
+    }
+
+    fn record_worker(&self, worker: usize, busy_nanos: u64) {
+        let mut workers = self.workers.lock().expect("worker table poisoned");
+        if workers.len() <= worker {
+            workers.resize(worker + 1, 0);
+        }
+        workers[worker] += busy_nanos;
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let spans = self
+            .spans
+            .lock()
+            .expect("span map poisoned")
+            .iter()
+            .map(|(name, stat)| (name.to_string(), *stat))
+            .collect();
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect();
+        let workers = self.workers.lock().expect("worker table poisoned").clone();
+        Snapshot { spans, counters, gauges, workers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_recorder_aggregates_spans_and_counters() {
+        let r = StatsRecorder::new();
+        {
+            let _outer = span(&r, "simulate");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        r.record_span("simulate", 500);
+        let c = r.counter("users_simulated");
+        c.incr();
+        c.add(4);
+        // A second handle for the same name shares the cell.
+        r.counter("users_simulated").incr();
+        r.gauge("shard_count", 9);
+        r.gauge("shard_count", 11);
+        r.record_worker(1, 300);
+        r.record_worker(1, 200);
+
+        let s = r.snapshot();
+        assert_eq!(s.spans["simulate"].count, 2);
+        assert!(s.spans["simulate"].nanos >= 2_000_000 + 500);
+        assert_eq!(s.counter("users_simulated"), 6);
+        assert_eq!(s.gauges["shard_count"], 11);
+        assert_eq!(s.workers, vec![0, 500]);
+    }
+
+    #[test]
+    fn null_recorder_records_nothing() {
+        let r = NullRecorder;
+        {
+            let _g = span(&r, "simulate");
+        }
+        r.record_span("simulate", 99);
+        r.counter("x").add(7);
+        r.gauge("g", 1);
+        r.record_worker(0, 1);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_guard_skips_the_clock_when_disabled() {
+        let g = span(&NullRecorder, "anything");
+        assert!(g.active.is_none());
+    }
+
+    #[test]
+    fn snapshot_since_takes_saturating_deltas() {
+        let r = StatsRecorder::new();
+        r.record_span("simulate", 100);
+        r.counter("users").add(3);
+        r.record_worker(0, 10);
+        let before = r.snapshot();
+
+        r.record_span("simulate", 50);
+        r.record_span("replay", 25);
+        r.counter("users").add(2);
+        r.counter("packets").add(9);
+        r.gauge("shards", 4);
+        r.record_worker(0, 5);
+        r.record_worker(1, 7);
+
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.spans["simulate"], SpanStat { count: 1, nanos: 50 });
+        assert_eq!(delta.spans["replay"], SpanStat { count: 1, nanos: 25 });
+        assert_eq!(delta.counter("users"), 2);
+        assert_eq!(delta.counter("packets"), 9);
+        assert_eq!(delta.gauges["shards"], 4);
+        assert_eq!(delta.workers, vec![5, 7]);
+        // A full-window delta against empty reproduces the snapshot.
+        let all = r.snapshot();
+        assert_eq!(all.since(&Snapshot::empty()), all);
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        let r = StatsRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = r.counter("hits");
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("hits"), 4000);
+    }
+
+    #[test]
+    fn span_seconds_converts_nanos() {
+        let mut s = Snapshot::empty();
+        s.spans.insert("run".into(), SpanStat { count: 1, nanos: 1_500_000_000 });
+        assert!((s.span_seconds("run") - 1.5).abs() < 1e-12);
+        assert_eq!(s.span_seconds("absent"), 0.0);
+    }
+}

@@ -57,5 +57,5 @@ pub mod write;
 
 pub use error::{Pos, ScenError, ScenErrorKind};
 pub use parse::parse;
-pub use value::{str_elements, u64_elements, Entry, Item, Table, Value};
+pub use value::{float_elements, str_elements, u64_elements, Entry, Item, Table, Value};
 pub use write::{escape_str, format_float, is_bare_key, DocWriter};

@@ -390,6 +390,23 @@ pub fn u64_elements(key: &str, items: &[Item]) -> Result<Vec<u64>, ScenError> {
         .collect()
 }
 
+/// Extracts the floats of an array, coercing integer elements the way
+/// [`Table::get_float`] does (a manifest writing `[1.0, 2]` means the
+/// same thing either way).
+pub fn float_elements(key: &str, items: &[Item]) -> Result<Vec<f64>, ScenError> {
+    items
+        .iter()
+        .map(|item| match &item.value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(ScenError::at(
+                item.pos,
+                format!("elements of `{key}` must be floats, found {}", other.type_name()),
+            )),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

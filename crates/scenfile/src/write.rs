@@ -133,6 +133,13 @@ impl DocWriter {
         self.raw(key, &format!("[{}]", body.join(", ")))
     }
 
+    /// Writes `key = [0.5, 1.0, …]` for finite floats (panics on
+    /// NaN/inf, like [`DocWriter::float`]).
+    pub fn float_array(&mut self, key: &str, values: &[f64]) -> &mut Self {
+        let body: Vec<String> = values.iter().copied().map(format_float).collect();
+        self.raw(key, &format!("[{}]", body.join(", ")))
+    }
+
     fn raw(&mut self, key: &str, rendered: &str) -> &mut Self {
         assert!(is_bare_key(key), "key {key:?} is not a bare key");
         let _ = writeln!(self.out, "{key} = {rendered}");
@@ -163,7 +170,8 @@ mod tests {
             .float("whole", 3.0)
             .bool("enabled", false)
             .str_array("schemes", &["makeidle", "oracle"])
-            .uint_array("sizes", &[1, 200_000]);
+            .uint_array("sizes", &[1, 200_000])
+            .float_array("busy", &[0.25, 1.0]);
         w.blank().array_table("carrier").str("profile", "att-hspa");
         let text = w.finish();
 
@@ -177,6 +185,8 @@ mod tests {
         assert!(matches!(s.get("whole").unwrap().value, crate::Value::Float(v) if v == 3.0));
         assert_eq!(s.get_bool("enabled").unwrap(), Some(false));
         assert_eq!(s.req_array("schemes").unwrap().len(), 2);
+        let busy = crate::value::float_elements("busy", s.req_array("busy").unwrap()).unwrap();
+        assert_eq!(busy, vec![0.25, 1.0]);
         assert_eq!(doc.array_of_tables("carrier").len(), 1);
     }
 

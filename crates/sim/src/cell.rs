@@ -27,6 +27,7 @@
 //! window scan per device instead of a full engine run. The fleet's
 //! cell topologies scale the same recipe to whole populations.
 
+use tailwise_obs::{span, NullRecorder, Recorder};
 use tailwise_radio::admission::{AdmissionPolicy, REQUEST_MESSAGES};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_radio::signaling::SignalingModel;
@@ -92,20 +93,42 @@ impl CellReport {
 pub fn run_cell(
     profile: &CarrierProfile,
     config: &SimConfig,
-    mut devices: Vec<CellDevice>,
+    devices: Vec<CellDevice>,
     admission: &mut dyn AdmissionPolicy,
     signaling: &SignalingModel,
     capacity_per_s: Option<u64>,
 ) -> CellReport {
+    run_cell_observed(profile, config, devices, admission, signaling, capacity_per_s, &NullRecorder)
+}
+
+/// [`run_cell`] under a [`Recorder`]: pass-1 request collection records
+/// under the `simulate` span, the shared-policy loop under
+/// `adjudicate`, pass-2 scripted replay under `replay`, and grants /
+/// denials land on the `requests_granted` / `requests_denied` counters.
+/// Recording only observes — the report is bit-identical to the
+/// un-observed run.
+pub fn run_cell_observed(
+    profile: &CarrierProfile,
+    config: &SimConfig,
+    mut devices: Vec<CellDevice>,
+    admission: &mut dyn AdmissionPolicy,
+    signaling: &SignalingModel,
+    capacity_per_s: Option<u64>,
+    recorder: &dyn Recorder,
+) -> CellReport {
     // Pass 1: collect each device's fast-dormancy request times — the
     // cheap streaming pass, no energy simulation.
-    let request_times: Vec<Vec<Instant>> = devices
-        .iter_mut()
-        .map(|dev| record_requests(profile, config, &dev.trace, dev.policy.as_mut()).times)
-        .collect();
+    let request_times: Vec<Vec<Instant>> = {
+        let _simulate = span(recorder, "simulate");
+        devices
+            .iter_mut()
+            .map(|dev| record_requests(profile, config, &dev.trace, dev.policy.as_mut()).times)
+            .collect()
+    };
 
     // Base station adjudicates the merged request stream in time order
     // (ties broken by device index, deterministically).
+    let _adjudicate = span(recorder, "adjudicate");
     let mut merged: Vec<(Instant, usize, usize)> = Vec::new();
     for (dev, times) in request_times.iter().enumerate() {
         for (seq, &at) in times.iter().enumerate() {
@@ -125,11 +148,15 @@ pub fn run_cell(
             denied += 1;
         }
     }
+    recorder.counter("requests_granted").add(granted);
+    recorder.counter("requests_denied").add(denied);
+    drop(_adjudicate);
 
     // Pass 2: replay each device against its scripted verdicts, recording
     // transitions for the load analysis. The transition-log cap is
     // lifted: a truncated log would silently undercount the cell's
     // message load.
+    let _replay = span(recorder, "replay");
     let replay_config =
         SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..config.clone() };
     let mut reports = Vec::with_capacity(devices.len());
@@ -148,6 +175,7 @@ pub fn run_cell(
         }
         reports.push(r);
     }
+    drop(_replay);
 
     // Per-second load histogram.
     message_events.sort_by_key(|&(at, _)| at);
@@ -320,6 +348,35 @@ mod tests {
             free.total_messages
         );
         assert!(governed.total_energy() > free.total_energy(), "shedding load costs energy");
+    }
+
+    #[test]
+    fn observed_cell_matches_unobserved_and_records_phases() {
+        use tailwise_obs::{Recorder as _, StatsRecorder};
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let model = SignalingModel::default();
+        let recorder = StatsRecorder::new();
+        let plain = run_cell(&p, &cfg, cell(4), &mut AlwaysAccept, &model, Some(35));
+        let observed =
+            run_cell_observed(&p, &cfg, cell(4), &mut AlwaysAccept, &model, Some(35), &recorder);
+        // Recording must not perturb the result.
+        assert_eq!(plain.granted, observed.granted);
+        assert_eq!(plain.denied, observed.denied);
+        assert_eq!(plain.total_messages, observed.total_messages);
+        assert_eq!(plain.peak_messages_per_s, observed.peak_messages_per_s);
+        assert_eq!(plain.overload_seconds, observed.overload_seconds);
+        assert_eq!(plain.total_energy().to_bits(), observed.total_energy().to_bits());
+        for (a, b) in plain.devices.iter().zip(&observed.devices) {
+            assert_eq!(a.total_energy().to_bits(), b.total_energy().to_bits());
+        }
+        // And the recorder saw every phase plus the adjudication tally.
+        let s = recorder.snapshot();
+        for phase in ["simulate", "adjudicate", "replay"] {
+            assert_eq!(s.spans[phase].count, 1, "{phase}");
+        }
+        assert_eq!(s.counter("requests_granted"), observed.granted);
+        assert_eq!(s.counter("requests_denied"), observed.denied);
     }
 
     #[test]
