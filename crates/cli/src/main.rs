@@ -87,6 +87,13 @@ COMMANDS
                                           still prints)
                      --metrics <path>     (write a machine-readable run manifest,
                                           re-readable with `fleet manifest`)
+                     --cache <dir>        (spill phase-1 request extractions to
+                                          <dir> as .twc files and warm-start
+                                          later runs from them; cell-topology
+                                          runs only — results are always
+                                          bit-identical, cached or not)
+                     --no-cache           (disable the default in-memory
+                                          phase-1 cache)
   fleet run <file.toml>
                    run an on-disk scenario file (docs/SCENARIO_FORMAT.md):
                    a synthetic population, or a [corpus] table replaying a
@@ -96,7 +103,11 @@ COMMANDS
                    one side-by-side comparison table
                      --threads <t>        (default: all hardware threads)
                      --progress / --quiet / --metrics <path>
-                                          (as for `fleet` above)
+                     --cache <dir> / --no-cache
+                                          (as for `fleet` above; sweeps cache
+                                          in memory by default, so every cell
+                                          after the first replays the shared
+                                          phase-1 extraction)
   fleet manifest <run.toml>
                    re-parse a --metrics run manifest (strict) and
                    print its provenance, phase timings and counters
@@ -326,7 +337,7 @@ fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
 /// Boolean `--switch` flags (no value) known anywhere on the command
 /// line; subcommands that do not take one still reject it by name via
 /// `check_known`.
-const SWITCHES: &[&str] = &["progress", "quiet", "require-phases"];
+const SWITCHES: &[&str] = &["progress", "quiet", "require-phases", "no-cache"];
 
 /// Observability flags shared by the run subcommands (`fleet`,
 /// `fleet run`): `--progress` (live status line), `--quiet` (suppress
@@ -392,6 +403,30 @@ impl RunObservability {
             }
         }
         Ok(())
+    }
+}
+
+/// The phase-1 request cache described by `--cache <dir>` /
+/// `--no-cache`: `None` disables caching, the default is a fresh
+/// in-memory cache (free single-run reuse within sweeps), and a
+/// directory adds `.twc` spills that warm-start later processes.
+fn cache_from_args(args: &Args) -> Result<Option<tailwise_fleet::RequestCache>, ArgError> {
+    let dir = args.opt("cache");
+    if args.flag("no-cache") && dir.is_some() {
+        return Err(ArgError(
+            "--cache conflicts with --no-cache: one asks for an on-disk cache directory, \
+             the other asks for no caching at all; drop one"
+                .into(),
+        ));
+    }
+    if args.flag("no-cache") {
+        return Ok(None);
+    }
+    match dir {
+        Some(dir) => tailwise_fleet::RequestCache::with_dir(dir)
+            .map(Some)
+            .map_err(|e| ArgError(format!("--cache {dir}: cannot prepare cache directory: {e}"))),
+        None => Ok(Some(tailwise_fleet::RequestCache::in_memory())),
     }
 }
 
@@ -528,10 +563,13 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "progress",
         "quiet",
         "metrics",
+        "cache",
+        "no-cache",
     ])?;
     let threads = threads_from(args)?;
     let scenario = fleet_scenario_from_flags(args)?;
     let obs = RunObservability::from_args(args, threads)?;
+    let cache = cache_from_args(args)?;
     let topology = match &scenario.cells {
         Some(topology) => {
             format!(" across {} RNC(s) / {} cell(s)", topology.rncs, topology.cells)
@@ -551,7 +589,7 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let sampler = obs.start_sampler();
-    let report = tailwise_fleet::run_observed(&scenario, threads, obs.obs());
+    let report = tailwise_fleet::run_cached(&scenario, threads, obs.obs(), cache.as_ref());
     if let Some(sampler) = sampler {
         sampler.finish();
     }
@@ -619,7 +657,7 @@ fn cmd_fleet_manifest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// a single fleet run (synthetic or corpus replay), or a sweep matrix
 /// folded into one comparison table.
 fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.check_known(&["threads", "progress", "quiet", "metrics"])?;
+    args.check_known(&["threads", "progress", "quiet", "metrics", "cache", "no-cache"])?;
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("fleet run needs a scenario file path".into()))?;
@@ -632,6 +670,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let set = tailwise_fleet::SourceSet::from_file(path)?;
     let threads = threads_from(args)?;
     let obs = RunObservability::from_args(args, threads)?;
+    let cache = cache_from_args(args)?;
     let seed = match &set.source {
         tailwise_fleet::UserSource::Synthetic(base) => base.master_seed,
         tailwise_fleet::UserSource::Corpus(base) => base.master_seed,
@@ -647,7 +686,8 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         let sampler = obs.start_sampler();
-        let report = tailwise_fleet::run_source_sweep_observed(&set, threads, obs.obs())?;
+        let report =
+            tailwise_fleet::run_source_sweep_cached(&set, threads, obs.obs(), cache.as_ref())?;
         if let Some(sampler) = sampler {
             sampler.finish();
         }
@@ -687,7 +727,8 @@ fn cmd_fleet_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let sampler = obs.start_sampler();
-    let report = tailwise_fleet::run_source_observed(&set.source, threads, obs.obs())?;
+    let report =
+        tailwise_fleet::run_source_cached(&set.source, threads, obs.obs(), cache.as_ref())?;
     if let Some(sampler) = sampler {
         sampler.finish();
     }
@@ -897,6 +938,19 @@ mod tests {
         // Either alone is fine.
         assert!(RunObservability::from_args(&obs_args(&["--progress"]), 2).is_ok());
         assert!(RunObservability::from_args(&obs_args(&["--quiet"]), 2).is_ok());
+    }
+
+    #[test]
+    fn cache_flags_conflict_and_default_on() {
+        let err = cache_from_args(&obs_args(&["--cache", "/tmp/x", "--no-cache"]))
+            .map(|_| ())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--cache conflicts with --no-cache"), "{err}");
+        // --no-cache alone disables; no flags defaults to in-memory.
+        assert!(cache_from_args(&obs_args(&["--no-cache"])).unwrap().is_none());
+        let default = cache_from_args(&obs_args(&[])).unwrap().expect("default cache");
+        assert!(default.dir().is_none(), "default cache must be memory-only");
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! Phase-1 request caching across sweep cells.
+//!
+//! An admission or scheme sweep re-runs the same population against a
+//! different policy per cell, but the two-pass topology runner's phase 1
+//! ([`Scheme::request_trace`](tailwise_core::schemes::Scheme::request_trace))
+//! is a pure function of `(population, scheme)` — it never sees the
+//! admission axis. A [`RequestCache`] exploits that: the first cell pays
+//! the extraction pass and every later cell replays the stored request
+//! streams, so an N-cell sweep costs one extraction plus N cheap
+//! replays. The status-quo baseline each user is scored against is even
+//! more reusable — it is scheme-independent — so the cache also keeps a
+//! per-user `(energy, switches)` baseline summary keyed on the
+//! population alone.
+//!
+//! ## Keys
+//!
+//! A [`Fingerprint`] is the scheme-independent identity of a synthetic
+//! population: master seed, user count, days, a hash of the app/carrier
+//! mixes, and a hash of the behavior-relevant engine knobs. Request
+//! streams are keyed on `(Fingerprint, scheme token)` — the stream
+//! depends on the scheme's idle policy — while baselines are keyed on
+//! the `Fingerprint` alone. Anything the fingerprint excludes (the
+//! admission axes, the cell/RNC topology, shard size, thread count,
+//! observation knobs) provably cannot change phase-1 output, which is
+//! exactly what makes sweep cells share entries.
+//!
+//! ## Fallback contract
+//!
+//! The cache can be wrong about the disk but never about the answer: a
+//! missing file is a miss, and a corrupt, truncated, or
+//! mismatched-header `.twc` file is a *fallback* — counted on the
+//! `cache_fallbacks` counter, recomputed from scratch, never trusted.
+//! The bit-identity harness in `tests/cache_fleet.rs` pins that a
+//! cached, spilled, reloaded, or fallback run produces byte-identical
+//! reports.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use tailwise_obs::Obs;
+use tailwise_radio::profile::{CarrierProfile, RadioTech};
+use tailwise_trace::io::{read_request_streams, write_request_streams, RequestCacheHeader};
+use tailwise_trace::mix::splitmix64 as splitmix;
+use tailwise_trace::time::Instant;
+
+use crate::scenario::Scenario;
+
+/// The scheme-independent identity of a synthetic population: everything
+/// that feeds phase-1 request extraction *except* the scheme itself.
+///
+/// Two scenarios with equal fingerprints synthesize bit-identical users
+/// and traces; the excluded fields (scheme, admission policies,
+/// topology shape, shard size) affect only adjudication and the fold,
+/// never the per-user request streams. Golden tests below pin both
+/// directions: identity-field changes miss, policy-axis changes hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Scenario master seed (roots the whole seeding hierarchy).
+    pub master_seed: u64,
+    /// Population size.
+    pub users: u64,
+    /// Days synthesized per user (after the runner's ≥ 1 clamp).
+    pub days: u32,
+    /// Hash over the app and carrier mixes, weights included.
+    pub mix_hash: u64,
+    /// Hash over the behavior-relevant engine knobs
+    /// (`intra_burst_gap`, `window_capacity`; the record/limit knobs
+    /// are observational and deliberately excluded).
+    pub sim_hash: u64,
+}
+
+/// One hash folding step (SplitMix64 avalanche, the same primitive the
+/// seeding hierarchy and the `.twc` checksum use).
+fn fold(h: u64, word: u64) -> u64 {
+    splitmix(h ^ word)
+}
+
+/// Folds a byte string unambiguously (length first, then bytes).
+fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    h = fold(h, bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = fold(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Folds every behavior-relevant field of a carrier profile. Weights
+/// and numeric fields hash by exact bit pattern: a fingerprint must
+/// never conflate two profiles that simulate differently, however
+/// close their numbers.
+fn fold_carrier(mut h: u64, carrier: &CarrierProfile) -> u64 {
+    h = fold_bytes(h, carrier.name.as_bytes());
+    h = fold(
+        h,
+        match carrier.tech {
+            RadioTech::ThreeG => 3,
+            RadioTech::Lte => 4,
+        },
+    );
+    for value in [
+        carrier.p_send,
+        carrier.p_recv,
+        carrier.p_dch,
+        carrier.p_fach,
+        carrier.e_promote,
+        carrier.e_demote_base,
+        carrier.fd_energy_fraction,
+    ] {
+        h = fold(h, value.to_bits());
+    }
+    for duration in [carrier.t1, carrier.t2, carrier.promotion_delay] {
+        h = fold(h, duration.as_micros() as u64);
+    }
+    h
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of a synthetic scenario.
+    pub fn of(scenario: &Scenario) -> Fingerprint {
+        let mut mix = 0xF1D0_0000_0000_0000u64;
+        mix = fold(mix, scenario.app_mix.len() as u64);
+        for (kind, weight) in &scenario.app_mix {
+            mix = fold_bytes(mix, kind.token().as_bytes());
+            mix = fold(mix, weight.to_bits());
+        }
+        mix = fold(mix, scenario.carrier_mix.len() as u64);
+        for (carrier, weight) in &scenario.carrier_mix {
+            mix = fold_carrier(mix, carrier);
+            mix = fold(mix, weight.to_bits());
+        }
+        let mut sim = 0x51AB_0000_0000_0000u64;
+        sim = fold(sim, scenario.sim.intra_burst_gap.as_micros() as u64);
+        sim = fold(sim, scenario.sim.window_capacity as u64);
+        Fingerprint {
+            master_seed: scenario.master_seed,
+            users: scenario.users,
+            days: scenario.days_per_user.max(1),
+            mix_hash: mix,
+            sim_hash: sim,
+        }
+    }
+
+    /// Collapses the fingerprint to one well-mixed word (the spill file
+    /// name stem). Equal fingerprints always collapse equally; the
+    /// golden tests pin concrete values so the on-disk naming cannot
+    /// drift silently between releases.
+    pub fn hash(&self) -> u64 {
+        let mut h = 0x7A11_0000_0000_0000u64;
+        h = fold(h, self.master_seed);
+        h = fold(h, self.users);
+        h = fold(h, self.days as u64);
+        h = fold(h, self.mix_hash);
+        h = fold(h, self.sim_hash);
+        h
+    }
+
+    /// The `.twc` header announcing this fingerprint and scheme.
+    fn header(&self, scheme: &str) -> RequestCacheHeader {
+        RequestCacheHeader {
+            master_seed: self.master_seed,
+            users: self.users,
+            days: self.days,
+            mix_hash: self.mix_hash,
+            sim_hash: self.sim_hash,
+            scheme: scheme.to_string(),
+        }
+    }
+
+    /// Whether a stored header announces exactly this fingerprint and
+    /// scheme (anything else is a stale or foreign file → fallback).
+    fn matches(&self, header: &RequestCacheHeader, scheme: &str) -> bool {
+        header.master_seed == self.master_seed
+            && header.users == self.users
+            && header.days == self.days
+            && header.mix_hash == self.mix_hash
+            && header.sim_hash == self.sim_hash
+            && header.scheme == scheme
+    }
+}
+
+/// Per-user phase-1 request streams, index-ordered (`streams[i]` is
+/// user `i`'s non-decreasing request times).
+type Streams = Arc<Vec<Vec<Instant>>>;
+/// Per-user baseline summaries, index-ordered: `(energy bits, switch
+/// cycles)` of the status-quo run. Energy travels as `f64::to_bits` so
+/// the entry is `Eq`-comparable and round-trips exactly.
+type Baselines = Arc<Vec<(u64, u64)>>;
+
+/// A phase-1 request (and baseline) cache shared across fleet runs.
+///
+/// Always holds an in-memory map; optionally spills request streams to
+/// a directory of `.twc` files so later *processes* can warm-start too
+/// (the CLI's `--cache <dir>`). All methods take `&self` and are
+/// thread-safe; clones of the stored `Arc`s are handed out, so a hit
+/// never copies the streams.
+#[derive(Debug, Default)]
+pub struct RequestCache {
+    dir: Option<PathBuf>,
+    streams: Mutex<HashMap<(Fingerprint, String), Streams>>,
+    baselines: Mutex<HashMap<Fingerprint, Baselines>>,
+}
+
+impl RequestCache {
+    /// A purely in-memory cache (the default for sweeps: first cell
+    /// extracts, later cells replay, nothing persists).
+    pub fn in_memory() -> RequestCache {
+        RequestCache::default()
+    }
+
+    /// A cache that additionally spills request streams to `dir` as
+    /// `.twc` files and warm-starts from files already there. Creates
+    /// the directory if needed.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<RequestCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RequestCache { dir: Some(dir), ..RequestCache::default() })
+    }
+
+    /// The spill directory, when this cache has one.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The spill file a `(fingerprint, scheme)` entry lives in (scheme
+    /// tokens are filename-safe by construction).
+    fn path_for(&self, fingerprint: &Fingerprint, scheme: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| dir.join(format!("{:016x}-{scheme}.twc", fingerprint.hash())))
+    }
+
+    /// Looks up the request streams for `(fingerprint, scheme)`:
+    /// memory first, then the spill directory. Counts exactly one of
+    /// `cache_hits` / `cache_misses` per call, plus `cache_fallbacks`
+    /// when an on-disk file existed but could not be trusted (corrupt,
+    /// truncated, or announcing a different fingerprint) — the caller
+    /// then recomputes, so a rotten file can cost time but never
+    /// correctness.
+    pub(crate) fn lookup(
+        &self,
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        obs: Obs<'_>,
+    ) -> Option<Streams> {
+        let key = (*fingerprint, scheme.to_string());
+        if let Some(hit) = self.streams.lock().expect("request cache map").get(&key) {
+            obs.recorder.counter("cache_hits").incr();
+            return Some(Arc::clone(hit));
+        }
+        if let Some(path) = self.path_for(fingerprint, scheme) {
+            match std::fs::File::open(&path) {
+                Ok(file) => match read_request_streams(std::io::BufReader::new(file)) {
+                    Ok((header, streams)) if fingerprint.matches(&header, scheme) => {
+                        let streams = Arc::new(streams);
+                        self.streams
+                            .lock()
+                            .expect("request cache map")
+                            .insert(key, Arc::clone(&streams));
+                        obs.recorder.counter("cache_hits").incr();
+                        return Some(streams);
+                    }
+                    // Readable but announcing some other population
+                    // (hash-stem collision or a renamed file), or not
+                    // readable at all: both are fallbacks.
+                    Ok(_) | Err(_) => {
+                        obs.recorder.counter("cache_fallbacks").incr();
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => {
+                    obs.recorder.counter("cache_fallbacks").incr();
+                }
+            }
+        }
+        obs.recorder.counter("cache_misses").incr();
+        None
+    }
+
+    /// Stores freshly extracted request streams, spilling to disk when
+    /// a directory is configured. Spill failures count on
+    /// `cache_fallbacks` and are otherwise swallowed — a read-only or
+    /// full disk degrades the cache, never the run.
+    pub(crate) fn store(
+        &self,
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        streams: Streams,
+        obs: Obs<'_>,
+    ) {
+        debug_assert_eq!(
+            streams.len() as u64,
+            fingerprint.users,
+            "stream count must match the fingerprint's population"
+        );
+        self.streams
+            .lock()
+            .expect("request cache map")
+            .insert((*fingerprint, scheme.to_string()), Arc::clone(&streams));
+        let Some(path) = self.path_for(fingerprint, scheme) else { return };
+        // Write-then-rename so a concurrent reader (or a crash) can
+        // only ever observe a complete file — and even a torn rename
+        // is caught by the reader's checksum.
+        let tmp = path.with_extension(format!("twc.tmp{}", std::process::id()));
+        let spilled = std::fs::File::create(&tmp)
+            .map_err(|e| e.to_string())
+            .and_then(|file| {
+                write_request_streams(&fingerprint.header(scheme), &streams, file)
+                    .map_err(|e| e.to_string())
+            })
+            .and_then(|()| std::fs::rename(&tmp, &path).map_err(|e| e.to_string()));
+        match spilled {
+            Ok(()) => obs.recorder.counter("cache_spills").incr(),
+            Err(_) => {
+                std::fs::remove_file(&tmp).ok();
+                obs.recorder.counter("cache_fallbacks").incr();
+            }
+        }
+    }
+
+    /// Looks up the per-user baseline summaries for a population
+    /// (in-memory only — baselines are cheap to hold and recompute
+    /// compared to spilling them).
+    pub(crate) fn lookup_baselines(&self, fingerprint: &Fingerprint) -> Option<Baselines> {
+        self.baselines.lock().expect("baseline cache map").get(fingerprint).map(Arc::clone)
+    }
+
+    /// Stores per-user baseline summaries for a population.
+    pub(crate) fn store_baselines(&self, fingerprint: &Fingerprint, baselines: Baselines) {
+        self.baselines.lock().expect("baseline cache map").insert(*fingerprint, baselines);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailwise_core::schemes::Scheme;
+    use tailwise_obs::Obs;
+    use tailwise_workload::apps::AppKind;
+
+    /// The `rnc_storm.toml` population in miniature — the golden
+    /// fingerprint subject.
+    fn storm_like() -> Scenario {
+        let mut s = Scenario::new(600, Scheme::MakeIdle, CarrierProfile::verizon_lte());
+        s.master_seed = 2012;
+        s.shard_size = 32;
+        s.app_mix = vec![(AppKind::Im, 3.0), (AppKind::Email, 2.0)];
+        s.cells = Some(crate::topology::NetworkTopology::with_rncs(3, 12));
+        s
+    }
+
+    #[test]
+    fn identity_changes_miss_and_policy_changes_hit() {
+        let base = Fingerprint::of(&storm_like());
+
+        // Identity fields: each change must invalidate.
+        let mut reseeded = storm_like();
+        reseeded.master_seed = 2013;
+        assert_ne!(Fingerprint::of(&reseeded), base, "master seed must invalidate");
+
+        let mut resized = storm_like();
+        resized.users = 601;
+        assert_ne!(Fingerprint::of(&resized), base, "user count must invalidate");
+
+        let mut remixed = storm_like();
+        remixed.app_mix = vec![(AppKind::Im, 3.0), (AppKind::Email, 2.5)];
+        assert_ne!(Fingerprint::of(&remixed), base, "app mix must invalidate");
+
+        let mut recarriered = storm_like();
+        recarriered.carrier_mix = vec![(CarrierProfile::att_hspa(), 1.0)];
+        assert_ne!(Fingerprint::of(&recarriered), base, "carrier mix must invalidate");
+
+        let mut longer = storm_like();
+        longer.days_per_user = 2;
+        assert_ne!(Fingerprint::of(&longer), base, "day count must invalidate");
+
+        // Policy axes: sweeping them must NOT invalidate — that reuse
+        // is the whole point of the cache.
+        let mut reschemed = storm_like();
+        reschemed.scheme = Scheme::FixedTail45;
+        assert_eq!(Fingerprint::of(&reschemed), base, "scheme axis must not invalidate");
+
+        let mut readmitted = storm_like();
+        readmitted.cells.as_mut().unwrap().rnc_admission =
+            crate::admission::AdmissionSpec::LoadReactive { watermark_per_s: 50, window_s: 5 };
+        assert_eq!(Fingerprint::of(&readmitted), base, "admission axis must not invalidate");
+
+        let mut resharded = storm_like();
+        resharded.shard_size = 64;
+        assert_eq!(Fingerprint::of(&resharded), base, "shard size must not invalidate");
+    }
+
+    #[test]
+    fn golden_fingerprint_hash_values_are_pinned() {
+        // Pinned literals: the on-disk `.twc` naming contract. If a
+        // deliberate hashing change lands, re-pin these — silently
+        // drifting values would orphan every existing spill directory.
+        assert_eq!(Fingerprint::of(&storm_like()).hash(), 0x7defa3bb02aa2399);
+        let mut reseeded = storm_like();
+        reseeded.master_seed = 1;
+        assert_eq!(Fingerprint::of(&reseeded).hash(), 0x66c706f38c02825a);
+    }
+
+    #[test]
+    fn day_clamp_is_fingerprint_visible() {
+        // days_per_user 0 and 1 synthesize the same population (the
+        // runner clamps to ≥ 1), so they must share a fingerprint.
+        let mut zero = storm_like();
+        zero.days_per_user = 0;
+        assert_eq!(Fingerprint::of(&zero), Fingerprint::of(&storm_like()));
+    }
+
+    #[test]
+    fn memory_cache_round_trips_and_counts() {
+        let cache = RequestCache::in_memory();
+        let mut tiny = storm_like();
+        tiny.users = 3;
+        let fp = Fingerprint::of(&tiny);
+        let obs = Obs::none();
+        assert!(cache.lookup(&fp, "makeidle", obs).is_none());
+        let streams: Streams =
+            Arc::new(vec![vec![Instant::from_secs(1)], vec![], vec![Instant::from_secs(2)]]);
+        cache.store(&fp, "makeidle", Arc::clone(&streams), obs);
+        assert_eq!(cache.lookup(&fp, "makeidle", obs).as_deref(), Some(&*streams));
+        // A different scheme is a different entry.
+        assert!(cache.lookup(&fp, "tail45", obs).is_none());
+        // Baselines key on the fingerprint alone.
+        assert!(cache.lookup_baselines(&fp).is_none());
+        let baselines: Baselines = Arc::new(vec![(1, 2), (3, 4), (5, 6)]);
+        cache.store_baselines(&fp, Arc::clone(&baselines));
+        assert_eq!(cache.lookup_baselines(&fp).as_deref(), Some(&*baselines));
+    }
+
+    #[test]
+    fn disk_cache_spills_and_warm_starts() {
+        let dir = std::env::temp_dir().join(format!("tailwise-cache-unit-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // The spill header claims the fingerprint's user count, so the
+        // stream vector must match it — two users here.
+        let mut tiny = storm_like();
+        tiny.users = 2;
+        let fp = Fingerprint::of(&tiny);
+        let streams: Streams = Arc::new(vec![vec![Instant::ZERO, Instant::from_secs(3)], vec![]]);
+
+        let writer = RequestCache::with_dir(&dir).unwrap();
+        writer.store(&fp, "makeidle", Arc::clone(&streams), Obs::none());
+        let spilled = dir.join(format!("{:016x}-makeidle.twc", fp.hash()));
+        assert!(spilled.is_file(), "missing spill file {}", spilled.display());
+
+        // A fresh cache (fresh process, conceptually) warm-starts from
+        // the spill file alone.
+        let reader = RequestCache::with_dir(&dir).unwrap();
+        assert_eq!(reader.lookup(&fp, "makeidle", Obs::none()).as_deref(), Some(&*streams));
+
+        // Corrupt the file: a third cache must fall back cleanly.
+        let mut bytes = std::fs::read(&spilled).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&spilled, &bytes).unwrap();
+        let fallback = RequestCache::with_dir(&dir).unwrap();
+        assert!(fallback.lookup(&fp, "makeidle", Obs::none()).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

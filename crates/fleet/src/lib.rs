@@ -30,6 +30,11 @@
 //! * [`runner`] — sharded multi-threaded execution,
 //!   generate→simulate→discard (peak memory: one trace per worker,
 //!   for corpora too);
+//! * [`cache`] — phase-1 request caching for sweeps: a [`RequestCache`]
+//!   keyed on the scenario's scheme-independent [`Fingerprint`] lets an
+//!   N-cell admission or scheme sweep pay one extraction pass and serve
+//!   every later cell from memory (or a `.twc` spill directory), with a
+//!   corrupt-or-mismatched file always falling back to recomputation;
 //! * [`topology`]/[`admission`] — the hierarchical radio network: a
 //!   [`NetworkTopology`] partitions users across cells and groups the
 //!   cells under RNCs; every fast-dormancy request passes two pluggable
@@ -75,6 +80,7 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod file;
 pub mod histogram;
 pub mod manifest;
@@ -86,18 +92,19 @@ pub mod sweep;
 pub mod topology;
 
 pub use admission::AdmissionSpec;
+pub use cache::{Fingerprint, RequestCache};
 pub use histogram::Histogram;
 pub use manifest::{ManifestReport, ManifestSignaling, RunManifest};
 pub use report::{CellLoad, FleetReport, FleetSignaling, RncLoad, RunTimings};
 pub use runner::{
-    run, run_corpus, run_corpus_observed, run_observed, run_pinned_corpus,
-    run_pinned_corpus_observed, run_source, run_source_observed,
+    run, run_cached, run_corpus, run_corpus_observed, run_observed, run_pinned_corpus,
+    run_pinned_corpus_observed, run_source, run_source_cached, run_source_observed,
 };
 pub use scenario::{user_seed, Scenario};
 pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};
 pub use sweep::{
-    run_source_sweep, run_source_sweep_observed, run_sweep, run_sweep_observed, ScenarioSet,
-    SweepAxis, SweepReport, SweepRow,
+    run_source_sweep, run_source_sweep_cached, run_source_sweep_observed, run_sweep,
+    run_sweep_cached, run_sweep_observed, ScenarioSet, SweepAxis, SweepReport, SweepRow,
 };
 pub use topology::{cell_of, merge_requests, rnc_of_cell, NetworkTopology};
 

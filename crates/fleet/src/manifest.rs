@@ -460,6 +460,27 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_round_trip_through_the_manifest() {
+        // The CI cache-smoke step greps these out of a reparsed
+        // manifest, so their names must survive the TOML round trip
+        // verbatim.
+        let mut snapshot = sample_snapshot();
+        snapshot.counters.insert("cache_hits".into(), 3);
+        snapshot.counters.insert("cache_misses".into(), 1);
+        snapshot.counters.insert("cache_spills".into(), 1);
+        snapshot.counters.insert("cache_fallbacks".into(), 2);
+        snapshot.counters.insert("corpus_walks".into(), 1);
+        let manifest = RunManifest::for_report(&sample_report(), 2, 77, &snapshot);
+        let parsed = RunManifest::from_toml_str(&manifest.to_toml_string()).unwrap();
+        assert_eq!(parsed.counters["cache_hits"], 3);
+        assert_eq!(parsed.counters["cache_misses"], 1);
+        assert_eq!(parsed.counters["cache_spills"], 1);
+        assert_eq!(parsed.counters["cache_fallbacks"], 2);
+        assert_eq!(parsed.counters["corpus_walks"], 1);
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
     fn zero_phases_names_the_silent_ones() {
         let manifest = RunManifest::for_report(&sample_report(), 2, 77, &sample_snapshot());
         assert_eq!(manifest.zero_phases(), vec!["adjudicate", "replay"]);

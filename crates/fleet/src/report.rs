@@ -281,17 +281,38 @@ impl FleetReport {
     /// Folds one user's pair of runs (scheme, status-quo baseline) into
     /// the aggregate.
     pub fn fold_user(&mut self, days: u32, scheme_run: &SimReport, baseline: &SimReport) {
+        self.fold_user_baseline(
+            days,
+            scheme_run,
+            baseline.total_energy(),
+            baseline.switch_cycles(),
+        );
+    }
+
+    /// [`fold_user`](Self::fold_user) against a pre-computed baseline
+    /// summary — the two numbers the fold actually consumes from the
+    /// status-quo run. A cached baseline folded through here produces
+    /// the same report bit for bit as re-running the status quo, which
+    /// is what lets the fleet cache skip baseline recomputation on warm
+    /// sweep cells.
+    pub fn fold_user_baseline(
+        &mut self,
+        days: u32,
+        scheme_run: &SimReport,
+        baseline_energy_j: f64,
+        baseline_switches: u64,
+    ) {
         self.users += 1;
         self.user_days += days as u64;
         self.packets += scheme_run.packets as u64;
         self.energy_j += scheme_run.total_energy();
-        self.baseline_energy_j += baseline.total_energy();
+        self.baseline_energy_j += baseline_energy_j;
         self.switches += scheme_run.switch_cycles();
-        self.baseline_switches += baseline.switch_cycles();
+        self.baseline_switches += baseline_switches;
         self.false_switches += scheme_run.confusion.fp;
         self.missed_switches += scheme_run.confusion.fn_;
         self.decisions += scheme_run.confusion.total();
-        self.savings.record(scheme_run.savings_vs(baseline));
+        self.savings.record(scheme_run.savings_vs_energy(baseline_energy_j));
         for &delay in &scheme_run.session_delays {
             self.session_delays.record(delay);
         }

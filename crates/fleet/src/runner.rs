@@ -111,9 +111,25 @@ pub fn run(scenario: &Scenario, threads: usize) -> FleetReport {
 /// Observation never perturbs the result: the report equals the
 /// [`run`] report bit for bit at any thread count.
 pub fn run_observed(scenario: &Scenario, threads: usize, obs: Obs<'_>) -> FleetReport {
+    run_cached(scenario, threads, obs, None)
+}
+
+/// [`run_observed`] with an optional phase-1 [`RequestCache`](crate::cache::RequestCache).
+///
+/// The cache applies to cell-topology runs (the two-pass runner is
+/// where phase 1 exists as a separate artifact); radio-isolated runs
+/// ignore it. Caching never changes the report: a cached run is
+/// bit-identical to an uncached one at any thread count — only the
+/// `cache_*` counters and the wall clock differ.
+pub fn run_cached(
+    scenario: &Scenario,
+    threads: usize,
+    obs: Obs<'_>,
+    cache: Option<&crate::cache::RequestCache>,
+) -> FleetReport {
     timed(threads, obs, || {
         if let Some(topology) = &scenario.cells {
-            crate::topology::run_topology_synthetic(scenario, topology, threads, obs)
+            crate::topology::run_topology_synthetic(scenario, topology, threads, obs, cache)
         } else {
             if let Some(table) = obs.progress {
                 table.add_users_total(scenario.users);
@@ -147,8 +163,20 @@ pub fn run_source_observed(
     threads: usize,
     obs: Obs<'_>,
 ) -> Result<FleetReport, ScenError> {
+    run_source_cached(source, threads, obs, None)
+}
+
+/// [`run_source_observed`] with an optional phase-1 [`RequestCache`](crate::cache::RequestCache)
+/// (see [`run_cached`]). Corpus sources have no synthesis fingerprint
+/// and always run uncached.
+pub fn run_source_cached(
+    source: &UserSource,
+    threads: usize,
+    obs: Obs<'_>,
+    cache: Option<&crate::cache::RequestCache>,
+) -> Result<FleetReport, ScenError> {
     match source {
-        UserSource::Synthetic(scenario) => Ok(run_observed(scenario, threads, obs)),
+        UserSource::Synthetic(scenario) => Ok(run_cached(scenario, threads, obs, cache)),
         UserSource::Corpus(corpus) => run_corpus_observed(corpus, threads, obs),
     }
 }
@@ -166,7 +194,7 @@ pub fn run_corpus_observed(
     threads: usize,
     obs: Obs<'_>,
 ) -> Result<FleetReport, ScenError> {
-    let corpus = scenario.resolve()?;
+    let corpus = scenario.resolve_observed(obs)?;
     run_pinned_corpus_observed(scenario, &corpus, threads, obs)
 }
 

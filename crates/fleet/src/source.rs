@@ -203,6 +203,15 @@ impl CorpusScenario {
     /// [`ScenErrorKind::Run`](tailwise_scenfile::ScenErrorKind::Run)
     /// errors anchored at the declaring file's `dir` key.
     pub fn resolve(&self) -> Result<Corpus, ScenError> {
+        self.resolve_observed(tailwise_obs::Obs::none())
+    }
+
+    /// [`resolve`](Self::resolve) under an [`Obs`](tailwise_obs::Obs)
+    /// handle: every directory walk counts on `corpus_walks`, which is
+    /// how the sweep tests pin that an N-row corpus sweep resolves the
+    /// walk exactly once and replays the pinned file list for every row.
+    pub fn resolve_observed(&self, obs: tailwise_obs::Obs<'_>) -> Result<Corpus, ScenError> {
+        obs.recorder.counter("corpus_walks").incr();
         let mut corpus = Corpus::open(&self.spec.dir, self.spec.recursive, &self.spec.formats)
             .map_err(|e| {
                 self.runtime_err(format!(

@@ -21,10 +21,11 @@ use tailwise_radio::profile::CarrierProfile;
 use tailwise_scenfile::{Pos, ScenError};
 
 use crate::admission::AdmissionSpec;
+use crate::cache::RequestCache;
 use crate::report::FleetReport;
 use tailwise_obs::Obs;
 
-use crate::runner::{run_observed, run_source_observed};
+use crate::runner::{run_cached, run_source_cached};
 use crate::scenario::Scenario;
 use crate::source::{SourceSet, UserSource};
 
@@ -273,12 +274,34 @@ pub fn run_sweep(set: &ScenarioSet, threads: usize) -> SweepReport {
 /// recorder and progress table; each row's report still carries its
 /// own per-run phase breakdown (the runner diffs recorder snapshots
 /// around each cell).
+///
+/// Sweeps cache by default: cells run against a fresh in-memory
+/// [`RequestCache`], so an admission or scheme sweep over a cell
+/// topology pays one phase-1 extraction and replays it for every later
+/// cell. This is invisible in the results — every cell stays
+/// bit-identical to running its expansion individually (the contract
+/// in the module docs) — and only shows in the `cache_*` counters and
+/// the wall clock. Pass an explicit cache (or `None`) through
+/// [`run_sweep_cached`] to persist across calls or opt out.
 pub fn run_sweep_observed(set: &ScenarioSet, threads: usize, obs: Obs<'_>) -> SweepReport {
+    let cache = RequestCache::in_memory();
+    run_sweep_cached(set, threads, obs, Some(&cache))
+}
+
+/// [`run_sweep_observed`] against a caller-owned [`RequestCache`]
+/// (or none at all): a disk-backed cache warms later processes, a
+/// shared cache warms later sweeps, `None` disables caching entirely.
+pub fn run_sweep_cached(
+    set: &ScenarioSet,
+    threads: usize,
+    obs: Obs<'_>,
+    cache: Option<&RequestCache>,
+) -> SweepReport {
     let rows = set
         .expand_labeled()
         .into_iter()
         .map(|(label, scenario)| {
-            let report = run_observed(&scenario, threads, obs);
+            let report = run_cached(&scenario, threads, obs, cache);
             SweepRow { label, source: UserSource::Synthetic(scenario), report }
         })
         .collect();
@@ -299,14 +322,30 @@ pub fn run_source_sweep(set: &SourceSet, threads: usize) -> Result<SweepReport, 
 }
 
 /// [`run_source_sweep`] under an [`Obs`] handle (see
-/// [`run_sweep_observed`] for how sweep cells share the recorder).
+/// [`run_sweep_observed`] for how sweep cells share the recorder and
+/// why synthetic rows cache by default).
 pub fn run_source_sweep_observed(
     set: &SourceSet,
     threads: usize,
     obs: Obs<'_>,
 ) -> Result<SweepReport, ScenError> {
+    let cache = RequestCache::in_memory();
+    run_source_sweep_cached(set, threads, obs, Some(&cache))
+}
+
+/// [`run_source_sweep_observed`] against a caller-owned
+/// [`RequestCache`] (or none). Only synthetic rows consult the cache;
+/// corpus rows replay the pinned directory walk, which is already
+/// resolved exactly once per sweep (the `corpus_walks` counter pins
+/// that invariant).
+pub fn run_source_sweep_cached(
+    set: &SourceSet,
+    threads: usize,
+    obs: Obs<'_>,
+    cache: Option<&RequestCache>,
+) -> Result<SweepReport, ScenError> {
     let pinned = match &set.source {
-        UserSource::Corpus(corpus) => Some(corpus.resolve()?),
+        UserSource::Corpus(corpus) => Some(corpus.resolve_observed(obs)?),
         UserSource::Synthetic(_) => None,
     };
     let mut rows = Vec::with_capacity(set.expansion_count());
@@ -315,7 +354,7 @@ pub fn run_source_sweep_observed(
             (UserSource::Corpus(corpus), Some(pinned)) => {
                 crate::runner::run_pinned_corpus_observed(corpus, pinned, threads, obs)?
             }
-            _ => run_source_observed(&source, threads, obs)?,
+            _ => run_source_cached(&source, threads, obs, cache)?,
         };
         rows.push(SweepRow { label, source, report });
     }

@@ -64,6 +64,7 @@
 //! misuse panics here.
 
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use tailwise_core::schemes::Scheme;
 use tailwise_obs::{span, Obs};
@@ -78,6 +79,7 @@ use tailwise_trace::time::Instant;
 use tailwise_trace::Trace;
 
 use crate::admission::AdmissionSpec;
+use crate::cache::{Fingerprint, RequestCache};
 use crate::report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
 use crate::runner::{days_spanned, load_corpus_trace, run_sharded, Partial};
 use crate::scenario::{draw_carrier, user_seed, Scenario};
@@ -193,22 +195,30 @@ pub fn rnc_of_cell(cell: u64, cells: u64, rncs: u64) -> u64 {
 /// the fleet bench (`rnc_adjudication`) pins the comparison against
 /// the PR 4 concat-and-sort path.
 pub fn merge_requests(streams: &[(u64, Vec<Instant>)]) -> Vec<(Instant, u64, u32)> {
+    merge_request_streams(streams)
+}
+
+/// The [`merge_requests`] core, generic over how the per-user streams
+/// are held: owned vectors (the public entry point) or borrowed slices
+/// (the topology runner merging out of a shared request cache without
+/// cloning every stream).
+fn merge_request_streams<S: AsRef<[Instant]>>(streams: &[(u64, S)]) -> Vec<(Instant, u64, u32)> {
     // Classic heap-based k-way merge: the heap holds one cursor per
     // stream, popping in ascending (time, user, seq) order. O(N log U)
     // with U live cursors — the adjudication-order construction never
     // re-examines a stream's interior, unlike a full re-sort.
-    let total: usize = streams.iter().map(|(_, times)| times.len()).sum();
+    let total: usize = streams.iter().map(|(_, times)| times.as_ref().len()).sum();
     let mut heap: BinaryHeap<std::cmp::Reverse<(Instant, u64, u32, usize)>> =
         BinaryHeap::with_capacity(streams.len());
     for (slot, (user, times)) in streams.iter().enumerate() {
-        if let Some(&first) = times.first() {
+        if let Some(&first) = times.as_ref().first() {
             heap.push(std::cmp::Reverse((first, *user, 0, slot)));
         }
     }
     let mut merged = Vec::with_capacity(total);
     while let Some(std::cmp::Reverse((at, user, seq, slot))) = heap.pop() {
         merged.push((at, user, seq));
-        let times = &streams[slot].1;
+        let times = streams[slot].1.as_ref();
         let next = seq as usize + 1;
         if next < times.len() {
             heap.push(std::cmp::Reverse((times[next], user, next as u32, slot)));
@@ -275,8 +285,12 @@ pub(crate) fn run_topology_synthetic(
     topology: &NetworkTopology,
     threads: usize,
     obs: Obs<'_>,
+    cache: Option<&RequestCache>,
 ) -> Result<FleetReport, ScenError> {
     let empty = || FleetReport::empty(scenario.name.clone(), scenario.scheme.label());
+    // The fingerprint is only meaningful for synthetic populations —
+    // it is computed here, next to the synthesis it identifies.
+    let fingerprint = Fingerprint::of(scenario);
     run_topology(
         &SyntheticUsers(scenario),
         scenario.scheme,
@@ -286,6 +300,7 @@ pub(crate) fn run_topology_synthetic(
         &empty,
         threads,
         obs,
+        cache.map(|cache| (cache, fingerprint)),
     )
 }
 
@@ -305,6 +320,8 @@ pub(crate) fn run_topology_corpus(
         report.source = source_label.clone();
         report
     };
+    // Corpus replays have no synthesis fingerprint (the population is
+    // the directory's contents), so they never touch the cache.
     run_topology(
         &CorpusUsers { scenario, corpus },
         scenario.scheme,
@@ -314,6 +331,7 @@ pub(crate) fn run_topology_corpus(
         &empty,
         threads,
         obs,
+        None,
     )
 }
 
@@ -324,16 +342,23 @@ struct TopologyPartial {
     report: FleetReport,
     /// Per cell: second index → RRC messages in that second.
     seconds: Vec<BTreeMap<i64, u64>>,
+    /// Per-user status-quo summaries `(energy bits, switch cycles)` in
+    /// user-index order, collected only when a request cache wants to
+    /// learn this population's baselines (empty otherwise).
+    baselines: Vec<(u64, u64)>,
 }
 
 impl Partial for TopologyPartial {
-    fn absorb(&mut self, other: TopologyPartial) {
+    fn absorb(&mut self, mut other: TopologyPartial) {
         self.report.merge(&other.report);
         for (mine, theirs) in self.seconds.iter_mut().zip(other.seconds) {
             for (second, messages) in theirs {
                 *mine.entry(second).or_insert(0) += messages;
             }
         }
+        // Shard-order absorption reassembles user-index order, exactly
+        // as pass 1's request-stream collection does.
+        self.baselines.append(&mut other.baselines);
     }
 }
 
@@ -343,8 +368,17 @@ impl Partial for TopologyPartial {
 /// Observation: trace materialization in either pass records under the
 /// `synthesize` span, pass-1 request extraction under `simulate`,
 /// per-RNC adjudication under `adjudicate`, and pass-2 scripted replay
-/// under `replay`. Live progress counts each user once per pass, so
-/// the expected total published to the table is `2 × users`.
+/// under `replay`. Live progress counts each user once per executed
+/// pass, so the expected total published to the table is `2 × users` —
+/// or `1 × users` when a request-cache hit skips pass 1 entirely.
+///
+/// `cache`: an optional [`RequestCache`] plus the population's
+/// [`Fingerprint`]. On a hit, pass 1 is skipped and the cached streams
+/// adjudicated directly; on a miss, the extracted streams are stored
+/// for the next cell. Pass 2 similarly serves per-user status-quo
+/// baselines from the cache (they are scheme-independent) and teaches
+/// it the baselines it had to compute. Cached and uncached runs are
+/// bit-identical — the harness in `tests/cache_fleet.rs` pins this.
 #[allow(clippy::too_many_arguments)] // one shared private core, two thin entry shims
 fn run_topology<U: TopologyUsers>(
     access: &U,
@@ -355,6 +389,7 @@ fn run_topology<U: TopologyUsers>(
     empty: &(dyn Fn() -> FleetReport + Sync),
     threads: usize,
     obs: Obs<'_>,
+    cache: Option<(&RequestCache, Fingerprint)>,
 ) -> Result<FleetReport, ScenError> {
     assert!(
         scheme.scriptable(),
@@ -373,42 +408,65 @@ fn run_topology<U: TopologyUsers>(
         let hi = ((shard + 1) * shard_size).min(users);
         lo..hi
     };
-    if let Some(table) = obs.progress {
-        // Both passes touch every user, so a finished run counts each
-        // user twice.
-        table.add_users_total(users * 2);
-    }
 
     // ---- Pass 1: cheap request extraction (one trace per worker). ----
-    let request_streams: Vec<(u64, Vec<Instant>)> =
-        run_sharded(shard_count, threads, obs, &Vec::new, &|shard, ctx| {
-            let mut partial = Vec::new();
-            for index in shard_range(shard) {
-                let (carrier, trace, days) = {
-                    let _synthesize = span(obs.recorder, "synthesize");
-                    match access.user(index) {
-                        Ok(user) => user,
-                        Err(e) => {
-                            ctx.trace_failed();
-                            return Err(e);
-                        }
+    // Or, on a cache hit, no pass at all: the streams were extracted by
+    // an earlier cell of the same population and scheme.
+    let scheme_token = scheme.to_string();
+    let cached_streams =
+        cache.and_then(|(cache, fingerprint)| cache.lookup(&fingerprint, &scheme_token, obs));
+    if let Some(table) = obs.progress {
+        // Each executed pass touches every user; a cache hit runs only
+        // pass 2. Published before the work so the denominator is
+        // truthful from the first progress frame.
+        table.add_users_total(if cached_streams.is_some() { users } else { users * 2 });
+    }
+    let streams: Arc<Vec<Vec<Instant>>> = match cached_streams {
+        Some(streams) => streams,
+        None => {
+            let extracted: Vec<(u64, Vec<Instant>)> =
+                run_sharded(shard_count, threads, obs, &Vec::new, &|shard, ctx| {
+                    let mut partial = Vec::new();
+                    for index in shard_range(shard) {
+                        let (carrier, trace, days) = {
+                            let _synthesize = span(obs.recorder, "synthesize");
+                            match access.user(index) {
+                                Ok(user) => user,
+                                Err(e) => {
+                                    ctx.trace_failed();
+                                    return Err(e);
+                                }
+                            }
+                        };
+                        let requests = {
+                            let _simulate = span(obs.recorder, "simulate");
+                            scheme
+                                .request_trace(&carrier, sim, &trace)
+                                .expect("scriptable scheme always yields a request trace")
+                        };
+                        partial.push((index, requests.into_times()));
+                        ctx.user_done(days as u64);
+                        // `trace` drops here: pass 1 keeps only the requests.
                     }
-                };
-                let requests = {
-                    let _simulate = span(obs.recorder, "simulate");
-                    scheme
-                        .request_trace(&carrier, sim, &trace)
-                        .expect("scriptable scheme always yields a request trace")
-                };
-                partial.push((index, requests.times));
-                ctx.user_done(days as u64);
-                // `trace` drops here: pass 1 keeps only the requests.
+                    Ok(partial)
+                })?;
+            debug_assert!(
+                extracted.iter().enumerate().all(|(at, (index, _))| at as u64 == *index),
+                "shard-order merge must reassemble users in index order"
+            );
+            let streams =
+                Arc::new(extracted.into_iter().map(|(_, times)| times).collect::<Vec<_>>());
+            if let Some((cache, fingerprint)) = cache {
+                cache.store(&fingerprint, &scheme_token, Arc::clone(&streams), obs);
             }
-            Ok(partial)
-        })?;
-    debug_assert!(
-        request_streams.iter().enumerate().all(|(at, (index, _))| at as u64 == *index),
-        "shard-order merge must reassemble users in index order"
+            streams
+        }
+    };
+    debug_assert_eq!(
+        streams.len() as u64,
+        users,
+        "request streams must cover the population exactly (the cache validates this \
+         against its fingerprint before serving an entry)"
     );
 
     // ---- Adjudication: each RNC k-way merges its members' streams. ---
@@ -417,18 +475,20 @@ fn run_topology<U: TopologyUsers>(
     let mut cell_users = vec![0u64; cell_count];
     // Every user's cell, indexed by user — computed once here so the
     // per-request loop below is a lookup, not a hash.
-    let mut user_cells: Vec<u64> = Vec::with_capacity(request_streams.len());
+    let mut user_cells: Vec<u64> = Vec::with_capacity(streams.len());
     // Member users' streams grouped per RNC (streams stay time-sorted,
-    // the k-way merge precondition).
-    let mut per_rnc: Vec<Vec<(u64, Vec<Instant>)>> = vec![Vec::new(); rnc_count];
-    let mut verdicts: Vec<Vec<bool>> = Vec::with_capacity(request_streams.len());
-    for (index, times) in request_streams {
+    // the k-way merge precondition). Borrowed out of the shared stream
+    // store so a cache-served population is never cloned.
+    let mut per_rnc: Vec<Vec<(u64, &[Instant])>> = vec![Vec::new(); rnc_count];
+    let mut verdicts: Vec<Vec<bool>> = Vec::with_capacity(streams.len());
+    for (index, times) in streams.iter().enumerate() {
+        let index = index as u64;
         let cell = cell_of(master_seed, index, topology.cells);
         cell_users[cell as usize] += 1;
         user_cells.push(cell);
         let rnc = rnc_of_cell(cell, topology.cells, topology.rncs) as usize;
         verdicts.push(vec![false; times.len()]);
-        per_rnc[rnc].push((index, times));
+        per_rnc[rnc].push((index, times.as_slice()));
     }
 
     let mut cell_loads: Vec<CellLoad> =
@@ -436,11 +496,11 @@ fn run_topology<U: TopologyUsers>(
     let mut denied_by_rnc = vec![0u64; rnc_count];
     let mut cell_policies: Vec<_> =
         (0..cell_count).map(|_| topology.cell_admission.build()).collect();
-    for (rnc, streams) in per_rnc.iter().enumerate() {
+    for (rnc, members) in per_rnc.iter().enumerate() {
         // One adjudication span per RNC, on the caller thread.
         let _adjudicate = span(obs.recorder, "adjudicate");
         let mut rnc_policy = topology.rnc_admission.build();
-        for (at, user, seq) in merge_requests(streams) {
+        for (at, user, seq) in merge_request_streams(members) {
             let cell = user_cells[user as usize] as usize;
             // Two gates: the cell decides whether to forward, the RNC
             // whether to admit. A cell-level denial never reaches the
@@ -484,8 +544,22 @@ fn run_topology<U: TopologyUsers>(
     // lift it — the log is per user and dropped before the next one.
     let replay_sim =
         SimConfig { record_transitions: true, transition_log_limit: usize::MAX, ..sim.clone() };
-    let empty_partial =
-        || TopologyPartial { report: empty(), seconds: vec![BTreeMap::new(); cell_count] };
+    // The status-quo baseline is scheme-independent, so a cache that
+    // already knows this population serves it; a first encounter
+    // collects the summaries in shard order and teaches the cache.
+    let cached_baselines =
+        cache.and_then(|(cache, fingerprint)| cache.lookup_baselines(&fingerprint));
+    debug_assert!(
+        cached_baselines.as_ref().is_none_or(|b| b.len() as u64 == users),
+        "cached baselines must cover the population exactly"
+    );
+    let learn_baselines = cache.is_some() && cached_baselines.is_none();
+    let cached_baselines = &cached_baselines;
+    let empty_partial = || TopologyPartial {
+        report: empty(),
+        seconds: vec![BTreeMap::new(); cell_count],
+        baselines: Vec::new(),
+    };
     let folded: TopologyPartial =
         run_sharded(shard_count, threads, obs, &empty_partial, &|shard, ctx| {
             let users_simulated = obs.recorder.counter("users_simulated");
@@ -503,7 +577,19 @@ fn run_topology<U: TopologyUsers>(
                     }
                 };
                 let _replay = span(obs.recorder, "replay");
-                let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
+                let (baseline_energy_j, baseline_switches) = match cached_baselines {
+                    Some(bases) => {
+                        let (energy_bits, switches) = bases[index as usize];
+                        (f64::from_bits(energy_bits), switches)
+                    }
+                    None => {
+                        let baseline = Scheme::StatusQuo.run(&carrier, sim, &trace);
+                        (baseline.total_energy(), baseline.switch_cycles())
+                    }
+                };
+                if learn_baselines {
+                    partial.baselines.push((baseline_energy_j.to_bits(), baseline_switches));
+                }
                 let mut scheme_run = scheme
                     .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
                     .expect("scriptable scheme always replays");
@@ -516,7 +602,12 @@ fn run_topology<U: TopologyUsers>(
                             topology.signaling.messages_for(t) as u64;
                     }
                 }
-                partial.report.fold_user(days, &scheme_run, &baseline);
+                partial.report.fold_user_baseline(
+                    days,
+                    &scheme_run,
+                    baseline_energy_j,
+                    baseline_switches,
+                );
                 drop(_replay);
                 users_simulated.incr();
                 days_counter.add(days as u64);
@@ -527,7 +618,13 @@ fn run_topology<U: TopologyUsers>(
         })?;
 
     // ---- Per-cell and per-RNC load accounting. -----------------------
-    let TopologyPartial { mut report, seconds } = folded;
+    let TopologyPartial { mut report, seconds, baselines } = folded;
+    if learn_baselines {
+        if let Some((cache, fingerprint)) = cache {
+            debug_assert_eq!(baselines.len() as u64, users);
+            cache.store_baselines(&fingerprint, Arc::new(baselines));
+        }
+    }
     let mut rnc_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); rnc_count];
     for (cell, seconds) in seconds.into_iter().enumerate() {
         let rnc = rnc_of_cell(cell as u64, topology.cells, topology.rncs) as usize;

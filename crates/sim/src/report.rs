@@ -68,7 +68,13 @@ impl SimReport {
     /// Energy saved relative to `baseline`, in percent
     /// (Figs. 9, 10a, 11a, 17). Negative when the scheme loses energy.
     pub fn savings_vs(&self, baseline: &SimReport) -> f64 {
-        let base = baseline.total_energy();
+        self.savings_vs_energy(baseline.total_energy())
+    }
+
+    /// [`savings_vs`](Self::savings_vs) against a bare baseline energy
+    /// total — the form a cached baseline (which keeps only the total,
+    /// not the whole report) can evaluate. Same arithmetic, same bits.
+    pub fn savings_vs_energy(&self, base: f64) -> f64 {
         if base <= 0.0 {
             return 0.0;
         }

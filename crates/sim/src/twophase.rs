@@ -71,6 +71,33 @@ impl RequestTrace {
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
+
+    /// Rebuilds a request trace from a stored timestamp vector,
+    /// validating the non-decreasing invariant every consumer (the
+    /// k-way coordinator merge, scripted replay) relies on.
+    ///
+    /// This is the stable serialization contract: a `RequestTrace` is
+    /// *exactly* its timestamp vector — no hidden state — so
+    /// `from_times(t.into_times())` is the identity and any container
+    /// that round-trips `Vec<Instant>` (e.g. the fleet cache's `.twc`
+    /// spill format) round-trips the trace bit-for-bit.
+    pub fn from_times(times: Vec<Instant>) -> Result<RequestTrace, String> {
+        if let Some(w) = times.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "request times must be non-decreasing, got {} after {}",
+                w[1].as_micros(),
+                w[0].as_micros()
+            ));
+        }
+        Ok(RequestTrace { times })
+    }
+
+    /// The timestamp vector, surrendering the trace. Inverse of
+    /// [`from_times`](Self::from_times) (see there for the stability
+    /// contract).
+    pub fn into_times(self) -> Vec<Instant> {
+        self.times
+    }
 }
 
 /// Phase 1: streams `trace` through `idle_policy`'s decision rule and
@@ -218,6 +245,24 @@ mod tests {
         let r = record_requests(&p, &cfg, &t, &mut FixedWait::new(wait, "1.5s"));
         let pkts = t.packets();
         assert_eq!(r.times, vec![pkts[0].ts + wait, pkts[2].ts + wait, pkts[3].ts + wait],);
+    }
+
+    #[test]
+    fn from_times_round_trips_and_rejects_disorder() {
+        let p = CarrierProfile::att_hspa();
+        let cfg = SimConfig::default();
+        let t = trace_from_gaps(&[30_000, 400, 20_000]);
+        let r = record_requests(&p, &cfg, &t, &mut FixedWait::new(Duration::from_secs(1), "1s"));
+        // The stable-serialization identity: a trace is exactly its
+        // timestamp vector.
+        let back = RequestTrace::from_times(r.clone().into_times()).unwrap();
+        assert_eq!(back, r);
+        // Equal adjacent times are legal (two requests in one instant)…
+        let tie = vec![Instant::from_secs(1), Instant::from_secs(1)];
+        assert_eq!(RequestTrace::from_times(tie.clone()).unwrap().times, tie);
+        // …but a backwards step is a validation error, not a panic.
+        let err = RequestTrace::from_times(vec![Instant::from_secs(2), Instant::ZERO]).unwrap_err();
+        assert!(err.contains("non-decreasing"), "{err}");
     }
 
     #[test]

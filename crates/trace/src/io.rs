@@ -167,6 +167,232 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, TraceError> {
     Trace::from_sorted(packets)
 }
 
+// ------------------------------------------------- request cache (.twc) ----
+
+/// Magic bytes of the request-cache format.
+pub const REQUEST_MAGIC: &[u8; 4] = b"TWRC";
+/// Current request-cache format version.
+pub const REQUEST_VERSION: u16 = 1;
+/// Longest scheme token a `.twc` header may carry. Real tokens are
+/// under 32 bytes; the cap keeps a corrupted length field from driving
+/// a huge allocation.
+const REQUEST_SCHEME_CAP: usize = 256;
+
+/// The `.twc` header: the scenario fingerprint a cached phase-1
+/// request extraction is valid for, plus the scheme that produced it.
+///
+/// The fingerprint fields are scheme-independent — they identify the
+/// *population* (who sends traffic and through which radio/engine
+/// knobs), while `scheme` keys the extraction itself (request times
+/// depend on the scheme's idle policy). A reader whose expected
+/// fingerprint or scheme disagrees with the stored one must treat the
+/// file as a miss and recompute; the split is what lets an admission
+/// sweep reuse one extraction across every cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCacheHeader {
+    /// Scenario master seed.
+    pub master_seed: u64,
+    /// Population size; must equal the number of stored streams.
+    pub users: u64,
+    /// Days of traffic synthesized per user.
+    pub days: u32,
+    /// Hash of the app and carrier mixes (weights included).
+    pub mix_hash: u64,
+    /// Hash of the phase-1-relevant engine knobs.
+    pub sim_hash: u64,
+    /// Stable token of the scheme that extracted the requests.
+    pub scheme: String,
+}
+
+/// One checksum folding step (SplitMix64 over the running hash XOR the
+/// next word — the same avalanche the seeding hierarchy uses).
+fn fold_word(h: u64, word: u64) -> u64 {
+    crate::mix::splitmix64(h ^ word)
+}
+
+/// Folds the header fields shared by writer and reader.
+fn fold_header(header: &RequestCacheHeader) -> u64 {
+    let mut h = 0x71C0_CACE_0000_0000u64;
+    h = fold_word(h, header.master_seed);
+    h = fold_word(h, header.users);
+    h = fold_word(h, header.days as u64);
+    h = fold_word(h, header.mix_hash);
+    h = fold_word(h, header.sim_hash);
+    h = fold_word(h, header.scheme.len() as u64);
+    for b in header.scheme.as_bytes() {
+        h = fold_word(h, *b as u64);
+    }
+    h
+}
+
+/// Writes per-user phase-1 request streams in `.twc` form: the header,
+/// one length-prefixed timestamp vector per user, and a trailing
+/// 64-bit checksum over everything the header and payload encode.
+///
+/// `streams[i]` must be user `i`'s non-decreasing request times (the
+/// phase-1 contract) and `streams.len()` must equal `header.users`;
+/// both are validated here so a `.twc` file can never encode data its
+/// own reader would reject.
+pub fn write_request_streams<W: Write>(
+    header: &RequestCacheHeader,
+    streams: &[Vec<Instant>],
+    out: W,
+) -> Result<(), TraceError> {
+    if streams.len() as u64 != header.users {
+        return Err(TraceError::Parse {
+            location: 0,
+            message: format!(
+                "header declares {} user(s) but {} stream(s) were given",
+                header.users,
+                streams.len()
+            ),
+        });
+    }
+    if header.scheme.len() > REQUEST_SCHEME_CAP {
+        return Err(TraceError::Parse {
+            location: 0,
+            message: format!("scheme token exceeds {REQUEST_SCHEME_CAP} bytes"),
+        });
+    }
+    let mut w = BufWriter::new(out);
+    w.write_all(REQUEST_MAGIC)?;
+    w.write_all(&REQUEST_VERSION.to_le_bytes())?;
+    w.write_all(&header.master_seed.to_le_bytes())?;
+    w.write_all(&header.users.to_le_bytes())?;
+    w.write_all(&header.days.to_le_bytes())?;
+    w.write_all(&header.mix_hash.to_le_bytes())?;
+    w.write_all(&header.sim_hash.to_le_bytes())?;
+    w.write_all(&(header.scheme.len() as u16).to_le_bytes())?;
+    w.write_all(header.scheme.as_bytes())?;
+    let mut checksum = fold_header(header);
+    for (user, times) in streams.iter().enumerate() {
+        if let Some(pair) = times.windows(2).find(|pair| pair[0] > pair[1]) {
+            return Err(TraceError::Parse {
+                location: user,
+                message: format!(
+                    "user {user} request times are not non-decreasing ({} after {})",
+                    pair[1].as_micros(),
+                    pair[0].as_micros()
+                ),
+            });
+        }
+        w.write_all(&(times.len() as u64).to_le_bytes())?;
+        checksum = fold_word(checksum, times.len() as u64);
+        for t in times {
+            w.write_all(&t.as_micros().to_le_bytes())?;
+            checksum = fold_word(checksum, t.as_micros() as u64);
+        }
+    }
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a `.twc` file back into its header and per-user streams.
+///
+/// Every failure mode a rotten file can exhibit — wrong magic, unknown
+/// version, oversized or non-UTF-8 scheme token, truncated stream,
+/// out-of-order timestamps, trailing bytes, checksum mismatch — is a
+/// typed [`TraceError`], never a panic or an unbounded allocation, and
+/// never a silently wrong stream: the checksum covers the header and
+/// every timestamp, so a single flipped payload byte is caught even
+/// though any individual timestamp value is plausible.
+pub fn read_request_streams<R: Read>(
+    input: R,
+) -> Result<(RequestCacheHeader, Vec<Vec<Instant>>), TraceError> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != REQUEST_MAGIC {
+        return Err(TraceError::BadHeader(String::from_utf8_lossy(&magic).into_owned()));
+    }
+    let mut v = [0u8; 2];
+    r.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version != REQUEST_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let mut u64_buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>, what: &str, at: usize| -> Result<u64, TraceError> {
+        r.read_exact(&mut u64_buf).map_err(|e| truncated(e, what, at))?;
+        Ok(u64::from_le_bytes(u64_buf))
+    };
+    let master_seed = read_u64(&mut r, "master seed", 0)?;
+    let users = read_u64(&mut r, "user count", 0)?;
+    let mut u32_buf = [0u8; 4];
+    r.read_exact(&mut u32_buf).map_err(|e| truncated(e, "day count", 0))?;
+    let days = u32::from_le_bytes(u32_buf);
+    let mix_hash = read_u64(&mut r, "mix hash", 0)?;
+    let sim_hash = read_u64(&mut r, "sim hash", 0)?;
+    let mut len_buf = [0u8; 2];
+    r.read_exact(&mut len_buf).map_err(|e| truncated(e, "scheme length", 0))?;
+    let scheme_len = u16::from_le_bytes(len_buf) as usize;
+    if scheme_len > REQUEST_SCHEME_CAP {
+        return Err(TraceError::Parse {
+            location: 0,
+            message: format!("scheme token length {scheme_len} exceeds {REQUEST_SCHEME_CAP}"),
+        });
+    }
+    let mut scheme_bytes = vec![0u8; scheme_len];
+    r.read_exact(&mut scheme_bytes).map_err(|e| truncated(e, "scheme token", 0))?;
+    let scheme = String::from_utf8(scheme_bytes).map_err(|e| TraceError::Parse {
+        location: 0,
+        message: format!("scheme token is not UTF-8: {e}"),
+    })?;
+    let header = RequestCacheHeader { master_seed, users, days, mix_hash, sim_hash, scheme };
+
+    let mut checksum = fold_header(&header);
+    let mut streams = Vec::with_capacity((users as usize).min(1 << 24));
+    for user in 0..users as usize {
+        let mut c = [0u8; 8];
+        r.read_exact(&mut c).map_err(|e| truncated(e, "stream length", user))?;
+        let count = u64::from_le_bytes(c) as usize;
+        checksum = fold_word(checksum, count as u64);
+        let mut times = Vec::with_capacity(count.min(1 << 24));
+        let mut prev: Option<i64> = None;
+        for _ in 0..count {
+            let mut t = [0u8; 8];
+            r.read_exact(&mut t).map_err(|e| truncated(e, "request timestamp", user))?;
+            let micros = i64::from_le_bytes(t);
+            checksum = fold_word(checksum, micros as u64);
+            if prev.is_some_and(|p| p > micros) {
+                return Err(TraceError::Parse {
+                    location: user,
+                    message: format!("user {user} request times are not non-decreasing"),
+                });
+            }
+            prev = Some(micros);
+            times.push(Instant::from_micros(micros));
+        }
+        streams.push(times);
+    }
+    let stored = read_u64(&mut r, "checksum", users as usize)?;
+    if stored != checksum {
+        return Err(TraceError::Parse {
+            location: users as usize,
+            message: format!("checksum mismatch: stored {stored:#018x}, computed {checksum:#018x}"),
+        });
+    }
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(TraceError::Parse {
+            location: users as usize,
+            message: "trailing data after the declared stream count".into(),
+        });
+    }
+    Ok((header, streams))
+}
+
+/// Maps an unexpected-EOF mid-record into a positioned truncation
+/// error (other I/O failures pass through).
+fn truncated(e: std::io::Error, what: &str, location: usize) -> TraceError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        TraceError::Parse { location, message: format!("truncated {what}") }
+    } else {
+        TraceError::Io(e)
+    }
+}
+
 // --------------------------------------------------------------- paths ----
 
 /// Writes a trace to a path, choosing the format from the extension:
@@ -374,5 +600,120 @@ mod tests {
         write_binary(&t, &mut buf).unwrap();
         let back = read_binary(buf.as_slice()).unwrap();
         assert_eq!(back.gaps(), vec![Duration::from_millis(100), Duration::from_millis(9_900)]);
+    }
+
+    // ------------------------------------------ request cache (.twc) ----
+
+    fn sample_header(users: u64) -> RequestCacheHeader {
+        RequestCacheHeader {
+            master_seed: 0xBEAC4,
+            users,
+            days: 3,
+            mix_hash: 0x1234_5678_9ABC_DEF0,
+            sim_hash: 0x0FED_CBA9_8765_4321,
+            scheme: "tail45".into(),
+        }
+    }
+
+    fn sample_streams() -> Vec<Vec<Instant>> {
+        vec![
+            vec![Instant::from_micros(-7), Instant::ZERO, Instant::from_secs(9)],
+            vec![],
+            vec![Instant::from_millis(4), Instant::from_millis(4), Instant::from_secs(100)],
+        ]
+    }
+
+    fn sample_twc() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_request_streams(&sample_header(3), &sample_streams(), &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn twc_roundtrip_preserves_header_and_streams() {
+        let (header, streams) = read_request_streams(sample_twc().as_slice()).unwrap();
+        assert_eq!(header, sample_header(3));
+        assert_eq!(streams, sample_streams());
+    }
+
+    #[test]
+    fn twc_roundtrips_empty_population() {
+        let mut buf = Vec::new();
+        write_request_streams(&sample_header(0), &[], &mut buf).unwrap();
+        let (header, streams) = read_request_streams(buf.as_slice()).unwrap();
+        assert_eq!(header.users, 0);
+        assert!(streams.is_empty());
+    }
+
+    #[test]
+    fn twc_rejects_bad_magic_and_version() {
+        let buf = sample_twc();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_request_streams(bad.as_slice()), Err(TraceError::BadHeader(_))));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_request_streams(bad.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn twc_detects_truncation_anywhere() {
+        let buf = sample_twc();
+        for cut in 6..buf.len() {
+            let err = read_request_streams(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Parse { .. } | TraceError::Io(_)),
+                "cut at {cut} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn twc_rejects_trailing_data() {
+        let mut buf = sample_twc();
+        buf.push(0);
+        let err = read_request_streams(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing data"), "{err}");
+    }
+
+    #[test]
+    fn twc_checksum_catches_flipped_payload_byte() {
+        // A flipped timestamp byte still decodes to a plausible (even
+        // monotone) stream; only the checksum can catch it. Flip every
+        // byte after the header in turn and demand a clean error.
+        let buf = sample_twc();
+        for pos in 40..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            let result = read_request_streams(bad.as_slice());
+            assert!(result.is_err(), "flipped byte {pos} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn twc_write_rejects_stream_count_mismatch() {
+        let mut buf = Vec::new();
+        let err =
+            write_request_streams(&sample_header(5), &sample_streams(), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("5 user(s)"), "{err}");
+    }
+
+    #[test]
+    fn twc_write_rejects_unsorted_stream() {
+        let streams = vec![vec![Instant::from_secs(2), Instant::from_secs(1)]];
+        let mut buf = Vec::new();
+        let err = write_request_streams(&sample_header(1), &streams, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"), "{err}");
+    }
+
+    #[test]
+    fn twc_write_rejects_oversized_scheme_token() {
+        let mut header = sample_header(0);
+        header.scheme = "x".repeat(REQUEST_SCHEME_CAP + 1);
+        let mut buf = Vec::new();
+        assert!(write_request_streams(&header, &[], &mut buf).is_err());
     }
 }

@@ -258,6 +258,93 @@ mod proptests {
         }
 
         #[test]
+        fn twc_roundtrip_is_identity(
+            streams in prop::collection::vec(
+                prop::collection::vec(-1_000i64..100_000_000, 0..50),
+                0..12,
+            ),
+            seed in 0u64..u64::MAX,
+            scheme_pick in 0usize..7,
+        ) {
+            let streams: Vec<Vec<Instant>> = streams
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s.into_iter().map(Instant::from_micros).collect()
+                })
+                .collect();
+            let schemes =
+                ["statusquo", "tail45", "iat95", "iat87.5", "makeidle", "oracle", ""];
+            let header = crate::io::RequestCacheHeader {
+                master_seed: seed,
+                users: streams.len() as u64,
+                days: 7,
+                mix_hash: seed.rotate_left(17),
+                sim_hash: seed.rotate_right(23),
+                scheme: schemes[scheme_pick].into(),
+            };
+            let mut buf = Vec::new();
+            crate::io::write_request_streams(&header, &streams, &mut buf).unwrap();
+            let (back_header, back) = crate::io::read_request_streams(buf.as_slice()).unwrap();
+            prop_assert_eq!(back_header, header);
+            prop_assert_eq!(back, streams);
+        }
+
+        #[test]
+        fn mutated_twc_files_fail_cleanly(
+            streams in prop::collection::vec(
+                prop::collection::vec(0i64..100_000_000, 0..30),
+                0..8,
+            ),
+            flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..8),
+            cut in 0usize..4096,
+            truncate in prop::bool::ANY,
+        ) {
+            // Same corruption contract as .twt, tightened by the trailing
+            // checksum: any byte damage to a valid .twc file must yield a
+            // clean TraceError — never a panic, an oversized allocation,
+            // or (because the checksum covers header and payload) a
+            // silently different stream set.
+            let streams: Vec<Vec<Instant>> = streams
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s.into_iter().map(Instant::from_micros).collect()
+                })
+                .collect();
+            let header = crate::io::RequestCacheHeader {
+                master_seed: 42,
+                users: streams.len() as u64,
+                days: 1,
+                mix_hash: 7,
+                sim_hash: 11,
+                scheme: "makeidle".into(),
+            };
+            let mut buf = Vec::new();
+            crate::io::write_request_streams(&header, &streams, &mut buf).unwrap();
+            let pristine = buf.clone();
+            if truncate {
+                buf.truncate(cut % (buf.len() + 1));
+            }
+            for (at, byte) in flips {
+                if !buf.is_empty() {
+                    let at = at % buf.len();
+                    buf[at] = byte;
+                }
+            }
+            match crate::io::read_request_streams(buf.as_slice()) {
+                Err(_) => {}
+                Ok((h, back)) => {
+                    // The mutations may have reassembled the original
+                    // file; anything else must have been rejected.
+                    prop_assert_eq!(buf, pristine);
+                    prop_assert_eq!(h, header);
+                    prop_assert_eq!(back, streams);
+                }
+            }
+        }
+
+        #[test]
         fn rebased_traces_start_at_zero(t in arb_trace(50)) {
             let r = t.rebased();
             if !r.is_empty() {
