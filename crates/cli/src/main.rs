@@ -24,6 +24,7 @@ use tailwise_core::schemes::Scheme;
 use tailwise_fleet::RunManifest;
 use tailwise_obs::{Obs, ProgressSampler, ProgressTable, Recorder, StatsRecorder};
 use tailwise_radio::profile::CarrierProfile;
+use tailwise_serve::{Client, ClientMsg, ServeConfig, Server, ServerMsg};
 use tailwise_sim::engine::SimConfig;
 use tailwise_trace::time::Duration;
 use tailwise_trace::Trace;
@@ -113,6 +114,38 @@ COMMANDS
                    print its provenance, phase timings and counters
                      --require-phases     (error unless every phase
                                           timing is positive)
+                     --digest             (print only the 16-hex-digit
+                                          digest of the deterministic
+                                          fields — identical across
+                                          machines and thread counts)
+  fleet serve      resident fleet service (docs/SERVICE.md): accept
+                   scenario jobs over TCP, run them on a worker pool
+                   against one shared phase-1 cache, stream results
+                     --addr <ip:port>     (default 127.0.0.1:7433;
+                                          port 0 picks a free port)
+                     --workers <n>        (concurrent jobs, default 2)
+                     --threads <t>        (simulation threads per job)
+                     --cache <dir>        (spill the shared cache to
+                                          .twc files, as `fleet run`)
+                     --quiet
+  fleet submit <file.toml>
+                   submit a scenario file to a running service and
+                   stream the job live: rows as sweep cells finish,
+                   then the report (the served twin of `fleet run`)
+                     --addr <ip:port> / --quiet
+                     --metrics <path>     (write the streamed manifest)
+                     --detach             (print the job id and exit;
+                                          re-attach with `fleet watch`)
+  fleet watch <job>
+                   re-attach to a job's stream; finished history
+                   replays first, live messages follow
+                     --addr <ip:port> / --quiet / --metrics <path>
+  fleet jobs       list the service's jobs            --addr <ip:port>
+  fleet cancel <job>
+                   cancel a job: dequeued if still queued, stopped
+                   between sweep cells if running    --addr <ip:port>
+  fleet shutdown   drain every accepted job, then stop the service
+                   (waits for the drain)             --addr <ip:port>
   fleet export <out.toml>
                    write the flag-built fleet scenario to a scenario file
                      (accepts the same flags as `fleet`, minus --threads)
@@ -337,7 +370,7 @@ fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
 /// Boolean `--switch` flags (no value) known anywhere on the command
 /// line; subcommands that do not take one still reject it by name via
 /// `check_known`.
-const SWITCHES: &[&str] = &["progress", "quiet", "require-phases", "no-cache"];
+const SWITCHES: &[&str] = &["progress", "quiet", "require-phases", "no-cache", "detach", "digest"];
 
 /// Observability flags shared by the run subcommands (`fleet`,
 /// `fleet run`): `--progress` (live status line), `--quiet` (suppress
@@ -537,11 +570,18 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Some("export") => return cmd_fleet_export(args),
         Some("synth") => return cmd_fleet_synth(args),
         Some("manifest") => return cmd_fleet_manifest(args),
+        Some("serve") => return cmd_fleet_serve(args),
+        Some("submit") => return cmd_fleet_submit(args),
+        Some("watch") => return cmd_fleet_watch(args),
+        Some("jobs") => return cmd_fleet_jobs(args),
+        Some("cancel") => return cmd_fleet_cancel(args),
+        Some("shutdown") => return cmd_fleet_shutdown(args),
         Some(other) => {
             return Err(Box::new(ArgError(format!(
                 "unknown fleet subcommand {other:?}; expected `run <file.toml>`, \
                  `export <out.toml>`, `synth <scenario.toml>`, `manifest <run.toml>`, \
-                 or flags only"
+                 `serve`, `submit <file.toml>`, `watch <job>`, `jobs`, `cancel <job>`, \
+                 `shutdown`, or flags only"
             ))))
         }
         None => {}
@@ -613,7 +653,14 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// actually saw work in every phase).
 fn cmd_fleet_manifest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     reject_run_only_flags(args, "manifest")?;
-    args.check_known(&["require-phases"])?;
+    args.check_known(&["require-phases", "digest"])?;
+    if args.flag("digest") && args.flag("require-phases") {
+        return Err(Box::new(ArgError(
+            "--digest conflicts with --require-phases: --digest promises the digest as \
+             the only output; run the checks as a separate invocation"
+                .into(),
+        )));
+    }
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("fleet manifest needs a manifest file path".into()))?;
@@ -623,6 +670,12 @@ fn cmd_fleet_manifest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ))));
     }
     let manifest = RunManifest::from_file(path)?;
+    if args.flag("digest") {
+        // Only the digest, so `$(tailwise fleet manifest --digest a.toml)`
+        // compares runs across machines and thread counts.
+        println!("{:016x}", manifest.digest());
+        return Ok(());
+    }
     println!(
         "{path}: {} — {} run(s) of {} ({}), seed {}, {} thread(s), {:.2} s wall",
         manifest.name,
@@ -649,6 +702,273 @@ fn cmd_fleet_manifest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ))));
         }
         println!("all phase timings present and positive");
+    }
+    Ok(())
+}
+
+/// Where the resident service listens by default; every service
+/// subcommand overrides it with `--addr <ip:port>`.
+const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:7433";
+
+fn service_addr(args: &Args) -> String {
+    args.opt_or("addr", DEFAULT_SERVICE_ADDR).to_string()
+}
+
+/// Connects to a running service with a diagnosis that names the fix.
+fn service_connect(addr: &str) -> Result<Client, ArgError> {
+    Client::connect(addr).map_err(|e| {
+        ArgError(format!(
+            "cannot reach a fleet service at {addr}: {e} (start one with \
+             `tailwise fleet serve --addr {addr}`)"
+        ))
+    })
+}
+
+/// `tailwise fleet serve`: run the resident fleet service — accept
+/// scenario jobs over TCP, execute them on a bounded worker pool
+/// against one process-wide phase-1 cache, and stream results live.
+/// Blocks until a client's `shutdown` request drains the job queue.
+fn cmd_fleet_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr", "workers", "threads", "cache", "quiet"])?;
+    if let Some(extra) = args.positional(1) {
+        return Err(Box::new(ArgError(format!(
+            "fleet serve takes no operands, got {extra:?} (submit scenarios with \
+             `tailwise fleet submit <file.toml>`)"
+        ))));
+    }
+    let workers = match args.opt_parse::<usize>("workers")? {
+        Some(0) => return Err(Box::new(ArgError("--workers must be at least 1".into()))),
+        Some(n) => n,
+        None => 2,
+    };
+    let quiet = args.flag("quiet");
+    let config = ServeConfig {
+        addr: service_addr(args),
+        workers,
+        threads: threads_from(args)?,
+        cache_dir: args.opt("cache").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let threads = config.threads;
+    let spill = match &config.cache_dir {
+        Some(dir) => format!(", cache spills to {}", dir.display()),
+        None => ", in-memory cache".into(),
+    };
+    let server = Server::start(config)?;
+    if !quiet {
+        println!(
+            "fleet service listening on {} ({} worker(s) × {} thread(s){})",
+            server.local_addr(),
+            workers,
+            threads,
+            spill,
+        );
+        println!(
+            "submit with `tailwise fleet submit <file.toml> --addr {0}`; stop with \
+             `tailwise fleet shutdown --addr {0}`",
+            server.local_addr(),
+        );
+    }
+    server.join();
+    if !quiet {
+        println!("fleet service drained and stopped");
+    }
+    Ok(())
+}
+
+/// Follows one job's stream to its terminal message: rows as cells
+/// finish, the report to stdout, the manifest to `--metrics` (when
+/// asked), errors as errors. Shared by `fleet submit` and
+/// `fleet watch`.
+fn stream_job(
+    client: &mut Client,
+    quiet: bool,
+    metrics: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    loop {
+        let Some(msg) = client.recv()? else {
+            return Err(Box::new(ArgError(
+                "the service closed the connection before the job finished \
+                 (was it shut down?)"
+                    .into(),
+            )));
+        };
+        match msg {
+            ServerMsg::Accepted { job, name, queue } => {
+                if !quiet {
+                    println!("job {job} accepted: {name} (queue position {queue})");
+                }
+            }
+            ServerMsg::Progress { users_done, users_total, user_days, elapsed_s, .. } => {
+                if !quiet {
+                    eprintln!(
+                        "  job progress: {users_done}/{users_total} users, \
+                         {user_days} user-days, {elapsed_s:.1} s elapsed"
+                    );
+                }
+            }
+            ServerMsg::Row { index, label, users, energy_j, saved_pct, .. } => {
+                if !quiet {
+                    let label = if label.is_empty() { "run".to_string() } else { label };
+                    println!(
+                        "  cell {index} done: {label} — {users} users, \
+                         {energy_j:.1} J, {saved_pct:.1}% saved"
+                    );
+                }
+            }
+            ServerMsg::Report { text, .. } => print!("{text}"),
+            ServerMsg::Manifest { text, .. } => {
+                if let Some(path) = metrics {
+                    std::fs::write(path, &text)?;
+                    if !quiet {
+                        println!("wrote run manifest to {path}");
+                    }
+                }
+            }
+            ServerMsg::Done { .. } => return Ok(()),
+            ServerMsg::Failed { job, error } => {
+                return Err(Box::new(ArgError(format!("job {job} failed: {error}"))))
+            }
+            ServerMsg::Cancelled { job } => {
+                return Err(Box::new(ArgError(format!("job {job} was cancelled"))))
+            }
+            ServerMsg::Error { message } => return Err(Box::new(ArgError(message))),
+            // Listing rows and shutdown notices can interleave with a
+            // stream; neither terminates the job.
+            ServerMsg::Job { .. } | ServerMsg::End { .. } | ServerMsg::ShuttingDown { .. } => {}
+        }
+    }
+}
+
+/// `tailwise fleet submit <file.toml>`: hand a scenario file to a
+/// running service and (unless `--detach`) stream the job to
+/// completion — the served twin of `fleet run`.
+fn cmd_fleet_submit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr", "detach", "metrics", "quiet"])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet submit needs a scenario file path".into()))?;
+    if let Some(extra) = args.positional(2) {
+        return Err(Box::new(ArgError(format!(
+            "fleet submit takes exactly one scenario file, got extra operand {extra:?}"
+        ))));
+    }
+    if args.flag("detach") && args.opt("metrics").is_some() {
+        return Err(Box::new(ArgError(
+            "--detach conflicts with --metrics: the manifest arrives at the end of the \
+             stream, and --detach hangs up before it; re-attach with `fleet watch`"
+                .into(),
+        )));
+    }
+    let scenario = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read scenario file {path}: {e}")))?;
+    let addr = service_addr(args);
+    let mut client = service_connect(&addr)?;
+    client.send(&ClientMsg::Submit { scenario })?;
+    if args.flag("detach") {
+        // One reply decides: accepted (print the id for `fleet watch`)
+        // or rejected.
+        return match client.recv()? {
+            Some(ServerMsg::Accepted { job, name, queue }) => {
+                println!("job {job} accepted: {name} (queue position {queue})");
+                if !args.flag("quiet") {
+                    println!("follow it with `tailwise fleet watch {job} --addr {addr}`");
+                }
+                Ok(())
+            }
+            Some(ServerMsg::Error { message }) => Err(Box::new(ArgError(message))),
+            other => {
+                Err(Box::new(ArgError(format!("unexpected reply to a submission: {other:?}"))))
+            }
+        };
+    }
+    stream_job(&mut client, args.flag("quiet"), args.opt("metrics"))
+}
+
+/// `tailwise fleet watch <job>`: re-attach to a job's stream — the
+/// replayable history (acceptance, finished rows, final payloads)
+/// first, then everything live.
+fn cmd_fleet_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr", "metrics", "quiet"])?;
+    let job: u64 = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet watch needs a job id (see `fleet jobs`)".into()))?
+        .parse()
+        .map_err(|_| ArgError("fleet watch needs a numeric job id".into()))?;
+    let mut client = service_connect(&service_addr(args))?;
+    client.send(&ClientMsg::Watch { job })?;
+    stream_job(&mut client, args.flag("quiet"), args.opt("metrics"))
+}
+
+/// `tailwise fleet jobs`: list every job the service knows about.
+fn cmd_fleet_jobs(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr"])?;
+    let mut client = service_connect(&service_addr(args))?;
+    client.send(&ClientMsg::Jobs)?;
+    loop {
+        match client.recv()? {
+            Some(ServerMsg::Job { job, state, name }) => {
+                println!("job {job:>4}  {state:<10} {name}");
+            }
+            Some(ServerMsg::End { count }) => {
+                println!("{count} job(s)");
+                return Ok(());
+            }
+            Some(ServerMsg::Error { message }) => return Err(Box::new(ArgError(message))),
+            other => {
+                return Err(Box::new(ArgError(format!(
+                    "unexpected reply to a jobs listing: {other:?}"
+                ))))
+            }
+        }
+    }
+}
+
+/// `tailwise fleet cancel <job>`: cancel a job — dequeued on the spot
+/// if it has not started, stopped between sweep cells if it has.
+fn cmd_fleet_cancel(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr"])?;
+    let job: u64 = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fleet cancel needs a job id (see `fleet jobs`)".into()))?
+        .parse()
+        .map_err(|_| ArgError("fleet cancel needs a numeric job id".into()))?;
+    let mut client = service_connect(&service_addr(args))?;
+    client.send(&ClientMsg::Cancel { job })?;
+    match client.recv()? {
+        Some(ServerMsg::Job { job, state, name }) => {
+            if state == "running" {
+                println!("job {job} ({name}) is running; it stops between sweep cells");
+            } else {
+                println!("job {job} ({name}) is now {state}");
+            }
+            Ok(())
+        }
+        Some(ServerMsg::Error { message }) => Err(Box::new(ArgError(message))),
+        other => Err(Box::new(ArgError(format!("unexpected reply to a cancel: {other:?}")))),
+    }
+}
+
+/// `tailwise fleet shutdown`: ask the service to drain every accepted
+/// job and stop, then wait for the drain to finish (connection EOF).
+fn cmd_fleet_shutdown(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["addr", "quiet"])?;
+    let mut client = service_connect(&service_addr(args))?;
+    client.send(&ClientMsg::Shutdown)?;
+    match client.recv()? {
+        Some(ServerMsg::ShuttingDown { unfinished }) => {
+            if !args.flag("quiet") {
+                println!("fleet service shutting down: {unfinished} unfinished job(s) draining…");
+            }
+        }
+        Some(ServerMsg::Error { message }) => return Err(Box::new(ArgError(message))),
+        other => {
+            return Err(Box::new(ArgError(format!("unexpected reply to a shutdown: {other:?}"))))
+        }
+    }
+    client.recv_until_eof()?;
+    if !args.flag("quiet") {
+        println!("fleet service stopped");
     }
     Ok(())
 }
@@ -926,6 +1246,53 @@ mod tests {
         let mut words = vec!["fleet".to_string()];
         words.extend(extra.iter().map(|s| s.to_string()));
         Args::parse_with_switches(words, SWITCHES).expect("test flags parse")
+    }
+
+    #[test]
+    fn service_subcommand_flags_are_validated() {
+        // serve: no operands, positive workers.
+        let err = cmd_fleet_serve(&obs_args(&["serve", "stray.toml"])).unwrap_err().to_string();
+        assert!(err.contains("takes no operands"), "{err}");
+        let err = cmd_fleet_serve(&obs_args(&["serve", "--workers", "0"])).unwrap_err().to_string();
+        assert!(err.contains("--workers must be at least 1"), "{err}");
+
+        // submit: needs a file; --detach hangs up before the manifest.
+        let err = cmd_fleet_submit(&obs_args(&["submit"])).unwrap_err().to_string();
+        assert!(err.contains("needs a scenario file"), "{err}");
+        let err =
+            cmd_fleet_submit(&obs_args(&["submit", "a.toml", "--detach", "--metrics", "m.toml"]))
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("--detach conflicts with --metrics"), "{err}");
+
+        // watch / cancel: numeric job ids only.
+        for sub in ["watch", "cancel"] {
+            let run = |extra: &[&str]| -> String {
+                let args = obs_args(extra);
+                let result = match sub {
+                    "watch" => cmd_fleet_watch(&args),
+                    _ => cmd_fleet_cancel(&args),
+                };
+                result.unwrap_err().to_string()
+            };
+            assert!(run(&[sub]).contains("needs a job id"), "{sub}");
+            assert!(run(&[sub, "seven"]).contains("numeric job id"), "{sub}");
+        }
+    }
+
+    #[test]
+    fn digest_conflicts_with_require_phases() {
+        let err = cmd_fleet_manifest(&obs_args(&[
+            "manifest",
+            "/nonexistent/run.toml",
+            "--digest",
+            "--require-phases",
+        ]))
+        .unwrap_err()
+        .to_string();
+        // Flags are validated before I/O: the conflict is diagnosed
+        // even though the file is also missing.
+        assert!(err.contains("--digest conflicts with --require-phases"), "{err}");
     }
 
     #[test]

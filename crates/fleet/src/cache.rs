@@ -300,8 +300,13 @@ impl RequestCache {
         let Some(path) = self.path_for(fingerprint, scheme) else { return };
         // Write-then-rename so a concurrent reader (or a crash) can
         // only ever observe a complete file — and even a torn rename
-        // is caught by the reader's checksum.
-        let tmp = path.with_extension(format!("twc.tmp{}", std::process::id()));
+        // is caught by the reader's checksum. The tmp name carries a
+        // process-wide sequence number on top of the pid: two threads
+        // in one process storing the same key must not interleave
+        // writes into a shared tmp file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("twc.tmp{}-{seq}", std::process::id()));
         let spilled = std::fs::File::create(&tmp)
             .map_err(|e| e.to_string())
             .and_then(|file| {
@@ -335,7 +340,7 @@ impl RequestCache {
 mod tests {
     use super::*;
     use tailwise_core::schemes::Scheme;
-    use tailwise_obs::Obs;
+    use tailwise_obs::{Obs, Recorder as _};
     use tailwise_workload::apps::AppKind;
 
     /// The `rnc_storm.toml` population in miniature — the golden
@@ -459,6 +464,91 @@ mod tests {
         std::fs::write(&spilled, &bytes).unwrap();
         let fallback = RequestCache::with_dir(&dir).unwrap();
         assert!(fallback.lookup(&fp, "makeidle", Obs::none()).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_key_never_corrupt_the_spill() {
+        // Regression: the spill tmp filename used to be pid-only, so
+        // two threads in one process storing the same (fingerprint,
+        // scheme) interleaved writes into a single tmp file — a corrupt
+        // spill surfacing later as silent cache_fallbacks.
+        let dir = std::env::temp_dir().join(format!("tailwise-cache-race-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut tiny = storm_like();
+        tiny.users = 2;
+        let fp = Fingerprint::of(&tiny);
+        let streams: Streams = Arc::new(vec![vec![Instant::ZERO, Instant::from_secs(7)], vec![]]);
+
+        let recorder = tailwise_obs::StatsRecorder::new();
+        for _round in 0..4 {
+            let writer = RequestCache::with_dir(&dir).unwrap();
+            std::thread::scope(|scope| {
+                for _thread in 0..8 {
+                    let writer = &writer;
+                    let fp = &fp;
+                    let streams = Arc::clone(&streams);
+                    let recorder = &recorder;
+                    scope.spawn(move || {
+                        let obs = Obs { recorder, progress: None };
+                        writer.store(fp, "makeidle", streams, obs);
+                    });
+                }
+            });
+        }
+
+        // Every store spilled cleanly: no interleaved tmp writes, no
+        // swallowed spill failures, no stray tmp litter.
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("cache_fallbacks"), 0, "some store fell back");
+        assert_eq!(snapshot.counter("cache_spills"), 32, "every store must spill");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+            .filter(|name| !name.ends_with(".twc"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+
+        // A fresh cache (conceptually a fresh process) warm-reads the
+        // final file with a hit and zero fallbacks.
+        let read_recorder = tailwise_obs::StatsRecorder::new();
+        let read_obs = Obs { recorder: &read_recorder, progress: None };
+        let reader = RequestCache::with_dir(&dir).unwrap();
+        assert_eq!(reader.lookup(&fp, "makeidle", read_obs).as_deref(), Some(&*streams));
+        let read_snapshot = read_recorder.snapshot();
+        assert_eq!(read_snapshot.counter("cache_hits"), 1);
+        assert_eq!(read_snapshot.counter("cache_fallbacks"), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fractional_iat_scheme_token_survives_the_spill_filename() {
+        // `iat92.5` round-trips Display → FromStr …
+        let scheme = Scheme::PercentileIat(0.925);
+        let token = scheme.to_string();
+        assert_eq!(token, "iat92.5");
+        assert_eq!(token.parse::<Scheme>().unwrap(), scheme);
+
+        // … and the dot inside the token survives path_for → warm
+        // lookup (with_extension-style suffix surgery on the tmp file
+        // must not eat the token's fractional part).
+        let dir = std::env::temp_dir().join(format!("tailwise-cache-frac-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut tiny = storm_like();
+        tiny.users = 1;
+        let fp = Fingerprint::of(&tiny);
+        let streams: Streams = Arc::new(vec![vec![Instant::from_secs(11)]]);
+        let writer = RequestCache::with_dir(&dir).unwrap();
+        writer.store(&fp, &token, Arc::clone(&streams), Obs::none());
+        let spilled = dir.join(format!("{:016x}-iat92.5.twc", fp.hash()));
+        assert!(spilled.is_file(), "missing spill file {}", spilled.display());
+
+        let read_recorder = tailwise_obs::StatsRecorder::new();
+        let read_obs = Obs { recorder: &read_recorder, progress: None };
+        let reader = RequestCache::with_dir(&dir).unwrap();
+        assert_eq!(reader.lookup(&fp, &token, read_obs).as_deref(), Some(&*streams));
+        assert_eq!(read_recorder.snapshot().counter("cache_hits"), 1);
+        assert_eq!(read_recorder.snapshot().counter("cache_fallbacks"), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,6 +25,10 @@ pub struct Histogram {
     min: f64,
     /// Largest sample seen, unclamped.
     max: f64,
+    /// NaN samples seen: counted here, excluded from every bin and
+    /// statistic. (`NaN as usize` is 0, so folding them in would
+    /// silently count each one as a bottom-edge value.)
+    nan: u64,
 }
 
 impl Histogram {
@@ -40,6 +44,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            nan: 0,
         }
     }
 
@@ -62,9 +67,15 @@ impl Histogram {
         (self.hi - self.lo) / self.bins.len() as f64
     }
 
-    /// Records one sample.
+    /// Records one sample. NaN samples land on [`Histogram::nan_count`]
+    /// instead of a bin: every comparison against a NaN is false, so
+    /// the cast-to-bin-index path would file them under bin 0 as if
+    /// they were bottom-edge values (and poison `sum`/`min`/`max`).
     pub fn record(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "histogram sample must be finite");
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         let idx = if x < self.lo {
             0
         } else {
@@ -78,9 +89,14 @@ impl Histogram {
         self.max = self.max.max(x);
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (excluding NaN samples).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of NaN samples seen (tracked separately, never binned).
+    pub fn nan_count(&self) -> u64 {
+        self.nan
     }
 
     /// Mean of all samples (0 when empty).
@@ -142,6 +158,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.nan += other.nan;
     }
 }
 
@@ -198,6 +215,29 @@ mod tests {
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
         assert_eq!(a.percentile(0.5), all.percentile(0.5));
+    }
+
+    #[test]
+    fn nan_samples_never_reach_bin_zero_or_the_statistics() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(5.0);
+        h.record(f64::NAN);
+        h.record(f64::NAN);
+        // NaN used to cast to bin index 0 and be counted as a
+        // bottom-edge value; now it only moves the nan counter.
+        assert_eq!(h.bins()[0], 0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.min(), Some(5.0));
+        assert_eq!(h.max(), Some(5.0));
+        assert_eq!(h.percentile(0.5), Some(5.5));
+
+        let mut other = Histogram::new(0.0, 10.0, 10);
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.nan_count(), 3);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -103,8 +103,9 @@ pub use runner::{
 pub use scenario::{user_seed, Scenario};
 pub use source::{synth_corpus, CorpusScenario, CorpusSpec, SourceSet, UserSource};
 pub use sweep::{
-    run_source_sweep, run_source_sweep_cached, run_source_sweep_observed, run_sweep,
-    run_sweep_cached, run_sweep_observed, ScenarioSet, SweepAxis, SweepReport, SweepRow,
+    run_source_sweep, run_source_sweep_cached, run_source_sweep_observed,
+    run_source_sweep_streamed, run_sweep, run_sweep_cached, run_sweep_observed, ScenarioSet,
+    SweepAxis, SweepReport, SweepRow,
 };
 pub use topology::{cell_of, merge_requests, rnc_of_cell, NetworkTopology};
 

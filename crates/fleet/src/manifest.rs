@@ -341,6 +341,73 @@ impl RunManifest {
         RunManifest::from_toml_str(&text).map_err(|e| e.with_origin(path.display().to_string()))
     }
 
+    /// One well-mixed word over the manifest's *deterministic* content:
+    /// provenance (name, scheme, source, seed) and every `[[report]]`
+    /// row's simulation figures. Measurement details — thread count,
+    /// wall clocks, phase timings, recorder counters — are excluded,
+    /// mirroring [`FleetReport`]'s `PartialEq`. Two runs of the same
+    /// scenario digest equally at any thread count, observed or not,
+    /// batch or streamed through the fleet service; `fleet manifest
+    /// --digest` exposes this for shell-level comparisons.
+    pub fn digest(&self) -> u64 {
+        use tailwise_trace::mix::splitmix64;
+        fn fold(h: u64, word: u64) -> u64 {
+            splitmix64(h ^ word)
+        }
+        fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+            h = fold(h, bytes.len() as u64);
+            for chunk in bytes.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = fold(h, u64::from_le_bytes(word));
+            }
+            h
+        }
+        let mut h = 0xD16E_0000_0000_0000u64;
+        h = fold_bytes(h, self.name.as_bytes());
+        h = fold_bytes(h, self.scheme.as_bytes());
+        h = fold_bytes(h, self.source.as_bytes());
+        h = fold(h, self.seed);
+        h = fold(h, self.reports.len() as u64);
+        for report in &self.reports {
+            h = fold_bytes(h, report.label.as_bytes());
+            h = fold_bytes(h, report.scenario.as_bytes());
+            h = fold_bytes(h, report.scheme.as_bytes());
+            for word in [
+                report.users,
+                report.user_days,
+                report.packets,
+                report.energy_j.to_bits(),
+                report.baseline_energy_j.to_bits(),
+                report.saved_pct.to_bits(),
+                report.switches,
+                report.baseline_switches,
+                report.false_switches,
+                report.missed_switches,
+                report.decisions,
+            ] {
+                h = fold(h, word);
+            }
+            match &report.signaling {
+                None => h = fold(h, 0),
+                Some(s) => {
+                    h = fold(h, 1);
+                    for word in [
+                        s.granted,
+                        s.denied,
+                        s.denied_by_rnc,
+                        s.peak_messages_per_s,
+                        s.cell_overload_s,
+                        s.rnc_overload_s,
+                    ] {
+                        h = fold(h, word);
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// The phase timings that are missing or zero — empty for a
     /// manifest whose run recorded all four phases (what
     /// `fleet manifest --require-phases` enforces for topology runs).
@@ -500,6 +567,29 @@ mod tests {
         let text = manifest.to_toml_string().replace("runs = 1", "runs = 3");
         let err = RunManifest::from_toml_str(&text).unwrap_err();
         assert!(err.message.contains("runs = 3"), "{err}");
+    }
+
+    #[test]
+    fn digest_ignores_measurement_but_not_simulation() {
+        let base = RunManifest::for_report(&sample_report(), 2, 77, &sample_snapshot());
+
+        // Measurement details: different thread count, wall clock,
+        // timings, and counters must digest identically.
+        let mut remeasured = RunManifest::for_report(&sample_report(), 8, 77, &Snapshot::empty());
+        remeasured.wall_seconds = 123.0;
+        for row in &mut remeasured.reports {
+            row.wall_seconds = 9.9;
+        }
+        assert_eq!(remeasured.digest(), base.digest());
+
+        // Simulation content: any figure change must change the digest.
+        let mut report = sample_report();
+        report.energy_j += 1e-9;
+        let redone = RunManifest::for_report(&report, 2, 77, &sample_snapshot());
+        assert_ne!(redone.digest(), base.digest());
+
+        let reseeded = RunManifest::for_report(&sample_report(), 2, 78, &sample_snapshot());
+        assert_ne!(reseeded.digest(), base.digest());
     }
 
     #[test]

@@ -344,21 +344,48 @@ pub fn run_source_sweep_cached(
     obs: Obs<'_>,
     cache: Option<&RequestCache>,
 ) -> Result<SweepReport, ScenError> {
+    let report = run_source_sweep_streamed(set, threads, obs, cache, &mut |_, _| true)?;
+    Ok(report.expect("an always-continue callback never cancels a sweep"))
+}
+
+/// [`run_source_sweep_cached`] with a per-row callback: `on_row(index,
+/// row)` fires as soon as each cell finishes, before the next cell
+/// starts. This is the fleet service's streaming hook — rows reach a
+/// watching client while later cells are still running — and its
+/// cancellation point: returning `false` stops the sweep between cells
+/// and the whole call returns `Ok(None)`.
+///
+/// The rows a callback observes are exactly the rows of the final
+/// [`SweepReport`] — one implementation produces both, so a streamed
+/// sweep stays bit-identical to a batch [`run_source_sweep_cached`] of
+/// the same set.
+pub fn run_source_sweep_streamed(
+    set: &SourceSet,
+    threads: usize,
+    obs: Obs<'_>,
+    cache: Option<&RequestCache>,
+    on_row: &mut dyn FnMut(usize, &SweepRow) -> bool,
+) -> Result<Option<SweepReport>, ScenError> {
     let pinned = match &set.source {
         UserSource::Corpus(corpus) => Some(corpus.resolve_observed(obs)?),
         UserSource::Synthetic(_) => None,
     };
     let mut rows = Vec::with_capacity(set.expansion_count());
-    for (label, source) in set.expand_labeled()? {
+    for (index, (label, source)) in set.expand_labeled()?.into_iter().enumerate() {
         let report = match (&source, &pinned) {
             (UserSource::Corpus(corpus), Some(pinned)) => {
                 crate::runner::run_pinned_corpus_observed(corpus, pinned, threads, obs)?
             }
             _ => run_source_cached(&source, threads, obs, cache)?,
         };
-        rows.push(SweepRow { label, source, report });
+        let row = SweepRow { label, source, report };
+        let keep_going = on_row(index, &row);
+        rows.push(row);
+        if !keep_going {
+            return Ok(None);
+        }
     }
-    Ok(SweepReport { name: set.source.name().to_string(), rows })
+    Ok(Some(SweepReport { name: set.source.name().to_string(), rows }))
 }
 
 impl SweepReport {

@@ -40,7 +40,9 @@
 mod progress;
 mod recorder;
 
-pub use progress::{ProgressSampler, ProgressSlot, ProgressTable, ProgressTotals};
+pub use progress::{
+    ProgressSampler, ProgressSlot, ProgressTable, ProgressTotals, ProgressUpdate, ProgressWatcher,
+};
 pub use recorder::{
     span, Counter, NullRecorder, Recorder, Snapshot, SpanGuard, SpanStat, StatsRecorder,
 };

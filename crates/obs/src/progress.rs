@@ -3,7 +3,7 @@
 //! single self-overwriting stderr line.
 
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -144,65 +144,142 @@ impl ProgressTable {
 
 fn render_eta(seconds: f64) -> String {
     if seconds >= 90.0 {
-        format!("{:.0}m{:02.0}s", (seconds / 60.0).floor(), seconds % 60.0)
+        // Round to whole seconds first, then split: formatting the
+        // remainder with `{:02.0}` rounds it independently, so 119.7
+        // would render as "1m60s".
+        let whole = seconds.round() as u64;
+        format!("{}m{:02}s", whole / 60, whole % 60)
     } else {
         format!("{seconds:.0}s")
     }
 }
 
-/// Background thread that repaints [`ProgressTable::render_line`] on
-/// stderr every sampling interval, overwriting itself with `\r`.
+/// One observation of a [`ProgressTable`], as delivered to a
+/// [`ProgressWatcher`] sink: the summed totals plus the published
+/// expected total and the table's elapsed clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressUpdate {
+    /// Summed per-worker totals at sampling time.
+    pub totals: ProgressTotals,
+    /// The published expected user total (0 until the runner knows it).
+    pub users_total: u64,
+    /// Seconds since the table was created.
+    pub elapsed_seconds: f64,
+}
+
+impl ProgressTable {
+    /// Samples the table into one [`ProgressUpdate`].
+    pub fn update(&self) -> ProgressUpdate {
+        ProgressUpdate {
+            totals: self.totals(),
+            users_total: self.users_total(),
+            elapsed_seconds: self.elapsed_seconds(),
+        }
+    }
+}
+
+/// Background thread that samples a [`ProgressTable`] every interval
+/// and hands each [`ProgressUpdate`] to a sink callback. This is the
+/// one subscription primitive over the progress pipeline: the stderr
+/// [`ProgressSampler`] and the fleet service's live job streams are
+/// both sinks, so there is no second telemetry path.
 ///
-/// [`ProgressSampler::finish`] stops the thread and prints the final
-/// state followed by a newline; dropping an unfinished sampler stops
-/// the thread and just closes the line so later output starts clean.
+/// [`ProgressWatcher::finish`] stops the thread after delivering one
+/// final up-to-date sample, so a sink always sees the completed run.
 #[derive(Debug)]
-pub struct ProgressSampler {
-    table: Arc<ProgressTable>,
-    stop: Arc<AtomicBool>,
+pub struct ProgressWatcher {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-impl ProgressSampler {
-    /// Spawns the sampler thread repainting every `every`.
-    pub fn start(table: Arc<ProgressTable>, every: Duration) -> ProgressSampler {
-        let stop = Arc::new(AtomicBool::new(false));
+impl ProgressWatcher {
+    /// Spawns the watcher thread sampling every `every` into `sink`.
+    pub fn start(
+        table: Arc<ProgressTable>,
+        every: Duration,
+        mut sink: impl FnMut(ProgressUpdate) + Send + 'static,
+    ) -> ProgressWatcher {
+        let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
         let thread_stop = Arc::clone(&stop);
-        let thread_table = Arc::clone(&table);
         let handle = std::thread::Builder::new()
             .name("tailwise-progress".into())
             .spawn(move || {
-                let mut width = 0;
-                while !thread_stop.load(Ordering::Relaxed) {
-                    paint(&thread_table.render_line(), &mut width);
-                    std::thread::sleep(every);
+                let (lock, cvar) = &*thread_stop;
+                loop {
+                    let stopping = *lock.lock().expect("progress watcher stop flag");
+                    sink(table.update());
+                    if stopping {
+                        break;
+                    }
+                    let guard = lock.lock().expect("progress watcher stop flag");
+                    // Condvar wait (not sleep) so finish() interrupts a
+                    // long interval promptly for its final sample.
+                    let _unused = cvar.wait_timeout(guard, every);
                 }
             })
-            .expect("spawning the progress sampler thread failed");
-        ProgressSampler { table, stop, handle: Some(handle) }
+            .expect("spawning the progress watcher thread failed");
+        ProgressWatcher { stop, handle: Some(handle) }
     }
 
-    /// Stops the sampler and prints the final progress state on its
-    /// own completed line.
+    /// Stops the watcher after one final sample and joins the thread.
     pub fn finish(mut self) {
         self.shutdown();
-        let mut width = 0;
-        paint(&self.table.render_line(), &mut width);
-        eprintln!();
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("progress watcher stop flag") = true;
+        cvar.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
     }
 }
 
+impl Drop for ProgressWatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Background thread that repaints [`ProgressTable::render_line`] on
+/// stderr every sampling interval, overwriting itself with `\r`.
+/// Implemented as a [`ProgressWatcher`] whose sink paints.
+///
+/// [`ProgressSampler::finish`] stops the thread and prints the final
+/// state followed by a newline; dropping an unfinished sampler stops
+/// the thread and just closes the line so later output starts clean.
+#[derive(Debug)]
+pub struct ProgressSampler {
+    watcher: Option<ProgressWatcher>,
+}
+
+impl ProgressSampler {
+    /// Spawns the sampler thread repainting every `every`.
+    pub fn start(table: Arc<ProgressTable>, every: Duration) -> ProgressSampler {
+        let paint_table = Arc::clone(&table);
+        let mut width = 0;
+        let watcher = ProgressWatcher::start(table, every, move |_update| {
+            paint(&paint_table.render_line(), &mut width);
+        });
+        ProgressSampler { watcher: Some(watcher) }
+    }
+
+    /// Stops the sampler and prints the final progress state on its
+    /// own completed line. (The watcher delivers a final sample before
+    /// stopping, so the last paint reflects the finished run.)
+    pub fn finish(mut self) {
+        if let Some(watcher) = self.watcher.take() {
+            watcher.finish();
+        }
+        eprintln!();
+    }
+}
+
 impl Drop for ProgressSampler {
     fn drop(&mut self) {
-        if self.handle.is_some() {
-            self.shutdown();
+        if let Some(watcher) = self.watcher.take() {
+            watcher.finish();
             eprintln!();
         }
     }
@@ -270,6 +347,40 @@ mod tests {
     fn eta_renders_minutes_past_ninety_seconds() {
         assert_eq!(render_eta(12.0), "12s");
         assert_eq!(render_eta(125.0), "2m05s");
+    }
+
+    #[test]
+    fn eta_never_renders_sixty_seconds_at_the_minute_boundary() {
+        // 119.7 used to render "1m60s": the seconds remainder was
+        // rounded up by the formatter after the minutes were floored.
+        assert_eq!(render_eta(119.7), "2m00s");
+        assert_eq!(render_eta(119.4), "1m59s");
+        assert_eq!(render_eta(179.9), "3m00s");
+        assert_eq!(render_eta(90.0), "1m30s");
+    }
+
+    #[test]
+    fn watcher_delivers_updates_and_a_final_sample() {
+        let table = Arc::new(ProgressTable::new(1));
+        table.add_users_total(2);
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let watcher =
+            ProgressWatcher::start(Arc::clone(&table), Duration::from_millis(5), move |update| {
+                sink_seen.lock().unwrap().push(update);
+            });
+        table.slot(0).add_user(1);
+        std::thread::sleep(Duration::from_millis(15));
+        table.slot(0).add_user(3);
+        watcher.finish();
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty(), "watcher delivered no updates");
+        let last = seen.last().unwrap();
+        // finish() samples once more after the stop flag, so the final
+        // update reflects everything published before finish().
+        assert_eq!(last.totals.users_done, 2);
+        assert_eq!(last.totals.user_days, 4);
+        assert_eq!(last.users_total, 2);
     }
 
     #[test]

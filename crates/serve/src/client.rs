@@ -1,0 +1,60 @@
+//! A thin blocking client over the line protocol — what the `fleet
+//! submit` / `watch` / `jobs` / `cancel` / `shutdown` subcommands (and
+//! the end-to-end tests) are built on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{ClientMsg, ServerMsg};
+
+/// One connection to a running fleet service.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7433`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request.
+    pub fn send(&mut self, msg: &ClientMsg) -> std::io::Result<()> {
+        self.writer.write_all(msg.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives the next server message. `Ok(None)` is a clean EOF —
+    /// the server closed the connection (e.g. after a shutdown drain).
+    pub fn recv(&mut self) -> std::io::Result<Option<ServerMsg>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            return ServerMsg::decode(trimmed).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("undecodable server message: {e} in {trimmed:?}"),
+                )
+            });
+        }
+    }
+
+    /// Receives until the connection closes (the `fleet shutdown`
+    /// wait: EOF means the drain finished).
+    pub fn recv_until_eof(&mut self) -> std::io::Result<()> {
+        while self.recv()?.is_some() {}
+        Ok(())
+    }
+}

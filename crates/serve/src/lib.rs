@@ -1,0 +1,37 @@
+//! # tailwise-serve
+//!
+//! The resident fleet service: the batch simulator promoted to
+//! long-running infrastructure. A `fleet serve` process listens on
+//! TCP, accepts scenario files as *jobs*, runs them on a bounded
+//! worker pool, and streams results live — job accepted, per-shard
+//! progress ticks (sourced from the existing `tailwise-obs`
+//! `ProgressTable` pipeline, not a second telemetry path), one row per
+//! finished sweep cell, then the rendered report and the run manifest.
+//!
+//! Every job runs against ONE process-wide
+//! [`RequestCache`](tailwise_fleet::RequestCache), optionally
+//! spill-backed by `--cache <dir>`: concurrent admission or scheme
+//! sweeps over the same population share phase-1 extraction, which is
+//! the paper's whole evaluation loop ("same scenario, new policy")
+//! made cheap.
+//!
+//! The transport is hand-rolled on `std::net` + threads — the offline
+//! build has no async runtime — speaking the line-delimited typed
+//! [`ClientMsg`]/[`ServerMsg`] protocol documented in
+//! `docs/SERVICE.md`. Determinism carries over from the fleet crate: a
+//! job's final report and manifest are bit-identical (in every
+//! deterministic field) to a batch `fleet run` of the same file at any
+//! thread count — `RunManifest::digest` pins that contract end to end.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use jobs::{CancelOutcome, Job, JobRegistry, JobState};
+pub use protocol::{ClientMsg, ServerMsg};
+pub use server::{ServeConfig, Server};
