@@ -83,6 +83,10 @@ COMMANDS
                                           needs --rncs)
                      --rnc-admission <p>  (RNC-level admission policy, same
                                           tokens as --admission; needs --rncs)
+                     --mobility <m>       (user movement between cells: static |
+                                          commute[:<home_hour>:<work_hour>
+                                          [:<jitter_pct>[:<hint_s>]]];
+                                          needs --cells)
                      --progress           (live per-shard status line on stderr)
                      --quiet              (suppress preamble chatter; the report
                                           still prints)
@@ -480,8 +484,8 @@ fn reject_run_only_flags(args: &Args, subcommand: &str) -> Result<(), ArgError> 
 }
 
 /// The network-topology flag set shared by `fleet` and `fleet export`.
-const TOPOLOGY_FLAGS: [&str; 6] =
-    ["cells", "capacity", "admission", "rncs", "rnc-capacity", "rnc-admission"];
+const TOPOLOGY_FLAGS: [&str; 7] =
+    ["cells", "capacity", "admission", "rncs", "rnc-capacity", "rnc-admission", "mobility"];
 
 /// Builds the scenario described by the `fleet` / `fleet export` flags.
 fn fleet_scenario_from_flags(
@@ -561,6 +565,9 @@ fn topology_from_flags(
     if let Some(spec) = args.opt_parse::<tailwise_fleet::AdmissionSpec>("rnc-admission")? {
         topology.rnc_admission = spec;
     }
+    if let Some(spec) = args.opt_parse::<tailwise_fleet::MobilitySpec>("mobility")? {
+        topology.mobility = spec;
+    }
     Ok(Some(topology))
 }
 
@@ -600,6 +607,7 @@ fn cmd_fleet(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "rncs",
         "rnc-capacity",
         "rnc-admission",
+        "mobility",
         "progress",
         "quiet",
         "metrics",
@@ -1106,6 +1114,7 @@ fn cmd_fleet_export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "rncs",
         "rnc-capacity",
         "rnc-admission",
+        "mobility",
     ])?;
     let out =
         args.positional(1).ok_or_else(|| ArgError("fleet export needs an output path".into()))?;
@@ -1173,8 +1182,30 @@ mod tests {
             let err = build_err(&[flag, value]);
             assert!(err.contains("needs --cells"), "{flag}: {err}");
         }
+        let err = build_err(&["--mobility", "commute"]);
+        assert!(err.contains("needs --cells"), "{err}");
         // The guard names the offending flag.
         assert!(build_err(&["--admission", "always"]).contains("--admission"));
+    }
+
+    #[test]
+    fn mobility_flag_parses_tokens_and_rejects_bad_ones() {
+        let scenario =
+            fleet_scenario_from_flags(&fleet_args(&["--cells", "4", "--mobility", "commute:6:19"]))
+                .unwrap();
+        assert_eq!(
+            scenario.cells.expect("topology built").mobility,
+            tailwise_fleet::MobilitySpec::Commute {
+                home_hour: 6,
+                work_hour: 19,
+                jitter_pct: 5,
+                hint_s: 60,
+            }
+        );
+        let err = build_err(&["--cells", "4", "--mobility", "commute:19:6"]);
+        assert!(err.contains("leave home before leaving work"), "{err}");
+        let err = build_err(&["--cells", "4", "--mobility", "teleport"]);
+        assert!(err.contains("unknown mobility model"), "{err}");
     }
 
     #[test]

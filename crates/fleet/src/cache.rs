@@ -20,9 +20,15 @@
 //! streams are keyed on `(Fingerprint, scheme token)` — the stream
 //! depends on the scheme's idle policy — while baselines are keyed on
 //! the `Fingerprint` alone. Anything the fingerprint excludes (the
-//! admission axes, the cell/RNC topology, shard size, thread count,
-//! observation knobs) provably cannot change phase-1 output, which is
-//! exactly what makes sweep cells share entries.
+//! admission axes, the cell/RNC topology, mobility, shard size, thread
+//! count, observation knobs) provably cannot change phase-1 output,
+//! which is exactly what makes sweep cells share entries. Mobility in
+//! particular is excluded *by decision, not omission*: phase 1 extracts
+//! each user's request stream from their traffic alone, before any cell
+//! membership is consulted — movement changes where a request is
+//! adjudicated, never whether it is made — so a mobility sweep shares
+//! one extraction pass exactly like an admission sweep (pinned by the
+//! golden fingerprint tests below).
 //!
 //! ## Fallback contract
 //!
@@ -51,9 +57,10 @@ use crate::scenario::Scenario;
 ///
 /// Two scenarios with equal fingerprints synthesize bit-identical users
 /// and traces; the excluded fields (scheme, admission policies,
-/// topology shape, shard size) affect only adjudication and the fold,
-/// never the per-user request streams. Golden tests below pin both
-/// directions: identity-field changes miss, policy-axis changes hit.
+/// topology shape, mobility, shard size) affect only adjudication and
+/// the fold, never the per-user request streams. Golden tests below pin
+/// both directions: identity-field changes miss, policy-axis changes
+/// hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint {
     /// Scenario master seed (roots the whole seeding hierarchy).
@@ -393,6 +400,13 @@ mod tests {
         let mut resharded = storm_like();
         resharded.shard_size = 64;
         assert_eq!(Fingerprint::of(&resharded), base, "shard size must not invalidate");
+
+        // Mobility is a topology axis: it moves requests between cells
+        // but never changes which requests exist, so a mobility sweep
+        // must share the static run's extraction pass.
+        let mut commuted = storm_like();
+        commuted.cells.as_mut().unwrap().mobility = crate::mobility::MobilitySpec::commute();
+        assert_eq!(Fingerprint::of(&commuted), base, "mobility axis must not invalidate");
     }
 
     #[test]

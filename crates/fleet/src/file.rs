@@ -38,6 +38,7 @@ use tailwise_trace::time::Duration;
 use tailwise_workload::apps::AppKind;
 
 use crate::admission::AdmissionSpec;
+use crate::mobility::{self, MobilitySpec};
 use crate::scenario::Scenario;
 use crate::source::{CorpusScenario, CorpusSpec, SourceSet, UserSource};
 use crate::sweep::{ScenarioSet, SweepAxis};
@@ -49,7 +50,7 @@ pub(crate) fn source_set_from_str(src: &str) -> Result<SourceSet, ScenError> {
     let doc = parse(src)?;
     doc.deny_unknown(
         &[],
-        &["scenario", "sim", "corpus", "cells", "rnc"],
+        &["scenario", "sim", "corpus", "cells", "rnc", "mobility"],
         &["carrier", "app", "sweep"],
     )?;
 
@@ -297,6 +298,12 @@ fn topology_from_doc(doc: &Table) -> Result<Option<NetworkTopology>, ScenError> 
                 "`[rnc]` requires a `[cells]` table: RNCs group cells",
             ));
         }
+        if let Some(mobility) = doc.table("mobility") {
+            return Err(ScenError::at(
+                mobility.pos(),
+                "`[mobility]` requires a `[cells]` table: movement happens between cells",
+            ));
+        }
         return Ok(None);
     };
     let mut keys = vec!["count", "capacity_per_s", "admission", "release"];
@@ -333,7 +340,53 @@ fn topology_from_doc(doc: &Table) -> Result<Option<NetworkTopology>, ScenError> 
         topology.rnc_budget = SignalingBudget { capacity_per_s: rnc.get_u64("capacity_per_s")? };
         topology.rnc_admission = admission_from_table(rnc, false)?;
     }
+    if let Some(mobility) = doc.table("mobility") {
+        topology.mobility = mobility_from_table(mobility)?;
+    }
     Ok(Some(topology))
+}
+
+/// Parses the `[mobility]` table. `model = "static"` treats the commute
+/// parameter keys as conflicts (named errors, not unknowns): a static
+/// model has no schedule to configure.
+fn mobility_from_table(table: &Table) -> Result<MobilitySpec, ScenError> {
+    const COMMUTE_KEYS: [&str; 4] = ["home_hour", "work_hour", "jitter_pct", "hint_s"];
+    let mut keys = vec!["model"];
+    keys.extend(COMMUTE_KEYS);
+    table.deny_unknown(&keys, &[], &[])?;
+    let model = table.req_str("model")?;
+    match model {
+        "static" => {
+            for key in COMMUTE_KEYS {
+                if let Some(item) = table.get(key) {
+                    return Err(ScenError::at(
+                        item.pos,
+                        format!(
+                            "`{key}` configures the commute model, but `model` is \"static\"; \
+                             set model = \"commute\" or drop the key"
+                        ),
+                    ));
+                }
+            }
+            Ok(MobilitySpec::Static)
+        }
+        "commute" => {
+            let home_hour = table.get_u32("home_hour")?.unwrap_or(mobility::DEFAULT_HOME_HOUR);
+            let work_hour = table.get_u32("work_hour")?.unwrap_or(mobility::DEFAULT_WORK_HOUR);
+            let jitter_pct = table.get_u32("jitter_pct")?.unwrap_or(mobility::DEFAULT_JITTER_PCT);
+            let hint_s = table.get_u32("hint_s")?.unwrap_or(mobility::DEFAULT_HINT_S);
+            mobility::check_commute(home_hour, work_hour, jitter_pct)
+                .map_err(|message| ScenError::at(table.pos(), message))?;
+            Ok(MobilitySpec::Commute { home_hour, work_hour, jitter_pct, hint_s })
+        }
+        other => {
+            let pos = table.get("model").map(|i| i.pos).unwrap_or(table.pos());
+            Err(ScenError::at(
+                pos,
+                format!("unknown mobility model {other:?}; one of static, commute"),
+            ))
+        }
+    }
 }
 
 /// Parses a document as a synthetic-only [`ScenarioSet`], rejecting
@@ -482,6 +535,11 @@ fn check_topology_representable(
                 "sweep axis `admission` requires a [cells] topology to apply to",
             ));
         }
+        if axes.iter().any(|axis| matches!(axis, SweepAxis::Mobility(_))) {
+            return Err(ScenError::emit(
+                "sweep axis `mobility` requires a [cells] topology to apply to",
+            ));
+        }
         return Ok(());
     };
     if topology.cells == 0 {
@@ -553,6 +611,16 @@ fn write_topology(w: &mut DocWriter, cells: &Option<NetworkTopology>) {
         }
         write_admission(w, &topology.rnc_admission);
     }
+    // [mobility] is emitted only for mobile models: a static default
+    // parses back identically without one.
+    if let MobilitySpec::Commute { home_hour, work_hour, jitter_pct, hint_s } = topology.mobility {
+        w.blank().table("mobility");
+        w.str("model", topology.mobility.token());
+        w.uint("home_hour", u64::from(home_hour));
+        w.uint("work_hour", u64::from(work_hour));
+        w.uint("jitter_pct", u64::from(jitter_pct));
+        w.uint("hint_s", u64::from(hint_s));
+    }
 }
 
 fn write_carriers(
@@ -610,6 +678,10 @@ fn write_axes(w: &mut DocWriter, axes: &[SweepAxis]) -> Result<(), ScenError> {
             SweepAxis::Admission(specs) => {
                 let tokens: Vec<String> = specs.iter().map(AdmissionSpec::to_string).collect();
                 w.str("axis", "admission").str_array("values", &tokens);
+            }
+            SweepAxis::Mobility(specs) => {
+                let tokens: Vec<String> = specs.iter().map(MobilitySpec::to_string).collect();
+                w.str("axis", "mobility").str_array("values", &tokens);
             }
         }
     }
@@ -791,11 +863,26 @@ fn sweep_axes(doc: &Table, corpus: bool, cells: bool) -> Result<Vec<SweepAxis>, 
                     })
                     .collect::<Result<Vec<AdmissionSpec>, ScenError>>()?,
             ),
+            "mobility" if !cells => {
+                return Err(ScenError::at(
+                    axis_pos,
+                    "sweep axis `mobility` requires a [cells] topology to apply to",
+                ))
+            }
+            "mobility" => SweepAxis::Mobility(
+                str_elements("values", values)?
+                    .into_iter()
+                    .map(|token| {
+                        token.parse::<MobilitySpec>().map_err(|e| ScenError::at(axis_pos, e))
+                    })
+                    .collect::<Result<Vec<MobilitySpec>, ScenError>>()?,
+            ),
             other => {
                 return Err(ScenError::at(
                     axis_pos,
                     format!(
-                        "unknown sweep axis {other:?}; one of scheme, carrier, users, admission"
+                        "unknown sweep axis {other:?}; one of scheme, carrier, users, \
+                         admission, mobility"
                     ),
                 ))
             }
@@ -1059,6 +1146,161 @@ mod tests {
         let again = set_from_str(&text).unwrap();
         assert_eq!(again.base, set.base);
         assert_eq!(again.axes, set.axes);
+    }
+
+    #[test]
+    fn commute_mobility_parses_and_round_trips() {
+        let src = concat!(
+            "[scenario]\nusers = 20\n",
+            "[cells]\ncount = 6\n",
+            "[mobility]\n",
+            "model = \"commute\"\n",
+            "home_hour = 7\n",
+            "work_hour = 18\n",
+            "[[carrier]]\nprofile = \"verizon-lte\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let set = set_from_str(src).unwrap();
+        let topology = set.base.cells.as_ref().unwrap();
+        assert_eq!(
+            topology.mobility,
+            MobilitySpec::Commute {
+                home_hour: 7,
+                work_hour: 18,
+                jitter_pct: mobility::DEFAULT_JITTER_PCT,
+                hint_s: mobility::DEFAULT_HINT_S,
+            },
+            "omitted keys fall back to the documented defaults"
+        );
+        let text = set_to_toml(&set.base, &[]).unwrap();
+        assert!(text.contains("[mobility]"), "{text}");
+        assert!(text.contains("model = \"commute\""), "{text}");
+        assert_eq!(set_from_str(&text).unwrap().base, set.base);
+
+        // An explicit static model parses, but the writer omits the
+        // table entirely: the default spelling is no table at all.
+        let src = concat!(
+            "[scenario]\nusers = 20\n",
+            "[cells]\ncount = 6\n",
+            "[mobility]\nmodel = \"static\"\n",
+            "[[carrier]]\nprofile = \"verizon-lte\"\n",
+            "[[app]]\nkind = \"im\"\n",
+        );
+        let set = set_from_str(src).unwrap();
+        assert_eq!(set.base.cells.as_ref().unwrap().mobility, MobilitySpec::Static);
+        let text = set_to_toml(&set.base, &[]).unwrap();
+        assert!(!text.contains("[mobility]"), "static emits no table:\n{text}");
+        assert_eq!(set_from_str(&text).unwrap().base, set.base);
+    }
+
+    #[test]
+    fn mobility_sweep_axis_parses_and_round_trips() {
+        let src = concat!(
+            "[scenario]\nusers = 12\n",
+            "[cells]\ncount = 4\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n",
+            "[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",
+            "axis = \"mobility\"\n",
+            "values = [\"static\", \"commute\", \"commute:6:19:10:30\"]\n",
+        );
+        let set = set_from_str(src).unwrap();
+        assert_eq!(
+            set.axes,
+            vec![SweepAxis::Mobility(vec![
+                MobilitySpec::Static,
+                MobilitySpec::commute(),
+                MobilitySpec::Commute { home_hour: 6, work_hour: 19, jitter_pct: 10, hint_s: 30 },
+            ])]
+        );
+        let expanded = set.expand();
+        assert_eq!(expanded.len(), 3);
+        assert_eq!(expanded[0].cells.as_ref().unwrap().mobility, MobilitySpec::Static);
+        assert_eq!(
+            expanded[2].cells.as_ref().unwrap().mobility,
+            MobilitySpec::Commute { home_hour: 6, work_hour: 19, jitter_pct: 10, hint_s: 30 }
+        );
+        assert!(expanded[1].name.ends_with("[mobility=commute]"), "{}", expanded[1].name);
+        let text = set_to_toml(&set.base, &set.axes).unwrap();
+        let again = set_from_str(&text).unwrap();
+        assert_eq!(again.base, set.base);
+        assert_eq!(again.axes, set.axes);
+    }
+
+    #[test]
+    fn golden_mobility_schema_errors() {
+        // [mobility] without [cells] has nothing to move between.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",          // 1-2
+            "[mobility]\nmodel = \"static\"\n", // 3-4
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(3, 1));
+        assert!(e.message.contains("`[mobility]` requires a `[cells]` table"), "{e}");
+
+        // A commute parameter on the static model is a named conflict,
+        // not an unknown key.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",          // 1-2
+            "[cells]\ncount = 2\n",             // 3-4
+            "[mobility]\nmodel = \"static\"\n", // 5-6
+            "home_hour = 9\n",                  // 7 (value at col 13)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(7, 13));
+        assert!(e.message.contains("but `model` is \"static\""), "{e}");
+
+        // Unknown models name the alternatives.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[mobility]\nmodel = \"teleport\"\n", // 6 (value at col 9)
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert_eq!(e.pos, Pos::new(6, 9));
+        assert!(e.message.contains("unknown mobility model \"teleport\""), "{e}");
+
+        // Commute hours are validated with the shared wording.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[mobility]\nmodel = \"commute\"\nhome_hour = 20\nwork_hour = 8\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert!(e.message.contains("leave home before leaving work"), "{e}");
+
+        // Unknown keys are rejected, with the schema in the message.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[mobility]\nmodel = \"commute\"\nspeed = 3\n", // 7
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+        ));
+        assert!(e.message.contains("unknown key `speed`"), "{e}");
+        assert!(e.message.contains("home_hour"), "suggests valid keys: {e}");
+
+        // A mobility sweep without a topology has nothing to apply to.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",           // 7
+            "axis = \"mobility\"\n", // 8 (value at col 8)
+            "values = [\"static\"]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(8, 8));
+        assert!(e.message.contains("requires a [cells] topology"), "{e}");
+
+        // Malformed mobility tokens carry the token parser's reason.
+        let e = err_of(concat!(
+            "[scenario]\nusers = 5\n",
+            "[cells]\ncount = 2\n",
+            "[[carrier]]\nprofile = \"att-hspa\"\n[[app]]\nkind = \"im\"\n",
+            "[[sweep]]\n",
+            "axis = \"mobility\"\n", // 10 (value at col 8)
+            "values = [\"commute:9\"]\n",
+        ));
+        assert_eq!(e.pos, Pos::new(10, 8));
+        assert!(e.message.contains("hour pair"), "{e}");
     }
 
     #[test]
@@ -1649,6 +1891,24 @@ mod tests {
         }
     }
 
+    /// Decodes a [`MobilitySpec`] from plain proptest integers: even
+    /// `which` stays static, odd draws a valid commute schedule (home
+    /// before work, both inside the day, jitter a real percentage).
+    fn mobility_from_ints(which: usize, hours: u64, jitter: u64, hint: u64) -> MobilitySpec {
+        if which.is_multiple_of(2) {
+            return MobilitySpec::Static;
+        }
+        let home_hour = (hours % 23) as u32;
+        let span = u64::from(23 - home_hour);
+        let work_hour = home_hour + 1 + ((hours / 23) % span) as u32;
+        MobilitySpec::Commute {
+            home_hour,
+            work_hour,
+            jitter_pct: (jitter % 101) as u32,
+            hint_s: (hint % 100_000) as u32,
+        }
+    }
+
     /// Decodes an `Option<NetworkTopology>` from plain proptest
     /// integers: `which` of 0 is none, otherwise it picks both levels'
     /// admission kinds; a `cap` of 0 means unbounded at that level.
@@ -1669,6 +1929,8 @@ mod tests {
         topology.rnc_budget = SignalingBudget { capacity_per_s: (rnc_cap > 0).then_some(rnc_cap) };
         topology.cell_admission = admission_from_ints(which, interval_us, watermark);
         topology.rnc_admission = admission_from_ints(which / 3, interval_us * 2 + 1, watermark + 7);
+        topology.mobility =
+            mobility_from_ints(which / 2, watermark + rncs, watermark, interval_us as u64);
         Some(topology)
     }
 

@@ -42,6 +42,12 @@
 //!   load-reactive), and the two-pass runner (built on
 //!   [`tailwise_sim::twophase`]) reports per-cell and per-RNC signaling
 //!   load — the paper's §7/§8 population question;
+//! * [`mobility`] — how users move between cells: [`MobilitySpec`]
+//!   keeps membership a pure function of `(master seed, user, time)`
+//!   (static pinning or a seeded diurnal commute with random-walk
+//!   jitter), so handoffs generate deterministic signaling load and a
+//!   residence-time hint lets schemes demote ahead of a predicted
+//!   handoff;
 //! * [`Histogram`] — fixed-bin streaming distribution with percentile
 //!   readout;
 //! * [`FleetReport`] — the merged aggregate: total/mean energy, the
@@ -84,6 +90,7 @@ pub mod cache;
 pub mod file;
 pub mod histogram;
 pub mod manifest;
+pub mod mobility;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -95,6 +102,7 @@ pub use admission::AdmissionSpec;
 pub use cache::{Fingerprint, RequestCache};
 pub use histogram::Histogram;
 pub use manifest::{ManifestReport, ManifestSignaling, RunManifest};
+pub use mobility::{Handoff, MobilitySpec};
 pub use report::{CellLoad, FleetReport, FleetSignaling, RncLoad, RunTimings};
 pub use runner::{
     run, run_cached, run_corpus, run_corpus_observed, run_observed, run_pinned_corpus,

@@ -78,6 +78,11 @@ pub struct ManifestSignaling {
     pub cell_overload_s: u64,
     /// RNC-seconds over the RNC signaling budget.
     pub rnc_overload_s: u64,
+    /// Handoffs between cells (zero for static-mobility runs, and when
+    /// reading manifests written before the mobility subsystem).
+    pub handoffs: u64,
+    /// Handoffs that crossed an RNC boundary.
+    pub inter_rnc_handoffs: u64,
 }
 
 /// One observed run, ready to write to (or read back from) disk.
@@ -128,6 +133,8 @@ impl ManifestReport {
                 peak_messages_per_s: s.peak_messages_per_s(),
                 cell_overload_s: s.overload_seconds(),
                 rnc_overload_s: s.rnc_overload_seconds(),
+                handoffs: s.handoffs(),
+                inter_rnc_handoffs: s.inter_rnc_handoffs(),
             }),
         }
     }
@@ -251,7 +258,9 @@ impl RunManifest {
                     .uint("denied_by_rnc", signaling.denied_by_rnc)
                     .uint("peak_messages_per_s", signaling.peak_messages_per_s)
                     .uint("cell_overload_s", signaling.cell_overload_s)
-                    .uint("rnc_overload_s", signaling.rnc_overload_s);
+                    .uint("rnc_overload_s", signaling.rnc_overload_s)
+                    .uint("handoffs", signaling.handoffs)
+                    .uint("inter_rnc_handoffs", signaling.inter_rnc_handoffs);
             }
         }
         w.finish()
@@ -399,6 +408,10 @@ impl RunManifest {
                         s.peak_messages_per_s,
                         s.cell_overload_s,
                         s.rnc_overload_s,
+                        // Extending the digest is safe: digests are only
+                        // compared between runs of the same binary.
+                        s.handoffs,
+                        s.inter_rnc_handoffs,
                     ] {
                         h = fold(h, word);
                     }
@@ -449,6 +462,8 @@ fn parse_report_row(row: &Table) -> Result<ManifestReport, ScenError> {
             "peak_messages_per_s",
             "cell_overload_s",
             "rnc_overload_s",
+            "handoffs",
+            "inter_rnc_handoffs",
         ],
         &[],
         &[],
@@ -461,6 +476,10 @@ fn parse_report_row(row: &Table) -> Result<ManifestReport, ScenError> {
             peak_messages_per_s: row.req_u64("peak_messages_per_s")?,
             cell_overload_s: row.req_u64("cell_overload_s")?,
             rnc_overload_s: row.req_u64("rnc_overload_s")?,
+            // Optional with default 0 so manifests written before the
+            // mobility subsystem still parse.
+            handoffs: row.get_u64("handoffs")?.unwrap_or(0),
+            inter_rnc_handoffs: row.get_u64("inter_rnc_handoffs")?.unwrap_or(0),
         }),
         None => None,
     };
@@ -545,6 +564,46 @@ mod tests {
         assert_eq!(parsed.counters["cache_fallbacks"], 2);
         assert_eq!(parsed.counters["corpus_walks"], 1);
         assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn handoff_counters_round_trip_and_old_manifests_still_parse() {
+        use crate::report::{CellLoad, FleetSignaling, RncLoad};
+        let mut report = sample_report();
+        report.signaling = Some(FleetSignaling {
+            cell_capacity_per_s: Some(100),
+            rnc_capacity_per_s: Some(500),
+            cells: vec![CellLoad {
+                users: 4,
+                granted: 7,
+                handoffs_in: 9,
+                handoffs_out: 9,
+                ..CellLoad::default()
+            }],
+            rncs: vec![RncLoad { cells: 1, users: 4, inter_rnc_handoffs: 3, ..RncLoad::default() }],
+        });
+        let manifest = RunManifest::for_report(&report, 2, 77, &sample_snapshot());
+        let text = manifest.to_toml_string();
+        // The CI handoff smoke greps these keys out of the rendered
+        // manifest, so the writer must emit them verbatim.
+        assert!(text.contains("handoffs = 9"), "{text}");
+        assert!(text.contains("inter_rnc_handoffs = 3"), "{text}");
+        let parsed = RunManifest::from_toml_str(&text).unwrap();
+        assert_eq!(parsed, manifest);
+        let signaling = parsed.reports[0].signaling.as_ref().unwrap();
+        assert_eq!((signaling.handoffs, signaling.inter_rnc_handoffs), (9, 3));
+
+        // Pre-mobility manifests carry no handoff keys; they parse with
+        // zero counts (and digest differently from the mobile run).
+        let old = text
+            .lines()
+            .filter(|l| !l.starts_with("handoffs") && !l.starts_with("inter_rnc_handoffs"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed_old = RunManifest::from_toml_str(&old).unwrap();
+        let signaling = parsed_old.reports[0].signaling.as_ref().unwrap();
+        assert_eq!((signaling.handoffs, signaling.inter_rnc_handoffs), (0, 0));
+        assert_ne!(parsed_old.digest(), manifest.digest());
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct CellLoad {
     /// Seconds in which the message load exceeded the configured
     /// capacity (zero when no capacity was set).
     pub overload_seconds: u64,
+    /// Handoffs that entered the cell (users arriving). Nonzero only
+    /// under a mobile [`MobilitySpec`](crate::mobility::MobilitySpec);
+    /// each side of a handoff charges its own cell's message load.
+    pub handoffs_in: u64,
+    /// Handoffs that left the cell (users departing).
+    pub handoffs_out: u64,
 }
 
 /// Signaling load one RNC absorbed over a fleet run: the summed load of
@@ -59,6 +65,11 @@ pub struct RncLoad {
     /// Seconds in which the RNC's summed message load exceeded the
     /// configured RNC capacity (zero when no capacity was set).
     pub overload_seconds: u64,
+    /// Handoffs that crossed out of this RNC into another (attributed
+    /// to the source RNC, like `denied_by_rnc` is attributed where the
+    /// decision happened). These charge the RNC's own message load on
+    /// top of the member cells'.
+    pub inter_rnc_handoffs: u64,
 }
 
 /// The network-side outcome of a topology fleet run: one [`CellLoad`]
@@ -132,6 +143,17 @@ impl FleetSignaling {
     /// Number of RNCs that spent at least one second over capacity.
     pub fn overloaded_rncs(&self) -> usize {
         self.rncs.iter().filter(|r| r.overload_seconds > 0).count()
+    }
+
+    /// Total handoffs across the run. Handoffs are conserved — every
+    /// one has exactly one in-side — so the in-sides count them.
+    pub fn handoffs(&self) -> u64 {
+        self.cells.iter().map(|c| c.handoffs_in).sum()
+    }
+
+    /// Handoffs that crossed an RNC boundary, summed over RNCs.
+    pub fn inter_rnc_handoffs(&self) -> u64 {
+        self.rncs.iter().map(|r| r.inter_rnc_handoffs).sum()
     }
 }
 
@@ -484,13 +506,24 @@ impl FleetReport {
                 signaling.rnc_overload_seconds(),
                 signaling.overloaded_rncs(),
             ));
+            // Mobility lines appear only when handoffs happened, so a
+            // static fleet's rendered text is byte-identical to the
+            // pre-mobility format.
+            let moved = signaling.handoffs() > 0;
+            if moved {
+                out.push_str(&format!(
+                    "handoffs : {} between cells, {} across RNC boundaries\n",
+                    signaling.handoffs(),
+                    signaling.inter_rnc_handoffs(),
+                ));
+            }
             // Small hierarchies get full per-element tables; large ones
             // keep the aggregate lines above.
             if signaling.rncs.len() > 1 && signaling.rncs.len() <= 8 {
                 for (index, rnc) in signaling.rncs.iter().enumerate() {
                     out.push_str(&format!(
                         "  rnc  {index:>2}: {} cells, {} users, peak {} msg/s, {} msgs, \
-                         {} granted, {} denied ({} at RNC), {} overload s\n",
+                         {} granted, {} denied ({} at RNC), {} overload s",
                         rnc.cells,
                         rnc.users,
                         rnc.peak_messages_per_s,
@@ -500,13 +533,17 @@ impl FleetReport {
                         rnc.denied_by_rnc,
                         rnc.overload_seconds,
                     ));
+                    if moved {
+                        out.push_str(&format!(", {} inter-RNC handoffs", rnc.inter_rnc_handoffs));
+                    }
+                    out.push('\n');
                 }
             }
             if signaling.cells.len() <= 12 {
                 for (index, cell) in signaling.cells.iter().enumerate() {
                     out.push_str(&format!(
                         "  cell {index:>2}: {} users, peak {} msg/s, {} msgs, {} granted, \
-                         {} denied, {} overload s\n",
+                         {} denied, {} overload s",
                         cell.users,
                         cell.peak_messages_per_s,
                         cell.total_messages,
@@ -514,6 +551,13 @@ impl FleetReport {
                         cell.denied,
                         cell.overload_seconds,
                     ));
+                    if moved {
+                        out.push_str(&format!(
+                            ", {} in / {} out handoffs",
+                            cell.handoffs_in, cell.handoffs_out
+                        ));
+                    }
+                    out.push('\n');
                 }
             }
         }
@@ -743,6 +787,7 @@ mod tests {
             total_messages: granted * 3 + 100,
             peak_messages_per_s: peak,
             overload_seconds: overload,
+            ..CellLoad::default()
         };
         let signaling = FleetSignaling {
             cell_capacity_per_s: Some(50),
@@ -757,6 +802,7 @@ mod tests {
                 total_messages: 190,
                 peak_messages_per_s: 100,
                 overload_seconds: 2,
+                ..RncLoad::default()
             }],
         };
         assert_eq!(signaling.granted(), 30);
@@ -788,6 +834,36 @@ mod tests {
     }
 
     #[test]
+    fn handoff_counters_render_only_when_handoffs_happened() {
+        // Static runs (all handoff counters zero) must render the exact
+        // pre-mobility text — no "handoffs" line, no table suffixes.
+        let mut r = FleetReport::empty("x".into(), "s".into());
+        let mut signaling = FleetSignaling {
+            cell_capacity_per_s: None,
+            rnc_capacity_per_s: None,
+            cells: vec![CellLoad { users: 3, ..CellLoad::default() }; 2],
+            rncs: vec![RncLoad { cells: 1, users: 3, ..RncLoad::default() }; 2],
+        };
+        r.signaling = Some(signaling.clone());
+        let quiet = r.render();
+        assert!(!quiet.contains("handoff"), "{quiet}");
+        assert_eq!(signaling.handoffs(), 0);
+
+        signaling.cells[0].handoffs_in = 4;
+        signaling.cells[0].handoffs_out = 3;
+        signaling.cells[1].handoffs_in = 3;
+        signaling.cells[1].handoffs_out = 4;
+        signaling.rncs[1].inter_rnc_handoffs = 2;
+        assert_eq!(signaling.handoffs(), 7);
+        assert_eq!(signaling.inter_rnc_handoffs(), 2);
+        r.signaling = Some(signaling);
+        let moved = r.render();
+        assert!(moved.contains("handoffs : 7 between cells, 2 across RNC boundaries"), "{moved}");
+        assert!(moved.contains("4 in / 3 out handoffs"), "{moved}");
+        assert!(moved.contains("0 overload s, 2 inter-RNC handoffs"), "{moved}");
+    }
+
+    #[test]
     fn multi_rnc_hierarchies_render_the_rnc_table() {
         let rnc = |users, overload| RncLoad {
             cells: 2,
@@ -798,6 +874,7 @@ mod tests {
             total_messages: 50,
             peak_messages_per_s: 25,
             overload_seconds: overload,
+            ..RncLoad::default()
         };
         let mut a = FleetReport::empty("x".into(), "s".into());
         a.signaling = Some(FleetSignaling {

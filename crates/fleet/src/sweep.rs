@@ -22,6 +22,7 @@ use tailwise_scenfile::{Pos, ScenError};
 
 use crate::admission::AdmissionSpec;
 use crate::cache::RequestCache;
+use crate::mobility::MobilitySpec;
 use crate::report::FleetReport;
 use tailwise_obs::Obs;
 
@@ -46,6 +47,15 @@ pub enum SweepAxis {
     /// topology; the classic storm comparison holds the population
     /// fixed while the controller's policy varies.
     Admission(Vec<AdmissionSpec>),
+    /// Sweep the mobility model of the scenario's network topology
+    /// (values are the compact [`MobilitySpec`] tokens — `static`,
+    /// `commute[:<home_hour>:<work_hour>[:<jitter_pct>[:<hint_s>]]]`).
+    /// Requires a `[cells]` topology, like `admission`; the handoff
+    /// comparison holds the population fixed while movement varies —
+    /// and, because mobility is excluded from the request-cache
+    /// [`Fingerprint`](crate::cache::Fingerprint), every cell shares
+    /// one extraction pass.
+    Mobility(Vec<MobilitySpec>),
 }
 
 impl SweepAxis {
@@ -56,6 +66,7 @@ impl SweepAxis {
             SweepAxis::Carriers(_) => "carrier",
             SweepAxis::Users(_) => "users",
             SweepAxis::Admission(_) => "admission",
+            SweepAxis::Mobility(_) => "mobility",
         }
     }
 
@@ -66,6 +77,7 @@ impl SweepAxis {
             SweepAxis::Carriers(v) => v.len(),
             SweepAxis::Users(v) => v.len(),
             SweepAxis::Admission(v) => v.len(),
+            SweepAxis::Mobility(v) => v.len(),
         }
     }
 
@@ -103,6 +115,14 @@ impl SweepAxis {
                     .rnc_admission = v[index].clone();
                 format!("admission={}", v[index])
             }
+            SweepAxis::Mobility(v) => {
+                scenario
+                    .cells
+                    .as_mut()
+                    .expect("mobility sweep needs a [cells] topology (checked at parse time)")
+                    .mobility = v[index];
+                format!("mobility={}", v[index])
+            }
         }
     }
 
@@ -139,6 +159,16 @@ impl SweepAxis {
                     None => Err(ScenError::at(
                         Pos::START,
                         "sweep axis `admission` requires a [cells] topology to apply to",
+                    )),
+                },
+                SweepAxis::Mobility(v) => match &mut corpus.cells {
+                    Some(topology) => {
+                        topology.mobility = v[index];
+                        Ok(format!("mobility={}", v[index]))
+                    }
+                    None => Err(ScenError::at(
+                        Pos::START,
+                        "sweep axis `mobility` requires a [cells] topology to apply to",
                     )),
                 },
             },

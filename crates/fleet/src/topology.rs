@@ -46,13 +46,17 @@
 //! ## Determinism
 //!
 //! User→cell assignment is a pure function of `(master_seed, user
-//! index, cell count)` ([`cell_of`]); cells map to RNCs in contiguous
-//! blocks ([`rnc_of_cell`]); the k-way merge realizes the total
-//! `(time, user, seq)` order; admission policies are deterministic by
+//! index, cell count)` ([`cell_of`]) — and, under a mobility model, of
+//! time as well ([`NetworkTopology::user_cell`], the one seam both
+//! passes resolve membership through; see [`crate::mobility`]); cells
+//! map to RNCs in contiguous blocks ([`rnc_of_cell`]); the k-way merge
+//! (static) or the per-RNC event sort (mobile) realizes the total
+//! `(time, user, kind)` order; admission policies are deterministic by
 //! contract; per-second load counters are integer adds. With the
 //! frontier merging shard partials in shard order, a topology run is
 //! bit-identical at any thread count — the same contract the
-//! radio-isolated runner makes, pinned by `tests/cell_fleet.rs`.
+//! radio-isolated runner makes, pinned by `tests/cell_fleet.rs` and
+//! `tests/mobility_fleet.rs`.
 //!
 //! ## Scheme restrictions
 //!
@@ -68,7 +72,7 @@ use std::sync::Arc;
 
 use tailwise_core::schemes::Scheme;
 use tailwise_obs::{span, Obs};
-use tailwise_radio::admission::REQUEST_MESSAGES;
+use tailwise_radio::admission::{AdmissionPolicy, REQUEST_MESSAGES};
 use tailwise_radio::profile::CarrierProfile;
 use tailwise_radio::signaling::{SignalingBudget, SignalingModel};
 use tailwise_scenfile::ScenError;
@@ -80,6 +84,7 @@ use tailwise_trace::Trace;
 
 use crate::admission::AdmissionSpec;
 use crate::cache::{Fingerprint, RequestCache};
+use crate::mobility::MobilitySpec;
 use crate::report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
 use crate::runner::{days_spanned, load_corpus_trace, run_sharded, Partial};
 use crate::scenario::{draw_carrier, user_seed, Scenario};
@@ -113,6 +118,13 @@ pub struct NetworkTopology {
     /// scenario files (they always use the default); `to_file` refuses
     /// a customized model rather than silently dropping it.
     pub signaling: SignalingModel,
+    /// How users move between cells over time.
+    /// [`MobilitySpec::Static`] (the default) reproduces the fixed
+    /// [`cell_of`] assignment bit-identically — rendered text included;
+    /// commute mobility makes membership piecewise over time and
+    /// generates handoff signaling (the `[mobility]` table, see
+    /// `docs/SCENARIO_FORMAT.md`).
+    pub mobility: MobilitySpec,
 }
 
 impl NetworkTopology {
@@ -131,6 +143,7 @@ impl NetworkTopology {
             cell_admission: AdmissionSpec::Always,
             rnc_admission: AdmissionSpec::Always,
             signaling: SignalingModel::default(),
+            mobility: MobilitySpec::Static,
         }
     }
 
@@ -145,6 +158,23 @@ impl NetworkTopology {
         assert!(rncs <= cells, "cannot spread {cells} cell(s) over {rncs} RNCs");
         topology.rncs = rncs;
         topology
+    }
+
+    /// The cell user `index` occupies at `at` — **the** assignment seam
+    /// both topology passes share: pass-1 adjudication resolves every
+    /// request (and handoff) through it, and pass-2 load attribution
+    /// folds every transition into the cell it names. A pure function
+    /// of its arguments (see [`MobilitySpec::cell_at`]), so any worker
+    /// computes the same answer.
+    pub fn user_cell(&self, master_seed: u64, index: u64, at: Instant) -> u64 {
+        self.mobility.cell_at(master_seed, index, self.cells, at)
+    }
+
+    /// The user's anchor cell — [`cell_of`] under every mobility model.
+    /// Per-cell `users` counts key on it, so population shares stay
+    /// comparable between static and mobile runs of the same fleet.
+    pub fn home_cell(&self, master_seed: u64, index: u64) -> u64 {
+        cell_of(master_seed, index, self.cells)
     }
 
     /// Asserts the count invariants programmatic construction can
@@ -225,6 +255,92 @@ fn merge_request_streams<S: AsRef<[Instant]>>(streams: &[(u64, S)]) -> Vec<(Inst
         }
     }
     merged
+}
+
+/// One adjudication-stream event on the mobile path. The derived order
+/// — time, then user, then kind — is a strict total order over a run's
+/// events (a user has at most one handoff per instant and unique
+/// request `seq`s), so a plain sort yields the same deterministic
+/// stream on every machine. Handoff sides order before requests at the
+/// same instant, matching [`MobilitySpec::cell_at`]'s
+/// boundary-inclusive semantics: a request stamped exactly at a
+/// handoff is adjudicated in the cell being entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct AdjEvent {
+    at: Instant,
+    user: u64,
+    kind: AdjEventKind,
+    /// The cell this event charges in its RNC's partition.
+    cell: u64,
+    /// Handoff sides only: whether the handoff crosses an RNC boundary
+    /// (and therefore also charges this RNC's own policy and budget).
+    crosses: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum AdjEventKind {
+    /// Source side of a handoff: the user vacates `cell`.
+    HandoffOut,
+    /// Target side of a handoff: the user enters `cell`.
+    HandoffIn,
+    /// Fast-dormancy request number `seq` of the user's stream.
+    Request { seq: u32 },
+}
+
+/// Adjudicates one fast-dormancy request through both gates, recording
+/// the verdict and per-cell counters.
+///
+/// Two gates: the cell decides whether to forward, the RNC whether to
+/// admit. A cell-level denial never reaches the RNC's decision logic,
+/// but its request message still transits the RNC, so both levels
+/// observe every request's adjudication-time cost. Forwarding commits
+/// the cell's own policy state: a rate-limited cell that forwards a
+/// request the RNC then refuses has still spent its grant slot (the
+/// release it cleared never happened, but the cell cannot know that at
+/// forwarding time).
+///
+/// `hinted` requests — the mobility model predicts a handoff within its
+/// hint window — bypass both gates: the network wants the device
+/// dormant *before* the handoff (an idle-mode cell reselection is far
+/// cheaper than an active handover), and the release still costs its
+/// grant messages. Static mobility never hints.
+#[allow(clippy::too_many_arguments)] // one call site per adjudication path
+fn adjudicate_request(
+    at: Instant,
+    user: u64,
+    seq: u32,
+    cell: usize,
+    rnc: usize,
+    hinted: bool,
+    signaling: &SignalingModel,
+    cell_policies: &mut [Box<dyn AdmissionPolicy>],
+    rnc_policy: &mut dyn AdmissionPolicy,
+    cell_loads: &mut [CellLoad],
+    denied_by_rnc: &mut [u64],
+    verdicts: &mut [Vec<bool>],
+    hint_grants: &mut u64,
+) {
+    let (cell_ok, ok) = if hinted {
+        (true, true)
+    } else {
+        let cell_ok = cell_policies[cell].admit(at);
+        (cell_ok, cell_ok && rnc_policy.admit(at))
+    };
+    let messages = if ok { signaling.per_fd_demotion } else { REQUEST_MESSAGES };
+    cell_policies[cell].observe(at, messages);
+    rnc_policy.observe(at, messages);
+    verdicts[user as usize][seq as usize] = ok;
+    if ok {
+        cell_loads[cell].granted += 1;
+        if hinted {
+            *hint_grants += 1;
+        }
+    } else {
+        cell_loads[cell].denied += 1;
+        if cell_ok {
+            denied_by_rnc[rnc] += 1;
+        }
+    }
 }
 
 /// Uniform access to a fleet population for the two-pass runner:
@@ -469,66 +585,183 @@ fn run_topology<U: TopologyUsers>(
          against its fingerprint before serving an entry)"
     );
 
-    // ---- Adjudication: each RNC k-way merges its members' streams. ---
+    // ---- Adjudication: each RNC consumes its members' events in ------
+    // (time, user) order. Static mobility takes the k-way-merge fast
+    // path (every request lands in the user's fixed cell); mobile
+    // fleets resolve each request to the cell occupied at that instant
+    // and interleave the enumerated handoff charges into the stream.
     let cell_count = topology.cells as usize;
     let rnc_count = topology.rncs as usize;
+    let mobile = !topology.mobility.is_static();
     let mut cell_users = vec![0u64; cell_count];
-    // Every user's cell, indexed by user — computed once here so the
-    // per-request loop below is a lookup, not a hash.
+    // Every user's anchor cell, indexed by user — computed once here so
+    // the static per-request loop below is a lookup, not a hash.
     let mut user_cells: Vec<u64> = Vec::with_capacity(streams.len());
-    // Member users' streams grouped per RNC (streams stay time-sorted,
-    // the k-way merge precondition). Borrowed out of the shared stream
-    // store so a cache-served population is never cloned.
+    // Static path: member users' streams grouped per RNC (streams stay
+    // time-sorted, the k-way merge precondition). Borrowed out of the
+    // shared stream store so a cache-served population is never cloned.
     let mut per_rnc: Vec<Vec<(u64, &[Instant])>> = vec![Vec::new(); rnc_count];
+    // Mobile path: per-RNC event lists, sorted below.
+    let mut per_rnc_events: Vec<Vec<AdjEvent>> = vec![Vec::new(); rnc_count];
     let mut verdicts: Vec<Vec<bool>> = Vec::with_capacity(streams.len());
     for (index, times) in streams.iter().enumerate() {
         let index = index as u64;
-        let cell = cell_of(master_seed, index, topology.cells);
-        cell_users[cell as usize] += 1;
-        user_cells.push(cell);
-        let rnc = rnc_of_cell(cell, topology.cells, topology.rncs) as usize;
+        let home = topology.home_cell(master_seed, index);
+        cell_users[home as usize] += 1;
+        user_cells.push(home);
         verdicts.push(vec![false; times.len()]);
-        per_rnc[rnc].push((index, times.as_slice()));
+        if mobile {
+            for (seq, &at) in times.iter().enumerate() {
+                let cell = topology.user_cell(master_seed, index, at);
+                let rnc = rnc_of_cell(cell, topology.cells, topology.rncs) as usize;
+                per_rnc_events[rnc].push(AdjEvent {
+                    at,
+                    user: index,
+                    kind: AdjEventKind::Request { seq: seq as u32 },
+                    cell,
+                    crosses: false,
+                });
+            }
+            // Handoffs are charged over the user's active span: through
+            // the end of the calendar day of their last request (see
+            // the mobility module docs for why the horizon derives from
+            // the request stream). A handoff charges its source side in
+            // the source cell's RNC partition and its target side in
+            // the target's — each partition stays self-contained, so
+            // per-RNC adjudication order never depends on another RNC.
+            if let Some(&last) = times.last() {
+                let horizon_days =
+                    (last.as_micros().div_euclid(1_000_000).max(0) as u64) / 86_400 + 1;
+                for h in
+                    topology.mobility.handoffs(master_seed, index, topology.cells, horizon_days)
+                {
+                    let from_rnc = rnc_of_cell(h.from, topology.cells, topology.rncs) as usize;
+                    let to_rnc = rnc_of_cell(h.to, topology.cells, topology.rncs) as usize;
+                    let crosses = from_rnc != to_rnc;
+                    per_rnc_events[from_rnc].push(AdjEvent {
+                        at: h.at,
+                        user: index,
+                        kind: AdjEventKind::HandoffOut,
+                        cell: h.from,
+                        crosses,
+                    });
+                    per_rnc_events[to_rnc].push(AdjEvent {
+                        at: h.at,
+                        user: index,
+                        kind: AdjEventKind::HandoffIn,
+                        cell: h.to,
+                        crosses,
+                    });
+                }
+            }
+        } else {
+            let rnc = rnc_of_cell(home, topology.cells, topology.rncs) as usize;
+            per_rnc[rnc].push((index, times.as_slice()));
+        }
     }
 
     let mut cell_loads: Vec<CellLoad> =
         cell_users.iter().map(|&users| CellLoad { users, ..CellLoad::default() }).collect();
     let mut denied_by_rnc = vec![0u64; rnc_count];
+    let mut inter_rnc_handoffs = vec![0u64; rnc_count];
+    // Handoff messages per cell/RNC per second, charged at adjudication
+    // time and merged into the replay-time load maps below so handoff
+    // storms count against the same budgets as everything else.
+    let mut cell_handoff_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); cell_count];
+    let mut rnc_handoff_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); rnc_count];
+    let mut hint_grants = 0u64;
     let mut cell_policies: Vec<_> =
         (0..cell_count).map(|_| topology.cell_admission.build()).collect();
-    for (rnc, members) in per_rnc.iter().enumerate() {
-        // One adjudication span per RNC, on the caller thread.
-        let _adjudicate = span(obs.recorder, "adjudicate");
-        let mut rnc_policy = topology.rnc_admission.build();
-        for (at, user, seq) in merge_request_streams(members) {
-            let cell = user_cells[user as usize] as usize;
-            // Two gates: the cell decides whether to forward, the RNC
-            // whether to admit. A cell-level denial never reaches the
-            // RNC's decision logic, but its request message still
-            // transits the RNC, so both levels observe every request's
-            // adjudication-time cost. Forwarding commits the cell's own
-            // policy state: a rate-limited cell that forwards a request
-            // the RNC then refuses has still spent its grant slot (the
-            // release it cleared never happened, but the cell cannot
-            // know that at forwarding time).
-            let cell_ok = cell_policies[cell].admit(at);
-            let ok = cell_ok && rnc_policy.admit(at);
-            let messages = if ok { topology.signaling.per_fd_demotion } else { REQUEST_MESSAGES };
-            cell_policies[cell].observe(at, messages);
-            rnc_policy.observe(at, messages);
-            verdicts[user as usize][seq as usize] = ok;
-            if ok {
-                cell_loads[cell].granted += 1;
-            } else {
-                cell_loads[cell].denied += 1;
-                if cell_ok {
-                    denied_by_rnc[rnc] += 1;
+    if mobile {
+        for (rnc, events) in per_rnc_events.iter_mut().enumerate() {
+            // One adjudication span per RNC, on the caller thread.
+            let _adjudicate = span(obs.recorder, "adjudicate");
+            events.sort_unstable();
+            let mut rnc_policy = topology.rnc_admission.build();
+            for e in events.iter() {
+                match e.kind {
+                    AdjEventKind::HandoffOut | AdjEventKind::HandoffIn => {
+                        let messages = topology.signaling.per_handoff;
+                        let cell = e.cell as usize;
+                        // Each side charges its own cell — the cell's
+                        // policy observes the load even though handoffs
+                        // are never admission decisions.
+                        cell_policies[cell].observe(e.at, messages);
+                        let second = e.at.as_micros().div_euclid(1_000_000);
+                        *cell_handoff_seconds[cell].entry(second).or_insert(0) += messages as u64;
+                        if e.kind == AdjEventKind::HandoffOut {
+                            cell_loads[cell].handoffs_out += 1;
+                            if e.crosses {
+                                // Attributed to the source RNC, like
+                                // denied_by_rnc is attributed where the
+                                // decision happened.
+                                inter_rnc_handoffs[rnc] += 1;
+                            }
+                        } else {
+                            cell_loads[cell].handoffs_in += 1;
+                        }
+                        if e.crosses {
+                            // Boundary-crossing handoffs cost the RNC
+                            // its own exchange on top of the member
+                            // cells' — the reactive governor sees it.
+                            rnc_policy.observe(e.at, messages);
+                            *rnc_handoff_seconds[rnc].entry(second).or_insert(0) += messages as u64;
+                        }
+                    }
+                    AdjEventKind::Request { seq } => {
+                        let hinted = topology.mobility.handoff_within(
+                            master_seed,
+                            e.user,
+                            topology.cells,
+                            e.at,
+                        );
+                        adjudicate_request(
+                            e.at,
+                            e.user,
+                            seq,
+                            e.cell as usize,
+                            rnc,
+                            hinted,
+                            &topology.signaling,
+                            &mut cell_policies,
+                            rnc_policy.as_mut(),
+                            &mut cell_loads,
+                            &mut denied_by_rnc,
+                            &mut verdicts,
+                            &mut hint_grants,
+                        );
+                    }
                 }
+            }
+        }
+    } else {
+        for (rnc, members) in per_rnc.iter().enumerate() {
+            // One adjudication span per RNC, on the caller thread.
+            let _adjudicate = span(obs.recorder, "adjudicate");
+            let mut rnc_policy = topology.rnc_admission.build();
+            for (at, user, seq) in merge_request_streams(members) {
+                let cell = user_cells[user as usize] as usize;
+                adjudicate_request(
+                    at,
+                    user,
+                    seq,
+                    cell,
+                    rnc,
+                    false,
+                    &topology.signaling,
+                    &mut cell_policies,
+                    rnc_policy.as_mut(),
+                    &mut cell_loads,
+                    &mut denied_by_rnc,
+                    &mut verdicts,
+                    &mut hint_grants,
+                );
             }
         }
     }
     drop(cell_policies);
     drop(per_rnc);
+    drop(per_rnc_events);
     let verdicts = &verdicts;
     if obs.recorder.enabled() {
         let granted: u64 = cell_loads.iter().map(|c| c.granted).sum();
@@ -536,6 +769,15 @@ fn run_topology<U: TopologyUsers>(
         obs.recorder.counter("requests_granted").add(granted);
         obs.recorder.counter("requests_denied").add(denied);
         obs.recorder.counter("requests_denied_by_rnc").add(denied_by_rnc.iter().sum());
+        // Handoffs are conserved: every one has exactly one in-side.
+        let handoffs: u64 = cell_loads.iter().map(|c| c.handoffs_in).sum();
+        if handoffs > 0 {
+            obs.recorder.counter("handoffs").add(handoffs);
+            obs.recorder.counter("inter_rnc_handoffs").add(inter_rnc_handoffs.iter().sum());
+        }
+        if hint_grants > 0 {
+            obs.recorder.counter("hint_grants").add(hint_grants);
+        }
     }
 
     // ---- Pass 2: exact replay, energy fold + per-second load. --------
@@ -593,12 +835,21 @@ fn run_topology<U: TopologyUsers>(
                 let mut scheme_run = scheme
                     .run_scripted(&carrier, &replay_sim, &trace, &verdicts[index as usize])
                     .expect("scriptable scheme always replays");
-                let cell = cell_of(master_seed, index, topology.cells) as usize;
+                let home_cell = topology.home_cell(master_seed, index) as usize;
+                let mobile = !topology.mobility.is_static();
                 if let Some(transitions) = scheme_run.transitions.take() {
-                    let seconds = &mut partial.seconds[cell];
                     for t in &transitions {
+                        // Pass 2 attributes each transition to the cell
+                        // the user occupies when it happens — the same
+                        // assignment seam pass-1 adjudication resolves
+                        // requests through ([`NetworkTopology::user_cell`]).
+                        let cell = if mobile {
+                            topology.user_cell(master_seed, index, t.at) as usize
+                        } else {
+                            home_cell
+                        };
                         let second = t.at.as_micros().div_euclid(1_000_000);
-                        *seconds.entry(second).or_insert(0) +=
+                        *partial.seconds[cell].entry(second).or_insert(0) +=
                             topology.signaling.messages_for(t) as u64;
                     }
                 }
@@ -626,7 +877,13 @@ fn run_topology<U: TopologyUsers>(
         }
     }
     let mut rnc_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); rnc_count];
-    for (cell, seconds) in seconds.into_iter().enumerate() {
+    for (cell, mut seconds) in seconds.into_iter().enumerate() {
+        // Handoff messages charged at adjudication time join the
+        // replay-time load before totals, peaks, and overload are
+        // computed — handoff storms overload the same budgets.
+        for (second, messages) in std::mem::take(&mut cell_handoff_seconds[cell]) {
+            *seconds.entry(second).or_insert(0) += messages;
+        }
         let rnc = rnc_of_cell(cell as u64, topology.cells, topology.rncs) as usize;
         let load = &mut cell_loads[cell];
         for (second, messages) in seconds {
@@ -639,7 +896,11 @@ fn run_topology<U: TopologyUsers>(
         }
     }
     let mut rnc_loads: Vec<RncLoad> = (0..rnc_count)
-        .map(|rnc| RncLoad { denied_by_rnc: denied_by_rnc[rnc], ..RncLoad::default() })
+        .map(|rnc| RncLoad {
+            denied_by_rnc: denied_by_rnc[rnc],
+            inter_rnc_handoffs: inter_rnc_handoffs[rnc],
+            ..RncLoad::default()
+        })
         .collect();
     for (cell, load) in cell_loads.iter().enumerate() {
         let rnc = &mut rnc_loads[rnc_of_cell(cell as u64, topology.cells, topology.rncs) as usize];
@@ -648,7 +909,12 @@ fn run_topology<U: TopologyUsers>(
         rnc.granted += load.granted;
         rnc.denied += load.denied;
     }
-    for (rnc, seconds) in rnc_seconds.into_iter().enumerate() {
+    for (rnc, mut seconds) in rnc_seconds.into_iter().enumerate() {
+        // The RNC's own handoff exchanges (boundary crossings) count
+        // against its budget on top of the member cells' load.
+        for (second, messages) in std::mem::take(&mut rnc_handoff_seconds[rnc]) {
+            *seconds.entry(second).or_insert(0) += messages;
+        }
         let load = &mut rnc_loads[rnc];
         for (_, messages) in seconds {
             load.total_messages += messages;
@@ -754,6 +1020,39 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(merged, expect);
         assert!(merge_requests(&[]).is_empty());
+    }
+
+    #[test]
+    fn both_passes_share_the_assignment_seam() {
+        // Regression for the hoisted per-user cell assignment: pass 1
+        // (adjudication grouping) and pass 2 (load attribution) both go
+        // through `NetworkTopology::user_cell` / `home_cell`, so the
+        // helper must agree with the primitives each pass used to call
+        // directly — `cell_of` when static, `MobilitySpec::cell_at`
+        // when mobile — at every instant either pass can ask about.
+        let mut t = NetworkTopology::with_rncs(3, 12);
+        let seed = 0xCE11;
+        let instants =
+            [Instant::ZERO, Instant::from_secs(7 * 3600), Instant::from_secs(86_400 + 61_000)];
+        for index in 0..200u64 {
+            assert_eq!(t.home_cell(seed, index), cell_of(seed, index, t.cells));
+            for at in instants {
+                assert_eq!(t.user_cell(seed, index, at), cell_of(seed, index, t.cells));
+            }
+        }
+        t.mobility = MobilitySpec::commute();
+        for index in 0..200u64 {
+            // The anchor stays put under mobility (population shares
+            // remain comparable)…
+            assert_eq!(t.home_cell(seed, index), cell_of(seed, index, t.cells));
+            // …while instantaneous membership follows the model.
+            for at in instants {
+                assert_eq!(
+                    t.user_cell(seed, index, at),
+                    t.mobility.cell_at(seed, index, t.cells, at)
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn library_has_the_curated_minimum() {
         "corpus_replay.toml",
         "cell_topology.toml",
         "rnc_storm.toml",
+        "handoff_storm.toml",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}; have {names:?}");
     }

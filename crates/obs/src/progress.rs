@@ -146,9 +146,13 @@ fn render_eta(seconds: f64) -> String {
     if seconds >= 90.0 {
         // Round to whole seconds first, then split: formatting the
         // remainder with `{:02.0}` rounds it independently, so 119.7
-        // would render as "1m60s".
+        // would render as "1m60s" (and 3599.7 as "59m60s").
         let whole = seconds.round() as u64;
-        format!("{}m{:02}s", whole / 60, whole % 60)
+        if whole >= 3600 {
+            format!("{}h{:02}m", whole / 3600, (whole % 3600) / 60)
+        } else {
+            format!("{}m{:02}s", whole / 60, whole % 60)
+        }
     } else {
         format!("{seconds:.0}s")
     }
@@ -360,6 +364,25 @@ mod tests {
     }
 
     #[test]
+    fn eta_renders_hours_past_the_hour_boundary() {
+        // The rounding-then-splitting order matters at the hour edge
+        // just as it did at the minute edge: 3599.7 rounds to 3600
+        // whole seconds and must pick the hour branch, never "59m60s".
+        for (seconds, expect) in [
+            (3599.7, "1h00m"),
+            (3599.4, "59m59s"),
+            (3600.0, "1h00m"),
+            (3659.9, "1h01m"),
+            (5400.0, "1h30m"),
+            (7199.7, "2h00m"),
+            (7200.0, "2h00m"),
+            (86_400.0, "24h00m"),
+        ] {
+            assert_eq!(render_eta(seconds), expect, "render_eta({seconds})");
+        }
+    }
+
+    #[test]
     fn watcher_delivers_updates_and_a_final_sample() {
         let table = Arc::new(ProgressTable::new(1));
         table.add_users_total(2);
@@ -381,6 +404,42 @@ mod tests {
         assert_eq!(last.totals.users_done, 2);
         assert_eq!(last.totals.user_days, 4);
         assert_eq!(last.users_total, 2);
+    }
+
+    #[test]
+    fn watcher_stopped_before_its_first_sample_still_delivers_one() {
+        // finish() immediately after start(), with an interval far
+        // longer than the test: the condvar must interrupt the first
+        // wait promptly (no full-interval stall) and the sink must
+        // still see one final, current sample — never zero updates
+        // and never a tick after finish() returns.
+        let table = Arc::new(ProgressTable::new(1));
+        table.add_users_total(5);
+        table.slot(0).add_user(2);
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let started = std::time::Instant::now();
+        let watcher =
+            ProgressWatcher::start(Arc::clone(&table), Duration::from_secs(60), move |update| {
+                sink_seen.lock().unwrap().push(update);
+            });
+        watcher.finish();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "finish() must interrupt the interval wait, not ride it out"
+        );
+        let count = {
+            let seen = seen.lock().unwrap();
+            assert!(!seen.is_empty(), "a stopped watcher still owes its final sample");
+            let last = *seen.last().unwrap();
+            assert_eq!(last.totals.users_done, 1);
+            assert_eq!(last.totals.user_days, 2);
+            assert_eq!(last.users_total, 5);
+            seen.len()
+        };
+        // The thread is joined: nothing ticks after finish() returns.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(seen.lock().unwrap().len(), count, "no stale tick after finish()");
     }
 
     #[test]

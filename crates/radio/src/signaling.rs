@@ -56,6 +56,12 @@ pub struct SignalingModel {
     pub per_timer_demotion: u32,
     /// Messages per fast-dormancy release (request + release + confirm).
     pub per_fd_demotion: u32,
+    /// Messages one inter-cell handoff charges **each side** (source and
+    /// target cell — and, when the handoff crosses an RNC boundary, each
+    /// RNC as well): measurement + handover command + path switch. Only
+    /// mobility-enabled fleets ever emit handoffs, so this weight is
+    /// inert for static populations.
+    pub per_handoff: u32,
 }
 
 impl Default for SignalingModel {
@@ -66,6 +72,7 @@ impl Default for SignalingModel {
             per_t1_demotion: 4,
             per_timer_demotion: 5,
             per_fd_demotion: 3,
+            per_handoff: 6,
         }
     }
 }
@@ -133,6 +140,18 @@ mod tests {
         // which is why the paper counts cycles.
         let m = SignalingModel::default();
         assert!(m.per_promotion > m.per_fd_demotion * 5);
+    }
+
+    #[test]
+    fn handoffs_cost_a_short_exchange_per_side() {
+        // Handoffs are charged per side (source and target) at
+        // adjudication time, not through the transition log, so the
+        // weight must exist but stay cheaper than a full connection
+        // setup — otherwise mobility would dwarf the promotion load the
+        // paper's metric is built on.
+        let m = SignalingModel::default();
+        assert_eq!(m.per_handoff, 6);
+        assert!(m.per_promotion > m.per_handoff);
     }
 
     #[test]
