@@ -30,13 +30,36 @@
 //! one extraction pass exactly like an admission sweep (pinned by the
 //! golden fingerprint tests below).
 //!
+//! ## The replay memo
+//!
+//! Phase 1 is not the whole bill: the per-cell phase-2 replay alone is
+//! ~47% of a run, and across sweep cells the vast majority of users
+//! receive *bit-identical* grant/deny verdict streams — only users
+//! near a loaded cell or RNC flip. The cache therefore also memoizes
+//! each user's phase-2 outcome, keyed on
+//! `(Fingerprint, scheme token, topology hash)` at the population
+//! level and `(user index, verdict-stream hash)` per user. A memo hit
+//! folds a stored [`ReplayOutcome`] (plus the user's sparse
+//! `(cell, second) → msgs` load deltas) instead of materializing the
+//! trace and re-running the engine; a sweep cell pays only for the
+//! users whose verdicts changed. The `topo_hash` pins exactly the
+//! facts the per-cell attribution depends on — cell count, mobility
+//! model, signaling message weights — and deliberately excludes the
+//! RNC shape and admission axes (verdicts already capture every
+//! admission decision; RNC loads are derived from the cell maps at
+//! fold time), which is what lets an admission sweep share one memo.
+//! Counters: `replay_hits` / `replay_misses` per user (emitted only
+//! when a cache is configured), `replay_spills` per `.twr` write, and
+//! `replay_fallbacks` for untrusted files.
+//!
 //! ## Fallback contract
 //!
 //! The cache can be wrong about the disk but never about the answer: a
 //! missing file is a miss, and a corrupt, truncated, or
-//! mismatched-header `.twc` file is a *fallback* — counted on the
-//! `cache_fallbacks` counter, recomputed from scratch, never trusted.
-//! The bit-identity harness in `tests/cache_fleet.rs` pins that a
+//! mismatched-header `.twc` (or `.twr`) file is a *fallback* — counted
+//! on the `cache_fallbacks` (resp. `replay_fallbacks`) counter,
+//! recomputed from scratch, never trusted. The bit-identity harnesses
+//! in `tests/cache_fleet.rs` and `tests/replay_fleet.rs` pin that a
 //! cached, spilled, reloaded, or fallback run produces byte-identical
 //! reports.
 
@@ -46,11 +69,16 @@ use std::sync::{Arc, Mutex};
 
 use tailwise_obs::Obs;
 use tailwise_radio::profile::{CarrierProfile, RadioTech};
-use tailwise_trace::io::{read_request_streams, write_request_streams, RequestCacheHeader};
+use tailwise_sim::ReplayOutcome;
+use tailwise_trace::io::{
+    read_replay_outcomes, read_request_streams, write_replay_outcomes, write_request_streams,
+    ReplayCacheHeader, ReplayOutcomeRecord, RequestCacheHeader,
+};
 use tailwise_trace::mix::splitmix64 as splitmix;
 use tailwise_trace::time::Instant;
 
 use crate::scenario::Scenario;
+use crate::topology::NetworkTopology;
 
 /// The scheme-independent identity of a synthetic population: everything
 /// that feeds phase-1 request extraction *except* the scheme itself.
@@ -188,6 +216,67 @@ impl Fingerprint {
     }
 }
 
+/// Hashes a user's grant/deny verdict stream to the per-user memo key:
+/// length first, then the verdicts packed LSB-first into 64-bit words,
+/// folded through the same SplitMix64 avalanche as every other key in
+/// the cache. Equal streams always hash equally; a 64-bit accidental
+/// collision is negligible against the population sizes swept here.
+pub(crate) fn verdict_hash(verdicts: &[bool]) -> u64 {
+    let mut h = 0x5C21_97ED_0000_0000u64;
+    h = fold(h, verdicts.len() as u64);
+    for chunk in verdicts.chunks(64) {
+        let mut word = 0u64;
+        for (bit, &granted) in chunk.iter().enumerate() {
+            word |= (granted as u64) << bit;
+        }
+        h = fold(h, word);
+    }
+    h
+}
+
+/// Hashes the topology facts a memoized per-user `(cell, second) →
+/// msgs` attribution depends on: the cell count (the assignment
+/// modulus), the mobility model (which cell a mobile user occupies at
+/// each instant), and the five per-transition signaling weights.
+///
+/// Deliberately excluded: the RNC count (cell→RNC grouping happens at
+/// fold time, after the memo), the admission policies and budgets
+/// (verdicts already capture every admission decision; budgets only
+/// score the folded maps), and `per_handoff` (handoff messages are
+/// charged at adjudication time every run, never memoized).
+pub(crate) fn topo_hash(topology: &NetworkTopology) -> u64 {
+    let mut h = 0x70B0_10CA_0000_0000u64;
+    h = fold(h, topology.cells);
+    h = fold_bytes(h, topology.mobility.to_string().as_bytes());
+    let s = &topology.signaling;
+    for weight in [
+        s.per_promotion,
+        s.per_fach_promotion,
+        s.per_t1_demotion,
+        s.per_timer_demotion,
+        s.per_fd_demotion,
+    ] {
+        h = fold(h, weight as u64);
+    }
+    h
+}
+
+/// One memoized per-user phase-2 outcome: the foldable scalar outcome,
+/// the status-quo baseline summary (embedded so a warm `.twr`-only
+/// process can fold without re-running the baseline), and the user's
+/// sparse per-second signaling-load deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ReplayEntry {
+    /// The scheme run's foldable outcome.
+    pub(crate) outcome: ReplayOutcome,
+    /// Status-quo baseline energy, as `f64::to_bits`.
+    pub(crate) baseline_energy_bits: u64,
+    /// Status-quo baseline switch cycles.
+    pub(crate) baseline_switches: u64,
+    /// `(cell, second, msgs)` load deltas, grouped and sorted.
+    pub(crate) seconds: Vec<(u64, i64, u64)>,
+}
+
 /// Per-user phase-1 request streams, index-ordered (`streams[i]` is
 /// user `i`'s non-decreasing request times).
 type Streams = Arc<Vec<Vec<Instant>>>;
@@ -195,6 +284,9 @@ type Streams = Arc<Vec<Vec<Instant>>>;
 /// cycles)` of the status-quo run. Energy travels as `f64::to_bits` so
 /// the entry is `Eq`-comparable and round-trips exactly.
 type Baselines = Arc<Vec<(u64, u64)>>;
+/// Memoized replay outcomes for one `(fingerprint, scheme, topology)`
+/// population, keyed by `(user index, verdict hash)`.
+pub(crate) type Outcomes = Arc<HashMap<(u64, u64), ReplayEntry>>;
 
 /// A phase-1 request (and baseline) cache shared across fleet runs.
 ///
@@ -208,6 +300,7 @@ pub struct RequestCache {
     dir: Option<PathBuf>,
     streams: Mutex<HashMap<(Fingerprint, String), Streams>>,
     baselines: Mutex<HashMap<Fingerprint, Baselines>>,
+    outcomes: Mutex<HashMap<(Fingerprint, String, u64), Outcomes>>,
 }
 
 impl RequestCache {
@@ -340,6 +433,172 @@ impl RequestCache {
     /// Stores per-user baseline summaries for a population.
     pub(crate) fn store_baselines(&self, fingerprint: &Fingerprint, baselines: Baselines) {
         self.baselines.lock().expect("baseline cache map").insert(*fingerprint, baselines);
+    }
+
+    /// The `.twr` spill file a `(fingerprint, scheme, topology)` memo
+    /// lives in.
+    fn outcome_path_for(
+        &self,
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        topo_hash: u64,
+    ) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| {
+            dir.join(format!("{:016x}-{scheme}-{topo_hash:016x}.twr", fingerprint.hash()))
+        })
+    }
+
+    /// The `.twr` header announcing a fingerprint, scheme, and
+    /// topology hash.
+    fn outcome_header(
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        topo_hash: u64,
+    ) -> ReplayCacheHeader {
+        ReplayCacheHeader {
+            master_seed: fingerprint.master_seed,
+            users: fingerprint.users,
+            days: fingerprint.days,
+            mix_hash: fingerprint.mix_hash,
+            sim_hash: fingerprint.sim_hash,
+            topo_hash,
+            scheme: scheme.to_string(),
+        }
+    }
+
+    /// Looks up the memoized replay outcomes for a population: memory
+    /// first, then the spill directory. Always returns a map (possibly
+    /// empty) — per-user hit/miss accounting happens at the replay
+    /// loop, where the verdict hashes are known. An on-disk file that
+    /// cannot be trusted (corrupt, truncated, announcing a different
+    /// population) counts one `replay_fallbacks` and is ignored; the
+    /// run recomputes and later overwrites it with a repaired spill.
+    pub(crate) fn lookup_outcomes(
+        &self,
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        topo_hash: u64,
+        obs: Obs<'_>,
+    ) -> Outcomes {
+        let key = (*fingerprint, scheme.to_string(), topo_hash);
+        if let Some(hit) = self.outcomes.lock().expect("replay memo map").get(&key) {
+            return Arc::clone(hit);
+        }
+        if let Some(path) = self.outcome_path_for(fingerprint, scheme, topo_hash) {
+            match std::fs::File::open(&path) {
+                Ok(file) => match read_replay_outcomes(std::io::BufReader::new(file)) {
+                    Ok((header, records))
+                        if Self::outcome_header(fingerprint, scheme, topo_hash) == header
+                            && records.iter().all(|r| r.user < fingerprint.users) =>
+                    {
+                        let map: HashMap<(u64, u64), ReplayEntry> = records
+                            .into_iter()
+                            .map(|r| {
+                                (
+                                    (r.user, r.verdict_hash),
+                                    ReplayEntry {
+                                        outcome: ReplayOutcome {
+                                            packets: r.packets,
+                                            energy_bits: r.energy_bits,
+                                            switches: r.switches,
+                                            false_switches: r.false_switches,
+                                            missed_switches: r.missed_switches,
+                                            decisions: r.decisions,
+                                            delay_bits: r.delay_bits,
+                                        },
+                                        baseline_energy_bits: r.baseline_energy_bits,
+                                        baseline_switches: r.baseline_switches,
+                                        seconds: r.seconds,
+                                    },
+                                )
+                            })
+                            .collect();
+                        let outcomes: Outcomes = Arc::new(map);
+                        self.outcomes
+                            .lock()
+                            .expect("replay memo map")
+                            .insert(key, Arc::clone(&outcomes));
+                        return outcomes;
+                    }
+                    Ok(_) | Err(_) => {
+                        obs.recorder.counter("replay_fallbacks").incr();
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => {
+                    obs.recorder.counter("replay_fallbacks").incr();
+                }
+            }
+        }
+        Arc::new(HashMap::new())
+    }
+
+    /// Merges freshly computed replay outcomes into the memo and spills
+    /// the merged map to `.twr` when a directory is configured. A warm
+    /// run with nothing fresh is a no-op — existing spill files are
+    /// left untouched, byte for byte. Spill failures count on
+    /// `replay_fallbacks` and are otherwise swallowed, exactly like
+    /// [`store`](Self::store).
+    pub(crate) fn store_outcomes(
+        &self,
+        fingerprint: &Fingerprint,
+        scheme: &str,
+        topo_hash: u64,
+        fresh: Vec<((u64, u64), ReplayEntry)>,
+        obs: Obs<'_>,
+    ) {
+        if fresh.is_empty() {
+            return;
+        }
+        let key = (*fingerprint, scheme.to_string(), topo_hash);
+        let merged: Outcomes = {
+            let mut map = self.outcomes.lock().expect("replay memo map");
+            let slot = map.entry(key).or_default();
+            let mut merged = (**slot).clone();
+            merged.extend(fresh);
+            let merged = Arc::new(merged);
+            *slot = Arc::clone(&merged);
+            merged
+        };
+        let Some(path) = self.outcome_path_for(fingerprint, scheme, topo_hash) else { return };
+        // Spill deterministically (records sorted by key) via the same
+        // write-then-rename discipline as the `.twc` spill: a torn or
+        // concurrent write can only ever surface as a checksum fallback.
+        let mut records: Vec<ReplayOutcomeRecord> = merged
+            .iter()
+            .map(|(&(user, verdict_hash), entry)| ReplayOutcomeRecord {
+                user,
+                verdict_hash,
+                packets: entry.outcome.packets,
+                energy_bits: entry.outcome.energy_bits,
+                switches: entry.outcome.switches,
+                false_switches: entry.outcome.false_switches,
+                missed_switches: entry.outcome.missed_switches,
+                decisions: entry.outcome.decisions,
+                baseline_energy_bits: entry.baseline_energy_bits,
+                baseline_switches: entry.baseline_switches,
+                delay_bits: entry.outcome.delay_bits.clone(),
+                seconds: entry.seconds.clone(),
+            })
+            .collect();
+        records.sort_unstable_by_key(|r| (r.user, r.verdict_hash));
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("twr.tmp{}-{seq}", std::process::id()));
+        let header = Self::outcome_header(fingerprint, scheme, topo_hash);
+        let spilled = std::fs::File::create(&tmp)
+            .map_err(|e| e.to_string())
+            .and_then(|file| {
+                write_replay_outcomes(&header, &records, file).map_err(|e| e.to_string())
+            })
+            .and_then(|()| std::fs::rename(&tmp, &path).map_err(|e| e.to_string()));
+        match spilled {
+            Ok(()) => obs.recorder.counter("replay_spills").incr(),
+            Err(_) => {
+                std::fs::remove_file(&tmp).ok();
+                obs.recorder.counter("replay_fallbacks").incr();
+            }
+        }
     }
 }
 
@@ -532,6 +791,150 @@ mod tests {
         let read_snapshot = read_recorder.snapshot();
         assert_eq!(read_snapshot.counter("cache_hits"), 1);
         assert_eq!(read_snapshot.counter("cache_fallbacks"), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_entry(energy: f64, seconds: Vec<(u64, i64, u64)>) -> ReplayEntry {
+        ReplayEntry {
+            outcome: ReplayOutcome {
+                packets: 100,
+                energy_bits: energy.to_bits(),
+                switches: 5,
+                false_switches: 1,
+                missed_switches: 2,
+                decisions: 20,
+                delay_bits: vec![0.25f64.to_bits()],
+            },
+            baseline_energy_bits: (energy * 2.0).to_bits(),
+            baseline_switches: 3,
+            seconds,
+        }
+    }
+
+    #[test]
+    fn verdict_hash_separates_streams_and_packs_beyond_one_word() {
+        assert_eq!(verdict_hash(&[]), verdict_hash(&[]));
+        assert_ne!(verdict_hash(&[]), verdict_hash(&[true]));
+        assert_ne!(verdict_hash(&[true]), verdict_hash(&[false]));
+        assert_ne!(verdict_hash(&[true, false]), verdict_hash(&[false, true]));
+        // Length is folded first: a trailing deny is not a no-op.
+        assert_ne!(verdict_hash(&[true]), verdict_hash(&[true, false]));
+        // Streams longer than one packing word stay order-sensitive.
+        let mut long = vec![true; 130];
+        let base = verdict_hash(&long);
+        long[129] = false;
+        assert_ne!(verdict_hash(&long), base);
+        long[129] = true;
+        assert_eq!(verdict_hash(&long), base);
+    }
+
+    #[test]
+    fn topo_hash_pins_attribution_facts_and_ignores_admission_axes() {
+        let base = crate::topology::NetworkTopology::with_rncs(3, 12);
+        let h = topo_hash(&base);
+
+        // The facts the per-user (cell, second) attribution depends on
+        // must invalidate…
+        let mut recelled = crate::topology::NetworkTopology::with_rncs(3, 13);
+        recelled.rncs = 3;
+        assert_ne!(topo_hash(&recelled), h, "cell count must invalidate");
+        let mut moved = base.clone();
+        moved.mobility = crate::mobility::MobilitySpec::commute();
+        assert_ne!(topo_hash(&moved), h, "mobility must invalidate");
+        let mut reweighted = base.clone();
+        reweighted.signaling.per_promotion += 1;
+        assert_ne!(topo_hash(&reweighted), h, "signaling weights must invalidate");
+
+        // …while the axes an admission sweep moves must not: that reuse
+        // is the whole point of the memo.
+        let mut readmitted = base.clone();
+        readmitted.rnc_admission =
+            crate::admission::AdmissionSpec::LoadReactive { watermark_per_s: 50, window_s: 5 };
+        assert_eq!(topo_hash(&readmitted), h, "admission axis must not invalidate");
+        let mut regrouped = base.clone();
+        regrouped.rncs = 4;
+        assert_eq!(topo_hash(&regrouped), h, "RNC grouping must not invalidate");
+        let mut rebudgeted = base.clone();
+        rebudgeted.cell_budget = tailwise_radio::SignalingBudget::per_second(7);
+        assert_eq!(topo_hash(&rebudgeted), h, "budgets must not invalidate");
+        let mut rehandoffed = base.clone();
+        rehandoffed.signaling.per_handoff += 1;
+        assert_eq!(topo_hash(&rehandoffed), h, "per_handoff is charged at adjudication");
+    }
+
+    #[test]
+    fn replay_memo_round_trips_in_memory_and_on_disk() {
+        let dir = std::env::temp_dir().join(format!("tailwise-memo-unit-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut tiny = storm_like();
+        tiny.users = 2;
+        let fp = Fingerprint::of(&tiny);
+        let topo = topo_hash(tiny.cells.as_ref().unwrap());
+        let obs = Obs::none();
+
+        let cache = RequestCache::with_dir(&dir).unwrap();
+        assert!(cache.lookup_outcomes(&fp, "makeidle", topo, obs).is_empty());
+        // Storing nothing fresh must not create a spill file.
+        cache.store_outcomes(&fp, "makeidle", topo, Vec::new(), obs);
+        let spill = dir.join(format!("{:016x}-makeidle-{topo:016x}.twr", fp.hash()));
+        assert!(!spill.exists(), "empty store must not spill");
+
+        let fresh = vec![
+            ((0u64, 11u64), sample_entry(10.0, vec![(0, 5, 28), (1, 9, 3)])),
+            ((1u64, 22u64), sample_entry(20.0, vec![])),
+        ];
+        cache.store_outcomes(&fp, "makeidle", topo, fresh.clone(), obs);
+        assert!(spill.is_file(), "missing spill file {}", spill.display());
+        let served = cache.lookup_outcomes(&fp, "makeidle", topo, obs);
+        assert_eq!(served.len(), 2);
+        assert_eq!(served.get(&(0, 11)), Some(&fresh[0].1));
+
+        // A fresh cache (fresh process, conceptually) warm-starts from
+        // the `.twr` file alone; a later merge keeps prior entries.
+        let warm = RequestCache::with_dir(&dir).unwrap();
+        let served = warm.lookup_outcomes(&fp, "makeidle", topo, obs);
+        assert_eq!(served.len(), 2);
+        assert_eq!(served.get(&(1, 22)), Some(&fresh[1].1));
+        warm.store_outcomes(
+            &fp,
+            "makeidle",
+            topo,
+            vec![((1u64, 33u64), sample_entry(30.0, vec![(0, 1, 1)]))],
+            obs,
+        );
+        let served = warm.lookup_outcomes(&fp, "makeidle", topo, obs);
+        assert_eq!(served.len(), 3, "merge must keep prior entries");
+
+        // A different topology hash is a different memo entirely.
+        assert!(warm.lookup_outcomes(&fp, "makeidle", topo ^ 1, obs).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_replay_spills_fall_back_and_count() {
+        let dir = std::env::temp_dir().join(format!("tailwise-memo-bad-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut tiny = storm_like();
+        tiny.users = 1;
+        let fp = Fingerprint::of(&tiny);
+        let topo = topo_hash(tiny.cells.as_ref().unwrap());
+        let seeder = RequestCache::with_dir(&dir).unwrap();
+        seeder.store_outcomes(
+            &fp,
+            "makeidle",
+            topo,
+            vec![((0u64, 7u64), sample_entry(1.5, vec![(0, 0, 4)]))],
+            Obs::none(),
+        );
+        let spill = dir.join(format!("{:016x}-makeidle-{topo:016x}.twr", fp.hash()));
+        let pristine = std::fs::read(&spill).unwrap();
+        std::fs::write(&spill, &pristine[..pristine.len() - 3]).unwrap();
+
+        let recorder = tailwise_obs::StatsRecorder::new();
+        let obs = Obs { recorder: &recorder, progress: None };
+        let reader = RequestCache::with_dir(&dir).unwrap();
+        assert!(reader.lookup_outcomes(&fp, "makeidle", topo, obs).is_empty());
+        assert_eq!(recorder.snapshot().counter("replay_fallbacks"), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,6 +11,7 @@
 //! derived, and are excluded from equality.
 
 use tailwise_sim::report::SimReport;
+use tailwise_sim::ReplayOutcome;
 
 use crate::histogram::Histogram;
 
@@ -324,18 +325,44 @@ impl FleetReport {
         baseline_energy_j: f64,
         baseline_switches: u64,
     ) {
+        // Delegating through the memoizable outcome form is what makes
+        // the replay memo bit-identical *by construction*: a live run
+        // and a cached [`ReplayOutcome`] fold through literally the
+        // same arithmetic, with every float round-tripped losslessly
+        // through `to_bits`/`from_bits`.
+        self.fold_user_outcome(
+            days,
+            &ReplayOutcome::of(scheme_run),
+            baseline_energy_j,
+            baseline_switches,
+        );
+    }
+
+    /// [`fold_user_baseline`](Self::fold_user_baseline) against a
+    /// memoized [`ReplayOutcome`] instead of a live [`SimReport`] —
+    /// the fold the verdict-memoized replay cache uses for users whose
+    /// grant/deny stream it has seen before. The live fold delegates
+    /// through here, so cached and recomputed users are aggregated by
+    /// the same code path, bit for bit.
+    pub fn fold_user_outcome(
+        &mut self,
+        days: u32,
+        outcome: &ReplayOutcome,
+        baseline_energy_j: f64,
+        baseline_switches: u64,
+    ) {
         self.users += 1;
         self.user_days += days as u64;
-        self.packets += scheme_run.packets as u64;
-        self.energy_j += scheme_run.total_energy();
+        self.packets += outcome.packets;
+        self.energy_j += outcome.energy_j();
         self.baseline_energy_j += baseline_energy_j;
-        self.switches += scheme_run.switch_cycles();
+        self.switches += outcome.switches;
         self.baseline_switches += baseline_switches;
-        self.false_switches += scheme_run.confusion.fp;
-        self.missed_switches += scheme_run.confusion.fn_;
-        self.decisions += scheme_run.confusion.total();
-        self.savings.record(scheme_run.savings_vs_energy(baseline_energy_j));
-        for &delay in &scheme_run.session_delays {
+        self.false_switches += outcome.false_switches;
+        self.missed_switches += outcome.missed_switches;
+        self.decisions += outcome.decisions;
+        self.savings.record(outcome.savings_vs_energy(baseline_energy_j));
+        for delay in outcome.session_delays() {
             self.session_delays.record(delay);
         }
     }

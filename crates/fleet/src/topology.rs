@@ -83,7 +83,7 @@ use tailwise_trace::time::Instant;
 use tailwise_trace::Trace;
 
 use crate::admission::AdmissionSpec;
-use crate::cache::{Fingerprint, RequestCache};
+use crate::cache::{topo_hash, verdict_hash, Fingerprint, ReplayEntry, RequestCache};
 use crate::mobility::MobilitySpec;
 use crate::report::{CellLoad, FleetReport, FleetSignaling, RncLoad};
 use crate::runner::{days_spanned, load_corpus_trace, run_sharded, Partial};
@@ -220,23 +220,63 @@ pub fn rnc_of_cell(cell: u64, cells: u64, rncs: u64) -> u64 {
 ///
 /// Each input is `(user index, times)` with `times` non-decreasing
 /// (the phase-1 contract); the output is the exact global sort of all
-/// `(time, user, seq)` triples, produced in O(N log U) by merging the
-/// already-sorted streams instead of re-sorting the concatenation —
-/// the fleet bench (`rnc_adjudication`) pins the comparison against
-/// the PR 4 concat-and-sort path.
+/// `(time, user, seq)` triples. Below `MERGE_HEAP_CUTOVER` streams
+/// the classic O(N log U) cursor heap wins — with a handful of live
+/// cursors the heap fits in a cache line or two and its log U factor
+/// is tiny. At or above the cutover the triples are concatenated and
+/// `sort_unstable`d instead: pdqsort's sequential memory traffic beats
+/// the heap's pointer chasing as soon as U grows, and keeps winning at
+/// every many-stream shape measured (the fleet bench,
+/// `rnc_adjudication`, pins both strategies either side of the
+/// cutover).
 pub fn merge_requests(streams: &[(u64, Vec<Instant>)]) -> Vec<(Instant, u64, u32)> {
     merge_request_streams(streams)
 }
+
+/// Stream count at which [`merge_requests`] switches from the cursor
+/// heap to concat-and-sort. Measured at a constant ~0.5M total
+/// elements on the fleet bench: the heap wins every shape up to
+/// 48×10922 (26.8ms vs 28.3ms) and loses from 64×8192 up (30.0ms vs
+/// 24.7ms), with pdqsort's margin widening monotonically after that
+/// (512×48: 0.79ms vs 1.20ms; 32768×48: 103ms vs 310ms). The
+/// crossover therefore sits between 48 and 64 streams; 64 is the
+/// first measured sort win.
+const MERGE_HEAP_CUTOVER: usize = 64;
 
 /// The [`merge_requests`] core, generic over how the per-user streams
 /// are held: owned vectors (the public entry point) or borrowed slices
 /// (the topology runner merging out of a shared request cache without
 /// cloning every stream).
 fn merge_request_streams<S: AsRef<[Instant]>>(streams: &[(u64, S)]) -> Vec<(Instant, u64, u32)> {
-    // Classic heap-based k-way merge: the heap holds one cursor per
-    // stream, popping in ascending (time, user, seq) order. O(N log U)
-    // with U live cursors — the adjudication-order construction never
-    // re-examines a stream's interior, unlike a full re-sort.
+    if streams.len() < MERGE_HEAP_CUTOVER {
+        merge_cursor_heap(streams)
+    } else {
+        merge_concat_sort(streams)
+    }
+}
+
+/// Concatenate every `(time, user, seq)` triple and `sort_unstable`
+/// (pdqsort). O(N log N) comparisons but sequential memory traffic;
+/// the winner at or above [`MERGE_HEAP_CUTOVER`] streams. Both strategies
+/// sort by the full strict-total-order triple, so ties on `time`
+/// resolve identically and the outputs are interchangeable
+/// (`merge_strategies_agree_on_any_input` property-tests this).
+fn merge_concat_sort<S: AsRef<[Instant]>>(streams: &[(u64, S)]) -> Vec<(Instant, u64, u32)> {
+    let total: usize = streams.iter().map(|(_, times)| times.as_ref().len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    for (user, times) in streams {
+        merged.extend(times.as_ref().iter().enumerate().map(|(seq, &at)| (at, *user, seq as u32)));
+    }
+    merged.sort_unstable();
+    merged
+}
+
+/// Classic heap-based k-way merge: the heap holds one cursor per
+/// stream, popping in ascending (time, user, seq) order. O(N log U)
+/// with U live cursors — the winner below [`MERGE_HEAP_CUTOVER`]
+/// streams, where the whole heap stays cache-resident and log U is
+/// small enough that its per-element cost undercuts a full re-sort.
+fn merge_cursor_heap<S: AsRef<[Instant]>>(streams: &[(u64, S)]) -> Vec<(Instant, u64, u32)> {
     let total: usize = streams.iter().map(|(_, times)| times.as_ref().len()).sum();
     let mut heap: BinaryHeap<std::cmp::Reverse<(Instant, u64, u32, usize)>> =
         BinaryHeap::with_capacity(streams.len());
@@ -462,6 +502,10 @@ struct TopologyPartial {
     /// user-index order, collected only when a request cache wants to
     /// learn this population's baselines (empty otherwise).
     baselines: Vec<(u64, u64)>,
+    /// Freshly replayed memo entries, keyed `(user index, verdict
+    /// hash)`, collected only when a request cache is configured
+    /// (empty otherwise) and taught back to it after the run.
+    fresh: Vec<((u64, u64), ReplayEntry)>,
 }
 
 impl Partial for TopologyPartial {
@@ -475,6 +519,7 @@ impl Partial for TopologyPartial {
         // Shard-order absorption reassembles user-index order, exactly
         // as pass 1's request-stream collection does.
         self.baselines.append(&mut other.baselines);
+        self.fresh.append(&mut other.fresh);
     }
 }
 
@@ -797,17 +842,68 @@ fn run_topology<U: TopologyUsers>(
     );
     let learn_baselines = cache.is_some() && cached_baselines.is_none();
     let cached_baselines = &cached_baselines;
+    // The replay memo: per-user outcomes from earlier cells of the same
+    // population, keyed by each user's verdict-stream hash. A hit folds
+    // the stored outcome — no trace materialization, no engine run —
+    // so a sweep cell pays only for the users whose verdicts changed.
+    let memo = cache.map(|(cache, fingerprint)| {
+        let topo = topo_hash(topology);
+        (topo, fingerprint.days, cache.lookup_outcomes(&fingerprint, &scheme_token, topo, obs))
+    });
+    let verdict_hashes: Vec<u64> = match &memo {
+        Some(_) => verdicts.iter().map(|v| verdict_hash(v)).collect(),
+        None => Vec::new(),
+    };
+    let memo = &memo;
+    let verdict_hashes = &verdict_hashes;
     let empty_partial = || TopologyPartial {
         report: empty(),
         seconds: vec![BTreeMap::new(); cell_count],
         baselines: Vec::new(),
+        fresh: Vec::new(),
     };
     let folded: TopologyPartial =
         run_sharded(shard_count, threads, obs, &empty_partial, &|shard, ctx| {
             let users_simulated = obs.recorder.counter("users_simulated");
             let days_counter = obs.recorder.counter("user_days");
+            let replay_counters = memo.as_ref().map(|_| {
+                (obs.recorder.counter("replay_hits"), obs.recorder.counter("replay_misses"))
+            });
             let mut partial = empty_partial();
             for index in shard_range(shard) {
+                // Memo hit: fold the cached outcome and load deltas
+                // without materializing the trace or running the engine.
+                if let Some((_, fp_days, known)) = memo {
+                    if let Some(entry) = known.get(&(index, verdict_hashes[index as usize])) {
+                        let (hits, _) = replay_counters.as_ref().expect("memo implies counters");
+                        hits.incr();
+                        let _replay = span(obs.recorder, "replay");
+                        if learn_baselines {
+                            partial
+                                .baselines
+                                .push((entry.baseline_energy_bits, entry.baseline_switches));
+                        }
+                        for &(cell, second, messages) in &entry.seconds {
+                            *partial.seconds[cell as usize].entry(second).or_insert(0) += messages;
+                        }
+                        // Synthetic populations carry a uniform
+                        // days-per-user, pinned by the fingerprint.
+                        let days = *fp_days;
+                        partial.report.fold_user_outcome(
+                            days,
+                            &entry.outcome,
+                            f64::from_bits(entry.baseline_energy_bits),
+                            entry.baseline_switches,
+                        );
+                        drop(_replay);
+                        users_simulated.incr();
+                        days_counter.add(days as u64);
+                        ctx.user_done(days as u64);
+                        continue;
+                    }
+                    let (_, misses) = replay_counters.as_ref().expect("memo implies counters");
+                    misses.incr();
+                }
                 let (carrier, trace, days) = {
                     let _synthesize = span(obs.recorder, "synthesize");
                     match access.user(index) {
@@ -837,6 +933,10 @@ fn run_topology<U: TopologyUsers>(
                     .expect("scriptable scheme always replays");
                 let home_cell = topology.home_cell(master_seed, index) as usize;
                 let mobile = !topology.mobility.is_static();
+                // The user's own (cell, second) → msgs deltas, grouped
+                // before folding so the memoized form and the live fold
+                // apply the exact same integer additions.
+                let mut user_seconds: BTreeMap<(u64, i64), u64> = BTreeMap::new();
                 if let Some(transitions) = scheme_run.transitions.take() {
                     for t in &transitions {
                         // Pass 2 attributes each transition to the cell
@@ -849,9 +949,30 @@ fn run_topology<U: TopologyUsers>(
                             home_cell
                         };
                         let second = t.at.as_micros().div_euclid(1_000_000);
-                        *partial.seconds[cell].entry(second).or_insert(0) +=
-                            topology.signaling.messages_for(t) as u64;
+                        let messages = topology.signaling.messages_for(t) as u64;
+                        if memo.is_some() {
+                            *user_seconds.entry((cell as u64, second)).or_insert(0) += messages;
+                        } else {
+                            *partial.seconds[cell].entry(second).or_insert(0) += messages;
+                        }
                     }
+                }
+                if memo.is_some() {
+                    for (&(cell, second), &messages) in &user_seconds {
+                        *partial.seconds[cell as usize].entry(second).or_insert(0) += messages;
+                    }
+                    partial.fresh.push((
+                        (index, verdict_hashes[index as usize]),
+                        ReplayEntry {
+                            outcome: tailwise_sim::ReplayOutcome::of(&scheme_run),
+                            baseline_energy_bits: baseline_energy_j.to_bits(),
+                            baseline_switches,
+                            seconds: user_seconds
+                                .into_iter()
+                                .map(|((cell, second), messages)| (cell, second, messages))
+                                .collect(),
+                        },
+                    ));
                 }
                 partial.report.fold_user_baseline(
                     days,
@@ -869,12 +990,17 @@ fn run_topology<U: TopologyUsers>(
         })?;
 
     // ---- Per-cell and per-RNC load accounting. -----------------------
-    let TopologyPartial { mut report, seconds, baselines } = folded;
+    let TopologyPartial { mut report, seconds, baselines, fresh } = folded;
     if learn_baselines {
         if let Some((cache, fingerprint)) = cache {
             debug_assert_eq!(baselines.len() as u64, users);
             cache.store_baselines(&fingerprint, Arc::new(baselines));
         }
+    }
+    if let (Some((cache, fingerprint)), Some(&(topo, _, _))) = (cache, memo.as_ref()) {
+        // Teach the memo what this cell had to replay (a no-op when
+        // everything hit, so warm runs leave spill files untouched).
+        cache.store_outcomes(&fingerprint, &scheme_token, topo, fresh, obs);
     }
     let mut rnc_seconds: Vec<BTreeMap<i64, u64>> = vec![BTreeMap::new(); rnc_count];
     for (cell, mut seconds) in seconds.into_iter().enumerate() {
@@ -1020,6 +1146,70 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(merged, expect);
         assert!(merge_requests(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_strategies_agree_across_the_cutover() {
+        // A population either side of MERGE_HEAP_CUTOVER: both
+        // strategies must produce the identical stream, so the
+        // dispatch in `merge_request_streams` can never change an
+        // adjudication order — only the bill.
+        for users in [MERGE_HEAP_CUTOVER / 2, MERGE_HEAP_CUTOVER + 6] {
+            let streams: Vec<(u64, Vec<Instant>)> = (0..users as u64)
+                .map(|user| {
+                    let mut at = (splitmix(user) % 1_000) as i64;
+                    let times = (0..(user % 5))
+                        .map(|k| {
+                            at += (splitmix(user ^ (k << 32)) % 400_000) as i64;
+                            Instant::from_micros(at)
+                        })
+                        .collect();
+                    (user, times)
+                })
+                .collect();
+            assert_eq!(merge_concat_sort(&streams), merge_cursor_heap(&streams), "users={users}");
+            assert_eq!(merge_requests(&streams), merge_concat_sort(&streams), "users={users}");
+        }
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Equivalence of the two merge strategies over arbitrary
+            /// stream shapes — duplicate timestamps across users, empty
+            /// streams, and ties within a user included. The triple's
+            /// strict total order makes `sort_unstable` deterministic,
+            /// so equality here is exact, not modulo tie order.
+            #[test]
+            fn merge_strategies_agree_on_any_input(
+                shapes in proptest::prop::collection::vec(
+                    (0u64..64, proptest::prop::collection::vec(0i64..500_000, 0..24)),
+                    0..40,
+                ),
+            ) {
+                let streams: Vec<(u64, Vec<Instant>)> = shapes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (jitter, mut gaps))| {
+                        gaps.sort_unstable();
+                        let mut at = jitter as i64;
+                        let times = gaps
+                            .into_iter()
+                            .map(|g| {
+                                at += g;
+                                Instant::from_micros(at)
+                            })
+                            .collect();
+                        (i as u64, times)
+                    })
+                    .collect();
+                prop_assert_eq!(merge_concat_sort(&streams), merge_cursor_heap(&streams));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! The phase-2 replay memo never changes an answer — only the bill.
+//!
+//! Pins the replay-memo acceptance claims end-to-end against the
+//! library's `rnc_storm.toml` admission sweep (shrunk to CI scale,
+//! structure kept exactly as declared on disk):
+//!
+//! * a memoized sweep — in-memory or disk-backed — produces a
+//!   **bit-identical** `SweepReport` (rendered text and
+//!   `RunManifest::digest()` included) to the uncached sweep at 1, 2,
+//!   and 8 threads, while `replay_hits` shows the reuse happened;
+//! * a second sweep over the same cache replays nothing: every user in
+//!   every cell hits the memo (`replay_misses == 0`);
+//! * a cold on-disk cache spills `.twr` files that an entirely fresh
+//!   cache (a later process, conceptually) warm-starts from;
+//! * a corrupted or truncated `.twr` degrades to recomputation — the
+//!   report stays identical and `replay_fallbacks` counts the save.
+
+use std::path::PathBuf;
+
+use tailwise_fleet::{RequestCache, RunManifest, ScenarioSet, SweepReport};
+use tailwise_obs::{Obs, Recorder, StatsRecorder};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tailwise-replay-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The library's RNC-storm admission sweep, shrunk to CI scale. Only
+/// the population size and shard size change; the topology, mixes,
+/// seed, and `[[sweep]]` axes stay exactly as declared on disk.
+fn storm_set() -> ScenarioSet {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/rnc_storm.toml");
+    let mut set = ScenarioSet::from_file(path).expect("library storm file parses");
+    set.base.users = 24;
+    set.base.shard_size = 5; // ragged last shard
+    set
+}
+
+/// Rendered text with the measured fields (excluded from the
+/// determinism contract) normalized away.
+fn rendered(sweep: &SweepReport) -> String {
+    let mut sweep = sweep.clone();
+    for row in &mut sweep.rows {
+        row.report.wall_seconds = 0.0;
+        row.report.threads = 1;
+        row.report.timings = None;
+    }
+    sweep.render()
+}
+
+/// Runs the storm sweep against `cache` under a fresh recorder,
+/// returning the report, its manifest digest, and the counters.
+fn run_storm(
+    threads: usize,
+    cache: Option<&RequestCache>,
+) -> (SweepReport, u64, tailwise_obs::Snapshot) {
+    let set = storm_set();
+    let seed = set.base.master_seed;
+    let recorder = StatsRecorder::new();
+    let obs = Obs { recorder: &recorder, progress: None };
+    let sweep = tailwise_fleet::run_sweep_cached(&set, threads, obs, cache);
+    let snapshot = recorder.snapshot();
+    let digest = RunManifest::for_sweep(&sweep, threads, seed, &snapshot).digest();
+    (sweep, digest, snapshot)
+}
+
+fn counter(snapshot: &tailwise_obs::Snapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn memoized_sweeps_are_bit_identical_to_uncached_at_1_2_8_threads() {
+    let (baseline, base_digest, no_cache) = run_storm(2, None);
+    assert!(baseline.rows.len() >= 2, "storm file should sweep admission");
+    // Uncached runs never consult the memo, so they emit no replay
+    // counters at all — the memo is invisible until a cache exists.
+    assert_eq!(counter(&no_cache, "replay_hits"), 0);
+    assert_eq!(counter(&no_cache, "replay_misses"), 0);
+
+    let dir = temp_dir("identity");
+    for threads in [1usize, 2, 8] {
+        // In-memory cache: the first cell populates the memo; later
+        // cells replay only the users whose verdicts changed.
+        let memory = RequestCache::in_memory();
+        let (cached, digest, counters) = run_storm(threads, Some(&memory));
+        assert_eq!(baseline, cached, "memory memo, threads={threads}");
+        assert_eq!(rendered(&baseline), rendered(&cached), "memory memo, threads={threads}");
+        assert_eq!(base_digest, digest, "manifest digest, threads={threads}");
+        assert!(counter(&counters, "replay_hits") >= 1, "threads={threads}");
+        assert_eq!(counter(&counters, "replay_fallbacks"), 0, "threads={threads}");
+
+        // Disk-backed cache: same contract, plus a .twr spill.
+        let disk_dir = dir.join(format!("t{threads}"));
+        let disk = RequestCache::with_dir(&disk_dir).unwrap();
+        let (cached, digest, counters) = run_storm(threads, Some(&disk));
+        assert_eq!(baseline, cached, "disk memo, threads={threads}");
+        assert_eq!(rendered(&baseline), rendered(&cached), "disk memo, threads={threads}");
+        assert_eq!(base_digest, digest, "disk manifest digest, threads={threads}");
+        assert!(counter(&counters, "replay_spills") >= 1, "threads={threads}");
+        assert_eq!(counter(&counters, "replay_fallbacks"), 0, "threads={threads}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn warm_sweep_replays_nothing_and_a_fresh_cache_warm_starts_from_disk() {
+    let dir = temp_dir("warm");
+
+    // Cold: every user misses once (first cell), later cells hit the
+    // users whose verdicts match and replay only the changed ones.
+    let cold_cache = RequestCache::with_dir(&dir).unwrap();
+    let (cold, cold_digest, cold_counters) = run_storm(2, Some(&cold_cache));
+    assert!(counter(&cold_counters, "replay_misses") >= 24, "first cell replays everyone");
+    assert!(counter(&cold_counters, "replay_spills") >= 1);
+    let spills: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "twr"))
+        .collect();
+    assert!(!spills.is_empty(), "cold run should spill .twr outcomes");
+
+    // Same cache again: the memo already knows every (user, verdict)
+    // pair in the sweep, so the warm run replays nothing at all.
+    let (warm, warm_digest, warm_counters) = run_storm(2, Some(&cold_cache));
+    assert_eq!(cold, warm);
+    assert_eq!(cold_digest, warm_digest);
+    assert_eq!(counter(&warm_counters, "replay_misses"), 0, "warm sweep must replay nothing");
+    assert!(counter(&warm_counters, "replay_hits") >= 24);
+    assert_eq!(counter(&warm_counters, "replay_fallbacks"), 0);
+
+    // An entirely fresh cache over the same directory — a later
+    // process — warm-starts from the .twr spills alone.
+    let fresh = RequestCache::with_dir(&dir).unwrap();
+    let (from_disk, disk_digest, disk_counters) = run_storm(2, Some(&fresh));
+    assert_eq!(cold, from_disk);
+    assert_eq!(rendered(&cold), rendered(&from_disk));
+    assert_eq!(cold_digest, disk_digest);
+    assert_eq!(counter(&disk_counters, "replay_misses"), 0, "disk warm-start must replay nothing");
+    assert!(counter(&disk_counters, "replay_hits") >= 24);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_and_truncated_twr_spills_fall_back_to_recomputation() {
+    let dir = temp_dir("corrupt");
+    let seed_cache = RequestCache::with_dir(&dir).unwrap();
+    let (baseline, base_digest, _) = run_storm(2, Some(&seed_cache));
+    let spill = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "twr"))
+        .expect("seed run spilled a .twr file");
+    let pristine = std::fs::read(&spill).unwrap();
+
+    // A flipped payload byte: the checksum rejects it, the run
+    // recomputes, and the report cannot tell the difference.
+    let mut corrupt = pristine.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&spill, &corrupt).unwrap();
+    let cache = RequestCache::with_dir(&dir).unwrap();
+    let (report, digest, counters) = run_storm(2, Some(&cache));
+    assert_eq!(baseline, report, "corrupt .twr must not change the answer");
+    assert_eq!(rendered(&baseline), rendered(&report));
+    assert_eq!(base_digest, digest, "corrupt .twr must not change the digest");
+    assert!(counter(&counters, "replay_fallbacks") > 0, "corruption must be counted");
+
+    // A truncated file: same contract. The repaired spill from the
+    // corrupt run was already rewritten, so truncate the current one.
+    let current = std::fs::read(&spill).unwrap();
+    std::fs::write(&spill, &current[..current.len() / 3]).unwrap();
+    let cache = RequestCache::with_dir(&dir).unwrap();
+    let (report, digest, counters) = run_storm(2, Some(&cache));
+    assert_eq!(baseline, report, "truncated .twr must not change the answer");
+    assert_eq!(base_digest, digest);
+    assert!(counter(&counters, "replay_fallbacks") > 0, "truncation must be counted");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+mod props {
+    use proptest::prelude::*;
+    use tailwise_core::schemes::Scheme;
+    use tailwise_fleet::FleetReport;
+    use tailwise_radio::profile::CarrierProfile;
+    use tailwise_sim::{ReplayOutcome, SimConfig};
+    use tailwise_trace::io::{
+        read_replay_outcomes, write_replay_outcomes, ReplayCacheHeader, ReplayOutcomeRecord,
+    };
+    use tailwise_trace::packet::{Direction, Packet};
+    use tailwise_trace::time::{Duration, Instant};
+    use tailwise_trace::Trace;
+
+    fn trace_from_gaps(gaps_ms: &[i64]) -> Trace {
+        let mut t = Instant::ZERO;
+        let mut pkts = vec![Packet::new(t, Direction::Down, 500)];
+        for (i, &g) in gaps_ms.iter().enumerate() {
+            t += Duration::from_millis(g);
+            let dir = if i % 3 == 0 { Direction::Up } else { Direction::Down };
+            pkts.push(Packet::new(t, dir, 500));
+        }
+        Trace::from_sorted(pkts).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The memo's full round trip — `ReplayOutcome::of` a live
+        /// replay, through `.twr` bytes, back into a report fold —
+        /// must never change a single bit of the `FleetReport` the
+        /// live path would have produced, rendered text included,
+        /// over arbitrary traces × schemes × verdict scripts.
+        #[test]
+        fn memoized_fold_is_bit_identical_to_the_live_fold(
+            gaps_ms in proptest::prop::collection::vec(1i64..90_000, 1..40),
+            (scheme_i, carrier_i) in (0usize..5, 0usize..16),
+            verdict_bits in 0u64..u64::MAX,
+            days in 1u32..6,
+        ) {
+            let scheme = [
+                Scheme::StatusQuo,
+                Scheme::FixedTail45,
+                Scheme::PercentileIat(0.95),
+                Scheme::MakeIdle,
+                Scheme::Oracle,
+            ][scheme_i];
+            let presets = CarrierProfile::all_presets();
+            let carrier = presets[carrier_i % presets.len()].clone();
+            let cfg = SimConfig::default();
+            let trace = trace_from_gaps(&gaps_ms);
+
+            // Phase 1 + a scripted adjudication drawn from the bits.
+            let requests = scheme.request_trace(&carrier, &cfg, &trace).unwrap();
+            let verdicts: Vec<bool> =
+                (0..requests.len()).map(|i| verdict_bits >> (i % 64) & 1 == 1).collect();
+            let live = scheme.run_scripted(&carrier, &cfg, &trace, &verdicts).unwrap();
+            let baseline = Scheme::StatusQuo.run(&carrier, &cfg, &trace);
+            let (base_energy, base_switches) = (baseline.total_energy(), baseline.switch_cycles());
+
+            // Live path: the fold every uncached run performs.
+            let mut direct = FleetReport::empty("prop".into(), scheme.to_string());
+            direct.fold_user_baseline(days, &live, base_energy, base_switches);
+
+            // Memo path: outcome → `.twr` bytes → outcome → fold.
+            let outcome = ReplayOutcome::of(&live);
+            let header = ReplayCacheHeader {
+                master_seed: 1, users: 1, days, mix_hash: 2, sim_hash: 3, topo_hash: 4,
+                scheme: scheme.to_string(),
+            };
+            let record = ReplayOutcomeRecord {
+                user: 0,
+                verdict_hash: verdict_bits,
+                packets: outcome.packets,
+                energy_bits: outcome.energy_bits,
+                switches: outcome.switches,
+                false_switches: outcome.false_switches,
+                missed_switches: outcome.missed_switches,
+                decisions: outcome.decisions,
+                baseline_energy_bits: base_energy.to_bits(),
+                baseline_switches: base_switches,
+                delay_bits: outcome.delay_bits.clone(),
+                seconds: Vec::new(),
+            };
+            let mut spilled = Vec::new();
+            write_replay_outcomes(&header, &[record], &mut spilled).unwrap();
+            let (_, records) = read_replay_outcomes(&spilled[..]).unwrap();
+            prop_assert_eq!(records.len(), 1);
+            let rec = &records[0];
+            let cached = ReplayOutcome {
+                packets: rec.packets,
+                energy_bits: rec.energy_bits,
+                switches: rec.switches,
+                false_switches: rec.false_switches,
+                missed_switches: rec.missed_switches,
+                decisions: rec.decisions,
+                delay_bits: rec.delay_bits.clone(),
+            };
+            prop_assert_eq!(&cached, &outcome, "the spill must round-trip the outcome exactly");
+
+            let mut memoized = FleetReport::empty("prop".into(), scheme.to_string());
+            memoized.fold_user_outcome(
+                days,
+                &cached,
+                f64::from_bits(rec.baseline_energy_bits),
+                rec.baseline_switches,
+            );
+            prop_assert_eq!(&direct, &memoized);
+            prop_assert_eq!(direct.render(), memoized.render());
+        }
+    }
+}

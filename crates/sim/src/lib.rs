@@ -47,7 +47,7 @@ pub use policy::{
     ActivePolicy, FixedWait, IdleContext, IdleDecision, IdlePolicy, NoBatching, StatusQuo,
 };
 pub use report::SimReport;
-pub use twophase::{record_requests, replay_requests, RequestTrace};
+pub use twophase::{record_requests, replay_requests, ReplayOutcome, RequestTrace};
 
 #[cfg(test)]
 mod proptests {

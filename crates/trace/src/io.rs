@@ -383,6 +383,265 @@ pub fn read_request_streams<R: Read>(
     Ok((header, streams))
 }
 
+// ------------------------------------------------- replay memo (.twr) ----
+
+/// Magic bytes of the replay-memo format.
+pub const OUTCOME_MAGIC: &[u8; 4] = b"TWRO";
+/// Current replay-memo format version.
+pub const OUTCOME_VERSION: u16 = 1;
+
+/// The `.twr` header: everything a memoized phase-2 outcome is keyed
+/// on at the population level.
+///
+/// The first five fields mirror [`RequestCacheHeader`] (the scenario
+/// fingerprint plus the scheme token); `topo_hash` additionally pins
+/// the topology facts a per-user `(cell, second) → msgs` attribution
+/// depends on — cell count, mobility model, and the signaling message
+/// weights. Per-user verdict streams are keyed inside each record, so
+/// one file serves every sweep cell that shares the population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayCacheHeader {
+    /// Scenario master seed.
+    pub master_seed: u64,
+    /// Population size (records may cover any subset of users).
+    pub users: u64,
+    /// Days of traffic synthesized per user.
+    pub days: u32,
+    /// Hash of the app and carrier mixes (weights included).
+    pub mix_hash: u64,
+    /// Hash of the phase-1-relevant engine knobs.
+    pub sim_hash: u64,
+    /// Hash of the replay-relevant topology facts (cell count,
+    /// mobility model, signaling weights).
+    pub topo_hash: u64,
+    /// Stable token of the scheme whose replay is memoized.
+    pub scheme: String,
+}
+
+/// One memoized per-user phase-2 outcome, as stored on disk.
+///
+/// Everything the fleet report's outcome fold needs to fold the user
+/// without re-simulating: the scheme run's scalar outcome (energy and
+/// baseline energy as `f64::to_bits` words, switch/confusion counts,
+/// session-delay samples as bits) plus the user's sparse per-second
+/// signaling-load deltas. A record is valid only for the
+/// `(header, verdict_hash)` pair it is keyed under — any drift in the
+/// verdict stream re-simulates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayOutcomeRecord {
+    /// User index within the population.
+    pub user: u64,
+    /// SplitMix64 hash of the user's grant/deny verdict stream.
+    pub verdict_hash: u64,
+    /// Packets replayed.
+    pub packets: u64,
+    /// Scheme-run total energy, as `f64::to_bits`.
+    pub energy_bits: u64,
+    /// Promotion cycles in the scheme run.
+    pub switches: u64,
+    /// False switches (confusion-matrix false positives).
+    pub false_switches: u64,
+    /// Missed switches (confusion-matrix false negatives).
+    pub missed_switches: u64,
+    /// Total scored decisions.
+    pub decisions: u64,
+    /// Status-quo baseline energy, as `f64::to_bits`.
+    pub baseline_energy_bits: u64,
+    /// Status-quo baseline promotion cycles.
+    pub baseline_switches: u64,
+    /// Session-delay samples, each as `f64::to_bits`, in record order.
+    pub delay_bits: Vec<u64>,
+    /// Sparse signaling-load deltas: `(cell, second, msgs)` triples.
+    pub seconds: Vec<(u64, i64, u64)>,
+}
+
+/// Folds the `.twr` header fields shared by writer and reader.
+fn fold_outcome_header(header: &ReplayCacheHeader) -> u64 {
+    let mut h = 0x7EC0_CACE_0000_0000u64;
+    h = fold_word(h, header.master_seed);
+    h = fold_word(h, header.users);
+    h = fold_word(h, header.days as u64);
+    h = fold_word(h, header.mix_hash);
+    h = fold_word(h, header.sim_hash);
+    h = fold_word(h, header.topo_hash);
+    h = fold_word(h, header.scheme.len() as u64);
+    for b in header.scheme.as_bytes() {
+        h = fold_word(h, *b as u64);
+    }
+    h
+}
+
+/// Writes memoized replay outcomes in `.twr` form: the header, a
+/// record count, the per-user records, and a trailing 64-bit checksum
+/// over every field — the same corrupt-spills-recompute-never-lie
+/// contract as [`write_request_streams`].
+pub fn write_replay_outcomes<W: Write>(
+    header: &ReplayCacheHeader,
+    records: &[ReplayOutcomeRecord],
+    out: W,
+) -> Result<(), TraceError> {
+    if header.scheme.len() > REQUEST_SCHEME_CAP {
+        return Err(TraceError::Parse {
+            location: 0,
+            message: format!("scheme token exceeds {REQUEST_SCHEME_CAP} bytes"),
+        });
+    }
+    let mut w = BufWriter::new(out);
+    w.write_all(OUTCOME_MAGIC)?;
+    w.write_all(&OUTCOME_VERSION.to_le_bytes())?;
+    w.write_all(&header.master_seed.to_le_bytes())?;
+    w.write_all(&header.users.to_le_bytes())?;
+    w.write_all(&header.days.to_le_bytes())?;
+    w.write_all(&header.mix_hash.to_le_bytes())?;
+    w.write_all(&header.sim_hash.to_le_bytes())?;
+    w.write_all(&header.topo_hash.to_le_bytes())?;
+    w.write_all(&(header.scheme.len() as u16).to_le_bytes())?;
+    w.write_all(header.scheme.as_bytes())?;
+    let mut checksum = fold_outcome_header(header);
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    checksum = fold_word(checksum, records.len() as u64);
+    let put = |w: &mut BufWriter<W>, checksum: &mut u64, word: u64| -> Result<(), TraceError> {
+        w.write_all(&word.to_le_bytes())?;
+        *checksum = fold_word(*checksum, word);
+        Ok(())
+    };
+    for rec in records {
+        put(&mut w, &mut checksum, rec.user)?;
+        put(&mut w, &mut checksum, rec.verdict_hash)?;
+        put(&mut w, &mut checksum, rec.packets)?;
+        put(&mut w, &mut checksum, rec.energy_bits)?;
+        put(&mut w, &mut checksum, rec.switches)?;
+        put(&mut w, &mut checksum, rec.false_switches)?;
+        put(&mut w, &mut checksum, rec.missed_switches)?;
+        put(&mut w, &mut checksum, rec.decisions)?;
+        put(&mut w, &mut checksum, rec.baseline_energy_bits)?;
+        put(&mut w, &mut checksum, rec.baseline_switches)?;
+        put(&mut w, &mut checksum, rec.delay_bits.len() as u64)?;
+        for &bits in &rec.delay_bits {
+            put(&mut w, &mut checksum, bits)?;
+        }
+        put(&mut w, &mut checksum, rec.seconds.len() as u64)?;
+        for &(cell, second, msgs) in &rec.seconds {
+            put(&mut w, &mut checksum, cell)?;
+            put(&mut w, &mut checksum, second as u64)?;
+            put(&mut w, &mut checksum, msgs)?;
+        }
+    }
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a `.twr` file back into its header and outcome records.
+///
+/// The failure discipline matches [`read_request_streams`]: wrong
+/// magic, unknown version, oversized scheme token, truncation anywhere,
+/// trailing bytes, and checksum mismatch are all typed
+/// [`TraceError`]s, never a panic, an unbounded allocation, or a
+/// silently wrong outcome.
+pub fn read_replay_outcomes<R: Read>(
+    input: R,
+) -> Result<(ReplayCacheHeader, Vec<ReplayOutcomeRecord>), TraceError> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != OUTCOME_MAGIC {
+        return Err(TraceError::BadHeader(String::from_utf8_lossy(&magic).into_owned()));
+    }
+    let mut v = [0u8; 2];
+    r.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version != OUTCOME_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let mut u64_buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>, what: &str, at: usize| -> Result<u64, TraceError> {
+        r.read_exact(&mut u64_buf).map_err(|e| truncated(e, what, at))?;
+        Ok(u64::from_le_bytes(u64_buf))
+    };
+    let master_seed = read_u64(&mut r, "master seed", 0)?;
+    let users = read_u64(&mut r, "user count", 0)?;
+    let mut u32_buf = [0u8; 4];
+    r.read_exact(&mut u32_buf).map_err(|e| truncated(e, "day count", 0))?;
+    let days = u32::from_le_bytes(u32_buf);
+    let mix_hash = read_u64(&mut r, "mix hash", 0)?;
+    let sim_hash = read_u64(&mut r, "sim hash", 0)?;
+    let topo_hash = read_u64(&mut r, "topology hash", 0)?;
+    let mut len_buf = [0u8; 2];
+    r.read_exact(&mut len_buf).map_err(|e| truncated(e, "scheme length", 0))?;
+    let scheme_len = u16::from_le_bytes(len_buf) as usize;
+    if scheme_len > REQUEST_SCHEME_CAP {
+        return Err(TraceError::Parse {
+            location: 0,
+            message: format!("scheme token length {scheme_len} exceeds {REQUEST_SCHEME_CAP}"),
+        });
+    }
+    let mut scheme_bytes = vec![0u8; scheme_len];
+    r.read_exact(&mut scheme_bytes).map_err(|e| truncated(e, "scheme token", 0))?;
+    let scheme = String::from_utf8(scheme_bytes).map_err(|e| TraceError::Parse {
+        location: 0,
+        message: format!("scheme token is not UTF-8: {e}"),
+    })?;
+    let header =
+        ReplayCacheHeader { master_seed, users, days, mix_hash, sim_hash, topo_hash, scheme };
+
+    let mut checksum = fold_outcome_header(&header);
+    let count = read_u64(&mut r, "record count", 0)? as usize;
+    checksum = fold_word(checksum, count as u64);
+    let mut records = Vec::with_capacity(count.min(1 << 24));
+    for i in 0..count {
+        let get = |r: &mut BufReader<R>, checksum: &mut u64, what| -> Result<u64, TraceError> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b).map_err(|e| truncated(e, what, i))?;
+            let word = u64::from_le_bytes(b);
+            *checksum = fold_word(*checksum, word);
+            Ok(word)
+        };
+        let mut rec = ReplayOutcomeRecord {
+            user: get(&mut r, &mut checksum, "user index")?,
+            verdict_hash: get(&mut r, &mut checksum, "verdict hash")?,
+            packets: get(&mut r, &mut checksum, "packet count")?,
+            energy_bits: get(&mut r, &mut checksum, "energy bits")?,
+            switches: get(&mut r, &mut checksum, "switch count")?,
+            false_switches: get(&mut r, &mut checksum, "false-switch count")?,
+            missed_switches: get(&mut r, &mut checksum, "missed-switch count")?,
+            decisions: get(&mut r, &mut checksum, "decision count")?,
+            baseline_energy_bits: get(&mut r, &mut checksum, "baseline energy bits")?,
+            baseline_switches: get(&mut r, &mut checksum, "baseline switch count")?,
+            ..ReplayOutcomeRecord::default()
+        };
+        let delays = get(&mut r, &mut checksum, "delay count")? as usize;
+        rec.delay_bits.reserve(delays.min(1 << 24));
+        for _ in 0..delays {
+            rec.delay_bits.push(get(&mut r, &mut checksum, "delay bits")?);
+        }
+        let seconds = get(&mut r, &mut checksum, "second-map length")? as usize;
+        rec.seconds.reserve(seconds.min(1 << 24));
+        for _ in 0..seconds {
+            let cell = get(&mut r, &mut checksum, "second-map cell")?;
+            let second = get(&mut r, &mut checksum, "second-map second")? as i64;
+            let msgs = get(&mut r, &mut checksum, "second-map messages")?;
+            rec.seconds.push((cell, second, msgs));
+        }
+        records.push(rec);
+    }
+    let stored = read_u64(&mut r, "checksum", count)?;
+    if stored != checksum {
+        return Err(TraceError::Parse {
+            location: count,
+            message: format!("checksum mismatch: stored {stored:#018x}, computed {checksum:#018x}"),
+        });
+    }
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(TraceError::Parse {
+            location: count,
+            message: "trailing data after the declared record count".into(),
+        });
+    }
+    Ok((header, records))
+}
+
 /// Maps an unexpected-EOF mid-record into a positioned truncation
 /// error (other I/O failures pass through).
 fn truncated(e: std::io::Error, what: &str, location: usize) -> TraceError {
@@ -715,5 +974,119 @@ mod tests {
         header.scheme = "x".repeat(REQUEST_SCHEME_CAP + 1);
         let mut buf = Vec::new();
         assert!(write_request_streams(&header, &[], &mut buf).is_err());
+    }
+
+    // -------------------------------------------- replay memo (.twr) ----
+
+    fn sample_outcome_header() -> ReplayCacheHeader {
+        ReplayCacheHeader {
+            master_seed: 0xBEAC4,
+            users: 3,
+            days: 3,
+            mix_hash: 0x1234_5678_9ABC_DEF0,
+            sim_hash: 0x0FED_CBA9_8765_4321,
+            topo_hash: 0xA5A5_0000_1111_2222,
+            scheme: "tail45".into(),
+        }
+    }
+
+    fn sample_records() -> Vec<ReplayOutcomeRecord> {
+        vec![
+            ReplayOutcomeRecord {
+                user: 0,
+                verdict_hash: 0xDEAD_BEEF,
+                packets: 412,
+                energy_bits: 1234.5f64.to_bits(),
+                switches: 9,
+                false_switches: 2,
+                missed_switches: 1,
+                decisions: 40,
+                baseline_energy_bits: 2345.75f64.to_bits(),
+                baseline_switches: 4,
+                delay_bits: vec![0.5f64.to_bits(), 1.25f64.to_bits()],
+                seconds: vec![(0, -3, 28), (0, 90, 5), (2, 90, 6)],
+            },
+            // A user with no delays and no signaling load at all.
+            ReplayOutcomeRecord { user: 2, verdict_hash: 7, ..ReplayOutcomeRecord::default() },
+        ]
+    }
+
+    fn sample_twr() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_replay_outcomes(&sample_outcome_header(), &sample_records(), &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn twr_roundtrip_preserves_header_and_records() {
+        let (header, records) = read_replay_outcomes(sample_twr().as_slice()).unwrap();
+        assert_eq!(header, sample_outcome_header());
+        assert_eq!(records, sample_records());
+    }
+
+    #[test]
+    fn twr_roundtrips_empty_record_set() {
+        let mut buf = Vec::new();
+        write_replay_outcomes(&sample_outcome_header(), &[], &mut buf).unwrap();
+        let (header, records) = read_replay_outcomes(buf.as_slice()).unwrap();
+        assert_eq!(header, sample_outcome_header());
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn twr_rejects_bad_magic_and_version() {
+        let buf = sample_twr();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_replay_outcomes(bad.as_slice()), Err(TraceError::BadHeader(_))));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_replay_outcomes(bad.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn twr_detects_truncation_anywhere() {
+        let buf = sample_twr();
+        for cut in 6..buf.len() {
+            let err = read_replay_outcomes(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Parse { .. } | TraceError::Io(_)),
+                "cut at {cut} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn twr_rejects_trailing_data() {
+        let mut buf = sample_twr();
+        buf.push(0);
+        let err = read_replay_outcomes(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing data"), "{err}");
+    }
+
+    #[test]
+    fn twr_checksum_catches_any_flipped_byte() {
+        // Every field is a plausible word on its own (a flipped energy
+        // bit still decodes to a valid f64); only the checksum can
+        // catch payload damage. Flip every byte in the file in turn —
+        // header bytes fail structurally, payload bytes fail the
+        // checksum — and demand a clean error either way.
+        let buf = sample_twr();
+        for pos in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(read_replay_outcomes(bad.as_slice()).is_err(), "flipped byte {pos} unnoticed");
+        }
+    }
+
+    #[test]
+    fn twr_write_rejects_oversized_scheme_token() {
+        let mut header = sample_outcome_header();
+        header.scheme = "x".repeat(REQUEST_SCHEME_CAP + 1);
+        let mut buf = Vec::new();
+        assert!(write_replay_outcomes(&header, &[], &mut buf).is_err());
     }
 }

@@ -20,10 +20,23 @@
 //!
 //! Passing `--test` (what `cargo test` does for harness-less bench
 //! targets) switches to a single-iteration sanity run.
+//!
+//! Passing `--json <path>` additionally writes every benchmark's
+//! statistics to `<path>` as a JSON object keyed by benchmark label
+//! (`{"group/bench": {"median_ns": …, "mad_ns": …, "p05_ns": …,
+//! "p95_ns": …}, …}`) so CI can archive the numbers as an artifact
+//! instead of scraping them out of the log. In `--test` mode each
+//! entry holds the single sanity iteration's wall time.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// `--json <path>` destination, shared by every group in the binary.
+static JSON_PATH: Mutex<Option<String>> = Mutex::new(None);
+/// Every finished benchmark's statistics, in execution order.
+static RESULTS: Mutex<Vec<(String, Stats)>> = Mutex::new(Vec::new());
 
 /// Workload magnitude declared for a benchmark, used to derive
 /// throughput from the measured time per iteration.
@@ -87,8 +100,9 @@ impl Bencher<'_> {
     /// Times `routine` repeatedly.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if self.test_mode {
+            let start = Instant::now();
             std::hint::black_box(routine());
-            self.samples.push(0.0);
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
             return;
         }
         // Warm-up: one call, also used to size the timed batches.
@@ -114,8 +128,10 @@ impl Bencher<'_> {
         F: FnMut(I) -> O,
     {
         if self.test_mode {
-            std::hint::black_box(routine(setup()));
-            self.samples.push(0.0);
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
             return;
         }
         let deadline = Instant::now() + self.measurement_time;
@@ -215,9 +231,19 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Applies command-line configuration (`--test` → sanity mode).
+    /// Applies command-line configuration: `--test` → sanity mode,
+    /// `--json <path>` → write per-benchmark statistics to `<path>`
+    /// when the binary finishes ([`criterion_main!`] flushes).
     pub fn configure_from_args(mut self) -> Criterion {
-        self.test_mode = std::env::args().any(|a| a == "--test");
+        let args: Vec<String> = std::env::args().collect();
+        self.test_mode = args.iter().any(|a| a == "--test");
+        if let Some(at) = args.iter().position(|a| a == "--json") {
+            let path = args.get(at + 1).unwrap_or_else(|| {
+                eprintln!("criterion: --json requires a path argument");
+                std::process::exit(2);
+            });
+            *JSON_PATH.lock().unwrap() = Some(path.clone());
+        }
         self
     }
 
@@ -258,7 +284,32 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mut samples = Vec::new();
     let mut bencher = Bencher { samples: &mut samples, test_mode, measurement_time };
     f(&mut bencher);
-    report(&label, stats(&mut samples), throughput, test_mode);
+    let stats = stats(&mut samples);
+    RESULTS.lock().unwrap().push((label.clone(), stats));
+    report(&label, stats, throughput, test_mode);
+}
+
+/// Writes the accumulated statistics to the `--json` path, if one was
+/// given. Called by [`criterion_main!`] after every group has run; a
+/// bench binary with a custom `main` may call it directly.
+pub fn flush_json() {
+    let Some(path) = JSON_PATH.lock().unwrap().clone() else { return };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    for (i, (label, s)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {:?}: {{\"median_ns\": {:.3}, \"mad_ns\": {:.3}, \
+             \"p05_ns\": {:.3}, \"p95_ns\": {:.3}}}{comma}\n",
+            label, s.median, s.mad, s.p05, s.p95,
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write --json {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("bench statistics written to {path}");
 }
 
 /// A group of related benchmarks sharing a name prefix and throughput.
@@ -342,6 +393,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
@@ -409,5 +461,35 @@ mod tests {
         assert_eq!(stats(&mut []).median, 0.0);
         let one = stats(&mut [7.0]);
         assert_eq!((one.median, one.mad, one.p05, one.p95), (7.0, 0.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn flush_json_writes_every_recorded_label() {
+        let path = std::env::temp_dir()
+            .join(format!("criterion-json-{}.json", std::process::id()))
+            .display()
+            .to_string();
+        RESULTS
+            .lock()
+            .unwrap()
+            .push(("g/json_probe".into(), Stats { median: 12.5, mad: 0.5, p05: 11.0, p95: 14.0 }));
+        *JSON_PATH.lock().unwrap() = Some(path.clone());
+        flush_json();
+        *JSON_PATH.lock().unwrap() = None;
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(written.starts_with("{\n") && written.ends_with("}\n"), "{written}");
+        assert!(
+            written.contains(
+                "\"g/json_probe\": {\"median_ns\": 12.500, \"mad_ns\": 0.500, \
+                 \"p05_ns\": 11.000, \"p95_ns\": 14.000}"
+            ),
+            "{written}"
+        );
+    }
+
+    #[test]
+    fn flush_json_without_a_path_is_a_no_op() {
+        flush_json(); // must not panic or write anywhere
     }
 }
